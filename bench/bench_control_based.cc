@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Section 3.6: control-based address predictors as an alternative to
+ * CAP for control-dependent loads — a g-share scheme (load PC xor
+ * global branch history indexing an address table) and the same
+ * structure indexed by call-path history.
+ *
+ * Paper reference points (qualitative): the g-share scheme "gives
+ * poor results mainly because the loads are not well correlated to
+ * all the individual conditional branches"; path history over recent
+ * call sites "gives better results" but still not enough to be "a
+ * viable substitute" for the context-based predictor.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/control_predictor.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::bench;
+
+struct ControlResults
+{
+    std::vector<SuiteStats> gshare;
+    std::vector<SuiteStats> path;
+    std::vector<SuiteStats> cap;
+};
+
+const ControlResults &
+results()
+{
+    static const ControlResults cached = [] {
+        const std::size_t len = defaultTraceLength();
+        ControlResults r;
+        PredictorFactory gshare_factory = [] {
+            ControlPredictorConfig config;
+            config.usePathHistory = false;
+            return std::make_unique<ControlAddressPredictor>(config);
+        };
+        PredictorFactory path_factory = [] {
+            ControlPredictorConfig config;
+            config.usePathHistory = true;
+            return std::make_unique<ControlAddressPredictor>(config);
+        };
+        r.gshare = runPerSuite(gshare_factory, {}, len);
+        r.path = runPerSuite(path_factory, {}, len);
+        r.cap = runPerSuite(capFactory(), {}, len);
+        return r;
+    }();
+    return cached;
+}
+
+void
+BM_ControlBased(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&results());
+    state.counters["gshare_correct"] =
+        results().gshare.back().stats.correctOfAllLoads();
+    state.counters["path_correct"] =
+        results().path.back().stats.correctOfAllLoads();
+    state.counters["cap_correct"] =
+        results().cap.back().stats.correctOfAllLoads();
+}
+BENCHMARK(BM_ControlBased)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+printResults()
+{
+    const auto &r = results();
+    Table table;
+    table.row({"suite", "gshare_corr", "path_corr", "cap_corr"});
+    for (std::size_t i = 0; i < r.cap.size(); ++i) {
+        table.newRow();
+        table.cell(r.cap[i].suite);
+        table.percent(r.gshare[i].stats.correctOfAllLoads());
+        table.percent(r.path[i].stats.correctOfAllLoads());
+        table.percent(r.cap[i].stats.correctOfAllLoads());
+    }
+    printTable("Section 3.6: control-based address predictors vs CAP "
+               "(correct of all loads)",
+               table);
+    std::printf("\npaper (qualitative): gshare-style poor, path "
+                "history better, neither a viable substitute for the "
+                "context-based predictor\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printResults();
+    return 0;
+}

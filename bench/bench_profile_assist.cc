@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Section 6 (future work): profile feedback / software assist — "to
+ * ease the hardware work by letting the compiler/profiler classify
+ * loads according to the expected address pattern... This reduces
+ * warm-up time, helps reducing predictor size, and eliminates
+ * prediction table pollution."
+ *
+ * For each trace we profile a training run, classify the static
+ * loads, and compare the plain hybrid with the profile-assisted
+ * hybrid at the baseline size and at a quarter-size configuration.
+ * Expectation: with small tables the profile-assisted predictor wins
+ * (the Unknown loads stop polluting, the LT is reserved for context
+ * loads); at the full size the two converge.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/profile.hh"
+#include "workloads/composer.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::bench;
+
+struct ProfileResults
+{
+    // [sizeIdx]: 0 = baseline size, 1 = quarter size
+    PredictionStats plain[2];
+    PredictionStats profiled[2];
+    double unknownFraction = 0.0;
+};
+
+HybridConfig
+sizedConfig(bool small)
+{
+    HybridConfig config;
+    if (small) {
+        config.lb.entries = 1024;
+        config.cap.ltEntries = 512;
+    }
+    return config;
+}
+
+const ProfileResults &
+results()
+{
+    static const ProfileResults cached = [] {
+        const std::size_t len = defaultTraceLength();
+        ProfileResults r;
+        std::uint64_t unknown = 0;
+        std::uint64_t total = 0;
+        for (const auto &spec : buildCatalog()) {
+            const Trace trace = generateTrace(spec, len);
+
+            LoadClassifier classifier;
+            for (const auto &rec : trace.records()) {
+                if (rec.isLoad())
+                    classifier.observe(rec.pc, rec.effAddr);
+            }
+            const auto classes = classifier.classifyAll();
+            for (const auto &[pc, cls] : classes) {
+                (void)pc;
+                ++total;
+                unknown += cls == LoadClass::Unknown ? 1 : 0;
+            }
+
+            for (const int size : {0, 1}) {
+                HybridPredictor plain(sizedConfig(size == 1));
+                r.plain[size].merge(runPredictorSim(trace, plain, {}));
+                ProfileAssistedPredictor profiled(
+                    sizedConfig(size == 1), classes);
+                r.profiled[size].merge(
+                    runPredictorSim(trace, profiled, {}));
+            }
+        }
+        r.unknownFraction =
+            total == 0 ? 0.0 : static_cast<double>(unknown) / total;
+        return r;
+    }();
+    return cached;
+}
+
+void
+BM_ProfileAssist(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&results());
+    state.counters["plain_small_correct"] =
+        results().plain[1].correctOfAllLoads();
+    state.counters["profiled_small_correct"] =
+        results().profiled[1].correctOfAllLoads();
+}
+BENCHMARK(BM_ProfileAssist)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+printResults()
+{
+    const auto &r = results();
+    Table table;
+    table.row({"config", "plain_correct", "profiled_correct",
+               "plain_acc", "profiled_acc"});
+    const char *labels[2] = {"baseline (4K LB / 4K LT)",
+                             "small (1K LB / 512 LT)"};
+    for (int size = 0; size < 2; ++size) {
+        table.newRow();
+        table.cell(std::string(labels[size]));
+        table.percent(r.plain[size].correctOfAllLoads());
+        table.percent(r.profiled[size].correctOfAllLoads());
+        table.percent(r.plain[size].accuracy());
+        table.percent(r.profiled[size].accuracy());
+    }
+    printTable("Section 6 extension: profile-assisted hybrid vs "
+               "plain hybrid",
+               table);
+    std::printf("\nstatic loads classified Unknown (filtered): "
+                "%.1f%%\n",
+                100.0 * r.unknownFraction);
+    std::printf("paper (qualitative): classification reduces warm-up "
+                "time, predictor size, and table pollution\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printResults();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses. Each bench binary
+ * reproduces one table/figure of the paper: it times the simulation
+ * with google-benchmark (single iteration — these are experiment
+ * harnesses, not microbenchmarks) and prints a paper-style result
+ * table afterwards, annotated with the values the paper reports.
+ */
+
+#ifndef CLAP_BENCH_BENCH_UTIL_HH
+#define CLAP_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/cap_predictor.hh"
+#include "core/config.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+namespace clap::bench
+{
+
+/** Factory for the paper's baseline enhanced-stride predictor. */
+inline PredictorFactory
+strideFactory(bool pipelined = false)
+{
+    return [pipelined] {
+        StridePredictorConfig config;
+        config.pipelined = pipelined;
+        return std::make_unique<StridePredictor>(config);
+    };
+}
+
+/** Factory for the baseline stand-alone CAP predictor. */
+inline PredictorFactory
+capFactory(bool pipelined = false)
+{
+    return [pipelined] {
+        CapPredictorConfig config;
+        config.pipelined = pipelined;
+        return std::make_unique<CapPredictor>(config);
+    };
+}
+
+/** Factory for the baseline hybrid CAP/stride predictor. */
+inline PredictorFactory
+hybridFactory(bool pipelined = false)
+{
+    return [pipelined] {
+        HybridConfig config;
+        config.pipelined = pipelined;
+        return std::make_unique<HybridPredictor>(config);
+    };
+}
+
+/** Factory for the prior-art last-address predictor. */
+inline PredictorFactory
+lastAddressFactory()
+{
+    return [] {
+        return std::make_unique<LastAddressPredictor>(
+            LastAddressConfig{});
+    };
+}
+
+/** Print a titled table to stdout with a blank line around it. */
+inline void
+printTable(const std::string &title, const Table &table)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    table.print(std::cout);
+    std::fflush(stdout);
+}
+
+} // namespace clap::bench
+
+#endif // CLAP_BENCH_BENCH_UTIL_HH

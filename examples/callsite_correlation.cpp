@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Control correlation (paper section 2.2): a callee whose loads
+ * depend on the call site, called in a recurring site pattern like
+ * xlmatch's a-c-u-a. The example prints the load's address
+ * "fingerprint" (as the paper does) and then shows that the stride
+ * predictor cannot learn it while the CAP predictor becomes perfect.
+ *
+ * Build & run:  ./build/examples/callsite_correlation
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/cap_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "workloads/control_kernels.hh"
+
+int
+main()
+{
+    using namespace clap;
+
+    Rng rng(7);
+    SimHeap heap(rng);
+    SimStack stack;
+    Trace trace("callsite");
+
+    KernelContext ctx;
+    ctx.rng = &rng;
+    ctx.heap = &heap;
+    ctx.stack = &stack;
+    ctx.sink = &trace;
+    ctx.codeBase = 0x08050000;
+
+    CallSiteKernel kernel({.numSites = 3,
+                           .seqLen = 5,
+                           .calleeLoads = 2,
+                           .noiseProb = 0.0});
+    kernel.init(ctx);
+    for (int i = 0; i < 4000; ++i)
+        kernel.step();
+
+    // Print the fingerprint of the first callee load: its address
+    // sequence over the first 20 invocations, labelled A/B/C per
+    // distinct address (the paper's "A1 A1 C U A2 A2" notation).
+    const std::uint64_t callee_load_pc = 0x08050000 + 4 * 16;
+    std::map<std::uint64_t, char> labels;
+    std::printf("call-site pattern: ");
+    for (unsigned site : kernel.siteSequence())
+        std::printf("%c ", static_cast<char>('a' + site));
+    std::printf("\nfingerprint of the callee's first load:\n  ");
+    unsigned shown = 0;
+    for (const auto &rec : trace.records()) {
+        if (!rec.isLoad() || rec.pc != callee_load_pc)
+            continue;
+        if (!labels.count(rec.effAddr)) {
+            labels[rec.effAddr] =
+                static_cast<char>('A' + labels.size());
+        }
+        std::printf("%c ", labels[rec.effAddr]);
+        if (++shown == 20)
+            break;
+    }
+    std::printf("\n\n");
+
+    // Evaluate both predictors on the whole trace.
+    StridePredictor stride{StridePredictorConfig{}};
+    const auto stride_stats = runPredictorSim(trace, stride);
+    CapPredictor cap{CapPredictorConfig{}};
+    const auto cap_stats = runPredictorSim(trace, cap);
+
+    std::printf("enhanced stride: %5.1f%% of loads speculated, "
+                "%.1f%% accuracy\n",
+                100.0 * stride_stats.predictionRate(),
+                100.0 * stride_stats.accuracy());
+    std::printf("CAP            : %5.1f%% of loads speculated, "
+                "%.1f%% accuracy\n",
+                100.0 * cap_stats.predictionRate(),
+                100.0 * cap_stats.accuracy());
+    std::printf("\nThe per-site argument blocks give each static load "
+                "a periodic, non-stride\naddress sequence: context "
+                "history captures it, deltas cannot.\n");
+    return 0;
+}

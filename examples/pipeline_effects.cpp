@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Pipeline effects (paper section 5): sweep the prediction gap and
+ * watch prediction rate and accuracy degrade — the cost of predicting
+ * with outdated information and of misprediction propagation through
+ * the in-flight window. Also contrasts the stride catch-up mechanism
+ * with the context predictor's lack of one.
+ *
+ * Build & run:  ./build/examples/pipeline_effects
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "util/table.hh"
+#include "workloads/composer.hh"
+
+int
+main()
+{
+    using namespace clap;
+
+    TraceSpec spec;
+    spec.name = "pipeline_demo";
+    spec.suite = "demo";
+    spec.seed = 11;
+    spec.kernels.push_back(
+        {LinkedListKernel::Params{
+             .numNodes = 16, .numDataFields = 2, .mutateProb = 0.05},
+         2.0, 1});
+    spec.kernels.push_back(
+        {StrideArrayKernel::Params{
+             .numArrays = 2, .numElems = 512, .chunk = 48},
+         1.5, 1});
+    spec.kernels.push_back(
+        {CallSiteKernel::Params{
+             .numSites = 4, .seqLen = 5, .calleeLoads = 3},
+         1.0, 1});
+    spec.kernels.push_back(
+        {GlobalScalarKernel::Params{.numGlobals = 8}, 1.5, 1});
+    const Trace trace = generateTrace(spec, 200000);
+
+    Table table;
+    table.row({"gap", "stride_rate", "stride_acc", "cap_rate",
+               "cap_acc", "hybrid_rate", "hybrid_acc"});
+    for (const unsigned gap : {0u, 2u, 4u, 8u, 12u, 16u}) {
+        PredictorSimConfig sim;
+        sim.gapCycles = gap;
+        const bool pipelined = gap != 0;
+
+        StridePredictorConfig stride_cfg;
+        stride_cfg.pipelined = pipelined;
+        StridePredictor stride(stride_cfg);
+        const auto s = runPredictorSim(trace, stride, sim);
+
+        CapPredictorConfig cap_cfg;
+        cap_cfg.pipelined = pipelined;
+        CapPredictor cap(cap_cfg);
+        const auto c = runPredictorSim(trace, cap, sim);
+
+        HybridConfig hybrid_cfg;
+        hybrid_cfg.pipelined = pipelined;
+        HybridPredictor hybrid(hybrid_cfg);
+        const auto h = runPredictorSim(trace, hybrid, sim);
+
+        table.newRow();
+        table.cell(gap == 0 ? std::string("immediate")
+                            : std::to_string(gap));
+        table.percent(s.predictionRate());
+        table.percent(s.accuracy());
+        table.percent(c.predictionRate());
+        table.percent(c.accuracy());
+        table.percent(h.predictionRate());
+        table.percent(h.accuracy());
+    }
+    table.print(std::cout);
+
+    std::printf("\nWith a prediction gap, several instances of the "
+                "same load are in flight:\na single misprediction "
+                "propagates through the window (the stride component\n"
+                "catches up by extrapolating, the context component "
+                "must wait for a\npipeline drain), so both rate and "
+                "accuracy degrade -- yet most of the\npredictability "
+                "survives, the paper's section-5 conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Pointer-chasing workload end to end: generate a synthetic trace
+ * with the workload kernels (linked lists + arrays + globals), run
+ * all four predictors over it, and show the processor-level speedup
+ * on the out-of-order timing model.
+ *
+ * This is the paper's core argument in one program: on recursive
+ * data structures, successive load addresses depend on each other,
+ * so address prediction — not wider issue — is what unlocks
+ * parallelism (section 2).
+ *
+ * Build & run:  ./build/examples/pointer_chasing
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "sim/timing_sim.hh"
+#include "util/table.hh"
+#include "workloads/composer.hh"
+
+#include <iostream>
+
+int
+main()
+{
+    using namespace clap;
+
+    // A small program: two linked lists with several data fields, a
+    // binary tree, an array sweep and some globals.
+    TraceSpec spec;
+    spec.name = "pointer_chasing";
+    spec.suite = "demo";
+    spec.seed = 2026;
+    spec.kernels.push_back(
+        {LinkedListKernel::Params{
+             .numNodes = 20, .numDataFields = 2, .mutateProb = 0.02},
+         2.0, 1});
+    spec.kernels.push_back(
+        {BinaryTreeKernel::Params{
+             .numNodes = 63, .keyPeriod = 4, .randomKeyProb = 0.05},
+         1.0, 1});
+    spec.kernels.push_back(
+        {StrideArrayKernel::Params{
+             .numArrays = 1, .numElems = 1024, .chunk = 64},
+         1.0, 1});
+    spec.kernels.push_back(
+        {GlobalScalarKernel::Params{.numGlobals = 8}, 1.0, 1});
+
+    const Trace trace = generateTrace(spec, 200000);
+    std::printf("generated %zu instructions\n\n", trace.size());
+
+    Table table;
+    table.row({"predictor", "pred_rate", "accuracy", "speedup"});
+
+    auto evaluate = [&](const char *name,
+                        std::unique_ptr<AddressPredictor> func_pred,
+                        std::unique_ptr<AddressPredictor> time_pred) {
+        const PredictionStats stats =
+            runPredictorSim(trace, *func_pred);
+        const TimingConfig timing_config;
+        const auto base = runTimingSim(trace, timing_config, nullptr);
+        const auto with =
+            runTimingSim(trace, timing_config, time_pred.get());
+        table.newRow();
+        table.cell(std::string(name));
+        table.percent(stats.predictionRate());
+        table.percent(stats.accuracy());
+        table.cell(static_cast<double>(base.cycles) /
+                       static_cast<double>(with.cycles),
+                   3);
+    };
+
+    evaluate("last-address",
+             std::make_unique<LastAddressPredictor>(LastAddressConfig{}),
+             std::make_unique<LastAddressPredictor>(LastAddressConfig{}));
+    evaluate("enhanced stride",
+             std::make_unique<StridePredictor>(StridePredictorConfig{}),
+             std::make_unique<StridePredictor>(StridePredictorConfig{}));
+    evaluate("CAP",
+             std::make_unique<CapPredictor>(CapPredictorConfig{}),
+             std::make_unique<CapPredictor>(CapPredictorConfig{}));
+    evaluate("hybrid CAP/stride",
+             std::make_unique<HybridPredictor>(HybridConfig{}),
+             std::make_unique<HybridPredictor>(HybridConfig{}));
+
+    table.print(std::cout);
+    std::printf("\nThe hybrid covers both the array (stride) and the "
+                "pointer chains (CAP).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: predict the addresses of a pointer-chasing load with
+ * the hybrid CAP/stride predictor.
+ *
+ * This shows the minimal public API:
+ *   1. configure and build a predictor,
+ *   2. call predict() with what the front end knows (PC, immediate
+ *      offset, branch history),
+ *   3. call update() once the real effective address is known.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hybrid_predictor.hh"
+
+int
+main()
+{
+    using namespace clap;
+
+    // The paper's baseline configuration: 4K-entry 2-way load buffer,
+    // 4K-entry link table with 8-bit tags, PF bits, base addresses.
+    HybridPredictor predictor{HybridConfig{}};
+
+    // A linked list laid out non-contiguously on the heap (figure 1
+    // of the paper): stride predictors cannot learn this sequence,
+    // the context-based component can.
+    const std::vector<std::uint64_t> nodes = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+
+    LoadInfo next_field;
+    next_field.pc = 0x08048010; // the static `p = p->next` load
+    next_field.immOffset = 8;   // offsetof(Node, next)
+
+    std::uint64_t predicted = 0;
+    std::uint64_t correct = 0;
+    const unsigned traversals = 10;
+    for (unsigned t = 0; t < traversals; ++t) {
+        for (const std::uint64_t node : nodes) {
+            const std::uint64_t actual = node + 8;
+
+            const Prediction pred = predictor.predict(next_field);
+            if (pred.speculate) {
+                ++predicted;
+                if (pred.addr == actual)
+                    ++correct;
+            }
+            predictor.update(next_field, actual, pred);
+        }
+    }
+
+    std::printf("loads: %u\n", traversals * 6);
+    std::printf("speculative accesses: %lu (%.0f%% of loads)\n",
+                predicted, 100.0 * predicted / (traversals * 6));
+    std::printf("correct: %lu (%.1f%% accuracy)\n", correct,
+                predicted ? 100.0 * correct / predicted : 0.0);
+    std::printf("\nAfter a couple of warmup traversals the context-"
+                "based component predicts\nevery node of the chain -- "
+                "a pattern no stride predictor can capture.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace tooling: generate any catalog trace to a binary file, load it
+ * back, and print its statistics. Demonstrates the trace I/O API and
+ * doubles as a small command-line utility:
+ *
+ *   trace_tool                 # list the 45-trace catalog
+ *   trace_tool INT_go          # generate, save, reload, summarize
+ *   trace_tool INT_go 500000   # custom instruction count
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace clap;
+
+    const auto catalog = buildCatalog();
+    if (argc < 2) {
+        std::printf("usage: %s <trace-name> [instructions]\n\n",
+                    argv[0]);
+        std::printf("available traces:\n");
+        std::string suite;
+        for (const auto &spec : catalog) {
+            if (spec.suite != suite) {
+                suite = spec.suite;
+                std::printf("\n  %s:", suite.c_str());
+            }
+            std::printf(" %s", spec.name.c_str());
+        }
+        std::printf("\n");
+        return 0;
+    }
+
+    const std::string name = argv[1];
+    const std::size_t insts =
+        argc > 2 ? static_cast<std::size_t>(std::atol(argv[2]))
+                 : defaultTraceLength();
+
+    const TraceSpec *spec = nullptr;
+    for (const auto &candidate : catalog) {
+        if (candidate.name == name)
+            spec = &candidate;
+    }
+    if (!spec) {
+        std::fprintf(stderr, "unknown trace '%s' (run without "
+                             "arguments for the list)\n",
+                     name.c_str());
+        return 1;
+    }
+
+    std::printf("generating %s (%zu instructions)...\n", name.c_str(),
+                insts);
+    const Trace trace = generateTrace(*spec, insts);
+
+    const std::string path = "/tmp/" + name + ".clap";
+    if (!writeTrace(trace, path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+
+    Trace loaded;
+    if (!readTrace(path, loaded)) {
+        std::fprintf(stderr, "failed to re-read %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("re-read %zu records; statistics:\n\n", loaded.size());
+    printTraceStats(computeTraceStats(loaded), std::cout);
+    return 0;
+}

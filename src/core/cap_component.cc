@@ -1,0 +1,209 @@
+#include "core/cap_component.hh"
+
+namespace clap
+{
+
+CapComponent::CapComponent(const CapConfig &config, bool pipelined)
+    : config_(config), pipelined_(pipelined), lt_(config)
+{
+}
+
+std::uint64_t
+CapComponent::baseOf(const LoadInfo &info, std::uint64_t addr) const
+{
+    if (!config_.globalCorrelation)
+        return addr;
+    // Only the offset LSBs are subtracted; the address MSBs stay in
+    // the base, preventing LT aliasing between go-style array lists
+    // (section 3.3).
+    const std::uint64_t off =
+        static_cast<std::uint32_t>(info.immOffset) &
+        mask(config_.offsetBits);
+    return addr - off;
+}
+
+std::uint64_t
+CapComponent::addrOf(const LBEntry &entry, std::uint64_t base) const
+{
+    if (!config_.globalCorrelation)
+        return base;
+    return base + entry.offsetLsb;
+}
+
+bool
+CapComponent::pathAllows(const LBEntry &entry, std::uint64_t ghr) const
+{
+    if (config_.pathBits == 0)
+        return true;
+    const std::uint64_t path = ghr & mask(config_.pathBits);
+    if (config_.perPathConfidence) {
+        // Advanced scheme: one accuracy bit per path (2^n bits).
+        return (entry.capPathOk >> path) & 1u;
+    }
+    // Basic scheme: suppress when the current path matches the one
+    // recorded at the last misprediction.
+    return !(entry.capGhrValid && entry.capGhrPattern == path);
+}
+
+void
+CapComponent::recordPath(LBEntry &entry, std::uint64_t ghr, bool correct,
+                         bool speculated)
+{
+    if (config_.pathBits == 0)
+        return;
+    const std::uint64_t path = ghr & mask(config_.pathBits);
+    if (config_.perPathConfidence) {
+        // Track the accuracy of the most recent prediction on this
+        // path. The paper records speculative accesses only; we also
+        // learn from suppressed-but-formed predictions so a path can
+        // recover once its predictions turn correct again.
+        if (correct)
+            entry.capPathOk |= (1u << path);
+        else if (speculated)
+            entry.capPathOk &= ~(1u << path);
+        return;
+    }
+    if (!speculated && !correct)
+        return; // only speculated mispredictions are recorded
+    if (!correct) {
+        entry.capGhrPattern = path;
+        entry.capGhrValid = true;
+    } else if (entry.capGhrValid && entry.capGhrPattern == path) {
+        // A correct prediction on the recorded path lifts the
+        // suppression: the indication only reflects the last
+        // misprediction (section 3.4).
+        entry.capGhrValid = false;
+    }
+}
+
+CapResult
+CapComponent::predict(LBEntry &entry, const LoadInfo &info)
+{
+    CapResult result;
+
+    if (!entry.capInit) {
+        // Nothing known about this load yet; the in-flight instance
+        // still counts so the speculative state stays consistent.
+        if (pipelined_) {
+            ++entry.capPending;
+            entry.capSpecStale = true;
+        }
+        return result;
+    }
+
+    const HistoryRegister &hist =
+        pipelined_ ? entry.specHist : entry.hist;
+    result.histUsed = hist.value();
+
+    const LTLookup lt = lt_.lookup(result.histUsed);
+    if (lt.hit) {
+        result.hasAddr = true;
+        result.addr = addrOf(entry, lt.link);
+    }
+
+    bool confident = true;
+    if (config_.useConfidence) {
+        confident = entry.capConf.atLeast(
+                        static_cast<std::uint8_t>(config_.confThreshold)) &&
+            lt.tagMatch && pathAllows(entry, info.ghr);
+    } else {
+        confident = lt.hit;
+    }
+    result.speculate = result.hasAddr && confident &&
+        !(pipelined_ && (entry.capBlocked || entry.capSpecStale));
+
+    if (pipelined_) {
+        // Maintain the speculative history: assume the prediction is
+        // right and fold the predicted base in. With no link to
+        // predict from, the speculative history diverges; mark it
+        // stale until all pending instances resolve (there is no
+        // catch-up mechanism for context predictors, section 5.2).
+        if (result.hasAddr) {
+            entry.specHist.push(lt.link);
+        } else {
+            entry.capSpecStale = true;
+        }
+        ++entry.capPending;
+    }
+    return result;
+}
+
+void
+CapComponent::update(LBEntry &entry, const LoadInfo &info,
+                     std::uint64_t actual_addr, const CapResult &result,
+                     bool allow_lt_update)
+{
+    if (!entry.capInit) {
+        initEntry(entry, info, actual_addr);
+        if (pipelined_) {
+            if (entry.capPending > 0)
+                --entry.capPending;
+            if (entry.capPending == 0) {
+                entry.specHist.setValue(entry.hist.value());
+                entry.capSpecStale = false;
+            }
+        }
+        return;
+    }
+
+    const std::uint64_t actual_base = baseOf(info, actual_addr);
+    const bool correct =
+        result.hasAddr && result.addr == actual_addr;
+
+    // Train the link table with the link (history-before -> base),
+    // subject to the PF policy and the hybrid update policy.
+    if (allow_lt_update)
+        lt_.update(entry.hist.value(), actual_base);
+
+    // Confidence: increment on a correct formed prediction, reset on
+    // a wrong one (section 3.4).
+    if (result.hasAddr) {
+        if (correct)
+            entry.capConf.increment();
+        else
+            entry.capConf.reset();
+    }
+    if (result.hasAddr)
+        recordPath(entry, info.ghr, correct, result.speculate);
+
+    // Architectural history advances at resolution time.
+    entry.hist.push(actual_base);
+
+    if (pipelined_) {
+        if (entry.capPending > 0)
+            --entry.capPending;
+        if (result.hasAddr && !correct) {
+            // Repair: resync the speculative history to the
+            // architectural one and stop speculating until the
+            // in-flight (wrong-history) predictions drain.
+            entry.specHist.setValue(entry.hist.value());
+            entry.capBlocked = true;
+        }
+        if (entry.capPending == 0) {
+            entry.specHist.setValue(entry.hist.value());
+            entry.capBlocked = false;
+            entry.capSpecStale = false;
+        }
+    }
+}
+
+void
+CapComponent::initEntry(LBEntry &entry, const LoadInfo &info,
+                        std::uint64_t actual_addr)
+{
+    entry.offsetLsb = static_cast<std::uint8_t>(
+        static_cast<std::uint32_t>(info.immOffset) &
+        mask(config_.offsetBits));
+    entry.hist = HistoryRegister::forLength(config_.historyBits(),
+                                            config_.historyLength);
+    entry.specHist = entry.hist;
+    entry.capConf = SatCounter(static_cast<unsigned>(config_.confBits), 0);
+    entry.capPathOk = ~0u;
+
+    const std::uint64_t actual_base = baseOf(info, actual_addr);
+    entry.hist.push(actual_base);
+    entry.specHist.push(actual_base);
+    entry.capInit = true;
+}
+
+} // namespace clap

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The context-based (CAP) prediction component: everything from
+ * sections 3.1-3.5 that operates on a load-buffer entry plus the link
+ * table. Factored out of the predictor classes so the stand-alone CAP
+ * predictor and the hybrid share one implementation, mirroring the
+ * paper's shared-LB hybrid organization (section 3.7).
+ */
+
+#ifndef CLAP_CORE_CAP_COMPONENT_HH
+#define CLAP_CORE_CAP_COMPONENT_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/link_table.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+
+namespace clap
+{
+
+/** Per-prediction CAP bookkeeping, carried from predict to update. */
+struct CapResult
+{
+    bool hasAddr = false;   ///< the LT supplied a link
+    bool speculate = false; ///< all confidence mechanisms agreed
+    std::uint64_t addr = 0;
+    std::uint64_t histUsed = 0; ///< history value used for the lookup
+};
+
+/**
+ * CAP prediction/update logic. Owns the link table; the load buffer
+ * entry is passed in by the caller (stand-alone predictor or hybrid).
+ */
+class CapComponent
+{
+  public:
+    /**
+     * @param config    Component configuration.
+     * @param pipelined True to maintain speculative state for the
+     *                  delayed-update model of section 5.
+     */
+    CapComponent(const CapConfig &config, bool pipelined);
+
+    /** Form a CAP prediction for @p info using LB entry @p entry. */
+    CapResult predict(LBEntry &entry, const LoadInfo &info);
+
+    /**
+     * Resolve a prediction: train the LT (unless @p allow_lt_update
+     * is false, for the section-4.3 selective policies), update
+     * confidence and history, and repair speculative state.
+     */
+    void update(LBEntry &entry, const LoadInfo &info,
+                std::uint64_t actual_addr, const CapResult &result,
+                bool allow_lt_update = true);
+
+    /** Initialize the CAP fields of a freshly allocated LB entry. */
+    void initEntry(LBEntry &entry, const LoadInfo &info,
+                   std::uint64_t actual_addr);
+
+    /** The base address for a load (section 3.3). */
+    std::uint64_t baseOf(const LoadInfo &info,
+                         std::uint64_t addr) const;
+
+    /** Reconstruct an address from a base and the entry's offset. */
+    std::uint64_t addrOf(const LBEntry &entry, std::uint64_t base) const;
+
+    LinkTable &linkTable() { return lt_; }
+    const LinkTable &linkTable() const { return lt_; }
+    const CapConfig &config() const { return config_; }
+
+  private:
+    /** Control-flow indication check (section 3.4). */
+    bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;
+
+    /** Record/clear control-flow indications after a resolution. */
+    void recordPath(LBEntry &entry, std::uint64_t ghr, bool correct,
+                    bool speculated);
+
+    CapConfig config_;
+    bool pipelined_;
+    LinkTable lt_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_CAP_COMPONENT_HH

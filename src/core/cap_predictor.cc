@@ -1,0 +1,44 @@
+#include "core/cap_predictor.hh"
+
+namespace clap
+{
+
+Prediction
+CapPredictor::predict(const LoadInfo &info)
+{
+    Prediction pred;
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (entry) {
+        pred.lbHit = true;
+    } else {
+        // Allocate at predict time so in-flight instance counting
+        // starts with the first fetch of the load.
+        entry = &lb_.allocate(info.pc);
+    }
+    const CapResult result = cap_.predict(*entry, info);
+    pred.hasAddress = result.hasAddr;
+    pred.speculate = result.speculate;
+    pred.addr = result.addr;
+    pred.component = result.speculate ? Component::Cap : Component::None;
+    pred.capHasAddr = result.hasAddr;
+    pred.capSpec = result.speculate;
+    pred.capAddr = result.addr;
+    return pred;
+}
+
+void
+CapPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
+                     const Prediction &pred)
+{
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (!entry)
+        entry = &lb_.allocate(info.pc); // evicted since predict
+
+    CapResult result;
+    result.hasAddr = pred.capHasAddr;
+    result.speculate = pred.capSpec;
+    result.addr = pred.capAddr;
+    cap_.update(*entry, info, actual_addr, result);
+}
+
+} // namespace clap

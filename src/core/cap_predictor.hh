@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stand-alone CAP predictor: a load buffer plus the CAP component.
+ * Used for the figure-9/figure-10 ablations; the paper notes CAP can
+ * serve stand-alone since it also captures (short) stride patterns,
+ * but should be hybridized for long arrays (section 3.7).
+ */
+
+#ifndef CLAP_CORE_CAP_PREDICTOR_HH
+#define CLAP_CORE_CAP_PREDICTOR_HH
+
+#include "core/cap_component.hh"
+#include "core/config.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+
+namespace clap
+{
+
+/** Stand-alone context-based address predictor. */
+class CapPredictor : public AddressPredictor
+{
+  public:
+    explicit CapPredictor(const CapPredictorConfig &config)
+        : lb_(config.lb), cap_(config.cap, config.pipelined)
+    {
+    }
+
+    Prediction predict(const LoadInfo &info) override;
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred) override;
+    std::string name() const override { return "cap"; }
+
+    LoadBuffer &loadBuffer() { return lb_; }
+    CapComponent &component() { return cap_; }
+
+  private:
+    LoadBuffer lb_;
+    CapComponent cap_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_CAP_PREDICTOR_HH

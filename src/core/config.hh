@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Configuration knobs for all predictor variants. Defaults reproduce
+ * the paper's baseline (section 4.2): 4K-entry 2-way load buffer,
+ * 4K-entry direct-mapped link table with 8-bit tags and PF bits, base
+ * addresses (global correlation), control-flow indications, history
+ * length 4, and an enhanced stride component with interval counters.
+ */
+
+#ifndef CLAP_CORE_CONFIG_HH
+#define CLAP_CORE_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.hh"
+
+namespace clap
+{
+
+/** Load buffer geometry (shared by all predictor components). */
+struct LoadBufferConfig
+{
+    std::size_t entries = 4096;
+    unsigned assoc = 2;
+
+    std::size_t sets() const { return entries / assoc; }
+};
+
+/** Context-based (CAP) component configuration (section 3). */
+struct CapConfig
+{
+    /// Link-table entries (direct-mapped; associativity is possible
+    /// via tags but the paper found it low-impact).
+    std::size_t ltEntries = 4096;
+
+    /// LT tag bits taken from the history MSBs (0 disables tags).
+    unsigned ltTagBits = 8;
+
+    /// LT associativity. 1 = direct-mapped (the paper's baseline —
+    /// "the LT associativity has low impact on performance").
+    /// Values > 1 require ltTagBits > 0 to match ways.
+    unsigned ltAssoc = 1;
+
+    /// Decoupled PF table (section 3.5): keep the PF bits in a
+    /// separate direct-mapped table indexed with the extended history
+    /// (index + tag bits), "enabling a finer granularity in
+    /// preventing harmful LT updates". 0 keeps the PF bits inside
+    /// the LT entries; otherwise this is the log2 of the PF-table
+    /// entry count.
+    unsigned pfTableBits = 0;
+
+    /// Number of past addresses the history should retain.
+    unsigned historyLength = 4;
+
+    /// Record base addresses (address - offset LSBs) instead of full
+    /// addresses: the global-correlation mechanism of section 3.3.
+    bool globalCorrelation = true;
+
+    /// LSBs of the immediate offset kept in the LB (section 3.3:
+    /// "typically the 8 LSBs").
+    unsigned offsetBits = 8;
+
+    /// Pollution-free bits per LT entry (bits 2..2+pfBits-1 of the
+    /// base address); 0 disables the mechanism (section 3.5).
+    unsigned pfBits = 4;
+
+    /// Saturating-counter confidence (section 3.4).
+    unsigned confBits = 2;
+    unsigned confThreshold = 2;
+
+    /// Master confidence switch; figure 9 measures raw predictability
+    /// with all confidence filtering off.
+    bool useConfidence = true;
+
+    /// Control-flow indication bits (GHR LSBs recorded on a
+    /// misprediction); 0 disables (section 3.4).
+    unsigned pathBits = 4;
+
+    /// Advanced per-path scheme: 2^pathBits accuracy bits instead of
+    /// the single last-misprediction pattern.
+    bool perPathConfidence = false;
+
+    unsigned ltIndexBits() const { return floorLog2(ltEntries); }
+    unsigned historyBits() const { return ltIndexBits() + ltTagBits; }
+};
+
+/** Enhanced stride component configuration (sections 4, 5.2). */
+struct StrideConfig
+{
+    unsigned confBits = 2;
+    unsigned confThreshold = 2;
+
+    /// Two-delta stride update (a new stride must be seen twice).
+    bool twoDelta = true;
+
+    /// Interval counters: learn the run length and stop speculating
+    /// at the learned boundary (trades mispredictions for
+    /// no-predictions).
+    bool useInterval = true;
+
+    /// Minimum run length worth learning as an interval; shorter runs
+    /// indicate an irregular load rather than an array boundary.
+    unsigned minInterval = 4;
+
+    /// Control-flow indication bits (0 disables).
+    unsigned pathBits = 4;
+
+    /// Pipelined catch-up: extrapolate stride x pending instances
+    /// after a misprediction (section 5.2).
+    bool catchUp = true;
+};
+
+/** Link-table update policies studied in section 4.3. */
+enum class LtUpdatePolicy : std::uint8_t
+{
+    Always,               ///< update on every load resolution
+    UnlessStrideCorrect,  ///< skip when the stride component was right
+    UnlessStrideSelected, ///< skip when stride was right AND selected
+};
+
+/** Hybrid CAP/stride configuration (section 3.7). */
+struct HybridConfig
+{
+    LoadBufferConfig lb;
+    CapConfig cap;
+    StrideConfig stride;
+
+    LtUpdatePolicy ltUpdatePolicy = LtUpdatePolicy::Always;
+
+    /// Selector counter initial value: 2 = weak CAP on a 2-bit
+    /// counter ("initially biased towards weak CAP selection").
+    std::uint8_t selectorInit = 2;
+
+    /// Model the prediction gap (section 5): predictions are resolved
+    /// by update() calls that arrive later, so the predictors must
+    /// maintain speculative state.
+    bool pipelined = false;
+};
+
+/** Stand-alone CAP predictor configuration. */
+struct CapPredictorConfig
+{
+    LoadBufferConfig lb;
+    CapConfig cap;
+    bool pipelined = false;
+};
+
+/** Stand-alone enhanced-stride predictor configuration. */
+struct StridePredictorConfig
+{
+    LoadBufferConfig lb;
+    StrideConfig stride;
+    bool pipelined = false;
+};
+
+/** Last-address predictor configuration (prior-art baseline). */
+struct LastAddressConfig
+{
+    LoadBufferConfig lb;
+    unsigned confBits = 2;
+    unsigned confThreshold = 2;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_CONFIG_HH

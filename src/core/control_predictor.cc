@@ -1,0 +1,75 @@
+#include "core/control_predictor.hh"
+
+namespace clap
+{
+
+std::size_t
+ControlAddressPredictor::index(const LoadInfo &info) const
+{
+    const std::uint64_t history =
+        (config_.usePathHistory ? info.pathHist : info.ghr) &
+        mask(config_.historyBits);
+    return static_cast<std::size_t>(((info.pc >> 2) ^ history) &
+                                    mask(config_.tableBits));
+}
+
+std::uint64_t
+ControlAddressPredictor::tag(const LoadInfo &info) const
+{
+    if (config_.tagBits == 0)
+        return 0;
+    const std::uint64_t history =
+        (config_.usePathHistory ? info.pathHist : info.ghr) &
+        mask(config_.historyBits);
+    // Tag from PC bits above the index, mixed with the history so two
+    // contexts of the same load are distinguished.
+    return ((info.pc >> (2 + config_.tableBits)) ^ (history * 0x9e5)) &
+        mask(config_.tagBits);
+}
+
+Prediction
+ControlAddressPredictor::predict(const LoadInfo &info)
+{
+    Prediction pred;
+    const Entry &entry = entries_[index(info)];
+    if (!entry.valid)
+        return pred;
+
+    pred.lbHit = true;
+    const bool tag_ok =
+        config_.tagBits == 0 || entry.tag == tag(info);
+    pred.hasAddress = tag_ok;
+    pred.addr = entry.addr;
+    pred.speculate = tag_ok &&
+        entry.conf.atLeast(
+            static_cast<std::uint8_t>(config_.confThreshold));
+    pred.component = pred.speculate ? Component::Last : Component::None;
+    return pred;
+}
+
+void
+ControlAddressPredictor::update(const LoadInfo &info,
+                                std::uint64_t actual_addr,
+                                const Prediction &pred)
+{
+    Entry &entry = entries_[index(info)];
+    const std::uint64_t entry_tag = tag(info);
+
+    if (!entry.valid || entry.tag != entry_tag) {
+        entry.valid = true;
+        entry.tag = entry_tag;
+        entry.addr = actual_addr;
+        entry.conf = SatCounter(config_.confBits, 0);
+        return;
+    }
+
+    if (pred.hasAddress) {
+        if (pred.addr == actual_addr)
+            entry.conf.increment();
+        else
+            entry.conf.reset();
+    }
+    entry.addr = actual_addr;
+}
+
+} // namespace clap

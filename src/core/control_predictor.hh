@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Control-based address predictors (paper section 3.6): predict load
+ * addresses with branch-predictor-like structures — a g-share scheme
+ * indexing an address table with (load PC xor global branch history),
+ * or a path-history scheme using the recent call sites instead.
+ *
+ * The paper evaluates these as an alternative for control-dependent
+ * loads and rejects them ("gives poor results mainly because the
+ * loads are not well correlated to all the individual conditional
+ * branches"; path history "gives better results" but still "does not
+ * seem good enough"). They are implemented here so the comparison
+ * can be reproduced (see bench_control_based).
+ */
+
+#ifndef CLAP_CORE_CONTROL_PREDICTOR_HH
+#define CLAP_CORE_CONTROL_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/predictor.hh"
+#include "util/bits.hh"
+#include "util/sat_counter.hh"
+
+namespace clap
+{
+
+/** Configuration of the control-based address predictor. */
+struct ControlPredictorConfig
+{
+    /// log2 of the address-table entries.
+    unsigned tableBits = 12;
+
+    /// History bits xored into the index.
+    unsigned historyBits = 8;
+
+    /// Index with the call-site path history instead of the global
+    /// branch history (the better-performing variant in the paper).
+    bool usePathHistory = false;
+
+    /// Tag bits per entry (0 disables tagging).
+    unsigned tagBits = 8;
+
+    /// Confidence counter.
+    unsigned confBits = 2;
+    unsigned confThreshold = 2;
+};
+
+/**
+ * g-share-style address predictor: table of last addresses indexed by
+ * load PC xor control history, with tags and per-entry confidence.
+ */
+class ControlAddressPredictor : public AddressPredictor
+{
+  public:
+    ControlPredictorConfig config() const { return config_; }
+
+    explicit ControlAddressPredictor(const ControlPredictorConfig &cfg)
+        : config_(cfg),
+          entries_(std::size_t{1} << cfg.tableBits)
+    {
+    }
+
+    Prediction predict(const LoadInfo &info) override;
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred) override;
+
+    std::string
+    name() const override
+    {
+        return config_.usePathHistory ? "control-path" : "control-gshare";
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t addr = 0;
+        SatCounter conf{2, 0};
+    };
+
+    std::size_t index(const LoadInfo &info) const;
+    std::uint64_t tag(const LoadInfo &info) const;
+
+    ControlPredictorConfig config_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_CONTROL_PREDICTOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The shift(m)-xor history register of section 3.2: the compressed
+ * record of the last few (base) addresses of a static load, used to
+ * index and tag the link table. On each update the register is
+ * shifted left by m bits and xored with the new address' least
+ * significant bits excluding the bottom two ("which only matter on
+ * unaligned accesses"), then truncated. The shift naturally ages old
+ * addresses out of the register.
+ */
+
+#ifndef CLAP_CORE_HISTORY_HH
+#define CLAP_CORE_HISTORY_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/bits.hh"
+
+namespace clap
+{
+
+/**
+ * Compressed address history. The effective "history length" (number
+ * of past addresses that still influence the value) is
+ * ceil(bits / shift): an address is fully shifted out after that many
+ * pushes.
+ */
+class HistoryRegister
+{
+  public:
+    HistoryRegister() = default;
+
+    /**
+     * @param num_bits History width in bits (= LT index + tag bits).
+     * @param shift    Left shift per push (m of shift(m)-xor).
+     */
+    HistoryRegister(unsigned num_bits, unsigned shift)
+        : bits_(num_bits), shift_(shift)
+    {
+        assert(num_bits >= 1 && num_bits <= 63);
+        assert(shift >= 1);
+    }
+
+    /**
+     * Compute the shift/xor parameters for a requested history
+     * length: shift = ceil(bits / length), clamped to >= 1.
+     */
+    static HistoryRegister
+    forLength(unsigned num_bits, unsigned history_length)
+    {
+        assert(history_length >= 1);
+        const unsigned shift =
+            (num_bits + history_length - 1) / history_length;
+        return HistoryRegister(num_bits, shift < 1 ? 1 : shift);
+    }
+
+    /** Fold a new address into the history. */
+    void
+    push(std::uint64_t addr)
+    {
+        value_ = ((value_ << shift_) ^ (addr >> 2)) & mask(bits_);
+    }
+
+    /** Current compressed history value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Overwrite the raw value (speculative-state repair). */
+    void setValue(std::uint64_t value) { value_ = value & mask(bits_); }
+
+    /** Reset to the empty history. */
+    void clear() { value_ = 0; }
+
+    unsigned numBits() const { return bits_; }
+    unsigned shiftAmount() const { return shift_; }
+
+    /** Addresses retained before being fully shifted out. */
+    unsigned
+    effectiveLength() const
+    {
+        return (bits_ + shift_ - 1) / shift_;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+    unsigned bits_ = 20;
+    unsigned shift_ = 5;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_HISTORY_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The hybrid CAP/enhanced-stride predictor of section 3.7: one shared
+ * load buffer, both components predicting every dynamic load, a 2-bit
+ * dynamic selector per LB entry arbitrating when both are confident,
+ * and a configurable link-table update policy (section 4.3).
+ */
+
+#ifndef CLAP_CORE_HYBRID_PREDICTOR_HH
+#define CLAP_CORE_HYBRID_PREDICTOR_HH
+
+#include "core/cap_component.hh"
+#include "core/config.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+#include "core/stride_component.hh"
+
+namespace clap
+{
+
+/** Hybrid CAP/stride address predictor. */
+class HybridPredictor : public AddressPredictor
+{
+  public:
+    explicit HybridPredictor(const HybridConfig &config)
+        : config_(config),
+          lb_(config.lb),
+          cap_(config.cap, config.pipelined),
+          stride_(config.stride, config.pipelined)
+    {
+    }
+
+    Prediction predict(const LoadInfo &info) override;
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred) override;
+
+    /**
+     * update() with an external veto on the link-table write, anded
+     * with the configured LtUpdatePolicy. Used by the
+     * profile-assisted wrapper to reserve the LT for context loads.
+     */
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred, bool allow_lt_update);
+
+    std::string name() const override { return "hybrid"; }
+
+    LoadBuffer &loadBuffer() { return lb_; }
+    CapComponent &capComponent() { return cap_; }
+    StrideComponent &strideComponent() { return stride_; }
+    const HybridConfig &config() const { return config_; }
+
+  private:
+    HybridConfig config_;
+    LoadBuffer lb_;
+    CapComponent cap_;
+    StrideComponent stride_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_HYBRID_PREDICTOR_HH

@@ -1,0 +1,54 @@
+#include "core/last_address_predictor.hh"
+
+namespace clap
+{
+
+Prediction
+LastAddressPredictor::predict(const LoadInfo &info)
+{
+    Prediction pred;
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (!entry) {
+        lb_.allocate(info.pc);
+        return pred;
+    }
+
+    pred.lbHit = true;
+    if (entry->lastValid) {
+        pred.hasAddress = true;
+        pred.addr = entry->lastAddr;
+        pred.speculate = entry->strideConf.atLeast(
+            static_cast<std::uint8_t>(config_.confThreshold));
+        pred.component =
+            pred.speculate ? Component::Last : Component::None;
+    }
+    return pred;
+}
+
+void
+LastAddressPredictor::update(const LoadInfo &info,
+                             std::uint64_t actual_addr,
+                             const Prediction &pred)
+{
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (!entry)
+        entry = &lb_.allocate(info.pc);
+    if (!entry->lastValid) {
+        entry->lastAddr = actual_addr;
+        entry->lastValid = true;
+        entry->strideConf =
+            SatCounter(static_cast<unsigned>(config_.confBits), 0);
+        return;
+    }
+
+    if (pred.hasAddress) {
+        if (pred.addr == actual_addr)
+            entry->strideConf.increment();
+        else
+            entry->strideConf.reset();
+    }
+    entry->lastAddr = actual_addr;
+    entry->lastValid = true;
+}
+
+} // namespace clap

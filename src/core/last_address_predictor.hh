@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Last-address predictor: the simplest prior-art scheme (A(N+1) =
+ * A(N)), included as the historical baseline the paper cites as
+ * covering ~40% of all loads (section 1).
+ */
+
+#ifndef CLAP_CORE_LAST_ADDRESS_PREDICTOR_HH
+#define CLAP_CORE_LAST_ADDRESS_PREDICTOR_HH
+
+#include "core/config.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+
+namespace clap
+{
+
+/** Per-static-load last-address predictor with a confidence counter. */
+class LastAddressPredictor : public AddressPredictor
+{
+  public:
+    explicit LastAddressPredictor(const LastAddressConfig &config)
+        : config_(config), lb_(config.lb)
+    {
+    }
+
+    Prediction predict(const LoadInfo &info) override;
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred) override;
+    std::string name() const override { return "last"; }
+
+  private:
+    LastAddressConfig config_;
+    LoadBuffer lb_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_LAST_ADDRESS_PREDICTOR_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Link Table (LT): the second-level table of the CAP predictor
+ * (section 3.1). Indexed by the LSBs of the compressed history; the
+ * remaining history MSBs form a tag used as a confidence filter
+ * (section 3.4), which also enables a set-associative organization.
+ * Each entry records the predicted next base address (the link) and
+ * the pollution-free (PF) bits of section 3.5: the link is
+ * overwritten only when the same update is seen twice in a row,
+ * giving hysteresis and keeping irregular or very long sequences
+ * from evicting useful links. The PF bits can optionally live in a
+ * separate, larger direct-mapped table indexed by the extended
+ * history (section 3.5, last paragraph).
+ */
+
+#ifndef CLAP_CORE_LINK_TABLE_HH
+#define CLAP_CORE_LINK_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "util/bits.hh"
+
+namespace clap
+{
+
+/** One link-table entry. */
+struct LTEntry
+{
+    bool valid = false;
+    std::uint64_t tag = 0;  ///< history MSBs
+    std::uint64_t link = 0; ///< predicted next base address
+    std::uint8_t pf = 0;    ///< pollution-free bits of the last update
+    bool pfValid = false;   ///< a PF observation has been recorded
+    std::uint64_t lru = 0;  ///< replacement stamp (associative LT)
+};
+
+/** Result of a link-table lookup. */
+struct LTLookup
+{
+    bool hit = false;      ///< entry valid (an address can be formed)
+    bool tagMatch = false; ///< tag confidence filter passed
+    std::uint64_t link = 0;
+};
+
+/** Link table with tags, optional associativity, and PF bits. */
+class LinkTable
+{
+  public:
+    explicit LinkTable(const CapConfig &config)
+        : config_(config),
+          assoc_(config.ltAssoc < 1 ? 1 : config.ltAssoc),
+          sets_((std::size_t{1} << config.ltIndexBits()) / assoc_),
+          entries_(std::size_t{1} << config.ltIndexBits())
+    {
+        assert(assoc_ == 1 || config.ltTagBits > 0);
+        if (config_.pfTableBits != 0) {
+            pfTable_.resize(std::size_t{1} << config_.pfTableBits);
+            pfTableValid_.resize(pfTable_.size(), false);
+        }
+    }
+
+    /** Look up the entry selected by compressed history @p hist. */
+    LTLookup
+    lookup(std::uint64_t hist) const
+    {
+        LTLookup result;
+        const std::size_t base = setIndex(hist) * assoc_;
+        const std::uint64_t hist_tag = tag(hist);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const LTEntry &entry = entries_[base + w];
+            if (!entry.valid)
+                continue;
+            if (config_.ltTagBits == 0 || entry.tag == hist_tag) {
+                result.hit = true;
+                result.tagMatch = true;
+                result.link = entry.link;
+                return result;
+            }
+            if (w == 0 && assoc_ == 1) {
+                // Direct-mapped: an address can still be formed from
+                // a tag-mismatching entry (the tag is a confidence
+                // filter, not a validity condition).
+                result.hit = true;
+                result.link = entry.link;
+            }
+        }
+        return result;
+    }
+
+    /**
+     * Update the entry selected by @p hist with the observed next
+     * base @p base, subject to the PF policy: the PF bits always
+     * update; the link and tag update only when the new PF bits match
+     * the stored ones (i.e. the same link is seen twice in a row), or
+     * when the entry is invalid (cold install), or when PF bits are
+     * disabled.
+     *
+     * @return true when the link was actually written.
+     */
+    bool
+    update(std::uint64_t hist, std::uint64_t base)
+    {
+        LTEntry &entry = selectVictim(hist);
+        const std::uint8_t pf_new = pfBitsOf(base);
+
+        bool pf_match;
+        if (config_.pfTableBits != 0) {
+            const std::size_t pf_index = static_cast<std::size_t>(
+                hist & mask(config_.pfTableBits));
+            pf_match = pfTableValid_[pf_index] &&
+                pfTable_[pf_index] == pf_new;
+            pfTable_[pf_index] = pf_new;
+            pfTableValid_[pf_index] = true;
+        } else {
+            pf_match = entry.pfValid && entry.pf == pf_new;
+            entry.pf = pf_new;
+            entry.pfValid = true;
+        }
+
+        const bool install =
+            !entry.valid || config_.pfBits == 0 || pf_match;
+        if (install) {
+            entry.valid = true;
+            entry.tag = tag(hist);
+            entry.link = base;
+            entry.lru = ++stamp_;
+            ++linkWrites_;
+        } else {
+            ++pfFiltered_;
+        }
+        return install;
+    }
+
+    /** Number of link installations performed. */
+    std::uint64_t linkWrites() const { return linkWrites_; }
+
+    /** Number of updates filtered out by the PF mechanism. */
+    std::uint64_t pfFiltered() const { return pfFiltered_; }
+
+    std::size_t numEntries() const { return entries_.size(); }
+    unsigned assoc() const { return assoc_; }
+
+    /** Invalidate all entries (and the decoupled PF table). */
+    void
+    clear()
+    {
+        for (auto &entry : entries_)
+            entry = LTEntry{};
+        std::fill(pfTableValid_.begin(), pfTableValid_.end(), false);
+    }
+
+  private:
+    std::size_t
+    setIndex(std::uint64_t hist) const
+    {
+        return static_cast<std::size_t>(hist & mask(config_.ltIndexBits()))
+            % sets_;
+    }
+
+    std::uint64_t
+    tag(std::uint64_t hist) const
+    {
+        if (config_.ltTagBits == 0)
+            return 0;
+        return bits(hist, config_.ltIndexBits() + config_.ltTagBits - 1,
+                    config_.ltIndexBits());
+    }
+
+    /**
+     * Way selection for an update: a tag-matching way if present,
+     * otherwise an invalid way, otherwise the LRU way.
+     */
+    LTEntry &
+    selectVictim(std::uint64_t hist)
+    {
+        const std::size_t base = setIndex(hist) * assoc_;
+        const std::uint64_t hist_tag = tag(hist);
+        LTEntry *victim = &entries_[base];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            LTEntry &entry = entries_[base + w];
+            if (entry.valid && entry.tag == hist_tag)
+                return entry;
+            if (!entry.valid)
+                victim = &entry;
+            else if (victim->valid && entry.lru < victim->lru)
+                victim = &entry;
+        }
+        return *victim;
+    }
+
+    CapConfig config_;
+    unsigned assoc_;
+    std::size_t sets_;
+    std::vector<LTEntry> entries_;
+    std::vector<std::uint8_t> pfTable_;
+    std::vector<bool> pfTableValid_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t linkWrites_ = 0;
+    std::uint64_t pfFiltered_ = 0;
+
+    /** PF bits: bits 2..2+pfBits-1 of the base address. */
+    std::uint8_t
+    pfBitsOf(std::uint64_t base) const
+    {
+        if (config_.pfBits == 0)
+            return 0;
+        return static_cast<std::uint8_t>(
+            bits(base, 2 + config_.pfBits - 1, 2));
+    }
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_LINK_TABLE_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The Load Buffer (LB): the per-static-load first-level table shared
+ * by the CAP and stride components of the hybrid predictor (sections
+ * 3.1 and 3.7). Set-associative, PC-tagged, LRU-replaced. Each entry
+ * carries the CAP fields (history, confidence, offset LSBs), the
+ * stride fields (last address, stride, state), the hybrid selector,
+ * and the speculative state needed in the pipelined model.
+ */
+
+#ifndef CLAP_CORE_LOAD_BUFFER_HH
+#define CLAP_CORE_LOAD_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/history.hh"
+#include "util/sat_counter.hh"
+
+namespace clap
+{
+
+/** One load-buffer entry. */
+struct LBEntry
+{
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lruStamp = 0;
+
+    /// @name Shared fields
+    /// @{
+    std::uint8_t offsetLsb = 0; ///< 8 LSBs of the immediate offset
+    /// @}
+
+    /// @name CAP fields (section 3)
+    /// @{
+    bool capInit = false;     ///< first resolution seen (fields valid)
+    HistoryRegister hist;     ///< architectural history (updated at
+                              ///< resolution time)
+    HistoryRegister specHist; ///< speculative history (pipelined mode)
+    SatCounter capConf{2, 0};
+    std::uint64_t capGhrPattern = 0; ///< last-mispredict GHR pattern
+    bool capGhrValid = false;
+    std::uint32_t capPathOk = ~0u;   ///< per-path accuracy bitmap
+    std::uint32_t capPending = 0;    ///< unresolved predictions
+    bool capBlocked = false;         ///< stop speculating until drain
+    bool capSpecStale = false;       ///< specHist diverged (LT miss)
+    /// @}
+
+    /// @name Stride fields (sections 3.7, 5.2)
+    /// @{
+    bool lastValid = false;
+    std::uint64_t lastAddr = 0;
+    std::int64_t stride = 0;
+    std::int64_t candStride = 0; ///< two-delta candidate stride
+    SatCounter strideConf{2, 0};
+    std::uint64_t strideGhrPattern = 0;
+    bool strideGhrValid = false;
+    std::uint32_t run = 0;        ///< consecutive correct predictions
+    std::uint32_t interval = 0;   ///< learned run length
+    bool intervalValid = false;
+    std::uint32_t stridePending = 0;
+    std::uint64_t specLastAddr = 0; ///< last *predicted* address
+    bool strideBlocked = false;
+    /// @}
+
+    /// @name Hybrid selector (section 3.7)
+    /// @{
+    SatCounter selector{2, 2}; ///< 0/1 stride, 2/3 CAP; init weak CAP
+    /// @}
+};
+
+/**
+ * Set-associative, LRU-replaced table of LBEntry indexed by load PC.
+ */
+class LoadBuffer
+{
+  public:
+    explicit LoadBuffer(const LoadBufferConfig &config)
+        : config_(config),
+          sets_(config.sets()),
+          entries_(config.entries)
+    {
+    }
+
+    /** Find the entry for @p pc, or nullptr on miss. Touches LRU. */
+    LBEntry *
+    lookup(std::uint64_t pc)
+    {
+        const std::size_t set = setIndex(pc);
+        const std::uint64_t tag = pcTag(pc);
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            LBEntry &entry = entries_[set * config_.assoc + w];
+            if (entry.valid && entry.tag == tag) {
+                entry.lruStamp = ++stamp_;
+                return &entry;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Allocate (or re-initialize) the entry for @p pc, evicting the
+     * LRU way of its set. The returned entry is reset to defaults
+     * with the tag set.
+     */
+    LBEntry &
+    allocate(std::uint64_t pc)
+    {
+        const std::size_t set = setIndex(pc);
+        LBEntry *victim = &entries_[set * config_.assoc];
+        for (unsigned w = 1; w < config_.assoc; ++w) {
+            LBEntry &entry = entries_[set * config_.assoc + w];
+            if (!victim->valid)
+                break;
+            if (!entry.valid || entry.lruStamp < victim->lruStamp)
+                victim = &entry;
+        }
+        *victim = LBEntry{};
+        victim->valid = true;
+        victim->tag = pcTag(pc);
+        victim->lruStamp = ++stamp_;
+        ++allocations_;
+        return *victim;
+    }
+
+    /** Number of allocations performed (eviction pressure metric). */
+    std::uint64_t allocations() const { return allocations_; }
+
+    const LoadBufferConfig &config() const { return config_; }
+
+    /** Invalidate all entries. */
+    void
+    clear()
+    {
+        for (auto &entry : entries_)
+            entry = LBEntry{};
+    }
+
+  private:
+    std::size_t
+    setIndex(std::uint64_t pc) const
+    {
+        return (pc >> 2) % sets_;
+    }
+
+    std::uint64_t
+    pcTag(std::uint64_t pc) const
+    {
+        return pc >> 2;
+    }
+
+    LoadBufferConfig config_;
+    std::size_t sets_;
+    std::vector<LBEntry> entries_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_LOAD_BUFFER_HH

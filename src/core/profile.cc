@@ -1,0 +1,146 @@
+#include "core/profile.hh"
+
+#include "trace/trace.hh"
+#include "util/bits.hh"
+
+namespace clap
+{
+
+const char *
+loadClassName(LoadClass cls)
+{
+    switch (cls) {
+      case LoadClass::Unknown: return "unknown";
+      case LoadClass::Constant: return "constant";
+      case LoadClass::Stride: return "stride";
+      case LoadClass::Context: return "context";
+      default: return "?";
+    }
+}
+
+void
+LoadClassifier::observe(std::uint64_t pc, std::uint64_t addr)
+{
+    PerLoad &load = loads_[pc];
+
+    // Score the models against their prediction made from the state
+    // *before* this instance.
+    if (load.lastValid) {
+        if (addr == load.lastAddr)
+            ++load.lastHits;
+        if (load.strideValid &&
+            addr == load.lastAddr +
+                    static_cast<std::uint64_t>(load.stride)) {
+            ++load.strideHits;
+        }
+        const auto link = load.links.find(load.hist);
+        if (link != load.links.end() && link->second == addr)
+            ++load.contextHits;
+    }
+
+    // Train the models.
+    if (load.lastValid) {
+        load.stride = static_cast<std::int64_t>(addr - load.lastAddr);
+        load.strideValid = true;
+        load.links[load.hist] = addr;
+    }
+    const unsigned shift =
+        (32 + config_.historyLength - 1) / config_.historyLength;
+    load.hist = ((load.hist << shift) ^ (addr >> 2)) & mask(32);
+
+    load.lastAddr = addr;
+    load.lastValid = true;
+    ++load.instances;
+}
+
+LoadClass
+LoadClassifier::classify(std::uint64_t pc) const
+{
+    const auto it = loads_.find(pc);
+    if (it == loads_.end())
+        return LoadClass::Unknown;
+    const PerLoad &load = it->second;
+    if (load.instances < config_.minInstances)
+        return LoadClass::Unknown;
+
+    const double scored =
+        static_cast<double>(load.instances - 1);
+    const double last_rate = load.lastHits / scored;
+    const double stride_rate = load.strideHits / scored;
+    const double context_rate = load.contextHits / scored;
+
+    // Prefer the cheapest sufficient model, as a compiler would.
+    if (last_rate >= config_.threshold)
+        return LoadClass::Constant;
+    if (stride_rate >= config_.threshold)
+        return LoadClass::Stride;
+    if (context_rate >= config_.threshold)
+        return LoadClass::Context;
+    return LoadClass::Unknown;
+}
+
+std::unordered_map<std::uint64_t, LoadClass>
+LoadClassifier::classifyAll() const
+{
+    std::unordered_map<std::uint64_t, LoadClass> classes;
+    classes.reserve(loads_.size());
+    for (const auto &[pc, load] : loads_) {
+        (void)load;
+        classes[pc] = classify(pc);
+    }
+    return classes;
+}
+
+ProfileAssistedPredictor::ProfileAssistedPredictor(
+    const HybridConfig &config,
+    std::unordered_map<std::uint64_t, LoadClass> classes)
+    : hybrid_(config), classes_(std::move(classes))
+{
+}
+
+LoadClass
+ProfileAssistedPredictor::classOf(std::uint64_t pc) const
+{
+    const auto it = classes_.find(pc);
+    return it == classes_.end() ? LoadClass::Unknown : it->second;
+}
+
+Prediction
+ProfileAssistedPredictor::predict(const LoadInfo &info)
+{
+    if (classOf(info.pc) == LoadClass::Unknown) {
+        // Pollution elimination: the load never touches the tables.
+        ++filtered_;
+        return Prediction{};
+    }
+    return hybrid_.predict(info);
+}
+
+void
+ProfileAssistedPredictor::update(const LoadInfo &info,
+                                 std::uint64_t actual_addr,
+                                 const Prediction &pred)
+{
+    const LoadClass cls = classOf(info.pc);
+    if (cls == LoadClass::Unknown)
+        return;
+    // The link table is reserved for the loads that need it.
+    hybrid_.update(info, actual_addr, pred,
+                   cls == LoadClass::Context);
+}
+
+std::unique_ptr<ProfileAssistedPredictor>
+buildProfiledPredictor(const Trace &training_trace,
+                       const HybridConfig &config,
+                       const ClassifierConfig &classifier_config)
+{
+    LoadClassifier classifier(classifier_config);
+    for (const auto &rec : training_trace.records()) {
+        if (rec.isLoad())
+            classifier.observe(rec.pc, rec.effAddr);
+    }
+    return std::make_unique<ProfileAssistedPredictor>(
+        config, classifier.classifyAll());
+}
+
+} // namespace clap

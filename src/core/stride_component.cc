@@ -1,0 +1,165 @@
+#include "core/stride_component.hh"
+
+namespace clap
+{
+
+bool
+StrideComponent::pathAllows(const LBEntry &entry, std::uint64_t ghr) const
+{
+    if (config_.pathBits == 0)
+        return true;
+    const std::uint64_t path = ghr & mask(config_.pathBits);
+    return !(entry.strideGhrValid && entry.strideGhrPattern == path);
+}
+
+StrideResult
+StrideComponent::predict(LBEntry &entry, const LoadInfo &info)
+{
+    StrideResult result;
+    if (!entry.lastValid) {
+        // The in-flight instance still counts even before the first
+        // resolution initializes the entry.
+        if (pipelined_)
+            ++entry.stridePending;
+        return result;
+    }
+
+    // In the pipelined model, predict off the last *predicted*
+    // address so several instances can be in flight; after a
+    // misprediction the catch-up mechanism re-bases specLastAddr.
+    const std::uint64_t base =
+        pipelined_ ? entry.specLastAddr : entry.lastAddr;
+    result.hasAddr = true;
+    result.addr = base + static_cast<std::uint64_t>(entry.stride);
+
+    bool confident = entry.strideConf.atLeast(
+        static_cast<std::uint8_t>(config_.confThreshold));
+    if (confident && config_.useInterval && entry.intervalValid &&
+        entry.run + (pipelined_ ? entry.stridePending : 0) >=
+            entry.interval) {
+        // At the learned boundary: predict but do not speculate
+        // (trading a misprediction for a no-prediction).
+        confident = false;
+    }
+    if (confident && !pathAllows(entry, info.ghr))
+        confident = false;
+    result.speculate =
+        confident && !(pipelined_ && entry.strideBlocked);
+
+    if (pipelined_) {
+        entry.specLastAddr = result.addr;
+        ++entry.stridePending;
+    }
+    return result;
+}
+
+void
+StrideComponent::update(LBEntry &entry, const LoadInfo &info,
+                        std::uint64_t actual_addr,
+                        const StrideResult &result)
+{
+    const bool correct = result.hasAddr && result.addr == actual_addr;
+
+    if (entry.lastValid) {
+        const std::int64_t delta = static_cast<std::int64_t>(
+            actual_addr - entry.lastAddr);
+        if (delta == entry.stride) {
+            entry.strideConf.increment();
+        } else {
+            // Two-delta: commit a new stride only when the same delta
+            // is observed twice in a row (candStride always tracks
+            // the previous delta).
+            if (!config_.twoDelta || delta == entry.candStride)
+                entry.stride = delta;
+            entry.strideConf.reset();
+        }
+        entry.candStride = delta;
+    }
+
+    // Interval tracking: run counts consecutive correct formed
+    // predictions; a break after a long run records the run length as
+    // the interval (array length). A break after a short run means
+    // the load is irregular, so forget the interval.
+    if (result.hasAddr) {
+        if (correct) {
+            ++entry.run;
+            if (config_.useInterval && entry.intervalValid &&
+                entry.run > entry.interval) {
+                // The array grew past the learned boundary: widen.
+                entry.interval = entry.run;
+            }
+        } else {
+            if (config_.useInterval) {
+                if (entry.run >= config_.minInterval) {
+                    entry.interval = entry.run;
+                    entry.intervalValid = true;
+                } else {
+                    entry.intervalValid = false;
+                }
+            }
+            entry.run = 0;
+        }
+    }
+
+    if (config_.pathBits != 0) {
+        const std::uint64_t path = info.ghr & mask(config_.pathBits);
+        if (result.speculate && !correct) {
+            // Record the control-flow context of the misprediction.
+            entry.strideGhrPattern = path;
+            entry.strideGhrValid = true;
+        } else if (result.hasAddr && correct && entry.strideGhrValid &&
+                   entry.strideGhrPattern == path) {
+            // The recorded path predicts correctly again: stop
+            // suppressing it (the indication only reflects the last
+            // misprediction, section 3.4).
+            entry.strideGhrValid = false;
+        }
+    }
+
+    const bool first_resolution = !entry.lastValid;
+    entry.lastAddr = actual_addr;
+    entry.lastValid = true;
+
+    if (pipelined_) {
+        if (entry.stridePending > 0)
+            --entry.stridePending;
+        if (first_resolution && entry.stridePending > 0) {
+            // Best effort for the still-uninitialized in-flight
+            // window: predict forward from the first resolved
+            // address (the stride is still 0 at this point).
+            entry.specLastAddr = actual_addr;
+        }
+        if (result.hasAddr && !correct) {
+            if (config_.catchUp) {
+                // Catch-up (section 5.2): extrapolate the known
+                // stride over the still-pending instances so
+                // subsequent predictions are immediately right again.
+                entry.specLastAddr = actual_addr +
+                    static_cast<std::uint64_t>(
+                        entry.stride *
+                        static_cast<std::int64_t>(entry.stridePending));
+                entry.strideBlocked = false;
+            } else {
+                entry.strideBlocked = true;
+            }
+        }
+        if (entry.stridePending == 0) {
+            entry.specLastAddr = actual_addr;
+            entry.strideBlocked = false;
+        }
+    }
+}
+
+void
+StrideComponent::initEntry(LBEntry &entry, std::uint64_t actual_addr)
+{
+    entry.lastAddr = actual_addr;
+    entry.specLastAddr = actual_addr;
+    entry.lastValid = true;
+    entry.stride = 0;
+    entry.candStride = 0;
+    entry.strideConf =
+        SatCounter(static_cast<unsigned>(config_.confBits), 0);
+}
+
+} // namespace clap

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The enhanced stride prediction component: classic two-delta stride
+ * prediction plus the paper's enhancements — confidence counters,
+ * control-flow indications, interval counters that trade
+ * mispredictions for no-predictions at learned array boundaries, and
+ * the pipelined catch-up mechanism that extrapolates over pending
+ * unresolved instances (sections 3.7 and 5.2).
+ */
+
+#ifndef CLAP_CORE_STRIDE_COMPONENT_HH
+#define CLAP_CORE_STRIDE_COMPONENT_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+
+namespace clap
+{
+
+/** Per-prediction stride bookkeeping, carried from predict to update. */
+struct StrideResult
+{
+    bool hasAddr = false;
+    bool speculate = false;
+    std::uint64_t addr = 0;
+};
+
+/** Enhanced-stride prediction/update logic over shared LB entries. */
+class StrideComponent
+{
+  public:
+    StrideComponent(const StrideConfig &config, bool pipelined)
+        : config_(config), pipelined_(pipelined)
+    {
+    }
+
+    /** Form a stride prediction for @p info using entry @p entry. */
+    StrideResult predict(LBEntry &entry, const LoadInfo &info);
+
+    /** Resolve a prediction and train the stride state. */
+    void update(LBEntry &entry, const LoadInfo &info,
+                std::uint64_t actual_addr, const StrideResult &result);
+
+    /** Initialize the stride fields of a fresh LB entry. */
+    void initEntry(LBEntry &entry, std::uint64_t actual_addr);
+
+    const StrideConfig &config() const { return config_; }
+
+  private:
+    bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;
+
+    StrideConfig config_;
+    bool pipelined_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_STRIDE_COMPONENT_HH

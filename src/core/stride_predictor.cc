@@ -1,0 +1,45 @@
+#include "core/stride_predictor.hh"
+
+namespace clap
+{
+
+Prediction
+StridePredictor::predict(const LoadInfo &info)
+{
+    Prediction pred;
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (entry) {
+        pred.lbHit = true;
+    } else {
+        // Allocate at predict time so in-flight instance counting
+        // starts with the first fetch of the load.
+        entry = &lb_.allocate(info.pc);
+    }
+    const StrideResult result = stride_.predict(*entry, info);
+    pred.hasAddress = result.hasAddr;
+    pred.speculate = result.speculate;
+    pred.addr = result.addr;
+    pred.component =
+        result.speculate ? Component::Stride : Component::None;
+    pred.strideHasAddr = result.hasAddr;
+    pred.strideSpec = result.speculate;
+    pred.strideAddr = result.addr;
+    return pred;
+}
+
+void
+StridePredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
+                        const Prediction &pred)
+{
+    LBEntry *entry = lb_.lookup(info.pc);
+    if (!entry)
+        entry = &lb_.allocate(info.pc); // evicted since predict
+
+    StrideResult result;
+    result.hasAddr = pred.strideHasAddr;
+    result.speculate = pred.strideSpec;
+    result.addr = pred.strideAddr;
+    stride_.update(*entry, info, actual_addr, result);
+}
+
+} // namespace clap

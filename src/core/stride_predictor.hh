@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Stand-alone enhanced stride predictor: the paper's baseline
+ * comparison point ("enhanced stride-based predictor features the
+ * control-flow indications and the interval technique", section 4.2).
+ */
+
+#ifndef CLAP_CORE_STRIDE_PREDICTOR_HH
+#define CLAP_CORE_STRIDE_PREDICTOR_HH
+
+#include "core/config.hh"
+#include "core/load_buffer.hh"
+#include "core/predictor.hh"
+#include "core/stride_component.hh"
+
+namespace clap
+{
+
+/** Stand-alone enhanced stride address predictor. */
+class StridePredictor : public AddressPredictor
+{
+  public:
+    explicit StridePredictor(const StridePredictorConfig &config)
+        : lb_(config.lb), stride_(config.stride, config.pipelined)
+    {
+    }
+
+    Prediction predict(const LoadInfo &info) override;
+    void update(const LoadInfo &info, std::uint64_t actual_addr,
+                const Prediction &pred) override;
+    std::string name() const override { return "stride"; }
+
+    LoadBuffer &loadBuffer() { return lb_; }
+    StrideComponent &component() { return stride_; }
+
+  private:
+    LoadBuffer lb_;
+    StrideComponent stride_;
+};
+
+} // namespace clap
+
+#endif // CLAP_CORE_STRIDE_PREDICTOR_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hybrid branch predictor (gshare + bimodal with a chooser), the
+ * front-end substrate of the timing model; the paper's machine uses
+ * "a hybrid branch predictor" (section 4.1). Branch mispredictions
+ * are also the dynamic events that terminate CAP misprediction chains
+ * in the pipelined discussion of section 5.2.
+ */
+
+#ifndef CLAP_SIM_BRANCH_PREDICTOR_HH
+#define CLAP_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/sat_counter.hh"
+
+namespace clap
+{
+
+/** Geometry of the hybrid branch predictor. */
+struct BranchPredictorConfig
+{
+    unsigned gshareBits = 12;  ///< log2 of the gshare PHT entries
+    unsigned bimodalBits = 12; ///< log2 of the bimodal PHT entries
+    unsigned chooserBits = 12; ///< log2 of the chooser entries
+    unsigned historyBits = 12; ///< GHR length used by gshare
+};
+
+/** gshare/bimodal tournament branch predictor. */
+class HybridBranchPredictor
+{
+  public:
+    explicit HybridBranchPredictor(const BranchPredictorConfig &config =
+                                       BranchPredictorConfig{})
+        : config_(config),
+          gshare_(std::size_t{1} << config.gshareBits, SatCounter(2, 1)),
+          bimodal_(std::size_t{1} << config.bimodalBits, SatCounter(2, 1)),
+          chooser_(std::size_t{1} << config.chooserBits, SatCounter(2, 1))
+    {
+    }
+
+    /** Predict the direction of the branch at @p pc. */
+    bool
+    predict(std::uint64_t pc) const
+    {
+        const bool g = gshare_[gshareIndex(pc)].upperHalf();
+        const bool b = bimodal_[bimodalIndex(pc)].upperHalf();
+        return chooser_[chooserIndex(pc)].upperHalf() ? g : b;
+    }
+
+    /** Train with the resolved direction and advance the history. */
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        SatCounter &g = gshare_[gshareIndex(pc)];
+        SatCounter &b = bimodal_[bimodalIndex(pc)];
+        SatCounter &c = chooser_[chooserIndex(pc)];
+
+        const bool g_correct = g.upperHalf() == taken;
+        const bool b_correct = b.upperHalf() == taken;
+        if (g_correct != b_correct) {
+            if (g_correct)
+                c.increment();
+            else
+                c.decrement();
+        }
+        if (taken) {
+            g.increment();
+            b.increment();
+        } else {
+            g.decrement();
+            b.decrement();
+        }
+        ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) &
+            mask(config_.historyBits);
+    }
+
+    std::uint64_t history() const { return ghr_; }
+
+  private:
+    std::size_t
+    gshareIndex(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(((pc >> 2) ^ ghr_) &
+                                        mask(config_.gshareBits));
+    }
+
+    std::size_t
+    bimodalIndex(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) &
+                                        mask(config_.bimodalBits));
+    }
+
+    std::size_t
+    chooserIndex(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) &
+                                        mask(config_.chooserBits));
+    }
+
+    BranchPredictorConfig config_;
+    std::vector<SatCounter> gshare_;
+    std::vector<SatCounter> bimodal_;
+    std::vector<SatCounter> chooser_;
+    std::uint64_t ghr_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_SIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Set-associative cache model and a two-level hierarchy, providing
+ * the load-to-use latencies the timing simulator charges (the paper's
+ * machine: 32KB L1 data cache, 1MB L2, section 4.1).
+ */
+
+#ifndef CLAP_SIM_CACHE_HH
+#define CLAP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+
+namespace clap
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+
+    std::size_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::size_t>(assoc) * lineBytes);
+    }
+};
+
+/** LRU set-associative cache (tags only; no data is stored). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config)
+        : config_(config),
+          sets_(config.numSets()),
+          lineShift_(floorLog2(config.lineBytes)),
+          tags_(sets_ * config.assoc),
+          valid_(sets_ * config.assoc, false),
+          lru_(sets_ * config.assoc, 0)
+    {
+    }
+
+    /**
+     * Access @p addr, allocating on miss.
+     * @return true on hit.
+     */
+    bool
+    access(std::uint64_t addr)
+    {
+        const std::uint64_t line = addr >> lineShift_;
+        const std::size_t set = line % sets_;
+        const std::size_t base = set * config_.assoc;
+        ++accesses_;
+
+        std::size_t victim = base;
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            const std::size_t i = base + w;
+            if (valid_[i] && tags_[i] == line) {
+                lru_[i] = ++stamp_;
+                return true;
+            }
+            if (!valid_[i])
+                victim = i;
+            else if (valid_[victim] && lru_[i] < lru_[victim])
+                victim = i;
+        }
+        ++misses_;
+        valid_[victim] = true;
+        tags_[victim] = line;
+        lru_[victim] = ++stamp_;
+        return false;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        return accesses_ == 0
+            ? 0.0
+            : static_cast<double>(misses_) /
+                static_cast<double>(accesses_);
+    }
+
+  private:
+    CacheConfig config_;
+    std::size_t sets_;
+    unsigned lineShift_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<bool> valid_;
+    std::vector<std::uint64_t> lru_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Latencies and geometry of the two-level data-memory hierarchy. */
+struct MemoryHierarchyConfig
+{
+    CacheConfig l1{32 * 1024, 4, 64};
+    CacheConfig l2{1024 * 1024, 8, 64};
+    unsigned l1Latency = 4;  ///< load-to-use cycles on an L1 hit
+    unsigned l2Latency = 13; ///< cycles on an L2 hit
+    unsigned memLatency = 80;
+};
+
+/** Two-level hierarchy returning the access latency per reference. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryHierarchyConfig &config)
+        : config_(config), l1_(config.l1), l2_(config.l2)
+    {
+    }
+
+    /** Access @p addr and return the load-to-use latency in cycles. */
+    unsigned
+    access(std::uint64_t addr)
+    {
+        if (l1_.access(addr))
+            return config_.l1Latency;
+        if (l2_.access(addr))
+            return config_.l2Latency;
+        return config_.memLatency;
+    }
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    MemoryHierarchyConfig config_;
+    Cache l1_;
+    Cache l2_;
+};
+
+} // namespace clap
+
+#endif // CLAP_SIM_CACHE_HH

@@ -1,0 +1,78 @@
+#include "sim/experiment.hh"
+
+#include "workloads/composer.hh"
+
+namespace clap
+{
+
+std::vector<TraceStatsResult>
+runPerTrace(const std::vector<TraceSpec> &specs,
+            const PredictorFactory &factory,
+            const PredictorSimConfig &sim_config, std::size_t trace_len)
+{
+    std::vector<TraceStatsResult> results;
+    results.reserve(specs.size());
+    for (const auto &spec : specs) {
+        const Trace trace = generateTrace(spec, trace_len);
+        auto predictor = factory();
+        TraceStatsResult result;
+        result.trace = spec.name;
+        result.suite = spec.suite;
+        result.stats = runPredictorSim(trace, *predictor, sim_config);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::vector<SuiteStats>
+aggregateBySuite(const std::vector<TraceStatsResult> &results)
+{
+    std::vector<SuiteStats> aggregated;
+    for (const auto &suite : suiteNames()) {
+        SuiteStats entry;
+        entry.suite = suite;
+        for (const auto &result : results) {
+            if (result.suite == suite)
+                entry.stats.merge(result.stats);
+        }
+        aggregated.push_back(std::move(entry));
+    }
+    SuiteStats average;
+    average.suite = "Average";
+    for (const auto &result : results)
+        average.stats.merge(result.stats);
+    aggregated.push_back(std::move(average));
+    return aggregated;
+}
+
+std::vector<SuiteStats>
+runPerSuite(const PredictorFactory &factory,
+            const PredictorSimConfig &sim_config, std::size_t trace_len)
+{
+    return aggregateBySuite(
+        runPerTrace(buildCatalog(), factory, sim_config, trace_len));
+}
+
+std::vector<SpeedupResult>
+runSpeedup(const std::vector<TraceSpec> &specs,
+           const PredictorFactory &factory, const TimingConfig &config,
+           std::size_t trace_len)
+{
+    std::vector<SpeedupResult> results;
+    results.reserve(specs.size());
+    for (const auto &spec : specs) {
+        const Trace trace = generateTrace(spec, trace_len);
+        SpeedupResult result;
+        result.trace = spec.name;
+        result.suite = spec.suite;
+        result.baseCycles =
+            runTimingSim(trace, config, nullptr).cycles;
+        auto predictor = factory();
+        result.predCycles =
+            runTimingSim(trace, config, predictor.get()).cycles;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace clap

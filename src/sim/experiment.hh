@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Experiment driver helpers shared by the benchmark harnesses: run a
+ * predictor (built fresh per trace by a factory) over every trace of
+ * the catalog and aggregate results per suite and overall, the way
+ * the paper's figures report them.
+ */
+
+#ifndef CLAP_SIM_EXPERIMENT_HH
+#define CLAP_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "sim/metrics.hh"
+#include "sim/predictor_sim.hh"
+#include "sim/timing_sim.hh"
+#include "workloads/suites.hh"
+
+namespace clap
+{
+
+/** Builds a fresh, untrained predictor for each trace. */
+using PredictorFactory =
+    std::function<std::unique_ptr<AddressPredictor>()>;
+
+/** Per-suite aggregated prediction statistics. */
+struct SuiteStats
+{
+    std::string suite;
+    PredictionStats stats;
+};
+
+/** Per-trace prediction statistics. */
+struct TraceStatsResult
+{
+    std::string trace;
+    std::string suite;
+    PredictionStats stats;
+};
+
+/**
+ * Run @p factory-built predictors over every trace of @p specs and
+ * return per-trace statistics. Traces are generated on the fly (one
+ * in memory at a time) at @p trace_len instructions.
+ */
+std::vector<TraceStatsResult>
+runPerTrace(const std::vector<TraceSpec> &specs,
+            const PredictorFactory &factory,
+            const PredictorSimConfig &sim_config, std::size_t trace_len);
+
+/**
+ * Aggregate per-trace results into per-suite totals (dynamic-load
+ * weighted, suite order as in the paper), followed by an "Average"
+ * row over all traces.
+ */
+std::vector<SuiteStats>
+aggregateBySuite(const std::vector<TraceStatsResult> &results);
+
+/** Convenience: runPerTrace over the full catalog + aggregation. */
+std::vector<SuiteStats>
+runPerSuite(const PredictorFactory &factory,
+            const PredictorSimConfig &sim_config, std::size_t trace_len);
+
+/** Per-trace timing comparison for the speedup figures. */
+struct SpeedupResult
+{
+    std::string trace;
+    std::string suite;
+    std::uint64_t baseCycles = 0; ///< no address prediction
+    std::uint64_t predCycles = 0;
+
+    double
+    speedup() const
+    {
+        return predCycles == 0
+            ? 0.0
+            : static_cast<double>(baseCycles) /
+                static_cast<double>(predCycles);
+    }
+};
+
+/**
+ * Run the timing model with and without an address predictor over
+ * every trace of @p specs. The same trace data feeds both runs.
+ */
+std::vector<SpeedupResult>
+runSpeedup(const std::vector<TraceSpec> &specs,
+           const PredictorFactory &factory, const TimingConfig &config,
+           std::size_t trace_len);
+
+} // namespace clap
+
+#endif // CLAP_SIM_EXPERIMENT_HH

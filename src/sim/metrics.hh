@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Prediction statistics, using the paper's metric definitions
+ * (section 4.2): prediction rate = speculative accesses / dynamic
+ * loads; accuracy = correct predictions / speculative accesses;
+ * figure 9 additionally uses correct speculative accesses / dynamic
+ * loads. Selector statistics follow section 4.4.
+ */
+
+#ifndef CLAP_SIM_METRICS_HH
+#define CLAP_SIM_METRICS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/stats.hh"
+
+namespace clap
+{
+
+/** Aggregated prediction statistics for one simulation run. */
+struct PredictionStats
+{
+    std::uint64_t loads = 0;       ///< dynamic loads seen
+    std::uint64_t lbHits = 0;      ///< loads hitting the LB
+    std::uint64_t formed = 0;      ///< predictions formed (hasAddress)
+    std::uint64_t formedCorrect = 0;
+    std::uint64_t spec = 0;        ///< speculative accesses performed
+    std::uint64_t specCorrect = 0;
+
+    /// Speculative accesses / correct ones per winning component
+    /// (indexed by Component).
+    std::array<std::uint64_t, 4> specBy{};
+    std::array<std::uint64_t, 4> specCorrectBy{};
+
+    /// @name Hybrid selector statistics (section 4.4)
+    /// @{
+    std::uint64_t bothSpec = 0; ///< both components wanted to access
+    std::array<std::uint64_t, 4> selectorState{}; ///< histogram
+    std::uint64_t missSelections = 0; ///< wrong pick, other was right
+    /// @}
+
+    double predictionRate() const { return ratio(spec, loads); }
+    double accuracy() const { return ratio(specCorrect, spec); }
+    double mispredictionRate() const
+    {
+        return ratio(spec - specCorrect, spec);
+    }
+    /** Figure-9 metric: correct speculative accesses of all loads. */
+    double correctOfAllLoads() const { return ratio(specCorrect, loads); }
+    /** Correct-selection rate among both-confident loads. */
+    double correctSelectionRate() const
+    {
+        return bothSpec == 0
+            ? 1.0
+            : 1.0 - ratio(missSelections, bothSpec);
+    }
+
+    /** Accumulate another run's counters (suite aggregation). */
+    void
+    merge(const PredictionStats &other)
+    {
+        loads += other.loads;
+        lbHits += other.lbHits;
+        formed += other.formed;
+        formedCorrect += other.formedCorrect;
+        spec += other.spec;
+        specCorrect += other.specCorrect;
+        for (std::size_t i = 0; i < specBy.size(); ++i) {
+            specBy[i] += other.specBy[i];
+            specCorrectBy[i] += other.specCorrectBy[i];
+            selectorState[i] += other.selectorState[i];
+        }
+        bothSpec += other.bothSpec;
+        missSelections += other.missSelections;
+    }
+};
+
+} // namespace clap
+
+#endif // CLAP_SIM_METRICS_HH

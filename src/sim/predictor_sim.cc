@@ -1,0 +1,143 @@
+#include "sim/predictor_sim.hh"
+
+#include <deque>
+
+#include "sim/branch_predictor.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+/** One in-flight prediction awaiting resolution. */
+struct PendingPrediction
+{
+    LoadInfo info;
+    Prediction pred;
+    std::uint64_t actualAddr = 0;
+    std::uint64_t issueInst = 0;
+};
+
+/** Tally one resolved prediction into @p stats. */
+void
+tally(PredictionStats &stats, const PendingPrediction &pending)
+{
+    const Prediction &pred = pending.pred;
+    const std::uint64_t actual = pending.actualAddr;
+
+    ++stats.loads;
+    if (pred.lbHit)
+        ++stats.lbHits;
+    if (pred.hasAddress) {
+        ++stats.formed;
+        // For the hybrid, count "formed correct" when the selected
+        // (or any, if none selected) component address matches.
+        const bool formed_correct = pred.speculate
+            ? pred.addr == actual
+            : (pred.capHasAddr && pred.capAddr == actual) ||
+                (pred.strideHasAddr && pred.strideAddr == actual) ||
+                (!pred.capHasAddr && !pred.strideHasAddr &&
+                 pred.addr == actual);
+        if (formed_correct)
+            ++stats.formedCorrect;
+    }
+    if (pred.speculate) {
+        ++stats.spec;
+        const auto comp = static_cast<std::size_t>(pred.component);
+        ++stats.specBy[comp];
+        if (pred.addr == actual) {
+            ++stats.specCorrect;
+            ++stats.specCorrectBy[comp];
+        }
+    }
+
+    // Selector statistics (section 4.4): loads where both components
+    // performed (wanted) a speculative access.
+    if (pred.capSpec && pred.strideSpec) {
+        ++stats.bothSpec;
+        ++stats.selectorState[pred.selectorState & 3];
+        if (pred.speculate && pred.addr != actual) {
+            const bool other_correct =
+                pred.component == Component::Cap
+                    ? pred.strideAddr == actual
+                    : pred.capAddr == actual;
+            if (other_correct)
+                ++stats.missSelections;
+        }
+    }
+}
+
+} // namespace
+
+PredictionStats
+runPredictorSim(const Trace &trace, AddressPredictor &predictor,
+                const PredictorSimConfig &config)
+{
+    PredictionStats stats;
+    const std::uint64_t gap_insts =
+        static_cast<std::uint64_t>(config.gapCycles) * config.fetchWidth;
+
+    std::uint64_t ghr = 0;
+    std::uint64_t path = 0;
+    std::uint64_t inst_index = 0;
+    std::deque<PendingPrediction> pending;
+    HybridBranchPredictor branch_pred;
+
+    auto drain = [&] {
+        for (const auto &head : pending) {
+            predictor.update(head.info, head.actualAddr, head.pred);
+            tally(stats, head);
+        }
+        pending.clear();
+    };
+
+    for (const auto &rec : trace.records()) {
+        // Resolve predictions whose gap has elapsed.
+        while (!pending.empty() &&
+               pending.front().issueInst + gap_insts <= inst_index) {
+            const PendingPrediction &head = pending.front();
+            predictor.update(head.info, head.actualAddr, head.pred);
+            tally(stats, head);
+            pending.pop_front();
+        }
+
+        if (rec.isLoad()) {
+            LoadInfo info;
+            info.pc = rec.pc;
+            info.immOffset = rec.immOffset;
+            info.ghr = ghr;
+            info.pathHist = path;
+
+            PendingPrediction entry;
+            entry.info = info;
+            entry.pred = predictor.predict(info);
+            entry.actualAddr = rec.effAddr;
+            entry.issueInst = inst_index;
+
+            if (gap_insts == 0) {
+                predictor.update(info, rec.effAddr, entry.pred);
+                tally(stats, entry);
+            } else {
+                pending.push_back(entry);
+            }
+        } else if (rec.isBranch()) {
+            if (gap_insts != 0 && config.flushOnBranchMispredict) {
+                const bool predicted = branch_pred.predict(rec.pc);
+                branch_pred.update(rec.pc, rec.taken);
+                if (predicted != rec.taken)
+                    drain();
+            }
+            ghr = (ghr << 1) | (rec.taken ? 1 : 0);
+        } else if (rec.cls == InstClass::Call) {
+            path = (path << 4) ^ (rec.pc >> 2);
+        }
+        ++inst_index;
+    }
+
+    // Drain the pipeline at trace end.
+    drain();
+    return stats;
+}
+
+} // namespace clap

@@ -1,0 +1,288 @@
+#include "sim/timing_sim.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <vector>
+
+namespace clap
+{
+
+namespace
+{
+
+/**
+ * Per-cycle slot scheduler for a pool of identical ports. Backed by
+ * a ring buffer with lazy cycle-stamp invalidation so scheduling far
+ * into the future needs no global reset.
+ */
+class PortSchedule
+{
+  public:
+    explicit PortSchedule(unsigned ports_per_cycle)
+        : perCycle_(ports_per_cycle), ring_(ringSize)
+    {
+    }
+
+    /** Reserve a slot at or after @p earliest; returns the cycle. */
+    std::uint64_t
+    schedule(std::uint64_t earliest)
+    {
+        std::uint64_t cycle = earliest;
+        for (;;) {
+            Slot &slot = ring_[cycle % ringSize];
+            if (slot.cycle != cycle) {
+                slot.cycle = cycle;
+                slot.used = 0;
+            }
+            if (slot.used < perCycle_) {
+                ++slot.used;
+                return cycle;
+            }
+            ++cycle;
+        }
+    }
+
+  private:
+    static constexpr std::size_t ringSize = 8192;
+
+    struct Slot
+    {
+        std::uint64_t cycle = ~std::uint64_t{0};
+        unsigned used = 0;
+    };
+
+    unsigned perCycle_;
+    std::vector<Slot> ring_;
+};
+
+/** In-flight address prediction awaiting its delayed update. */
+struct PendingUpdate
+{
+    LoadInfo info;
+    Prediction pred;
+    std::uint64_t actualAddr = 0;
+    std::uint64_t issueInst = 0;
+};
+
+} // namespace
+
+TimingResult
+runTimingSim(const Trace &trace, const TimingConfig &config,
+             AddressPredictor *predictor)
+{
+    TimingResult result;
+    MemoryHierarchy memory(config.memory);
+    HybridBranchPredictor branch_pred(config.branch);
+    PortSchedule alu_ports(config.numAluPorts);
+    PortSchedule mem_ports(config.numMemPorts);
+
+    // Ready cycle per architectural register (0 = always ready).
+    std::array<std::uint64_t, 256> reg_ready{};
+
+    // Retire times of the last robSize instructions (ring buffer).
+    std::vector<std::uint64_t> rob_retire(config.robSize, 0);
+
+    // Front-end state.
+    std::uint64_t fetch_cycle = 0;
+    unsigned fetched_this_cycle = 0;
+
+    // Retire state.
+    std::uint64_t last_retire = 0;
+    unsigned retired_this_cycle = 0;
+
+    // Address-predictor update queue (prediction gap).
+    const std::uint64_t gap_insts =
+        static_cast<std::uint64_t>(config.predictorGap.gapCycles) *
+        config.predictorGap.fetchWidth;
+    std::deque<PendingUpdate> pending;
+    std::uint64_t ghr = 0;
+    std::uint64_t path = 0;
+
+    std::uint64_t inst_index = 0;
+    for (const auto &rec : trace.records()) {
+        // --- Fetch ------------------------------------------------
+        if (fetched_this_cycle >= config.fetchWidth) {
+            ++fetch_cycle;
+            fetched_this_cycle = 0;
+        }
+        const std::uint64_t fetched = fetch_cycle;
+        ++fetched_this_cycle;
+
+        // --- Dispatch (ROB occupancy) -----------------------------
+        std::uint64_t dispatch = fetched + config.frontendDepth;
+        if (inst_index >= config.robSize) {
+            dispatch = std::max(
+                dispatch, rob_retire[inst_index % config.robSize]);
+        }
+
+        const std::uint64_t src_ready = std::max(
+            {dispatch, reg_ready[rec.srcA], reg_ready[rec.srcB]});
+
+        std::uint64_t complete = dispatch;
+        switch (rec.cls) {
+          case InstClass::Alu:
+          case InstClass::Jump:
+          case InstClass::Call:
+          case InstClass::Ret: {
+            const std::uint64_t issue = alu_ports.schedule(src_ready);
+            complete = issue + config.aluLatency;
+            break;
+          }
+          case InstClass::MulDiv: {
+            const std::uint64_t issue = alu_ports.schedule(src_ready);
+            complete = issue + config.mulDivLatency;
+            break;
+          }
+          case InstClass::Branch: {
+            const std::uint64_t issue = alu_ports.schedule(src_ready);
+            complete = issue + config.aluLatency;
+            const bool predicted = branch_pred.predict(rec.pc);
+            branch_pred.update(rec.pc, rec.taken);
+            if (predicted != rec.taken) {
+                ++result.branchMispredicts;
+                // Redirect: subsequent fetch resumes after resolve.
+                fetch_cycle = std::max(
+                    fetch_cycle,
+                    complete + config.branchRedirectPenalty);
+                fetched_this_cycle = 0;
+                // The pipeline drains: all pending address
+                // predictions resolve before fetch resumes
+                // (terminates CAP misprediction chains, section 5.2).
+                if (predictor && gap_insts != 0) {
+                    for (const auto &head : pending) {
+                        predictor->update(head.info, head.actualAddr,
+                                          head.pred);
+                    }
+                    pending.clear();
+                }
+            }
+            ghr = (ghr << 1) | (rec.taken ? 1 : 0);
+            break;
+          }
+          case InstClass::Store: {
+            const std::uint64_t agen = src_ready + config.agenLatency;
+            const std::uint64_t port = mem_ports.schedule(agen);
+            memory.access(rec.effAddr);
+            complete = port + 1;
+            break;
+          }
+          case InstClass::Load: {
+            ++result.loads;
+
+            // Consult the address predictor (if any) with front-end
+            // information only.
+            Prediction pred;
+            LoadInfo info;
+            if (predictor) {
+                info.pc = rec.pc;
+                info.immOffset = rec.immOffset;
+                info.ghr = ghr;
+                info.pathHist = path;
+                pred = predictor->predict(info);
+            }
+
+            const std::uint64_t addr_ready =
+                src_ready + config.agenLatency;
+            std::uint64_t data_ready;
+
+            // Speculative accesses launch in the early front end
+            // (one cycle after fetch), overlapping the cache access
+            // with the remaining front-end stages — the "partially
+            // hide the load-to-use latency" effect of section 1.
+            const std::uint64_t spec_launch = fetched + 1;
+            if (pred.speculate && pred.addr == rec.effAddr) {
+                // Correct speculation: the value does not wait for
+                // address generation; an L1 hit is ready by dispatch.
+                ++result.specLoads;
+                ++result.specCorrect;
+                const std::uint64_t port =
+                    mem_ports.schedule(spec_launch);
+                const unsigned lat = memory.access(rec.effAddr);
+                data_ready = port + lat;
+                // Retirement still waits for the verification.
+                complete = std::max(data_ready, addr_ready + 1);
+            } else if (pred.speculate) {
+                // Misprediction: wasted speculative access, then the
+                // real access after verification plus the selective
+                // re-execution penalty.
+                ++result.specLoads;
+                mem_ports.schedule(spec_launch);
+                memory.access(pred.addr); // pollution
+                const std::uint64_t port =
+                    mem_ports.schedule(addr_ready);
+                const unsigned lat = memory.access(rec.effAddr);
+                data_ready =
+                    port + lat + config.addrMispredictPenalty;
+                complete = data_ready;
+            } else {
+                // Normal path: access after address generation.
+                const std::uint64_t port =
+                    mem_ports.schedule(addr_ready);
+                const unsigned lat = memory.access(rec.effAddr);
+                data_ready = port + lat;
+                complete = data_ready;
+            }
+
+            if (rec.dst != 0)
+                reg_ready[rec.dst] = data_ready;
+
+            if (predictor) {
+                PendingUpdate update;
+                update.info = info;
+                update.pred = pred;
+                update.actualAddr = rec.effAddr;
+                update.issueInst = inst_index;
+                if (gap_insts == 0)
+                    predictor->update(info, rec.effAddr, pred);
+                else
+                    pending.push_back(update);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        if (rec.cls != InstClass::Load && rec.dst != 0)
+            reg_ready[rec.dst] = complete;
+        if (rec.cls == InstClass::Call)
+            path = (path << 4) ^ (rec.pc >> 2);
+
+        // --- Retire (in order, width-limited) ---------------------
+        std::uint64_t retire = std::max(complete + 1, last_retire);
+        if (retire == last_retire) {
+            if (++retired_this_cycle > config.retireWidth) {
+                ++retire;
+                retired_this_cycle = 1;
+            }
+        } else {
+            retired_this_cycle = 1;
+        }
+        last_retire = retire;
+        rob_retire[inst_index % config.robSize] = retire;
+        result.cycles = retire;
+
+        // Drain due predictor updates.
+        if (predictor && gap_insts != 0) {
+            while (!pending.empty() &&
+                   pending.front().issueInst + gap_insts <= inst_index) {
+                const PendingUpdate &head = pending.front();
+                predictor->update(head.info, head.actualAddr, head.pred);
+                pending.pop_front();
+            }
+        }
+        ++inst_index;
+    }
+
+    if (predictor) {
+        for (const auto &head : pending)
+            predictor->update(head.info, head.actualAddr, head.pred);
+    }
+
+    result.insts = inst_index;
+    result.l1Misses = memory.l1().misses();
+    return result;
+}
+
+} // namespace clap

@@ -1,0 +1,22 @@
+#include "trace/record.hh"
+
+namespace clap
+{
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Alu: return "alu";
+      case InstClass::MulDiv: return "muldiv";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::Branch: return "branch";
+      case InstClass::Jump: return "jump";
+      case InstClass::Call: return "call";
+      case InstClass::Ret: return "ret";
+      default: return "?";
+    }
+}
+
+} // namespace clap

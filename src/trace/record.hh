@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The trace record "ISA". The workload kernels emit a stream of these
+ * records; the predictor simulator consumes only the load records
+ * (PC, effective address, immediate offset) plus branch outcomes for
+ * the global history register, and the timing simulator additionally
+ * uses the register dependencies and instruction classes.
+ *
+ * This plays the role of the paper's proprietary IA-32 traces (45
+ * traces of 30M instructions). See DESIGN.md section 2 for the
+ * substitution rationale.
+ */
+
+#ifndef CLAP_TRACE_RECORD_HH
+#define CLAP_TRACE_RECORD_HH
+
+#include <cstdint>
+
+namespace clap
+{
+
+/** Instruction classes distinguished by the simulators. */
+enum class InstClass : std::uint8_t
+{
+    Alu,        ///< single-cycle integer op
+    MulDiv,     ///< long-latency integer op
+    Load,       ///< memory read; drives the address predictors
+    Store,      ///< memory write
+    Branch,     ///< conditional branch; updates the GHR
+    Jump,       ///< unconditional direct jump
+    Call,       ///< function call; updates the path history
+    Ret,        ///< function return
+    NumClasses,
+};
+
+/** Printable mnemonic for an instruction class. */
+const char *instClassName(InstClass cls);
+
+/**
+ * One dynamic instruction. Register identifiers are small integers
+ * (0 = no register, 1..255 usable); the timing model renames them.
+ *
+ * For loads, @c effAddr is the effective address and @c immOffset the
+ * immediate displacement encoded in the (synthetic) opcode — the value
+ * the CAP predictor subtracts to obtain the shared base address
+ * (paper section 3.3).
+ */
+struct TraceRecord
+{
+    std::uint64_t pc = 0;
+    std::uint64_t effAddr = 0;   ///< loads/stores: effective address
+    std::uint64_t target = 0;    ///< branches/calls: target PC
+    std::int32_t immOffset = 0;  ///< loads: opcode immediate offset
+    InstClass cls = InstClass::Alu;
+    std::uint8_t srcA = 0;       ///< first source register (0 = none)
+    std::uint8_t srcB = 0;       ///< second source register (0 = none)
+    std::uint8_t dst = 0;        ///< destination register (0 = none)
+    std::uint8_t memSize = 0;    ///< loads/stores: access size in bytes
+    bool taken = false;          ///< branches: outcome
+
+    bool isLoad() const { return cls == InstClass::Load; }
+    bool isStore() const { return cls == InstClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return cls == InstClass::Branch; }
+
+    /** True when this record redirects the instruction stream. */
+    bool
+    changesFlow() const
+    {
+        switch (cls) {
+          case InstClass::Jump:
+          case InstClass::Call:
+          case InstClass::Ret:
+            return true;
+          case InstClass::Branch:
+            return taken;
+          default:
+            return false;
+        }
+    }
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+} // namespace clap
+
+#endif // CLAP_TRACE_RECORD_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trace containers and streaming interfaces. A Trace is an in-memory
+ * vector of records; TraceSink/TraceSource abstract producers and
+ * consumers so that kernels can emit either into memory or straight
+ * into a file writer.
+ */
+
+#ifndef CLAP_TRACE_TRACE_HH
+#define CLAP_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace clap
+{
+
+/** Consumer interface for trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one record to the trace. */
+    virtual void append(const TraceRecord &rec) = 0;
+
+    /** Number of records appended so far. */
+    virtual std::size_t size() const = 0;
+};
+
+/** Producer interface for trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fetch the next record.
+     * @retval true  @p rec was filled.
+     * @retval false end of trace; @p rec unchanged.
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Restart the trace from the beginning. */
+    virtual void rewind() = 0;
+};
+
+/** In-memory trace: a named vector of records usable as sink+source. */
+class Trace : public TraceSink
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    void append(const TraceRecord &rec) override { records_.push_back(rec); }
+    std::size_t size() const override { return records_.size(); }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::vector<TraceRecord> &records() { return records_; }
+
+    const TraceRecord &operator[](std::size_t i) const { return records_[i]; }
+
+    void reserve(std::size_t n) { records_.reserve(n); }
+    void clear() { records_.clear(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+};
+
+/** TraceSource view over an in-memory Trace. */
+class TraceCursor : public TraceSource
+{
+  public:
+    explicit TraceCursor(const Trace &trace) : trace_(&trace) {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= trace_->size())
+            return false;
+        rec = (*trace_)[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+  private:
+    const Trace *trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_TRACE_TRACE_HH

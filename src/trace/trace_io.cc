@@ -1,0 +1,216 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+
+namespace clap
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'C', 'L', 'A', 'P', 'T', 'R', 'C', '\0'};
+constexpr std::size_t recordBytes = 40;
+
+void
+putU32(std::uint8_t *buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::uint8_t *buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *buf)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *buf)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+void
+encodeRecord(const TraceRecord &rec, std::uint8_t *buf)
+{
+    putU64(buf + 0, rec.pc);
+    putU64(buf + 8, rec.effAddr);
+    putU64(buf + 16, rec.target);
+    putU32(buf + 24, static_cast<std::uint32_t>(rec.immOffset));
+    buf[28] = static_cast<std::uint8_t>(rec.cls);
+    buf[29] = rec.srcA;
+    buf[30] = rec.srcB;
+    buf[31] = rec.dst;
+    buf[32] = rec.memSize;
+    buf[33] = rec.taken ? 1 : 0;
+    buf[34] = 0;
+    buf[35] = 0;
+    putU32(buf + 36, 0); // pad to 40 bytes
+}
+
+void
+decodeRecord(const std::uint8_t *buf, TraceRecord &rec)
+{
+    rec.pc = getU64(buf + 0);
+    rec.effAddr = getU64(buf + 8);
+    rec.target = getU64(buf + 16);
+    rec.immOffset = static_cast<std::int32_t>(getU32(buf + 24));
+    rec.cls = static_cast<InstClass>(buf[28]);
+    rec.srcA = buf[29];
+    rec.srcB = buf[30];
+    rec.dst = buf[31];
+    rec.memSize = buf[32];
+    rec.taken = buf[33] != 0;
+}
+
+bool
+writeHeader(std::FILE *file, const std::string &name, std::uint64_t count,
+            long &count_offset)
+{
+    if (std::fwrite(traceMagic, 1, 8, file) != 8)
+        return false;
+    std::uint8_t buf[8];
+    putU32(buf, traceFormatVersion);
+    if (std::fwrite(buf, 1, 4, file) != 4)
+        return false;
+    count_offset = std::ftell(file);
+    putU64(buf, count);
+    if (std::fwrite(buf, 1, 8, file) != 8)
+        return false;
+    putU32(buf, static_cast<std::uint32_t>(name.size()));
+    if (std::fwrite(buf, 1, 4, file) != 4)
+        return false;
+    if (!name.empty() &&
+        std::fwrite(name.data(), 1, name.size(), file) != name.size()) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, const std::string &path)
+{
+    TraceFileWriter writer(path, trace.name());
+    if (!writer.ok())
+        return false;
+    for (const auto &rec : trace.records())
+        writer.append(rec);
+    return writer.close();
+}
+
+bool
+readTrace(const std::string &path, Trace &trace)
+{
+    trace.clear();
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+
+    bool ok = false;
+    do {
+        char magic[8];
+        if (std::fread(magic, 1, 8, file) != 8 ||
+            std::memcmp(magic, traceMagic, 8) != 0) {
+            break;
+        }
+        std::uint8_t buf[recordBytes];
+        if (std::fread(buf, 1, 4, file) != 4 ||
+            getU32(buf) != traceFormatVersion) {
+            break;
+        }
+        if (std::fread(buf, 1, 8, file) != 8)
+            break;
+        const std::uint64_t count = getU64(buf);
+        if (std::fread(buf, 1, 4, file) != 4)
+            break;
+        const std::uint32_t name_len = getU32(buf);
+        std::string name(name_len, '\0');
+        if (name_len != 0 &&
+            std::fread(name.data(), 1, name_len, file) != name_len) {
+            break;
+        }
+        trace.setName(name);
+        trace.reserve(count);
+        TraceRecord rec;
+        std::uint64_t i = 0;
+        for (; i < count; ++i) {
+            if (std::fread(buf, 1, recordBytes, file) != recordBytes)
+                break;
+            decodeRecord(buf, rec);
+            trace.append(rec);
+        }
+        ok = (i == count);
+    } while (false);
+
+    std::fclose(file);
+    if (!ok)
+        trace.clear();
+    return ok;
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 const std::string &name)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        return;
+    if (!writeHeader(file_, name, 0, countOffset_)) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceFileWriter::append(const TraceRecord &rec)
+{
+    if (!file_ || failed_)
+        return;
+    std::uint8_t buf[recordBytes];
+    encodeRecord(rec, buf);
+    if (std::fwrite(buf, 1, recordBytes, file_) != recordBytes)
+        failed_ = true;
+    else
+        ++count_;
+}
+
+bool
+TraceFileWriter::close()
+{
+    if (!file_)
+        return false;
+    bool ok = !failed_;
+    if (ok && std::fseek(file_, countOffset_, SEEK_SET) == 0) {
+        std::uint8_t buf[8];
+        putU64(buf, count_);
+        ok = std::fwrite(buf, 1, 8, file_) == 8;
+    } else {
+        ok = false;
+    }
+    ok = (std::fclose(file_) == 0) && ok;
+    file_ = nullptr;
+    return ok;
+}
+
+} // namespace clap

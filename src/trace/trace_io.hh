@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Binary trace file format. The format is versioned and
+ * little-endian with explicit per-field serialization so files are
+ * portable across compilers regardless of struct padding:
+ *
+ *   magic   "CLAPTRC\0"          8 bytes
+ *   version u32                  (currently 1)
+ *   count   u64                  number of records
+ *   name    u32 length + bytes
+ *   records count * 40 bytes     (pc, effAddr, target, immOffset,
+ *                                 cls, srcA, srcB, dst, memSize, taken,
+ *                                 2 pad bytes)
+ */
+
+#ifndef CLAP_TRACE_TRACE_IO_HH
+#define CLAP_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace clap
+{
+
+/** Current on-disk format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/**
+ * Write @p trace to @p path.
+ * @return true on success, false on any I/O failure.
+ */
+bool writeTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace file written by writeTrace().
+ * @param path  File to read.
+ * @param trace Output; cleared first.
+ * @return true on success, false on I/O failure, bad magic, or
+ *         version mismatch.
+ */
+bool readTrace(const std::string &path, Trace &trace);
+
+/**
+ * Streaming writer: a TraceSink that appends records directly to a
+ * file without buffering the whole trace in memory. The record count
+ * in the header is patched on close().
+ */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    TraceFileWriter(const std::string &path, const std::string &name);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** True when the file opened and the header was written. */
+    bool ok() const { return file_ != nullptr && !failed_; }
+
+    void append(const TraceRecord &rec) override;
+    std::size_t size() const override { return count_; }
+
+    /**
+     * Patch the header count and close the file.
+     * @return true when everything (including past appends) succeeded.
+     */
+    bool close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::size_t count_ = 0;
+    long countOffset_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace clap
+
+#endif // CLAP_TRACE_TRACE_IO_HH

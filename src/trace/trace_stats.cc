@@ -1,0 +1,60 @@
+#include "trace/trace_stats.hh"
+
+#include <unordered_set>
+
+#include "util/stats.hh"
+
+namespace clap
+{
+
+double
+TraceStats::loadFraction() const
+{
+    return ratio(loads(), totalInsts);
+}
+
+double
+TraceStats::takenRate() const
+{
+    return ratio(takenBranches, branches());
+}
+
+TraceStats
+computeTraceStats(const Trace &trace)
+{
+    TraceStats stats;
+    std::unordered_set<std::uint64_t> pcs;
+    std::unordered_set<std::uint64_t> load_pcs;
+
+    for (const auto &rec : trace.records()) {
+        ++stats.totalInsts;
+        ++stats.perClass[static_cast<std::size_t>(rec.cls)];
+        pcs.insert(rec.pc);
+        if (rec.isLoad())
+            load_pcs.insert(rec.pc);
+        if (rec.isBranch() && rec.taken)
+            ++stats.takenBranches;
+    }
+    stats.staticInsts = pcs.size();
+    stats.staticLoads = load_pcs.size();
+    return stats;
+}
+
+void
+printTraceStats(const TraceStats &stats, std::ostream &os)
+{
+    os << "instructions: " << stats.totalInsts << '\n';
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(InstClass::NumClasses); ++c) {
+        const auto cls = static_cast<InstClass>(c);
+        if (stats.count(cls) == 0)
+            continue;
+        os << "  " << instClassName(cls) << ": " << stats.count(cls)
+           << '\n';
+    }
+    os << "static PCs: " << stats.staticInsts
+       << " (loads: " << stats.staticLoads << ")\n";
+    os << "branch taken rate: " << stats.takenRate() << '\n';
+}
+
+} // namespace clap

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the predictor and simulator
+ * code. All helpers are constexpr and operate on unsigned 64-bit
+ * values, matching the simulated address width.
+ */
+
+#ifndef CLAP_UTIL_BITS_HH
+#define CLAP_UTIL_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace clap
+{
+
+/** Return a mask with the low @p n bits set. @p n may be 0..64. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [@p lo, @p hi] (inclusive) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & mask(hi - lo + 1);
+}
+
+/** True iff @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Floor of log2 of @p value.
+ *
+ * @pre value != 0
+ */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    assert(value != 0);
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of log2 of @p value. @pre value != 0 */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOf2(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Sign-extend the low @p n bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned n)
+{
+    assert(n >= 1 && n <= 64);
+    const std::uint64_t sign_bit = std::uint64_t{1} << (n - 1);
+    const std::uint64_t trunc = value & mask(n);
+    return static_cast<std::int64_t>((trunc ^ sign_bit) - sign_bit);
+}
+
+} // namespace clap
+
+#endif // CLAP_UTIL_BITS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by the workload
+ * generators. A fixed, self-contained implementation (xoshiro256**)
+ * guarantees that traces are bit-identical across platforms and
+ * standard-library versions, which std::mt19937 does not for the
+ * distribution helpers.
+ */
+
+#ifndef CLAP_UTIL_RNG_HH
+#define CLAP_UTIL_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace clap
+{
+
+/**
+ * Deterministic xoshiro256** PRNG with convenience distribution
+ * helpers. Seeding uses splitmix64 so that nearby seeds produce
+ * unrelated streams.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @pre bound != 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        std::uint64_t value;
+        do {
+            value = next();
+        } while (value < threshold);
+        return value % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        // 53-bit uniform double in [0,1).
+        const double u = (next() >> 11) * (1.0 / 9007199254740992.0);
+        return u < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** splitmix64 step, advancing @p x and returning the next output. */
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace clap
+
+#endif // CLAP_UTIL_RNG_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Saturating counter, the basic confidence/selection primitive used by
+ * the predictors (section 3.4 of the paper) and by the branch
+ * predictor in the timing model.
+ */
+
+#ifndef CLAP_UTIL_SAT_COUNTER_HH
+#define CLAP_UTIL_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace clap
+{
+
+/**
+ * An n-bit saturating counter. Increment saturates at 2^bits - 1,
+ * decrement saturates at 0. The paper's confidence counters saturate
+ * at a configurable threshold and are *reset* on misprediction, so
+ * reset() is provided alongside the symmetric operations used by
+ * tournament selectors.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param num_bits Counter width in bits (1..8).
+     * @param initial  Initial (and post-reset) counter value.
+     */
+    explicit SatCounter(unsigned num_bits = 2, std::uint8_t initial = 0)
+        : maxValue_(static_cast<std::uint8_t>((1u << num_bits) - 1)),
+          initial_(initial),
+          count_(initial)
+    {
+        assert(num_bits >= 1 && num_bits <= 8);
+        assert(initial <= maxValue_);
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (count_ < maxValue_)
+            ++count_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (count_ > 0)
+            --count_;
+    }
+
+    /** Reset to the initial value (paper: reset on misprediction). */
+    void reset() { count_ = initial_; }
+
+    /** Reset to zero regardless of the configured initial value. */
+    void clear() { count_ = 0; }
+
+    /** Current raw value. */
+    std::uint8_t value() const { return count_; }
+
+    /** Maximum representable value. */
+    std::uint8_t max() const { return maxValue_; }
+
+    /** True when the counter has reached @p threshold. */
+    bool atLeast(std::uint8_t threshold) const { return count_ >= threshold; }
+
+    /** True when fully saturated. */
+    bool saturated() const { return count_ == maxValue_; }
+
+    /**
+     * Taken/selected reading for 2-bit tournament use: true when the
+     * counter is in its upper half (e.g. 2 or 3 for a 2-bit counter).
+     */
+    bool upperHalf() const { return count_ > maxValue_ / 2; }
+
+    /** Force a specific value (used to bias selectors at reset). */
+    void
+    set(std::uint8_t value)
+    {
+        assert(value <= maxValue_);
+        count_ = value;
+    }
+
+  private:
+    std::uint8_t maxValue_;
+    std::uint8_t initial_;
+    std::uint8_t count_;
+};
+
+} // namespace clap
+
+#endif // CLAP_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small statistics helpers: ratio with divide-by-zero guard, running
+ * mean, and geometric mean (used for speedup averaging as in the
+ * paper's figure 7/12 summaries).
+ */
+
+#ifndef CLAP_UTIL_STATS_HH
+#define CLAP_UTIL_STATS_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace clap
+{
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+        static_cast<double>(den);
+}
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/**
+ * Geometric mean of a vector of positive values; 0 for an empty
+ * vector. Used to average per-trace speedups.
+ */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * Accumulator for a weighted average of per-trace rates where each
+ * trace contributes its event counts (so bigger traces weigh more),
+ * mirroring how the paper reports suite averages over dynamic loads.
+ */
+class RatioAccumulator
+{
+  public:
+    void
+    add(std::uint64_t num, std::uint64_t den)
+    {
+        num_ += num;
+        den_ += den;
+    }
+
+    double value() const { return ratio(num_, den_); }
+    std::uint64_t numerator() const { return num_; }
+    std::uint64_t denominator() const { return den_; }
+
+  private:
+    std::uint64_t num_ = 0;
+    std::uint64_t den_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_UTIL_STATS_HH

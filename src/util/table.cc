@@ -1,0 +1,96 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace clap
+{
+
+void
+Table::newRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        newRow();
+    rows_.back().push_back(text);
+}
+
+void
+Table::cell(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    cell(std::string(buf));
+}
+
+void
+Table::percent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    cell(std::string(buf));
+}
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::row(const std::vector<std::string> &cells)
+{
+    newRow();
+    for (const auto &text : cells)
+        cell(text);
+}
+
+std::size_t
+Table::dataRows() const
+{
+    return rows_.empty() ? 0 : rows_.size() - 1;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (rows_.empty())
+        return;
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                os << "  ";
+            os << row[c];
+            // Pad all but the last column.
+            if (c + 1 < row.size()) {
+                for (std::size_t i = row[c].size(); i < widths[c]; ++i)
+                    os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(rows_.front());
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (std::size_t r = 1; r < rows_.size(); ++r)
+        print_row(rows_[r]);
+}
+
+} // namespace clap

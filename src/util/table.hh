@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal fixed-column console table printer used by the benchmark
+ * harnesses to emit paper-style result tables (one per figure).
+ */
+
+#ifndef CLAP_UTIL_TABLE_HH
+#define CLAP_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clap
+{
+
+/**
+ * Accumulates rows of string cells and prints them with columns padded
+ * to the widest cell. The first row added is treated as the header and
+ * underlined with dashes.
+ */
+class Table
+{
+  public:
+    /** Start a new row; subsequent cell() calls append to it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append a formatted floating-point cell (fixed, @p digits). */
+    void cell(double value, int digits = 2);
+
+    /** Append a percentage cell: value 0.123 prints as "12.3%". */
+    void percent(double fraction, int digits = 1);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t value);
+
+    /** Convenience: start a row from a list of header/label strings. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Number of data rows added (excluding the header). */
+    std::size_t dataRows() const;
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace clap
+
+#endif // CLAP_UTIL_TABLE_HH

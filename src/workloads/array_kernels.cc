@@ -1,0 +1,95 @@
+#include "workloads/array_kernels.hh"
+
+#include <cassert>
+
+namespace clap
+{
+
+// ---------------------------------------------------------------------
+// StrideArrayKernel
+// ---------------------------------------------------------------------
+
+void
+StrideArrayKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numArrays >= 1 && params_.numArrays <= 4);
+    assert(params_.numElems >= 2);
+
+    for (unsigned a = 0; a < params_.numArrays; ++a) {
+        bases_.push_back(heap_->alloc(
+            static_cast<std::uint64_t>(params_.numElems) *
+                params_.elemSize,
+            64));
+    }
+}
+
+void
+StrideArrayKernel::step()
+{
+    // Slots: 0 header, per array a: load (1+2a), alu (2+2a); last
+    // slot: loop branch. Each static load sweeps its own array.
+    pickVariant();
+    const std::uint8_t idx_reg = reg(0);
+    const std::uint8_t acc_reg = reg(1);
+
+    emit_.alu(0, idx_reg);
+    const unsigned branch_slot = 1 + 2 * params_.numArrays;
+    for (unsigned c = 0; c < params_.chunk; ++c) {
+        const std::uint64_t elem = pos_ % params_.numElems;
+        for (unsigned a = 0; a < params_.numArrays; ++a) {
+            emit_.load(1 + 2 * a,
+                       bases_[a] + elem * params_.elemSize, 0,
+                       reg(2 + a), idx_reg);
+            emit_.alu(2 + 2 * a, acc_reg, acc_reg, reg(2 + a));
+        }
+        emit_.branch(branch_slot, c + 1 != params_.chunk, 1, idx_reg);
+        ++pos_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// MatrixKernel
+// ---------------------------------------------------------------------
+
+void
+MatrixKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.rows >= 2 && params_.cols >= 1);
+    base_ = heap_->alloc(
+        static_cast<std::uint64_t>(params_.rows) * params_.cols *
+            params_.elemSize,
+        64);
+}
+
+void
+MatrixKernel::step()
+{
+    // Column-major walk over a row-major matrix: address advances by
+    // the row pitch each iteration and wraps to the next column at
+    // the bottom of each column.
+    pickVariant();
+    const std::uint8_t idx_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+    const std::uint8_t acc_reg = reg(2);
+    const std::uint64_t pitch =
+        static_cast<std::uint64_t>(params_.cols) * params_.elemSize;
+
+    emit_.alu(0, idx_reg);
+    for (unsigned c = 0; c < params_.chunk; ++c) {
+        const std::uint64_t addr =
+            base_ + row_ * pitch + col_ * params_.elemSize;
+        emit_.load(1, addr, 0, val_reg, idx_reg);
+        // The walk is induction-variable driven: the accumulator
+        // consumes the value, the address register does not.
+        emit_.alu(2, acc_reg, acc_reg, val_reg);
+        emit_.branch(3, c + 1 != params_.chunk, 1, idx_reg);
+        if (++row_ == params_.rows) {
+            row_ = 0;
+            col_ = (col_ + 1) % params_.cols;
+        }
+    }
+}
+
+} // namespace clap

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Array kernels: the stride-predictable access patterns (linear array
+ * sweeps, matrix walks) that dominate the paper's multimedia (MM)
+ * suite and that the CAP predictor, with its limited link-table
+ * capacity, "can hardly handle" (section 4.2).
+ */
+
+#ifndef CLAP_WORKLOADS_ARRAY_KERNELS_HH
+#define CLAP_WORKLOADS_ARRAY_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace clap
+{
+
+/**
+ * Linear sweeps over one or more large arrays with a constant element
+ * stride. Long sequences of non-recurring addresses: ideal for the
+ * stride predictor, pure pollution for the CAP link table. The sweep
+ * restarts from the array base when it reaches the end (a single
+ * stride break per pass, which the interval mechanism can learn).
+ */
+class StrideArrayKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numArrays = 2;    ///< interleaved arrays (A[i]+B[i])
+        unsigned numElems = 4096;  ///< elements per array
+        unsigned elemSize = 4;     ///< bytes per element (the stride)
+        unsigned chunk = 64;       ///< elements processed per step
+    };
+
+    explicit StrideArrayKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "stride_array"; }
+
+  private:
+    Params params_;
+    std::vector<std::uint64_t> bases_;
+    std::uint64_t pos_ = 0; ///< current element index
+};
+
+/**
+ * Row-major matrix traversed by columns: the per-load stride is the
+ * row pitch (large but constant), with a break at every column end.
+ * Exercises non-unit strides and periodic stride breaks (interval
+ * counters, section 5.2).
+ */
+class MatrixKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned rows = 64;
+        unsigned cols = 64;
+        unsigned elemSize = 4;
+        unsigned chunk = 64; ///< elements per step
+    };
+
+    explicit MatrixKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "matrix"; }
+
+  private:
+    Params params_;
+    std::uint64_t base_ = 0;
+    unsigned row_ = 0;
+    unsigned col_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_ARRAY_KERNELS_HH

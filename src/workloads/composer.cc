@@ -1,0 +1,124 @@
+#include "workloads/composer.hh"
+
+#include <cassert>
+
+namespace clap
+{
+
+std::unique_ptr<Kernel>
+makeKernel(const KernelParams &params)
+{
+    return std::visit(
+        [](const auto &p) -> std::unique_ptr<Kernel> {
+            using ParamsType = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<ParamsType,
+                                         LinkedListKernel::Params>) {
+                return std::make_unique<LinkedListKernel>(p);
+            } else if constexpr (std::is_same_v<
+                                     ParamsType,
+                                     DoublyLinkedListKernel::Params>) {
+                return std::make_unique<DoublyLinkedListKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                BinaryTreeKernel::Params>) {
+                return std::make_unique<BinaryTreeKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                ArrayListKernel::Params>) {
+                return std::make_unique<ArrayListKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                CallSiteKernel::Params>) {
+                return std::make_unique<CallSiteKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                StackFrameKernel::Params>) {
+                return std::make_unique<StackFrameKernel>(p);
+            } else if constexpr (std::is_same_v<
+                                     ParamsType,
+                                     RepeatedBurstKernel::Params>) {
+                return std::make_unique<RepeatedBurstKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                StrideArrayKernel::Params>) {
+                return std::make_unique<StrideArrayKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                MatrixKernel::Params>) {
+                return std::make_unique<MatrixKernel>(p);
+            } else if constexpr (std::is_same_v<ParamsType,
+                                                HashTableKernel::Params>) {
+                return std::make_unique<HashTableKernel>(p);
+            } else if constexpr (std::is_same_v<
+                                     ParamsType,
+                                     RandomPointerKernel::Params>) {
+                return std::make_unique<RandomPointerKernel>(p);
+            } else {
+                static_assert(std::is_same_v<ParamsType,
+                                             GlobalScalarKernel::Params>);
+                return std::make_unique<GlobalScalarKernel>(p);
+            }
+        },
+        params);
+}
+
+std::size_t
+generateTrace(const TraceSpec &spec, std::size_t target_insts,
+              TraceSink &sink)
+{
+    assert(!spec.kernels.empty());
+
+    Rng rng(spec.seed);
+    SimHeap heap(rng);
+    SimStack stack;
+
+    // Each kernel gets a private code page and register window so
+    // static PCs and dependencies never collide across kernels.
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
+        kernels.push_back(makeKernel(spec.kernels[k].params));
+        KernelContext ctx;
+        ctx.rng = &rng;
+        ctx.heap = &heap;
+        ctx.stack = &stack;
+        ctx.sink = &sink;
+        ctx.codeBase = AddressSpace::codeBase + 0x10000 * (k + 1);
+        ctx.codeVariants = spec.kernels[k].variants;
+        ctx.regBase = static_cast<std::uint8_t>(1 + 16 * (k % 15));
+        ctx.regCount = 16;
+        kernels.back()->init(ctx);
+    }
+
+    // Deficit scheduling: weights are target shares of emitted
+    // records. Each round picks the kernel furthest behind its
+    // share and runs it for a short burst, so kernels with small
+    // steps (a call site emits ~5 records) still reach their share
+    // against kernels with big steps (an array sweep emits hundreds).
+    std::vector<double> emitted(kernels.size(), 0.0);
+    const std::size_t start = sink.size();
+    while (sink.size() - start < target_insts) {
+        std::size_t pick = 0;
+        double best = emitted[0] / spec.kernels[0].weight;
+        for (std::size_t k = 1; k < kernels.size(); ++k) {
+            const double deficit = emitted[k] / spec.kernels[k].weight;
+            if (deficit < best) {
+                best = deficit;
+                pick = k;
+            }
+        }
+        const std::uint64_t burst = rng.range(1, 3);
+        for (std::uint64_t b = 0;
+             b < burst && sink.size() - start < target_insts; ++b) {
+            const std::size_t before = sink.size();
+            kernels[pick]->step();
+            emitted[pick] +=
+                static_cast<double>(sink.size() - before);
+        }
+    }
+    return sink.size() - start;
+}
+
+Trace
+generateTrace(const TraceSpec &spec, std::size_t target_insts)
+{
+    Trace trace(spec.name);
+    trace.reserve(target_insts + 1024);
+    generateTrace(spec, target_insts, trace);
+    return trace;
+}
+
+} // namespace clap

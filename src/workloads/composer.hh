@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace composition: a TraceSpec names a set of parameterized kernels
+ * with mixing weights and a seed; generateTrace() interleaves kernel
+ * steps in weighted random bursts to build a deterministic synthetic
+ * trace. Burst interleaving (rather than strict round-robin) models a
+ * program alternating between activities and creates the load-buffer
+ * interleaving pressure real traces exhibit.
+ */
+
+#ifndef CLAP_WORKLOADS_COMPOSER_HH
+#define CLAP_WORKLOADS_COMPOSER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/array_kernels.hh"
+#include "workloads/control_kernels.hh"
+#include "workloads/misc_kernels.hh"
+#include "workloads/rds_kernels.hh"
+
+namespace clap
+{
+
+/** Parameter pack for any kernel family; the alternative selects it. */
+using KernelParams = std::variant<
+    LinkedListKernel::Params,
+    DoublyLinkedListKernel::Params,
+    BinaryTreeKernel::Params,
+    ArrayListKernel::Params,
+    CallSiteKernel::Params,
+    StackFrameKernel::Params,
+    RepeatedBurstKernel::Params,
+    StrideArrayKernel::Params,
+    MatrixKernel::Params,
+    HashTableKernel::Params,
+    RandomPointerKernel::Params,
+    GlobalScalarKernel::Params>;
+
+/** One kernel instance inside a trace, with its mixing weight. */
+struct WeightedKernel
+{
+    KernelParams params;
+    double weight = 1.0;
+
+    /// Static code copies (KernelContext::codeVariants).
+    unsigned variants = 1;
+};
+
+/** Full recipe for one synthetic trace. */
+struct TraceSpec
+{
+    std::string name;   ///< e.g. "INT_rds1"
+    std::string suite;  ///< e.g. "INT"
+    std::uint64_t seed = 1;
+    std::vector<WeightedKernel> kernels;
+};
+
+/** Instantiate the kernel named by @p params. */
+std::unique_ptr<Kernel> makeKernel(const KernelParams &params);
+
+/**
+ * Generate a trace of at least @p target_insts records (generation
+ * stops at the first kernel-step boundary past the target).
+ * Deterministic in (spec, target_insts).
+ */
+Trace generateTrace(const TraceSpec &spec, std::size_t target_insts);
+
+/**
+ * Generate into an existing sink (e.g. a TraceFileWriter) instead of
+ * an in-memory trace. Returns the number of records emitted.
+ */
+std::size_t generateTrace(const TraceSpec &spec, std::size_t target_insts,
+                          TraceSink &sink);
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_COMPOSER_HH

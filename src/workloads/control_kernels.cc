@@ -1,0 +1,178 @@
+#include "workloads/control_kernels.hh"
+
+#include <cassert>
+
+namespace clap
+{
+
+// ---------------------------------------------------------------------
+// CallSiteKernel
+// ---------------------------------------------------------------------
+
+void
+CallSiteKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numSites >= 1);
+    assert(params_.seqLen >= 1);
+    assert(params_.calleeLoads >= 1 && params_.calleeLoads <= 6);
+
+    // Each call site owns an argument block the callee dereferences;
+    // blocks are spread over the heap so their addresses carry no
+    // arithmetic relation.
+    for (unsigned s = 0; s < params_.numSites; ++s)
+        siteData_.push_back(heap_->alloc(4 * params_.calleeLoads + 16));
+    envVar_ = heap_->allocGlobal(8);
+
+    // Fixed recurring site pattern with repeat runs: "the function
+    // may be called several times in a row with the same input
+    // parameters. Typically, such sequences do not exceed four to
+    // five repetitions" (section 3.2) — these runs are what pushes
+    // the required history length to ~4.
+    while (siteSeq_.size() < params_.seqLen) {
+        const auto site =
+            static_cast<unsigned>(rng_->below(params_.numSites));
+        const std::uint64_t repeats = rng_->range(1, 3);
+        for (std::uint64_t r = 0;
+             r < repeats && siteSeq_.size() < params_.seqLen; ++r) {
+            siteSeq_.push_back(site);
+        }
+    }
+}
+
+void
+CallSiteKernel::invoke(unsigned site)
+{
+    // Slots 0..numSites-1: the call instructions (distinct static
+    // calls, giving distinct path history); slots 16.. : the callee.
+    const unsigned callee_entry = 16;
+    const std::uint8_t arg_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+    const std::uint8_t acc_reg = reg(2);
+
+    emit_.call(site, emit_.pc(callee_entry));
+    // The callee first reads a global environment pointer (constant
+    // address), then the call-site-dependent argument block.
+    emit_.load(callee_entry + 7, envVar_, 0, arg_reg);
+    const std::uint64_t block = siteData_[site];
+    for (unsigned l = 0; l < params_.calleeLoads; ++l) {
+        emit_.load(callee_entry + l, block + 4 * l,
+                   static_cast<std::int32_t>(4 * l), val_reg, arg_reg);
+        emit_.alu(callee_entry + 8, acc_reg, acc_reg, val_reg);
+    }
+    emit_.ret(callee_entry + 9);
+}
+
+void
+CallSiteKernel::step()
+{
+    pickVariant();
+    if (params_.noiseProb > 0.0 && rng_->chance(params_.noiseProb)) {
+        invoke(static_cast<unsigned>(rng_->below(params_.numSites)));
+        return;
+    }
+    invoke(siteSeq_[seqPos_]);
+    seqPos_ = (seqPos_ + 1) % siteSeq_.size();
+}
+
+// ---------------------------------------------------------------------
+// StackFrameKernel
+// ---------------------------------------------------------------------
+
+void
+StackFrameKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.maxDepth >= 1);
+    assert(params_.savedRegs >= 1 && params_.savedRegs <= 6);
+}
+
+void
+StackFrameKernel::callChain(unsigned depth)
+{
+    // Each nesting level is a distinct static function (slot block of
+    // 32), as in a real call chain A -> B -> C: at a stable depth the
+    // spill/reload addresses of each function are constant, which is
+    // the behaviour that makes stack references last-address
+    // predictable. Slots within a level: 0 call, 1.. stores,
+    // 8.. alu body, 16.. reload loads, 24 ret.
+    const unsigned slot0 = 32 * (params_.maxDepth - depth);
+    const std::uint8_t sp_reg = reg(0);
+    const std::uint8_t tmp_reg = reg(1);
+
+    const std::uint64_t frame_size = 16 + 4 * params_.savedRegs;
+    emit_.call(slot0 + 0, emit_.pc(slot0 + 1));
+    const std::uint64_t frame = stack_->push(frame_size);
+
+    for (unsigned r = 0; r < params_.savedRegs; ++r) {
+        emit_.store(slot0 + 1 + r, frame + 4 * r,
+                    static_cast<std::int32_t>(4 * r), reg(2 + r), sp_reg);
+    }
+    for (unsigned a = 0; a < params_.bodyAlu; ++a)
+        emit_.alu(slot0 + 8 + a, tmp_reg, tmp_reg);
+
+    if (depth > 1)
+        callChain(depth - 1);
+
+    for (unsigned r = 0; r < params_.savedRegs; ++r) {
+        emit_.load(slot0 + 16 + r, frame + 4 * r,
+                   static_cast<std::int32_t>(4 * r), reg(2 + r), sp_reg);
+    }
+    emit_.ret(slot0 + 24);
+    stack_->pop(frame_size);
+}
+
+void
+StackFrameKernel::step()
+{
+    pickVariant();
+    // Most invocations run at the full depth (stable stack frames,
+    // whose reload addresses are constant per static load); a
+    // minority recurse shallower, creating the small recurring
+    // address sets of section 2.2.
+    const unsigned depth = rng_->chance(0.75)
+        ? params_.maxDepth
+        : static_cast<unsigned>(rng_->range(1, params_.maxDepth));
+    callChain(depth);
+}
+
+// ---------------------------------------------------------------------
+// RepeatedBurstKernel
+// ---------------------------------------------------------------------
+
+void
+RepeatedBurstKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numRuns >= 1);
+    assert(params_.runLen >= 1);
+
+    for (unsigned r = 0; r < params_.numRuns; ++r) {
+        runBases_.push_back(
+            heap_->alloc(params_.stride * params_.runLen + 16, 32));
+    }
+}
+
+void
+RepeatedBurstKernel::step()
+{
+    // One full pattern per step: every run swept in order, all from a
+    // single static load inside a loop (slot 1).
+    pickVariant();
+    const std::uint8_t idx_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+
+    emit_.alu(0, idx_reg);
+    for (unsigned r = 0; r < params_.numRuns; ++r) {
+        for (unsigned i = 0; i < params_.runLen; ++i) {
+            emit_.load(1, runBases_[r] + i * params_.stride, 0,
+                       val_reg, idx_reg);
+            emit_.alu(2, idx_reg, idx_reg);
+            const bool last =
+                (r + 1 == params_.numRuns) && (i + 1 == params_.runLen);
+            emit_.branch(3, !last, 1, val_reg);
+        }
+    }
+}
+
+} // namespace clap

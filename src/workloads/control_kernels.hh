@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Control-correlation kernels (paper section 2.2): a shared callee
+ * whose loads depend on the call site (the xlmatch/xllastarg
+ * patterns), stack-frame save/restore traffic, and the "repeated
+ * short strided burst" inner loop the paper shows for Java in
+ * section 4.3 (stride-hostile, context-friendly).
+ */
+
+#ifndef CLAP_WORKLOADS_CONTROL_KERNELS_HH
+#define CLAP_WORKLOADS_CONTROL_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace clap
+{
+
+/**
+ * A callee function with several static loads whose addresses are
+ * determined by the call site, called in a fixed recurring site
+ * sequence (e.g. a-c-u-a as for xlmatch). Per static load the address
+ * sequence has period = |site sequence|, so predicting it requires a
+ * context history covering that period — unreachable for stride
+ * predictors.
+ */
+class CallSiteKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numSites = 4;    ///< distinct call sites
+        unsigned seqLen = 4;      ///< length of recurring site pattern
+        unsigned calleeLoads = 3; ///< static loads in the callee
+        double noiseProb = 0.0;   ///< P(one-off random site) per step
+    };
+
+    explicit CallSiteKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "call_site"; }
+
+    /** The recurring call-site pattern (for tests). */
+    const std::vector<unsigned> &siteSequence() const { return siteSeq_; }
+
+  private:
+    void invoke(unsigned site);
+
+    Params params_;
+    std::vector<std::uint64_t> siteData_; ///< per-site argument block
+    std::vector<unsigned> siteSeq_;
+    std::uint64_t envVar_ = 0; ///< global environment pointer
+    unsigned seqPos_ = 0;
+};
+
+/**
+ * Call/return-heavy kernel with register save/restore through the
+ * stack: each call pushes a frame, stores the saved registers, runs a
+ * tiny body, and reloads them before returning. At a stable call
+ * depth the reload addresses are constant per static load (classic
+ * last-address territory); nested call mixes shift the stack pointer
+ * and create short recurring address sets.
+ */
+class StackFrameKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned maxDepth = 4;     ///< nesting depth per step
+        unsigned savedRegs = 3;    ///< saved registers per frame
+        unsigned bodyAlu = 4;      ///< filler ALU ops per body
+    };
+
+    explicit StackFrameKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "stack_frame"; }
+
+  private:
+    void callChain(unsigned depth);
+
+    Params params_;
+};
+
+/**
+ * Repeated short strided bursts: a short run of consecutive addresses
+ * (e.g. 0x939a, 0x939c, ... 0x93a6) followed by a jump to another
+ * run, the whole pattern repeating exactly — the Java inner-loop
+ * behaviour of section 4.3. A stride predictor keeps mispredicting at
+ * every run boundary; the CAP link table learns the whole pattern.
+ */
+class RepeatedBurstKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numRuns = 3;   ///< strided runs per pattern
+        unsigned runLen = 6;    ///< loads per run
+        unsigned stride = 2;    ///< bytes between loads within a run
+    };
+
+    explicit RepeatedBurstKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "repeated_burst"; }
+
+  private:
+    Params params_;
+    std::vector<std::uint64_t> runBases_;
+};
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_CONTROL_KERNELS_HH

@@ -1,0 +1,123 @@
+#include "workloads/misc_kernels.hh"
+
+#include <cassert>
+
+namespace clap
+{
+
+// ---------------------------------------------------------------------
+// HashTableKernel
+// ---------------------------------------------------------------------
+
+void
+HashTableKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numBuckets >= 2);
+
+    tableBase_ = heap_->allocGlobal(4ull * params_.numBuckets, 64);
+
+    // Distribute entry nodes over buckets.
+    chains_.resize(params_.numBuckets);
+    for (unsigned e = 0; e < params_.numEntries; ++e) {
+        const std::uint64_t node = heap_->alloc(16);
+        chains_[rng_->below(params_.numBuckets)].push_back(node);
+    }
+    for (unsigned h = 0; h < params_.hotKeys; ++h) {
+        hotBuckets_.push_back(static_cast<std::uint32_t>(
+            rng_->below(params_.numBuckets)));
+    }
+}
+
+void
+HashTableKernel::probe(std::uint32_t bucket)
+{
+    // Slots: 0 hash alu, 1 bucket-head load (indexed off the table
+    // base, go-style immediate), 2 key load, 3 next load, 4 branch.
+    const std::uint8_t key_reg = reg(0);
+    const std::uint8_t ptr_reg = reg(1);
+    const std::uint8_t val_reg = reg(2);
+
+    emit_.alu(0, key_reg, key_reg);
+    emit_.load(1, tableBase_ + 4ull * bucket,
+               static_cast<std::int32_t>(tableBase_), ptr_reg, key_reg);
+    const auto &chain = chains_[bucket];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        emit_.load(2, chain[i] + 0, 0, val_reg, ptr_reg);
+        emit_.load(3, chain[i] + 8, 8, ptr_reg, ptr_reg);
+        emit_.branch(4, i + 1 != chain.size(), 2, val_reg);
+    }
+}
+
+void
+HashTableKernel::step()
+{
+    pickVariant();
+    for (unsigned p = 0; p < params_.probesPerStep; ++p) {
+        std::uint32_t bucket;
+        if (!hotBuckets_.empty() && rng_->chance(params_.hotKeyProb))
+            bucket = hotBuckets_[rng_->below(hotBuckets_.size())];
+        else
+            bucket = static_cast<std::uint32_t>(
+                rng_->below(params_.numBuckets));
+        probe(bucket);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RandomPointerKernel
+// ---------------------------------------------------------------------
+
+void
+RandomPointerKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    base_ = heap_->alloc(params_.regionBytes, 64);
+}
+
+void
+RandomPointerKernel::step()
+{
+    pickVariant();
+    const std::uint8_t ptr_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+
+    for (unsigned i = 0; i < params_.loadsPerStep; ++i) {
+        const std::uint64_t addr =
+            base_ + (rng_->below(params_.regionBytes) & ~std::uint64_t{3});
+        emit_.load(0, addr, 0, val_reg, ptr_reg);
+        emit_.alu(1, ptr_reg, val_reg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// GlobalScalarKernel
+// ---------------------------------------------------------------------
+
+void
+GlobalScalarKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numGlobals >= 1 && params_.numGlobals <= 16);
+    for (unsigned g = 0; g < params_.numGlobals; ++g)
+        globals_.push_back(heap_->allocGlobal(8));
+}
+
+void
+GlobalScalarKernel::step()
+{
+    // Each global has its own static load (slot = index): a constant
+    // address per static load.
+    pickVariant();
+    const std::uint8_t val_reg = reg(0);
+    const std::uint8_t acc_reg = reg(1);
+
+    for (unsigned i = 0; i < params_.readsPerStep; ++i) {
+        const unsigned g = pos_ % globals_.size();
+        emit_.load(g, globals_[g], 0, val_reg);
+        emit_.alu(16, acc_reg, acc_reg, val_reg);
+        ++pos_;
+    }
+}
+
+} // namespace clap

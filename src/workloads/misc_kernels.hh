@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Miscellaneous kernels: hash-table probing (mostly irregular with
+ * short bucket chains — the pollution source motivating the PF bits
+ * of section 3.5), fully random pointer chasing, and global-scalar
+ * reads (the constant-address loads that last-address predictors
+ * capture, ~40% of all loads per section 1).
+ */
+
+#ifndef CLAP_WORKLOADS_MISC_KERNELS_HH
+#define CLAP_WORKLOADS_MISC_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace clap
+{
+
+/**
+ * Open-hashing table probed with random keys. Each probe loads the
+ * bucket head (go-style indexed load off the table base) and walks a
+ * short chain of entry nodes. Bucket choice is random, so the bucket
+ * load is unpredictable by construction; chains are revisited often
+ * enough to give the link table something to (wrongly) learn unless
+ * pollution control filters it.
+ */
+class HashTableKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numBuckets = 256;
+        unsigned numEntries = 512;
+        unsigned probesPerStep = 16;
+        double hotKeyProb = 0.2; ///< P(probe one of a few hot keys)
+        unsigned hotKeys = 4;
+    };
+
+    explicit HashTableKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "hash_table"; }
+
+  private:
+    void probe(std::uint32_t bucket);
+
+    Params params_;
+    std::uint64_t tableBase_ = 0;
+    std::vector<std::vector<std::uint64_t>> chains_;
+    std::vector<std::uint32_t> hotBuckets_;
+};
+
+/**
+ * Pure random loads over a large region: the "completely
+ * unpredictable by nature" loads of section 3.5 that trash the link
+ * table when pollution control is off.
+ */
+class RandomPointerKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        std::uint64_t regionBytes = 1 << 20;
+        unsigned loadsPerStep = 16;
+    };
+
+    explicit RandomPointerKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "random_ptr"; }
+
+  private:
+    Params params_;
+    std::uint64_t base_ = 0;
+};
+
+/**
+ * Reads of a fixed set of global scalars in a loop: constant
+ * per-static-load addresses (global scalar variables, read-only
+ * constants). Trivially last-address/stride(0) predictable.
+ */
+class GlobalScalarKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numGlobals = 8;
+        unsigned readsPerStep = 16;
+    };
+
+    explicit GlobalScalarKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "global_scalar"; }
+
+  private:
+    Params params_;
+    std::vector<std::uint64_t> globals_;
+    unsigned pos_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_MISC_KERNELS_HH

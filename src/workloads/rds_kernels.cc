@@ -1,0 +1,287 @@
+#include "workloads/rds_kernels.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clap
+{
+
+// ---------------------------------------------------------------------
+// LinkedListKernel
+// ---------------------------------------------------------------------
+
+void
+LinkedListKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numNodes >= 2);
+    assert(params_.numDataFields >= 1 && params_.numDataFields <= 4);
+
+    nextOffset_ = 4 * params_.numDataFields;
+    nodeSize_ = nextOffset_ + 4;
+
+    // The pointer variable holding the current element (the memory
+    // %ebx points to in the paper's xlevarg listing): its load has a
+    // constant address even though its value chases the chain.
+    ptrVar_ = heap_->allocGlobal(8);
+
+    chain_.reserve(params_.numNodes);
+    for (unsigned i = 0; i < params_.numNodes; ++i)
+        chain_.push_back(heap_->alloc(nodeSize_));
+
+    // Chain the nodes in a random permutation so successive bases are
+    // not allocation-ordered (which a stride predictor could track).
+    for (std::size_t i = chain_.size() - 1; i > 0; --i)
+        std::swap(chain_[i], chain_[rng_->below(i + 1)]);
+}
+
+void
+LinkedListKernel::step()
+{
+    // Static slots mirror the paper's xlevarg listing: 0 = load of
+    // the current-element pointer from its (constant-address) pointer
+    // variable, 1..F = field loads, F+1 = alu, F+2 = next load,
+    // F+3 = store of next back to the pointer variable, F+4 = branch.
+    pickVariant();
+    const unsigned fields = params_.numDataFields;
+    const std::uint8_t ptr_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+    const std::uint8_t acc_reg = reg(2);
+
+    for (std::size_t n = 0; n < chain_.size(); ++n) {
+        const std::uint64_t base = chain_[n];
+        emit_.load(0, ptrVar_, 0, ptr_reg);
+        for (unsigned f = 0; f < fields; ++f) {
+            emit_.load(1 + f, base + 4 * f, static_cast<std::int32_t>(4 * f),
+                       val_reg, ptr_reg);
+        }
+        emit_.alu(1 + fields, acc_reg, acc_reg, val_reg);
+        // p = p->next: the loaded value becomes the next base address.
+        emit_.load(2 + fields,
+                   base + nextOffset_,
+                   static_cast<std::int32_t>(nextOffset_),
+                   ptr_reg, ptr_reg);
+        emit_.store(3 + fields, ptrVar_, 0, ptr_reg);
+        const bool last = (n + 1 == chain_.size());
+        emit_.branch(4 + fields, !last, 1, ptr_reg);
+    }
+
+    if (params_.mutateProb > 0.0 && rng_->chance(params_.mutateProb))
+        mutate();
+}
+
+void
+LinkedListKernel::mutate()
+{
+    if (rng_->chance(0.5) && chain_.size() > 2) {
+        // Unlink a random interior node.
+        chain_.erase(chain_.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         rng_->range(1, chain_.size() - 1)));
+    } else {
+        // Insert a freshly allocated node at a random position.
+        const std::uint64_t node = heap_->alloc(nodeSize_);
+        chain_.insert(chain_.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng_->below(chain_.size() + 1)),
+                      node);
+    }
+}
+
+// ---------------------------------------------------------------------
+// DoublyLinkedListKernel
+// ---------------------------------------------------------------------
+
+void
+DoublyLinkedListKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numNodes >= 2);
+
+    // Node layout: val @0, next @4, prev @8 (figure 2 of the paper).
+    chain_.reserve(params_.numNodes);
+    for (unsigned i = 0; i < params_.numNodes; ++i)
+        chain_.push_back(heap_->alloc(12));
+    for (std::size_t i = chain_.size() - 1; i > 0; --i)
+        std::swap(chain_[i], chain_[rng_->below(i + 1)]);
+}
+
+void
+DoublyLinkedListKernel::step()
+{
+    // Slots: 0 header, 1 val load, 2 alu, 3 pointer load, 4 branch.
+    pickVariant();
+    const std::uint8_t ptr_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+    const std::uint8_t acc_reg = reg(2);
+
+    // Decide traversal direction; a draw at the bias alternates.
+    forward_ = rng_->chance(params_.forwardBias);
+    const std::uint32_t ptr_off = forward_ ? 4u : 8u;
+
+    emit_.alu(0, ptr_reg);
+    const std::size_t n = chain_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t base =
+            forward_ ? chain_[i] : chain_[n - 1 - i];
+        emit_.load(1, base + 0, 0, val_reg, ptr_reg);
+        emit_.alu(2, acc_reg, acc_reg, val_reg);
+        emit_.load(3, base + ptr_off, static_cast<std::int32_t>(ptr_off),
+                   ptr_reg, ptr_reg);
+        emit_.branch(4, i + 1 != n, 1, ptr_reg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// BinaryTreeKernel
+// ---------------------------------------------------------------------
+
+int
+BinaryTreeKernel::build(unsigned lo, unsigned hi)
+{
+    if (lo >= hi)
+        return -1;
+    const unsigned mid = lo + (hi - lo) / 2;
+    const int idx = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[idx].base = heap_->alloc(16);
+    nodes_[idx].key = mid * 10;
+    // Children are built after the parent, so store indices afterwards.
+    const int left = build(lo, mid);
+    const int right = build(mid + 1, hi);
+    nodes_[idx].left = left;
+    nodes_[idx].right = right;
+    return idx;
+}
+
+void
+BinaryTreeKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numNodes >= 1);
+    assert(params_.keyPeriod >= 1);
+
+    nodes_.reserve(params_.numNodes);
+    root_ = build(0, params_.numNodes);
+    rootVar_ = heap_->allocGlobal(8);
+
+    // A short recurring sequence of searched keys (present in tree).
+    for (unsigned i = 0; i < params_.keyPeriod; ++i) {
+        keySeq_.push_back(
+            nodes_[rng_->below(nodes_.size())].key);
+    }
+}
+
+void
+BinaryTreeKernel::search(std::uint32_t key)
+{
+    // Slots: 0 header, 1 key load, 2 compare branch, 3 left load,
+    // 4 right load, 5 found/exit branch.
+    const std::uint8_t ptr_reg = reg(0);
+    const std::uint8_t key_reg = reg(1);
+
+    // Root pointer lives in a global: a constant-address load.
+    emit_.load(0, rootVar_, 0, ptr_reg);
+    int idx = root_;
+    while (idx >= 0) {
+        // All three fields of the node are loaded together (as in the
+        // xlisp NODE example where n_type, car and cdr are read from
+        // the same element), so the per-field base-address sequences
+        // coincide and global correlation can share their links.
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        emit_.load(1, node.base + 0, 0, key_reg, ptr_reg);
+        emit_.load(3, node.base + 4, 4, reg(2), ptr_reg);
+        emit_.load(4, node.base + 8, 8, reg(3), ptr_reg);
+        if (key == node.key) {
+            emit_.branch(2, true, 5, key_reg);
+            break;
+        }
+        const bool go_left = key < node.key;
+        emit_.branch(2, false, 5, key_reg);
+        emit_.alu(6, ptr_reg, go_left ? reg(2) : reg(3));
+        idx = go_left ? node.left : node.right;
+        emit_.branch(5, idx >= 0, 1, ptr_reg);
+    }
+}
+
+void
+BinaryTreeKernel::step()
+{
+    pickVariant();
+    std::uint32_t key;
+    if (rng_->chance(params_.randomKeyProb)) {
+        key = nodes_[rng_->below(nodes_.size())].key;
+    } else {
+        key = keySeq_[seqPos_];
+        seqPos_ = (seqPos_ + 1) % keySeq_.size();
+    }
+    search(key);
+}
+
+// ---------------------------------------------------------------------
+// ArrayListKernel
+// ---------------------------------------------------------------------
+
+void
+ArrayListKernel::init(KernelContext &ctx)
+{
+    bind(ctx);
+    assert(params_.numLists >= 1);
+    assert(params_.listLen >= 2);
+    assert(params_.numElems >= params_.numLists * params_.listLen);
+
+    valBase_ = heap_->allocGlobal(4 * params_.numElems, 64);
+    nextBase_ = heap_->allocGlobal(4 * params_.numElems, 64);
+
+    // Thread numLists chains through a shared random permutation of
+    // element indices (each element belongs to at most one list).
+    std::vector<std::uint32_t> perm(params_.numElems);
+    for (std::uint32_t i = 0; i < params_.numElems; ++i)
+        perm[i] = i;
+    for (std::size_t i = perm.size() - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng_->below(i + 1)]);
+
+    nextIdx_.assign(params_.numElems, 0);
+    std::size_t cursor = 0;
+    for (unsigned l = 0; l < params_.numLists; ++l) {
+        heads_.push_back(perm[cursor]);
+        for (unsigned e = 0; e + 1 < params_.listLen; ++e) {
+            nextIdx_[perm[cursor]] = perm[cursor + 1];
+            ++cursor;
+        }
+        nextIdx_[perm[cursor]] = perm[cursor]; // self-link terminator
+        ++cursor;
+    }
+}
+
+void
+ArrayListKernel::step()
+{
+    // Traverse one list per step, round-robin over the lists. Loads
+    // are go-style: effective address = array base + 4*index with the
+    // array base as the immediate (index held in a register).
+    pickVariant();
+    const std::uint8_t idx_reg = reg(0);
+    const std::uint8_t val_reg = reg(1);
+    const std::uint8_t acc_reg = reg(2);
+
+    const unsigned list = turn_;
+    turn_ = (turn_ + 1) % params_.numLists;
+
+    emit_.alu(0, idx_reg);
+    std::uint32_t idx = heads_[list];
+    for (unsigned e = 0; e < params_.listLen; ++e) {
+        emit_.load(1, valBase_ + 4ull * idx,
+                   static_cast<std::int32_t>(valBase_), val_reg, idx_reg);
+        emit_.alu(2, acc_reg, acc_reg, val_reg);
+        emit_.load(3, nextBase_ + 4ull * idx,
+                   static_cast<std::int32_t>(nextBase_), idx_reg, idx_reg);
+        const std::uint32_t next = nextIdx_[idx];
+        emit_.branch(4, next != idx, 1, idx_reg);
+        if (next == idx)
+            break;
+        idx = next;
+    }
+}
+
+} // namespace clap

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Recursive-data-structure kernels (paper section 2.1): linked list,
+ * doubly linked list, binary tree, and the go-style array-coded list.
+ * These generate exactly the "short recurring base-address sequences
+ * with global correlation among fields" the CAP predictor targets.
+ */
+
+#ifndef CLAP_WORKLOADS_RDS_KERNELS_HH
+#define CLAP_WORKLOADS_RDS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace clap
+{
+
+/**
+ * Singly linked list traversal, modelled on the xlisp NODE walk in
+ * section 2.1: each visit loads one or more data fields and the next
+ * pointer from the same node (shared base address), then a loop
+ * branch. Node order is a random permutation of fragmented heap
+ * allocations, so the pattern is stride-unpredictable but repeats
+ * every traversal. Occasional structural mutation forces retraining.
+ */
+class LinkedListKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numNodes = 16;     ///< list length
+        unsigned numDataFields = 2; ///< data loads per node
+        double mutateProb = 0.0;    ///< P(structural change) per step
+    };
+
+    explicit LinkedListKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "linked_list"; }
+
+    /** Base addresses in traversal order (exposed for tests). */
+    const std::vector<std::uint64_t> &chain() const { return chain_; }
+
+  private:
+    void mutate();
+
+    Params params_;
+    std::vector<std::uint64_t> chain_; ///< node bases in traversal order
+    std::uint64_t ptrVar_ = 0; ///< global holding the current pointer
+    std::uint32_t nextOffset_ = 0;
+    std::uint32_t nodeSize_ = 0;
+};
+
+/**
+ * Doubly linked list with alternating forward/backward traversals.
+ * The data-field load needs a history of two base addresses to know
+ * the traversal direction — the paper's figure 2 example motivating
+ * history length > 1.
+ */
+class DoublyLinkedListKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numNodes = 12;
+        /** P(traverse forward); alternates when drawn equal. */
+        double forwardBias = 0.5;
+    };
+
+    explicit DoublyLinkedListKernel(const Params &params)
+        : params_(params)
+    {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "dlist"; }
+
+  private:
+    Params params_;
+    std::vector<std::uint64_t> chain_;
+    bool forward_ = true;
+};
+
+/**
+ * Binary search tree probed with a short recurring key sequence.
+ * Each search emits the root-to-node chain of key/child-pointer
+ * loads; with a periodic key sequence the concatenated load pattern
+ * repeats with a period of a few addresses per static load. A small
+ * fraction of random keys models irregular probes.
+ */
+class BinaryTreeKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numNodes = 31;      ///< tree size (balanced)
+        unsigned keyPeriod = 4;      ///< recurring searched keys
+        double randomKeyProb = 0.05; ///< P(search random key)
+    };
+
+    explicit BinaryTreeKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "btree"; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t base = 0;
+        std::uint32_t key = 0;
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(unsigned lo, unsigned hi);
+    void search(std::uint32_t key);
+
+    Params params_;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> keySeq_;
+    std::uint64_t rootVar_ = 0; ///< global holding the root pointer
+    int root_ = -1;
+    unsigned seqPos_ = 0;
+};
+
+/**
+ * Go-style array-coded linked lists (section 2.1, footnote 2): the
+ * RDS fields live in parallel arrays and the "next pointers" are
+ * array indices. Loads are encoded as [array_base + 4*index] with the
+ * array base as the opcode immediate, so naive base-address
+ * correlation (address - full immediate) would alias all lists that
+ * share the arrays — the case that motivates keeping only the 8 LSBs
+ * of the offset (section 3.3).
+ */
+class ArrayListKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        unsigned numElems = 64; ///< shared array length
+        unsigned numLists = 3;  ///< lists threaded through the arrays
+        unsigned listLen = 12;  ///< elements per list
+    };
+
+    explicit ArrayListKernel(const Params &params) : params_(params) {}
+
+    void init(KernelContext &ctx) override;
+    void step() override;
+    std::string name() const override { return "array_list"; }
+
+  private:
+    Params params_;
+    std::uint64_t valBase_ = 0;
+    std::uint64_t nextBase_ = 0;
+    std::vector<std::uint32_t> nextIdx_; ///< simulated next[] contents
+    std::vector<std::uint32_t> heads_;
+    unsigned turn_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_RDS_KERNELS_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Simulated address space for the synthetic workloads. Kernels build
+ * their data structures (lists, trees, arrays, stacks) out of
+ * simulated addresses handed out by this allocator; no real memory is
+ * allocated at those addresses. The layout mimics a classic 32-bit
+ * process image so generated addresses look like the IA-32 traces the
+ * paper used:
+ *
+ *   code     0x08048000
+ *   globals  0x08100000
+ *   heap     0x10000000 (grows up)
+ *   stack    0xbff00000 (grows down)
+ */
+
+#ifndef CLAP_WORKLOADS_SIM_HEAP_HH
+#define CLAP_WORKLOADS_SIM_HEAP_HH
+
+#include <cstdint>
+
+#include "util/bits.hh"
+#include "util/rng.hh"
+
+namespace clap
+{
+
+/** Simulated process address-space layout constants. */
+struct AddressSpace
+{
+    static constexpr std::uint64_t codeBase = 0x08048000;
+    static constexpr std::uint64_t globalBase = 0x08100000;
+    static constexpr std::uint64_t heapBase = 0x10000000;
+    static constexpr std::uint64_t stackBase = 0xbff00000;
+};
+
+/**
+ * Bump allocator over the simulated heap and global regions. An
+ * optional fragmentation probability inserts random gaps between
+ * allocations so heap addresses are not artificially contiguous
+ * (contiguous RDS nodes would be stride-predictable, hiding the very
+ * behaviour the paper studies).
+ */
+class SimHeap
+{
+  public:
+    /**
+     * @param rng           RNG used for fragmentation gaps.
+     * @param fragmentation Probability of inserting a gap after an
+     *                      allocation (0 disables).
+     */
+    explicit SimHeap(Rng &rng, double fragmentation = 0.35)
+        : rng_(&rng), fragmentation_(fragmentation)
+    {}
+
+    /**
+     * Allocate @p size bytes on the simulated heap.
+     * @param size  Object size in bytes.
+     * @param align Alignment (power of two), default 16 — RDS nodes
+     *              are aligned, as the paper notes in section 3.3.
+     * @return Simulated address of the object.
+     */
+    std::uint64_t
+    alloc(std::uint64_t size, std::uint64_t align = 16)
+    {
+        heapTop_ = alignUp(heapTop_, align);
+        const std::uint64_t addr = heapTop_;
+        heapTop_ += size;
+        if (fragmentation_ > 0.0 && rng_->chance(fragmentation_)) {
+            // Skip 1..8 allocation-sized chunks to fragment the heap.
+            heapTop_ += size * rng_->range(1, 8);
+        }
+        return addr;
+    }
+
+    /** Allocate @p size bytes in the simulated global region. */
+    std::uint64_t
+    allocGlobal(std::uint64_t size, std::uint64_t align = 8)
+    {
+        globalTop_ = alignUp(globalTop_, align);
+        const std::uint64_t addr = globalTop_;
+        globalTop_ += size;
+        return addr;
+    }
+
+    /** Current top of the simulated heap. */
+    std::uint64_t heapTop() const { return heapTop_; }
+
+  private:
+    Rng *rng_;
+    double fragmentation_;
+    std::uint64_t heapTop_ = AddressSpace::heapBase;
+    std::uint64_t globalTop_ = AddressSpace::globalBase;
+};
+
+/**
+ * Simulated call stack: tracks the stack pointer across call frames.
+ * Used by kernels that model stack-passed parameters and spill/fill
+ * accesses (the control-correlation patterns of section 2.2).
+ */
+class SimStack
+{
+  public:
+    SimStack() = default;
+
+    /** Push a frame of @p size bytes; returns the new frame base. */
+    std::uint64_t
+    push(std::uint64_t size)
+    {
+        sp_ -= alignUp(size, 16);
+        ++depth_;
+        return sp_;
+    }
+
+    /** Pop a frame of @p size bytes. */
+    void
+    pop(std::uint64_t size)
+    {
+        sp_ += alignUp(size, 16);
+        --depth_;
+    }
+
+    std::uint64_t sp() const { return sp_; }
+    unsigned depth() const { return depth_; }
+
+  private:
+    std::uint64_t sp_ = AddressSpace::stackBase;
+    unsigned depth_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_WORKLOADS_SIM_HEAP_HH

@@ -1,0 +1,88 @@
+/** @file Unit tests for util/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(Bits, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffull);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, MaskAbove64Saturates)
+{
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+    EXPECT_EQ(mask(200), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xabcd, 7, 0), 0xcdu);
+    EXPECT_EQ(bits(0xabcd, 15, 8), 0xabu);
+    EXPECT_EQ(bits(0xabcd, 11, 4), 0xbcu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 63, 0), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0x10, 4, 4), 1u);
+}
+
+TEST(Bits, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << 63));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+    EXPECT_EQ(alignUp(0x1001, 0x1000), 0x2000u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(5, 32), 5);
+    EXPECT_EQ(signExtend(0xffffffffffffffffull, 64), -1);
+}
+
+} // namespace
+} // namespace clap

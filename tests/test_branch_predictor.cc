@@ -1,0 +1,105 @@
+/** @file Unit tests for the hybrid gshare/bimodal branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+#include "util/rng.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    HybridBranchPredictor pred;
+    for (int i = 0; i < 10; ++i)
+        pred.update(0x100, true);
+    EXPECT_TRUE(pred.predict(0x100));
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    HybridBranchPredictor pred;
+    for (int i = 0; i < 10; ++i)
+        pred.update(0x100, false);
+    EXPECT_FALSE(pred.predict(0x100));
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaGshare)
+{
+    // A strict alternation is history-predictable: after warmup the
+    // gshare side must be nearly perfect.
+    HybridBranchPredictor pred;
+    bool taken = false;
+    unsigned wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        if (i > 200 && pred.predict(0x200) != taken)
+            ++wrong;
+        pred.update(0x200, taken);
+    }
+    EXPECT_LT(wrong, 5u);
+}
+
+TEST(BranchPredictor, LearnsLoopExitPattern)
+{
+    // taken x7 then not-taken, repeated: classic loop branch.
+    HybridBranchPredictor pred;
+    unsigned wrong = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        for (int i = 0; i < 8; ++i) {
+            const bool taken = i != 7;
+            if (iter > 100 && pred.predict(0x300) != taken)
+                ++wrong;
+            pred.update(0x300, taken);
+        }
+    }
+    EXPECT_LT(wrong, 40u); // < 5% in the measured window
+}
+
+TEST(BranchPredictor, HistoryAdvances)
+{
+    HybridBranchPredictor pred;
+    pred.update(0x100, true);
+    pred.update(0x100, false);
+    pred.update(0x100, true);
+    EXPECT_EQ(pred.history() & 0x7, 0b101u);
+}
+
+TEST(BranchPredictor, RandomStreamAboutHalfRight)
+{
+    HybridBranchPredictor pred;
+    Rng rng(3);
+    unsigned right = 0;
+    constexpr unsigned draws = 4000;
+    for (unsigned i = 0; i < draws; ++i) {
+        const bool taken = rng.chance(0.5);
+        right += pred.predict(0x400) == taken ? 1 : 0;
+        pred.update(0x400, taken);
+    }
+    EXPECT_NEAR(right / static_cast<double>(draws), 0.5, 0.06);
+}
+
+TEST(BranchPredictor, IndependentBranchesDoNotDestroyBimodal)
+{
+    // A biased branch stays predicted even while another branch
+    // trains (different PCs -> different bimodal entries).
+    HybridBranchPredictor pred;
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        pred.update(0x500, true);
+        pred.update(0x504, rng.chance(0.5));
+    }
+    unsigned wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (!pred.predict(0x500))
+            ++wrong;
+        pred.update(0x500, true);
+        pred.update(0x504, rng.chance(0.5));
+    }
+    EXPECT_LT(wrong, 15u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,93 @@
+/** @file Unit tests for the cache model and memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({1024, 2, 64});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x103f)); // same line
+    EXPECT_FALSE(cache.access(0x1040)); // next line
+}
+
+TEST(Cache, GeometryComputed)
+{
+    CacheConfig config{32 * 1024, 4, 64};
+    EXPECT_EQ(config.numSets(), 128u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets, 2 ways, 64B lines: lines 0x0000, 0x0080, 0x0100 map to
+    // set 0.
+    Cache cache({256, 2, 64});
+    cache.access(0x0000);
+    cache.access(0x0080);
+    EXPECT_TRUE(cache.access(0x0000));  // touch: 0x0080 becomes LRU
+    cache.access(0x0100);               // evicts 0x0080
+    EXPECT_TRUE(cache.access(0x0000));
+    EXPECT_FALSE(cache.access(0x0080));
+}
+
+TEST(Cache, MissRateTracksAccesses)
+{
+    Cache cache({1024, 2, 64});
+    for (int i = 0; i < 8; ++i)
+        cache.access(0x1000 + 64 * i); // 8 cold misses
+    for (int i = 0; i < 8; ++i)
+        cache.access(0x1000 + 64 * i); // 8 hits
+    EXPECT_EQ(cache.accesses(), 16u);
+    EXPECT_EQ(cache.misses(), 8u);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.5);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache cache({1024, 2, 64}); // 16 lines
+    unsigned misses = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (int i = 0; i < 64; ++i)
+            misses += cache.access(0x10000 + 64 * i) ? 0 : 1;
+    }
+    EXPECT_EQ(misses, 256u); // every access misses
+}
+
+TEST(MemoryHierarchy, LatenciesByLevel)
+{
+    MemoryHierarchyConfig config;
+    config.l1 = {256, 2, 64};  // 4 lines
+    config.l2 = {4096, 4, 64}; // 64 lines
+    config.l1Latency = 3;
+    config.l2Latency = 13;
+    config.memLatency = 80;
+    MemoryHierarchy memory(config);
+
+    EXPECT_EQ(memory.access(0x1000), 80u); // cold: memory
+    EXPECT_EQ(memory.access(0x1000), 3u);  // L1 hit
+
+    // Evict from L1 (4 lines in L1, same set pressure), keep in L2.
+    for (int i = 1; i <= 8; ++i)
+        memory.access(0x1000 + 0x100 * i);
+    EXPECT_EQ(memory.access(0x1000), 13u); // L2 hit
+}
+
+TEST(MemoryHierarchy, CountersExposed)
+{
+    MemoryHierarchy memory(MemoryHierarchyConfig{});
+    memory.access(0x1000);
+    memory.access(0x1000);
+    EXPECT_EQ(memory.l1().accesses(), 2u);
+    EXPECT_EQ(memory.l1().misses(), 1u);
+    EXPECT_EQ(memory.l2().accesses(), 1u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,258 @@
+/** @file Unit tests for the context-based (CAP) address predictor. */
+
+#include <gtest/gtest.h>
+
+#include "core/cap_predictor.hh"
+#include "util/rng.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+CapPredictorConfig
+config()
+{
+    CapPredictorConfig cfg;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+linkedListPattern()
+{
+    // A "linked list" of non-strided node addresses (figure 1 style).
+    return {0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+}
+
+TEST(CapPredictor, LearnsRepeatingNonStridePattern)
+{
+    CapPredictor pred(config());
+    const auto addrs =
+        test::repeatPattern(linkedListPattern(), 20);
+    // After a few traversals the pattern must be predicted perfectly
+    // (judge the final 5 traversals).
+    const auto result =
+        test::drive(pred, addrs, test::testPc, 0, 5 * 6);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 30u);
+}
+
+TEST(CapPredictor, LearnsShortStridePattern)
+{
+    // CAP "can predict stride-based accesses as well" when the
+    // sequence fits the link table.
+    CapPredictor pred(config());
+    std::vector<std::uint64_t> addrs;
+    for (int pass = 0; pass < 20; ++pass) {
+        for (int i = 0; i < 16; ++i)
+            addrs.push_back(0x2000 + 16 * i);
+    }
+    const auto result = test::drive(pred, addrs, test::testPc, 0, 64);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_GE(result.spec, 60u); // includes the wrap!
+}
+
+TEST(CapPredictor, ConstantAddressPredicted)
+{
+    CapPredictor pred(config());
+    const auto result = test::drive(
+        pred, std::vector<std::uint64_t>(30, 0x8000), test::testPc, 0,
+        20);
+    EXPECT_EQ(result.spec, 20u);
+    EXPECT_EQ(result.specWrong, 0u);
+}
+
+TEST(CapPredictor, HistoryDisambiguatesContext)
+{
+    // Doubly-linked-list val field (figure 2): the same address is
+    // followed by different successors depending on direction, so the
+    // last address alone cannot predict it but a 2+ history can.
+    // Forward: A B C D ; Backward: D C B A, repeated.
+    CapPredictor pred(config());
+    const std::vector<std::uint64_t> pattern = {
+        0x10, 0x80, 0x40, 0x20,  // forward
+        0x20, 0x40, 0x80, 0x10}; // backward
+    const auto addrs = test::repeatPattern(pattern, 30);
+    const auto result = test::drive(pred, addrs, test::testPc, 0, 40);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 40u);
+}
+
+TEST(CapPredictor, NoSpeculationOnRandomStream)
+{
+    CapPredictor pred(config());
+    Rng rng(123);
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 2000; ++i)
+        addrs.push_back(0x10000000 + (rng.below(1 << 22) & ~3ull));
+    const auto result = test::drive(pred, addrs);
+    EXPECT_LT(result.spec, 20u); // < 1%
+}
+
+TEST(CapPredictor, GlobalCorrelationSharesLinksAcrossFields)
+{
+    // Two static loads visiting the same node sequence at different
+    // field offsets. With base addresses, training one field primes
+    // the other: once load A has seen the chain, load B (offset 8)
+    // must predict correctly the FIRST time it walks it.
+    CapPredictorConfig cfg = config();
+    cfg.cap.useConfidence = false; // isolate the correlation effect
+    CapPredictor pred(cfg);
+
+    const std::vector<std::uint64_t> bases = {0x10010, 0x10080,
+                                              0x10040, 0x10020};
+    LoadInfo load_a;
+    load_a.pc = 0x1000;
+    load_a.immOffset = 0;
+    LoadInfo load_b;
+    load_b.pc = 0x2000;
+    load_b.immOffset = 8;
+
+    // Train load A over several traversals.
+    for (int pass = 0; pass < 6; ++pass) {
+        for (const auto base : bases) {
+            const Prediction pred_a = pred.predict(load_a);
+            pred.update(load_a, base + 0, pred_a);
+        }
+    }
+    // Walk load B once to warm its LB entry/history.
+    for (const auto base : bases) {
+        const Prediction pred_b = pred.predict(load_b);
+        pred.update(load_b, base + 8, pred_b);
+    }
+    // Second walk of load B: every prediction correct via the links
+    // trained by load A.
+    unsigned correct = 0;
+    for (const auto base : bases) {
+        const Prediction pred_b = pred.predict(load_b);
+        if (pred_b.speculate && pred_b.addr == base + 8)
+            ++correct;
+        pred.update(load_b, base + 8, pred_b);
+    }
+    EXPECT_EQ(correct, bases.size());
+}
+
+TEST(CapPredictor, WithoutGlobalCorrelationNoSharing)
+{
+    CapPredictorConfig cfg = config();
+    cfg.cap.useConfidence = false;
+    cfg.cap.globalCorrelation = false;
+    CapPredictor pred(cfg);
+
+    const std::vector<std::uint64_t> bases = {0x10010, 0x10080,
+                                              0x10040, 0x10020};
+    LoadInfo load_a;
+    load_a.pc = 0x1000;
+    LoadInfo load_b;
+    load_b.pc = 0x2000;
+    load_b.immOffset = 8;
+
+    for (int pass = 0; pass < 6; ++pass) {
+        for (const auto base : bases) {
+            const Prediction pred_a = pred.predict(load_a);
+            pred.update(load_a, base + 0, pred_a);
+        }
+    }
+    for (const auto base : bases) {
+        const Prediction pred_b = pred.predict(load_b);
+        pred.update(load_b, base + 8, pred_b);
+    }
+    unsigned correct = 0;
+    for (const auto base : bases) {
+        const Prediction pred_b = pred.predict(load_b);
+        if (pred_b.speculate && pred_b.addr == base + 8)
+            ++correct;
+        pred.update(load_b, base + 8, pred_b);
+    }
+    // Full addresses differ between the fields, so load B's second
+    // walk cannot profit from load A's training.
+    EXPECT_LT(correct, bases.size());
+}
+
+TEST(CapPredictor, OffsetLsbLimitPreventsArrayAliasing)
+{
+    // Go-style loads: immediate = array base. Only the 8 offset LSBs
+    // are subtracted, so two arrays 0x1000 apart do NOT alias in the
+    // link table (section 3.3).
+    CapPredictorConfig cfg = config();
+    cfg.cap.useConfidence = false;
+    CapPredictor pred(cfg);
+
+    const std::uint64_t array_a = 0x08100000;
+    const std::uint64_t array_b = 0x08101000;
+    // Index patterns through each array differ.
+    const std::vector<std::uint32_t> idx_a = {1, 9, 4, 2};
+    const std::vector<std::uint32_t> idx_b = {3, 5, 8, 7};
+
+    LoadInfo load_a;
+    load_a.pc = 0x1000;
+    load_a.immOffset = static_cast<std::int32_t>(array_a);
+    LoadInfo load_b;
+    load_b.pc = 0x2000;
+    load_b.immOffset = static_cast<std::int32_t>(array_b);
+
+    unsigned wrong = 0;
+    for (int pass = 0; pass < 30; ++pass) {
+        for (std::size_t i = 0; i < idx_a.size(); ++i) {
+            const Prediction pa = pred.predict(load_a);
+            if (pa.speculate && pass > 5 &&
+                pa.addr != array_a + 4 * idx_a[i]) {
+                ++wrong;
+            }
+            pred.update(load_a, array_a + 4 * idx_a[i], pa);
+
+            const Prediction pb = pred.predict(load_b);
+            if (pb.speculate && pass > 5 &&
+                pb.addr != array_b + 4 * idx_b[i]) {
+                ++wrong;
+            }
+            pred.update(load_b, array_b + 4 * idx_b[i], pb);
+        }
+    }
+    EXPECT_EQ(wrong, 0u);
+}
+
+TEST(CapPredictor, LtTagsSuppressAliasedSpeculation)
+{
+    // With a tiny LT and tags on, aliased histories must not
+    // speculate; with tags off they mispredict more.
+    auto run = [](unsigned tag_bits) {
+        CapPredictorConfig cfg;
+        cfg.cap.ltEntries = 16;
+        cfg.cap.ltTagBits = tag_bits;
+        cfg.cap.pathBits = 0;
+        CapPredictor pred(cfg);
+        Rng rng(5);
+        // Two interleaved repeating patterns long enough to alias in
+        // a 16-entry LT.
+        std::vector<std::uint64_t> pattern;
+        for (int i = 0; i < 48; ++i)
+            pattern.push_back(0x40000 + (rng.below(1 << 16) & ~3ull));
+        const auto addrs = test::repeatPattern(pattern, 20);
+        return test::drive(pred, addrs, test::testPc, 0, 480);
+    };
+    const auto with_tags = run(8);
+    const auto without_tags = run(0);
+    EXPECT_LE(with_tags.specWrong, without_tags.specWrong);
+}
+
+TEST(CapPredictor, LbMissNoPrediction)
+{
+    CapPredictor pred(config());
+    LoadInfo info;
+    info.pc = 0x1234;
+    const Prediction result = pred.predict(info);
+    EXPECT_FALSE(result.lbHit);
+    EXPECT_FALSE(result.hasAddress);
+    EXPECT_FALSE(result.speculate);
+}
+
+TEST(CapPredictor, NameIsCap)
+{
+    CapPredictor pred(config());
+    EXPECT_EQ(pred.name(), "cap");
+}
+
+} // namespace
+} // namespace clap

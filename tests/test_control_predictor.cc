@@ -1,0 +1,137 @@
+/** @file Unit tests for the control-based address predictors (3.6). */
+
+#include <gtest/gtest.h>
+
+#include "core/control_predictor.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+ControlPredictorConfig
+config(bool path = false)
+{
+    ControlPredictorConfig cfg;
+    cfg.usePathHistory = path;
+    return cfg;
+}
+
+TEST(ControlPredictor, PredictsConstantAddress)
+{
+    ControlAddressPredictor pred(config());
+    LoadInfo info;
+    info.pc = test::testPc;
+    info.ghr = 0b1010;
+    for (int i = 0; i < 5; ++i) {
+        const Prediction p = pred.predict(info);
+        pred.update(info, 0x4000, p);
+    }
+    const Prediction p = pred.predict(info);
+    EXPECT_TRUE(p.speculate);
+    EXPECT_EQ(p.addr, 0x4000u);
+}
+
+TEST(ControlPredictor, DistinguishesBranchContexts)
+{
+    // The same load alternates addresses with the preceding branch
+    // direction: per-context table entries each learn a constant.
+    ControlAddressPredictor pred(config());
+    unsigned correct = 0;
+    for (int i = 0; i < 60; ++i) {
+        LoadInfo info;
+        info.pc = test::testPc;
+        info.ghr = (i % 2 == 0) ? 0b0u : 0b1u;
+        const std::uint64_t actual = i % 2 == 0 ? 0x2000 : 0x3000;
+        const Prediction p = pred.predict(info);
+        if (i > 20 && p.speculate && p.addr == actual)
+            ++correct;
+        pred.update(info, actual, p);
+    }
+    EXPECT_GE(correct, 35u);
+}
+
+TEST(ControlPredictor, PathVariantDistinguishesCallSites)
+{
+    ControlAddressPredictor pred(config(true));
+    unsigned correct = 0;
+    for (int i = 0; i < 60; ++i) {
+        LoadInfo info;
+        info.pc = test::testPc;
+        info.pathHist = (i % 3) * 0x11; // three call paths
+        const std::uint64_t actual = 0x5000 + (i % 3) * 0x100;
+        const Prediction p = pred.predict(info);
+        if (i > 30 && p.speculate && p.addr == actual)
+            ++correct;
+        pred.update(info, actual, p);
+    }
+    EXPECT_GE(correct, 25u);
+}
+
+TEST(ControlPredictor, GhrVariantIgnoresPath)
+{
+    // With usePathHistory=false, only the GHR indexes the table: a
+    // changing path history must not split the entry.
+    ControlAddressPredictor pred(config(false));
+    for (int i = 0; i < 10; ++i) {
+        LoadInfo info;
+        info.pc = test::testPc;
+        info.pathHist = static_cast<std::uint64_t>(i);
+        const Prediction p = pred.predict(info);
+        pred.update(info, 0x4000, p);
+    }
+    LoadInfo info;
+    info.pc = test::testPc;
+    info.pathHist = 0x999;
+    EXPECT_TRUE(pred.predict(info).speculate);
+}
+
+TEST(ControlPredictor, ConfidenceGatesSpeculation)
+{
+    ControlAddressPredictor pred(config());
+    LoadInfo info;
+    info.pc = test::testPc;
+
+    Prediction p = pred.predict(info);
+    EXPECT_FALSE(p.speculate);
+    pred.update(info, 0x4000, p);
+    p = pred.predict(info);
+    EXPECT_FALSE(p.speculate); // confidence 0 after install
+    pred.update(info, 0x4000, p);
+    p = pred.predict(info);
+    EXPECT_FALSE(p.speculate); // confidence 1
+    pred.update(info, 0x4000, p);
+    p = pred.predict(info);
+    EXPECT_TRUE(p.speculate); // confidence 2 = threshold
+}
+
+TEST(ControlPredictor, CannotTrackStride)
+{
+    // Constant-context strided loads defeat a last-address-per-
+    // context scheme: each update overwrites the address with a value
+    // that is immediately stale.
+    ControlAddressPredictor pred(config());
+    unsigned correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        LoadInfo info;
+        info.pc = test::testPc;
+        const std::uint64_t actual = 0x1000 + 8ull * i;
+        const Prediction p = pred.predict(info);
+        if (p.speculate && p.addr == actual)
+            ++correct;
+        pred.update(info, actual, p);
+    }
+    EXPECT_EQ(correct, 0u);
+}
+
+TEST(ControlPredictor, Names)
+{
+    EXPECT_EQ(ControlAddressPredictor(config(false)).name(),
+              "control-gshare");
+    EXPECT_EQ(ControlAddressPredictor(config(true)).name(),
+              "control-path");
+}
+
+} // namespace
+} // namespace clap

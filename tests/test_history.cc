@@ -1,0 +1,121 @@
+/** @file Unit tests for the shift(m)-xor history register. */
+
+#include <gtest/gtest.h>
+
+#include "core/history.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(History, StartsEmpty)
+{
+    HistoryRegister hist(20, 5);
+    EXPECT_EQ(hist.value(), 0u);
+    EXPECT_EQ(hist.numBits(), 20u);
+    EXPECT_EQ(hist.shiftAmount(), 5u);
+}
+
+TEST(History, PushDropsLowTwoAddressBits)
+{
+    HistoryRegister a(20, 5);
+    HistoryRegister b(20, 5);
+    a.push(0x1000);
+    b.push(0x1003); // differs only in bits [1:0]
+    EXPECT_EQ(a.value(), b.value());
+
+    HistoryRegister c(20, 5);
+    c.push(0x1004); // differs in bit 2
+    EXPECT_NE(a.value(), c.value());
+}
+
+TEST(History, ValueStaysWithinWidth)
+{
+    HistoryRegister hist(12, 3);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        hist.push(0xdeadbeef00 + i * 64);
+        EXPECT_LE(hist.value(), mask(12));
+    }
+}
+
+TEST(History, ShiftAgesOldAddressesOut)
+{
+    // After effectiveLength() pushes of the same suffix, the earlier
+    // prefix must not matter any more.
+    HistoryRegister a(20, 5);
+    HistoryRegister b(20, 5);
+    a.push(0xaaaa0);
+    b.push(0xbbbb0);
+    const std::vector<std::uint64_t> suffix = {0x10, 0x20, 0x30, 0x40};
+    ASSERT_EQ(a.effectiveLength(), 4u);
+    for (const auto addr : suffix) {
+        a.push(addr);
+        b.push(addr);
+    }
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(History, RecentAddressesDoMatter)
+{
+    HistoryRegister a(20, 5);
+    HistoryRegister b(20, 5);
+    a.push(0xaaaa0);
+    b.push(0xbbbb0);
+    // Only 3 of the 4 retained slots refilled: prefix still visible.
+    for (const auto addr : {0x10, 0x20, 0x30}) {
+        a.push(addr);
+        b.push(addr);
+    }
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(History, SamePushSequenceSameValue)
+{
+    HistoryRegister a(16, 4);
+    HistoryRegister b(16, 4);
+    for (std::uint64_t addr = 0x100; addr < 0x200; addr += 0x10) {
+        a.push(addr);
+        b.push(addr);
+        EXPECT_EQ(a.value(), b.value());
+    }
+}
+
+TEST(History, SetValueAndClear)
+{
+    HistoryRegister hist(10, 2);
+    hist.setValue(0xfffff); // truncated to 10 bits
+    EXPECT_EQ(hist.value(), mask(10));
+    hist.clear();
+    EXPECT_EQ(hist.value(), 0u);
+}
+
+TEST(History, ForLengthComputesShift)
+{
+    EXPECT_EQ(HistoryRegister::forLength(20, 1).shiftAmount(), 20u);
+    EXPECT_EQ(HistoryRegister::forLength(20, 2).shiftAmount(), 10u);
+    EXPECT_EQ(HistoryRegister::forLength(20, 4).shiftAmount(), 5u);
+    EXPECT_EQ(HistoryRegister::forLength(20, 12).shiftAmount(), 2u);
+    EXPECT_EQ(HistoryRegister::forLength(20, 40).shiftAmount(), 1u);
+}
+
+TEST(History, LengthOneOnlyLastAddressMatters)
+{
+    HistoryRegister a = HistoryRegister::forLength(20, 1);
+    HistoryRegister b = HistoryRegister::forLength(20, 1);
+    a.push(0x111110);
+    b.push(0x22220);
+    a.push(0x333330);
+    b.push(0x333330);
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(History, EffectiveLengthRounding)
+{
+    EXPECT_EQ(HistoryRegister(20, 5).effectiveLength(), 4u);
+    EXPECT_EQ(HistoryRegister(20, 3).effectiveLength(), 7u);
+    EXPECT_EQ(HistoryRegister(20, 20).effectiveLength(), 1u);
+}
+
+} // namespace
+} // namespace clap

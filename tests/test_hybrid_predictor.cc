@@ -1,0 +1,225 @@
+/** @file Unit tests for the hybrid CAP/stride predictor. */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_predictor.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+HybridConfig
+config()
+{
+    HybridConfig cfg;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+longStride(unsigned count)
+{
+    std::vector<std::uint64_t> addrs;
+    for (unsigned i = 0; i < count; ++i)
+        addrs.push_back(0x100000 + 8ull * i);
+    return addrs;
+}
+
+TEST(HybridPredictor, PredictsStrideSequences)
+{
+    HybridPredictor pred(config());
+    const auto result =
+        test::drive(pred, longStride(100), test::testPc, 0, 80);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 80u);
+}
+
+TEST(HybridPredictor, PredictsContextSequences)
+{
+    HybridPredictor pred(config());
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0};
+    const auto addrs = test::repeatPattern(pattern, 30);
+    const auto result = test::drive(pred, addrs, test::testPc, 0, 50);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 50u);
+}
+
+TEST(HybridPredictor, BeatsBothComponentsOnMixedLoads)
+{
+    // One static load strides over a long array (stride territory),
+    // another walks a short pointer chain (CAP territory). The
+    // hybrid must cover both.
+    HybridPredictor pred(config());
+    const std::vector<std::uint64_t> chain = {0x20010, 0x20080,
+                                              0x20040, 0x20020};
+    LoadInfo stride_load;
+    stride_load.pc = 0x1000;
+    LoadInfo chain_load;
+    chain_load.pc = 0x2000;
+
+    unsigned chain_pos = 0;
+    unsigned stride_correct = 0;
+    unsigned chain_correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t stride_addr = 0x100000 + 8ull * i;
+        Prediction sp = pred.predict(stride_load);
+        if (sp.speculate && sp.addr == stride_addr && i > 300)
+            ++stride_correct;
+        pred.update(stride_load, stride_addr, sp);
+
+        const std::uint64_t chain_addr = chain[chain_pos];
+        chain_pos = (chain_pos + 1) % chain.size();
+        Prediction cp = pred.predict(chain_load);
+        if (cp.speculate && cp.addr == chain_addr && i > 300)
+            ++chain_correct;
+        pred.update(chain_load, chain_addr, cp);
+    }
+    EXPECT_EQ(stride_correct, 99u);
+    EXPECT_EQ(chain_correct, 99u);
+}
+
+TEST(HybridPredictor, SelectorMovesTowardCapOnPatternLoads)
+{
+    // The section-4.3 Java inner loop: short strided runs repeated
+    // exactly. Stride keeps breaking at run boundaries; CAP learns
+    // everything. The selector must end up preferring CAP.
+    HybridPredictor pred(config());
+    std::vector<std::uint64_t> pattern;
+    for (int run = 0; run < 3; ++run) {
+        for (int i = 0; i < 6; ++i)
+            pattern.push_back(0x9000 + 0x100 * run + 2 * i);
+    }
+    const auto addrs = test::repeatPattern(pattern, 40);
+
+    LoadInfo info;
+    info.pc = test::testPc;
+    std::uint8_t last_selector = 0;
+    unsigned wrong_tail = 0;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const Prediction p = pred.predict(info);
+        if (p.lbHit)
+            last_selector = p.selectorState;
+        if (i + 3 * 18 > addrs.size() && p.speculate &&
+            p.addr != addrs[i]) {
+            ++wrong_tail;
+        }
+        pred.update(info, addrs[i], p);
+    }
+    EXPECT_GE(last_selector, 2u); // weak or strong CAP
+    EXPECT_EQ(wrong_tail, 0u);
+}
+
+TEST(HybridPredictor, SelectorInitiallyWeakCap)
+{
+    HybridPredictor pred(config());
+    LoadInfo info;
+    info.pc = test::testPc;
+    // Allocate the entry, then read the selector on the next predict.
+    Prediction p = pred.predict(info);
+    pred.update(info, 0x1000, p);
+    p = pred.predict(info);
+    EXPECT_TRUE(p.lbHit);
+    EXPECT_EQ(p.selectorState, 2u);
+}
+
+TEST(HybridPredictor, LongArrayFallsToStrideComponent)
+{
+    // An array sweep far larger than the LT: the CAP component cannot
+    // retain it, so speculative accesses must come from the stride
+    // component.
+    HybridConfig cfg = config();
+    cfg.cap.ltEntries = 64;
+    HybridPredictor pred(cfg);
+
+    LoadInfo info;
+    info.pc = test::testPc;
+    unsigned stride_specs = 0;
+    unsigned cap_specs = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t addr = 0x100000 + 16ull * i;
+            const Prediction p = pred.predict(info);
+            if (p.speculate && pass == 2) {
+                if (p.component == Component::Stride)
+                    ++stride_specs;
+                else
+                    ++cap_specs;
+            }
+            pred.update(info, addr, p);
+        }
+    }
+    EXPECT_GT(stride_specs, 1800u);
+    EXPECT_LT(cap_specs, 100u);
+}
+
+TEST(HybridPredictor, LtUpdatePolicySkipsWhenStrideCorrect)
+{
+    // With UnlessStrideCorrect, a pure stride stream must leave the
+    // link table (almost) untrained.
+    HybridConfig cfg = config();
+    cfg.ltUpdatePolicy = LtUpdatePolicy::UnlessStrideCorrect;
+    HybridPredictor pred(cfg);
+    test::drive(pred, longStride(500));
+    // Stride predicts correctly from the 4th access on; only the
+    // first few resolutions may write links.
+    EXPECT_LT(pred.capComponent().linkTable().linkWrites(), 10u);
+
+    HybridPredictor always(config());
+    test::drive(always, longStride(500));
+    EXPECT_GT(always.capComponent().linkTable().linkWrites(), 400u);
+}
+
+TEST(HybridPredictor, UpdateAlwaysWinsOnBurstyPattern)
+{
+    // Section 4.3: on repeated short strided runs, "update always"
+    // must give at least as many correct speculative accesses as the
+    // selective policy, because the selective policy misses the links
+    // inside runs (where the stride component looks correct).
+    std::vector<std::uint64_t> pattern;
+    for (int run = 0; run < 4; ++run) {
+        for (int i = 0; i < 7; ++i)
+            pattern.push_back(0x9000 + 0x100 * run + 2 * i);
+    }
+    const auto addrs = test::repeatPattern(pattern, 40);
+
+    HybridConfig always_cfg = config();
+    HybridPredictor always(always_cfg);
+    const auto r_always =
+        test::drive(always, addrs, test::testPc, 0, 10 * 28);
+
+    HybridConfig sel_cfg = config();
+    sel_cfg.ltUpdatePolicy = LtUpdatePolicy::UnlessStrideSelected;
+    HybridPredictor selective(sel_cfg);
+    const auto r_sel =
+        test::drive(selective, addrs, test::testPc, 0, 10 * 28);
+
+    EXPECT_GE(r_always.specCorrect, r_sel.specCorrect);
+}
+
+TEST(HybridPredictor, ComponentFieldsFilled)
+{
+    HybridPredictor pred(config());
+    const auto addrs = longStride(50);
+    LoadInfo info;
+    info.pc = test::testPc;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const Prediction p = pred.predict(info);
+        if (i > 20) {
+            EXPECT_TRUE(p.lbHit);
+            EXPECT_TRUE(p.strideHasAddr);
+            EXPECT_TRUE(p.hasAddress);
+        }
+        pred.update(info, addrs[i], p);
+    }
+}
+
+TEST(HybridPredictor, NameIsHybrid)
+{
+    HybridPredictor pred(config());
+    EXPECT_EQ(pred.name(), "hybrid");
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Integration tests: the whole stack (catalog -> trace generation ->
+ * predictors -> simulators -> aggregation), asserting the qualitative
+ * relationships the paper's evaluation is built on. Bands are wide on
+ * purpose — the benchmark harnesses report the exact numbers; here we
+ * lock in the *shape* so regressions that flip a conclusion fail CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/experiment.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace clap
+{
+namespace
+{
+
+constexpr std::size_t traceLen = 50000;
+
+/** Stats per suite for one predictor over the full catalog. */
+std::map<std::string, PredictionStats>
+suiteMap(const PredictorFactory &factory)
+{
+    std::map<std::string, PredictionStats> out;
+    for (const auto &entry :
+         aggregateBySuite(runPerTrace(buildCatalog(), factory, {},
+                                      traceLen))) {
+        out[entry.suite] = entry.stats;
+    }
+    return out;
+}
+
+const std::map<std::string, PredictionStats> &
+strideResults()
+{
+    static const auto cached = suiteMap([] {
+        return std::make_unique<StridePredictor>(
+            StridePredictorConfig{});
+    });
+    return cached;
+}
+
+const std::map<std::string, PredictionStats> &
+capResults()
+{
+    static const auto cached = suiteMap([] {
+        return std::make_unique<CapPredictor>(CapPredictorConfig{});
+    });
+    return cached;
+}
+
+const std::map<std::string, PredictionStats> &
+hybridResults()
+{
+    static const auto cached = suiteMap(
+        [] { return std::make_unique<HybridPredictor>(HybridConfig{}); });
+    return cached;
+}
+
+TEST(Integration, CapBeatsStrideExceptOnMm)
+{
+    // The paper's headline per-suite relationship (section 4.2).
+    for (const auto &suite : suiteNames()) {
+        const double cap = capResults().at(suite).predictionRate();
+        const double stride =
+            strideResults().at(suite).predictionRate();
+        if (suite == "MM")
+            EXPECT_LT(cap, stride) << suite;
+        else
+            EXPECT_GT(cap, stride) << suite;
+    }
+}
+
+TEST(Integration, HybridBeatsBothComponentsOverall)
+{
+    const double hybrid =
+        hybridResults().at("Average").predictionRate();
+    EXPECT_GT(hybrid, capResults().at("Average").predictionRate());
+    EXPECT_GT(hybrid, strideResults().at("Average").predictionRate());
+}
+
+TEST(Integration, HybridAverageInPaperBallpark)
+{
+    // Paper: 67% at ~98.9% accuracy. Allow a generous band.
+    const auto &avg = hybridResults().at("Average");
+    EXPECT_GT(avg.predictionRate(), 0.55);
+    EXPECT_LT(avg.predictionRate(), 0.80);
+    EXPECT_GT(avg.accuracy(), 0.96);
+}
+
+TEST(Integration, AccuracyHighEverywhere)
+{
+    for (const auto &suite : suiteNames()) {
+        EXPECT_GT(hybridResults().at(suite).accuracy(), 0.95) << suite;
+        EXPECT_GT(capResults().at(suite).accuracy(), 0.95) << suite;
+    }
+}
+
+TEST(Integration, TpcHasLowestHybridRate)
+{
+    // LB contention and irregularity: TPC (and W95) gain least.
+    const double tpc = hybridResults().at("TPC").predictionRate();
+    for (const auto &suite : suiteNames()) {
+        if (suite == "TPC")
+            continue;
+        EXPECT_LE(tpc, hybridResults().at(suite).predictionRate())
+            << suite;
+    }
+}
+
+TEST(Integration, SelectorNearPerfectEverywhere)
+{
+    for (const auto &suite : suiteNames()) {
+        EXPECT_GT(hybridResults().at(suite).correctSelectionRate(),
+                  0.99)
+            << suite;
+    }
+}
+
+TEST(Integration, AggregationSumsLoads)
+{
+    const auto per_trace = runPerTrace(
+        buildSuite("CAD"),
+        [] { return std::make_unique<HybridPredictor>(HybridConfig{}); },
+        {}, traceLen);
+    ASSERT_EQ(per_trace.size(), 2u);
+    const auto aggregated = aggregateBySuite(per_trace);
+    // 8 suites + Average; only CAD is populated.
+    ASSERT_EQ(aggregated.size(), 9u);
+    std::uint64_t cad_loads = 0;
+    for (const auto &entry : aggregated) {
+        if (entry.suite == "CAD")
+            cad_loads = entry.stats.loads;
+    }
+    EXPECT_EQ(cad_loads,
+              per_trace[0].stats.loads + per_trace[1].stats.loads);
+    EXPECT_EQ(aggregated.back().suite, "Average");
+    EXPECT_EQ(aggregated.back().stats.loads, cad_loads);
+}
+
+TEST(Integration, PointerChasingTraceGetsTimingSpeedup)
+{
+    // End-to-end: the INT_list trace (RDS-heavy) must speed up with
+    // the hybrid predictor on the timing model.
+    std::vector<TraceSpec> specs;
+    for (auto &spec : buildSuite("INT")) {
+        if (spec.name == "INT_list")
+            specs.push_back(std::move(spec));
+    }
+    ASSERT_EQ(specs.size(), 1u);
+    const auto speedups = runSpeedup(
+        specs,
+        [] { return std::make_unique<HybridPredictor>(HybridConfig{}); },
+        TimingConfig{}, traceLen);
+    ASSERT_EQ(speedups.size(), 1u);
+    EXPECT_GT(speedups[0].speedup(), 1.05);
+}
+
+TEST(Integration, PipelinedCatalogStillPredicts)
+{
+    // Gap 8: the average correct-prediction coverage must drop
+    // relative to immediate but remain substantial (figure 11).
+    PredictorSimConfig sim;
+    sim.gapCycles = 8;
+    PredictionStats gap_avg;
+    for (const auto &result :
+         runPerTrace(buildSuite("INT"),
+                     [] {
+                         HybridConfig config;
+                         config.pipelined = true;
+                         return std::make_unique<HybridPredictor>(
+                             config);
+                     },
+                     sim, traceLen)) {
+        gap_avg.merge(result.stats);
+    }
+    const double imm = hybridResults().at("INT").correctOfAllLoads();
+    EXPECT_LT(gap_avg.correctOfAllLoads(), imm);
+    EXPECT_GT(gap_avg.correctOfAllLoads(), imm * 0.5);
+}
+
+TEST(Integration, CatalogGenerationIsDeterministic)
+{
+    const auto specs = buildCatalog();
+    const Trace a = generateTrace(specs[10], 20000);
+    const Trace b = generateTrace(specs[10], 20000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,83 @@
+/** @file Unit tests for the last-address predictor baseline. */
+
+#include <gtest/gtest.h>
+
+#include "core/last_address_predictor.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(LastAddress, PredictsConstantAddresses)
+{
+    LastAddressPredictor pred{LastAddressConfig{}};
+    const auto result = test::drive(
+        pred, std::vector<std::uint64_t>(30, 0x4000), test::testPc, 0,
+        20);
+    EXPECT_EQ(result.spec, 20u);
+    EXPECT_EQ(result.specWrong, 0u);
+}
+
+TEST(LastAddress, CannotPredictStride)
+{
+    LastAddressPredictor pred{LastAddressConfig{}};
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 100; ++i)
+        addrs.push_back(0x1000 + 8 * i);
+    const auto result = test::drive(pred, addrs);
+    EXPECT_EQ(result.specCorrect, 0u);
+}
+
+TEST(LastAddress, ConfidenceGatesSpeculation)
+{
+    LastAddressPredictor pred{LastAddressConfig{}};
+    LoadInfo info;
+    info.pc = test::testPc;
+
+    Prediction p = pred.predict(info);
+    EXPECT_FALSE(p.lbHit);
+    pred.update(info, 0x4000, p);
+
+    // One repetition is not enough for the 2-threshold counter.
+    p = pred.predict(info);
+    EXPECT_TRUE(p.hasAddress);
+    EXPECT_FALSE(p.speculate);
+    pred.update(info, 0x4000, p);
+
+    p = pred.predict(info);
+    EXPECT_FALSE(p.speculate);
+    pred.update(info, 0x4000, p);
+
+    p = pred.predict(info);
+    EXPECT_TRUE(p.speculate);
+    EXPECT_EQ(p.addr, 0x4000u);
+    EXPECT_EQ(p.component, Component::Last);
+    pred.update(info, 0x4000, p);
+}
+
+TEST(LastAddress, ConfidenceResetsOnChange)
+{
+    LastAddressPredictor pred{LastAddressConfig{}};
+    test::drive(pred, std::vector<std::uint64_t>(10, 0x4000));
+
+    LoadInfo info;
+    info.pc = test::testPc;
+    Prediction p = pred.predict(info);
+    EXPECT_TRUE(p.speculate);
+    pred.update(info, 0x9000, p); // address changed
+
+    p = pred.predict(info);
+    EXPECT_FALSE(p.speculate); // confidence was reset
+    pred.update(info, 0x9000, p);
+}
+
+TEST(LastAddress, NameIsLast)
+{
+    LastAddressPredictor pred{LastAddressConfig{}};
+    EXPECT_EQ(pred.name(), "last");
+}
+
+} // namespace
+} // namespace clap

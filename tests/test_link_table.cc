@@ -1,0 +1,152 @@
+/** @file Unit tests for the link table, its tags and the PF bits. */
+
+#include <gtest/gtest.h>
+
+#include "core/link_table.hh"
+
+namespace clap
+{
+namespace
+{
+
+CapConfig
+smallCap(std::size_t lt_entries = 16, unsigned tag_bits = 4,
+         unsigned pf_bits = 4)
+{
+    CapConfig config;
+    config.ltEntries = lt_entries;
+    config.ltTagBits = tag_bits;
+    config.pfBits = pf_bits;
+    return config;
+}
+
+TEST(LinkTable, MissOnEmptyTable)
+{
+    LinkTable lt(smallCap());
+    const LTLookup result = lt.lookup(0x5);
+    EXPECT_FALSE(result.hit);
+    EXPECT_FALSE(result.tagMatch);
+}
+
+TEST(LinkTable, ColdInstallAndLookup)
+{
+    LinkTable lt(smallCap());
+    EXPECT_TRUE(lt.update(0x5, 0x1000));
+    const LTLookup result = lt.lookup(0x5);
+    EXPECT_TRUE(result.hit);
+    EXPECT_TRUE(result.tagMatch);
+    EXPECT_EQ(result.link, 0x1000u);
+}
+
+TEST(LinkTable, TagMismatchDetected)
+{
+    // 16 entries -> 4 index bits; histories differing above bit 3
+    // share an entry but carry different tags.
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x05, 0x1000));
+    const LTLookup aliased = lt.lookup(0x15);
+    EXPECT_TRUE(aliased.hit);       // an address can still be formed
+    EXPECT_FALSE(aliased.tagMatch); // but confidence filter fails
+}
+
+TEST(LinkTable, NoTagsAlwaysMatchOnHit)
+{
+    LinkTable lt(smallCap(16, 0));
+    ASSERT_TRUE(lt.update(0x05, 0x1000));
+    EXPECT_TRUE(lt.lookup(0x15).tagMatch);
+}
+
+TEST(LinkTable, PfBlocksSingleIrregularUpdate)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x5, 0x1000)); // cold install
+    // A different base (different PF bits): must NOT replace the link.
+    EXPECT_FALSE(lt.update(0x5, 0x2004));
+    EXPECT_EQ(lt.lookup(0x5).link, 0x1000u);
+}
+
+TEST(LinkTable, PfAllowsSecondConsecutiveUpdate)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x5, 0x1000));
+    EXPECT_FALSE(lt.update(0x5, 0x2004)); // PF recorded
+    EXPECT_TRUE(lt.update(0x5, 0x2004));  // seen twice in a row
+    EXPECT_EQ(lt.lookup(0x5).link, 0x2004u);
+}
+
+TEST(LinkTable, PfHysteresisInterferenceResets)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x5, 0x1000));
+    EXPECT_FALSE(lt.update(0x5, 0x2004)); // candidate A
+    EXPECT_FALSE(lt.update(0x5, 0x3008)); // interferer B resets PF
+    EXPECT_FALSE(lt.update(0x5, 0x2004)); // A again: not consecutive
+    EXPECT_EQ(lt.lookup(0x5).link, 0x1000u);
+}
+
+TEST(LinkTable, PfDisabledUpdatesAlways)
+{
+    LinkTable lt(smallCap(16, 4, 0));
+    ASSERT_TRUE(lt.update(0x5, 0x1000));
+    EXPECT_TRUE(lt.update(0x5, 0x2004));
+    EXPECT_EQ(lt.lookup(0x5).link, 0x2004u);
+}
+
+TEST(LinkTable, PfComparesBitsTwoToFive)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x5, 0x1000));
+    // 0x1040 differs only above the PF bits (bits 2..5 equal): PF
+    // matches, so the link is replaced on the first update.
+    EXPECT_TRUE(lt.update(0x5, 0x1040));
+    EXPECT_EQ(lt.lookup(0x5).link, 0x1040u);
+}
+
+TEST(LinkTable, StableLinkKeepsInstalling)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x5, 0x1000));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(lt.update(0x5, 0x1000));
+    EXPECT_EQ(lt.linkWrites(), 6u);
+    EXPECT_EQ(lt.pfFiltered(), 0u);
+}
+
+TEST(LinkTable, CountersTrackFiltering)
+{
+    LinkTable lt(smallCap());
+    lt.update(0x5, 0x1000);
+    lt.update(0x5, 0x2004);
+    lt.update(0x5, 0x3008);
+    EXPECT_EQ(lt.linkWrites(), 1u);
+    EXPECT_EQ(lt.pfFiltered(), 2u);
+}
+
+TEST(LinkTable, TagUpdatesWithLink)
+{
+    LinkTable lt(smallCap());
+    ASSERT_TRUE(lt.update(0x05, 0x1000));
+    // Same entry, different tag (0x15): replace link+tag after two
+    // consecutive PF-matching updates.
+    EXPECT_FALSE(lt.update(0x15, 0x2004));
+    EXPECT_TRUE(lt.update(0x15, 0x2004));
+    EXPECT_TRUE(lt.lookup(0x15).tagMatch);
+    EXPECT_FALSE(lt.lookup(0x05).tagMatch);
+}
+
+TEST(LinkTable, ClearEmptiesTable)
+{
+    LinkTable lt(smallCap());
+    lt.update(0x5, 0x1000);
+    lt.clear();
+    EXPECT_FALSE(lt.lookup(0x5).hit);
+}
+
+TEST(LinkTable, SizeMatchesConfig)
+{
+    EXPECT_EQ(LinkTable(smallCap(16)).numEntries(), 16u);
+    EXPECT_EQ(LinkTable(smallCap(4096)).numEntries(), 4096u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,125 @@
+/** @file Unit tests for the set-associative load buffer. */
+
+#include <gtest/gtest.h>
+
+#include "core/load_buffer.hh"
+
+namespace clap
+{
+namespace
+{
+
+LoadBufferConfig
+smallConfig(std::size_t entries = 8, unsigned assoc = 2)
+{
+    LoadBufferConfig config;
+    config.entries = entries;
+    config.assoc = assoc;
+    return config;
+}
+
+TEST(LoadBuffer, MissThenAllocateThenHit)
+{
+    LoadBuffer lb(smallConfig());
+    EXPECT_EQ(lb.lookup(0x1000), nullptr);
+
+    LBEntry &entry = lb.allocate(0x1000);
+    entry.lastAddr = 0x42;
+
+    LBEntry *found = lb.lookup(0x1000);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->lastAddr, 0x42u);
+    EXPECT_EQ(found, &entry);
+}
+
+TEST(LoadBuffer, DistinctPcsDistinctEntries)
+{
+    LoadBuffer lb(smallConfig());
+    lb.allocate(0x1000).lastAddr = 1;
+    lb.allocate(0x2000).lastAddr = 2;
+    ASSERT_NE(lb.lookup(0x1000), nullptr);
+    ASSERT_NE(lb.lookup(0x2000), nullptr);
+    EXPECT_EQ(lb.lookup(0x1000)->lastAddr, 1u);
+    EXPECT_EQ(lb.lookup(0x2000)->lastAddr, 2u);
+}
+
+TEST(LoadBuffer, AllocateResetsEntry)
+{
+    LoadBuffer lb(smallConfig());
+    LBEntry &entry = lb.allocate(0x1000);
+    entry.lastAddr = 7;
+    entry.lastValid = true;
+    entry.capConf.increment();
+
+    // Re-allocating the same PC resets the fields.
+    LBEntry &fresh = lb.allocate(0x1000);
+    EXPECT_FALSE(fresh.lastValid);
+    EXPECT_EQ(fresh.lastAddr, 0u);
+    EXPECT_EQ(fresh.capConf.value(), 0u);
+    EXPECT_TRUE(fresh.valid);
+}
+
+TEST(LoadBuffer, LruEvictionWithinSet)
+{
+    // 4 sets x 2 ways; PCs 4 sets apart collide in one set.
+    LoadBuffer lb(smallConfig(8, 2));
+    const std::uint64_t pc_a = 0x1000;          // set s
+    const std::uint64_t pc_b = pc_a + 4 * 4;    // same set (4 sets)
+    const std::uint64_t pc_c = pc_a + 8 * 4;
+
+    lb.allocate(pc_a).lastAddr = 0xa;
+    lb.allocate(pc_b).lastAddr = 0xb;
+    // Touch A so B becomes LRU.
+    ASSERT_NE(lb.lookup(pc_a), nullptr);
+
+    lb.allocate(pc_c).lastAddr = 0xc;
+    EXPECT_NE(lb.lookup(pc_a), nullptr);
+    EXPECT_EQ(lb.lookup(pc_b), nullptr); // evicted
+    EXPECT_NE(lb.lookup(pc_c), nullptr);
+}
+
+TEST(LoadBuffer, DirectMappedEviction)
+{
+    LoadBuffer lb(smallConfig(4, 1));
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + 4 * 4; // same set
+    lb.allocate(pc_a);
+    EXPECT_NE(lb.lookup(pc_a), nullptr);
+    lb.allocate(pc_b);
+    EXPECT_EQ(lb.lookup(pc_a), nullptr);
+    EXPECT_NE(lb.lookup(pc_b), nullptr);
+}
+
+TEST(LoadBuffer, AllocationCounter)
+{
+    LoadBuffer lb(smallConfig());
+    EXPECT_EQ(lb.allocations(), 0u);
+    lb.allocate(0x1000);
+    lb.allocate(0x2000);
+    EXPECT_EQ(lb.allocations(), 2u);
+}
+
+TEST(LoadBuffer, ClearInvalidatesAll)
+{
+    LoadBuffer lb(smallConfig());
+    lb.allocate(0x1000);
+    lb.allocate(0x2000);
+    lb.clear();
+    EXPECT_EQ(lb.lookup(0x1000), nullptr);
+    EXPECT_EQ(lb.lookup(0x2000), nullptr);
+}
+
+TEST(LoadBuffer, ManyLoadsFillWholeCapacity)
+{
+    LoadBuffer lb(smallConfig(64, 2));
+    // 64 distinct PCs spread over all sets: all must be resident.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        lb.allocate(0x1000 + 4 * i);
+    unsigned resident = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        resident += lb.lookup(0x1000 + 4 * i) != nullptr;
+    EXPECT_EQ(resident, 64u);
+}
+
+} // namespace
+} // namespace clap

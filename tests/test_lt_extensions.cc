@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the link-table extensions: set-associative organization
+ * (enabled by the tags, section 3.4) and the decoupled PF table
+ * (section 3.5, last paragraph).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cap_predictor.hh"
+#include "core/link_table.hh"
+#include "util/rng.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+CapConfig
+assocConfig(unsigned assoc, std::size_t entries = 16)
+{
+    CapConfig config;
+    config.ltEntries = entries;
+    config.ltTagBits = 8;
+    config.ltAssoc = assoc;
+    config.pfBits = 4;
+    return config;
+}
+
+TEST(LinkTableAssoc, TwoWaysHoldTwoContexts)
+{
+    // Histories 0x005 and 0x105 share a set (4 index bits used for 8
+    // sets of 2) but differ in tag: with 2 ways both must survive.
+    LinkTable lt(assocConfig(2));
+    EXPECT_TRUE(lt.update(0x005, 0x1000));
+    EXPECT_TRUE(lt.update(0x105, 0x2000));
+    EXPECT_TRUE(lt.lookup(0x005).tagMatch);
+    EXPECT_EQ(lt.lookup(0x005).link, 0x1000u);
+    EXPECT_TRUE(lt.lookup(0x105).tagMatch);
+    EXPECT_EQ(lt.lookup(0x105).link, 0x2000u);
+}
+
+TEST(LinkTableAssoc, DirectMappedEvictsConflicts)
+{
+    LinkTable lt(assocConfig(1));
+    EXPECT_TRUE(lt.update(0x005, 0x1000));
+    // Conflicting history: PF filters the first write, installs the
+    // second; after that the original context is gone.
+    lt.update(0x105, 0x2000);
+    lt.update(0x105, 0x2000);
+    EXPECT_FALSE(lt.lookup(0x005).tagMatch);
+    EXPECT_EQ(lt.lookup(0x105).link, 0x2000u);
+}
+
+TEST(LinkTableAssoc, LruReplacementWithinSet)
+{
+    LinkTable lt(assocConfig(2));
+    EXPECT_TRUE(lt.update(0x005, 0x1000));
+    EXPECT_TRUE(lt.update(0x105, 0x2000));
+    // Refresh 0x005 so 0x105 is LRU, then insert a third context.
+    EXPECT_TRUE(lt.update(0x005, 0x1000));
+    lt.update(0x205, 0x3000); // PF-filtered once (valid victim)
+    lt.update(0x205, 0x3000);
+    EXPECT_TRUE(lt.lookup(0x005).tagMatch);
+    EXPECT_FALSE(lt.lookup(0x105).tagMatch);
+    EXPECT_TRUE(lt.lookup(0x205).tagMatch);
+}
+
+TEST(LinkTableAssoc, UpdateRefreshesMatchingWay)
+{
+    // An update whose tag matches an existing way must train that way
+    // rather than allocate a victim.
+    LinkTable lt(assocConfig(2));
+    EXPECT_TRUE(lt.update(0x005, 0x1000));
+    EXPECT_TRUE(lt.update(0x105, 0x2000));
+    // Same history 0x005, new link; PF blocks once then installs.
+    EXPECT_FALSE(lt.update(0x005, 0x5004));
+    EXPECT_TRUE(lt.update(0x005, 0x5004));
+    EXPECT_EQ(lt.lookup(0x005).link, 0x5004u);
+    EXPECT_EQ(lt.lookup(0x105).link, 0x2000u); // untouched
+}
+
+TEST(LinkTableDecoupledPf, FinerGranularityAvoidsFalseResets)
+{
+    // Two contexts alias in the LT (same set, different tag). With
+    // entry-coupled PF bits their updates fight over one PF field;
+    // with a decoupled PF table indexed by the extended history, each
+    // context keeps its own PF bits and both keep installing.
+    CapConfig coupled = assocConfig(1);
+    CapConfig decoupled = assocConfig(1);
+    decoupled.pfTableBits = 12;
+
+    for (const bool use_decoupled : {false, true}) {
+        LinkTable lt(use_decoupled ? decoupled : coupled);
+        // Warm both contexts.
+        lt.update(0x005, 0x1000);
+        lt.update(0x105, 0x2004);
+        // Alternate updates: with coupled PF every single update
+        // mismatches the other's PF bits.
+        std::uint64_t installs = lt.linkWrites();
+        for (int i = 0; i < 10; ++i) {
+            lt.update(0x005, 0x1000);
+            lt.update(0x105, 0x2004);
+        }
+        installs = lt.linkWrites() - installs;
+        if (use_decoupled)
+            EXPECT_EQ(installs, 20u);
+        else
+            EXPECT_LT(installs, 20u);
+    }
+}
+
+TEST(LinkTableDecoupledPf, StillFiltersIrregularStreams)
+{
+    CapConfig config = assocConfig(1);
+    config.pfTableBits = 12;
+    LinkTable lt(config);
+    EXPECT_TRUE(lt.update(0x5, 0x1000));
+    // Irregular updates with distinct PF bits keep being filtered.
+    EXPECT_FALSE(lt.update(0x5, 0x2004));
+    EXPECT_FALSE(lt.update(0x5, 0x3008));
+    EXPECT_EQ(lt.lookup(0x5).link, 0x1000u);
+}
+
+TEST(LinkTableDecoupledPf, ClearResetsPfTable)
+{
+    CapConfig config = assocConfig(1);
+    config.pfTableBits = 12;
+    LinkTable lt(config);
+    lt.update(0x5, 0x1000);
+    lt.clear();
+    EXPECT_FALSE(lt.lookup(0x5).hit);
+    // After clear the first update is a cold install again.
+    EXPECT_TRUE(lt.update(0x5, 0x2004));
+}
+
+TEST(LinkTablePf, PfProtectsPatternsFromNonRecurringPollution)
+{
+    // The section-3.5 motivation end to end: a recurring pattern
+    // sharing a small LT with a stream of never-repeating addresses.
+    // Without PF bits the random stream keeps evicting the pattern's
+    // links; with PF bits the single-shot updates are filtered and
+    // the pattern survives.
+    auto run = [](unsigned pf_bits) {
+        CapPredictorConfig cfg;
+        cfg.cap.pfBits = pf_bits;
+        cfg.cap.ltEntries = 256;
+        CapPredictor pred(cfg);
+        Rng rng(5);
+        std::vector<std::uint64_t> pattern;
+        for (int i = 0; i < 12; ++i) {
+            pattern.push_back(0x10000 +
+                              (rng.below(1 << 16) & ~15ull));
+        }
+        std::uint64_t correct = 0;
+        unsigned pos = 0;
+        for (int i = 0; i < 20000; ++i) {
+            LoadInfo info;
+            info.pc = 0x1000;
+            const std::uint64_t actual = pattern[pos];
+            pos = (pos + 1) % pattern.size();
+            const Prediction p = pred.predict(info);
+            if (p.speculate && p.addr == actual)
+                ++correct;
+            pred.update(info, actual, p);
+            for (int n = 0; n < 3; ++n) {
+                LoadInfo noise;
+                noise.pc = 0x2000 + 8 * n;
+                const std::uint64_t addr =
+                    0x40000000 + (rng.next() & 0xfffffff0ull);
+                const Prediction np = pred.predict(noise);
+                pred.update(noise, addr, np);
+            }
+        }
+        return correct;
+    };
+    const std::uint64_t with_pf = run(4);
+    const std::uint64_t without_pf = run(0);
+    EXPECT_GT(with_pf, 2 * without_pf);
+}
+
+TEST(CapPredictorAssoc, AssociativeLtWorksEndToEnd)
+{
+    CapPredictorConfig cfg;
+    cfg.cap.ltAssoc = 2;
+    CapPredictor pred(cfg);
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0};
+    const auto addrs = test::repeatPattern(pattern, 30);
+    const auto result = test::drive(pred, addrs, test::testPc, 0, 50);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 50u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the pipelined (delayed-update) predictor model of
+ * section 5: multiple pending predictions, speculative state,
+ * misprediction propagation, and the stride catch-up mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+/**
+ * Drive a predictor with a fixed prediction-to-update distance of
+ * @p gap loads (all from one static load). Every @p drain_every loads
+ * (0 = never) all pending predictions resolve, modelling a pipeline
+ * drain from a branch misprediction -- the event that terminates CAP
+ * misprediction chains in a real machine (section 5.2). Returns
+ * spec/correct counts over the last @p tail_window loads.
+ */
+test::DriveResult
+driveGap(AddressPredictor &pred, const std::vector<std::uint64_t> &addrs,
+         unsigned gap, std::size_t tail_window = 0,
+         std::size_t drain_every = 0)
+{
+    struct Pending
+    {
+        LoadInfo info;
+        Prediction pred;
+        std::uint64_t actual;
+    };
+    test::DriveResult result;
+    std::deque<Pending> pending;
+    const std::size_t start =
+        tail_window == 0 || tail_window > addrs.size()
+            ? 0
+            : addrs.size() - tail_window;
+
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        if (drain_every != 0 && i % drain_every == 0) {
+            for (const auto &head : pending)
+                pred.update(head.info, head.actual, head.pred);
+            pending.clear();
+        }
+        while (pending.size() >= gap) {
+            const Pending &head = pending.front();
+            pred.update(head.info, head.actual, head.pred);
+            pending.pop_front();
+        }
+        LoadInfo info;
+        info.pc = test::testPc;
+        const Prediction p = pred.predict(info);
+        if (i >= start && p.speculate) {
+            ++result.spec;
+            if (p.addr == addrs[i])
+                ++result.specCorrect;
+            else
+                ++result.specWrong;
+        }
+        pending.push_back({info, p, addrs[i]});
+    }
+    for (const auto &head : pending)
+        pred.update(head.info, head.actual, head.pred);
+    return result;
+}
+
+std::vector<std::uint64_t>
+strided(std::uint64_t base, std::int64_t stride, unsigned count)
+{
+    std::vector<std::uint64_t> addrs;
+    for (unsigned i = 0; i < count; ++i)
+        addrs.push_back(base + static_cast<std::uint64_t>(stride) * i);
+    return addrs;
+}
+
+TEST(PipelinedStride, PredictsWithPendingInstances)
+{
+    // With 8 unresolved in-flight instances, the stride predictor
+    // must extrapolate off speculative state and stay perfect on a
+    // pure stride stream.
+    StridePredictorConfig cfg;
+    cfg.pipelined = true;
+    StridePredictor pred(cfg);
+    const auto result =
+        driveGap(pred, strided(0x1000, 8, 200), 8, 150);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 150u);
+}
+
+TEST(PipelinedStride, CatchUpResumesAfterSingleSkip)
+{
+    // Skip one array element mid-stream. With catch-up the predictor
+    // re-bases by stride x pending and keeps predicting correctly
+    // once the faulting load resolves.
+    StridePredictorConfig cfg;
+    cfg.pipelined = true;
+    cfg.stride.useInterval = false;
+    StridePredictor pred(cfg);
+
+    std::vector<std::uint64_t> addrs = strided(0x1000, 8, 100);
+    // Skip an element: shift everything after index 60 by one stride.
+    for (std::size_t i = 60; i < addrs.size(); ++i)
+        addrs[i] += 8;
+
+    const auto result = driveGap(pred, addrs, 6, 20);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 20u);
+}
+
+TEST(PipelinedStride, MispredictionsPropagateThroughGap)
+{
+    // Without resolving, all in-flight predictions made after a
+    // stride break are wrong: count the whole stream and expect about
+    // `gap` mispredictions around the single break.
+    StridePredictorConfig cfg;
+    cfg.pipelined = true;
+    cfg.stride.useInterval = false;
+    cfg.stride.pathBits = 0;
+    StridePredictor pred(cfg);
+
+    std::vector<std::uint64_t> addrs = strided(0x1000, 8, 50);
+    const auto jump = strided(0x90000, 8, 50);
+    addrs.insert(addrs.end(), jump.begin(), jump.end());
+
+    const auto result = driveGap(pred, addrs, 6);
+    EXPECT_GE(result.specWrong, 5u); // the in-flight window
+    EXPECT_LE(result.specWrong, 8u);
+}
+
+TEST(PipelinedCap, PredictsRecurringPatternWithGap)
+{
+    // A repeating pattern longer than the gap: speculative history
+    // keeps the CAP predictor on track between resolutions.
+    CapPredictorConfig cfg;
+    cfg.pipelined = true;
+    CapPredictor pred(cfg);
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060,
+        0x10100, 0x10140, 0x101c0, 0x10180, 0x10240, 0x10200};
+    const auto addrs = test::repeatPattern(pattern, 40);
+    // Drains every two traversals model the loop-exit branch
+    // mispredictions that let the context predictor resynchronize.
+    const auto result = driveGap(pred, addrs, 6, 120, 24);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_GE(result.spec, 110u);
+}
+
+TEST(PipelinedCap, DominoEffectThenRecovery)
+{
+    // Section 5.2: a single CAP misprediction propagates (wrong
+    // speculative history, no catch-up) but the chain terminates once
+    // the pipeline drains, and prediction resumes.
+    CapPredictorConfig cfg;
+    cfg.pipelined = true;
+    CapPredictor pred(cfg);
+
+    const std::vector<std::uint64_t> pattern_a = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+    const std::vector<std::uint64_t> pattern_b = {
+        0x20010, 0x20080, 0x20040, 0x20020, 0x200c0, 0x20060};
+
+    auto addrs = test::repeatPattern(pattern_a, 30);
+    const auto tail = test::repeatPattern(pattern_b, 30);
+    addrs.insert(addrs.end(), tail.begin(), tail.end());
+
+    // Last 60 loads: pattern B fully trained again. Drains every
+    // 18 loads bound the misprediction chain after the switch.
+    const auto result = driveGap(pred, addrs, 6, 60, 18);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_GE(result.spec, 50u);
+}
+
+TEST(PipelinedCap, BlocksSpeculationWhileDraining)
+{
+    // Directly check the no-speculation window: after a misprediction
+    // resolves, the predictor must not speculate again until all
+    // in-flight predictions of that load have drained.
+    CapPredictorConfig cfg;
+    cfg.pipelined = true;
+    CapPredictor pred(cfg);
+
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+    auto addrs = test::repeatPattern(pattern, 30);
+    // Inject one foreign address to break the chain.
+    addrs[120] = 0x99990;
+
+    unsigned specs_in_shadow = 0;
+    struct Pending
+    {
+        LoadInfo info;
+        Prediction pred;
+        std::uint64_t actual;
+    };
+    std::deque<Pending> pending;
+    constexpr unsigned gap = 6;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        while (pending.size() >= gap) {
+            pred.update(pending.front().info, pending.front().actual,
+                        pending.front().pred);
+            pending.pop_front();
+        }
+        LoadInfo info;
+        info.pc = test::testPc;
+        const Prediction p = pred.predict(info);
+        // The faulting load resolves when i - 120 >= gap; until the
+        // in-flight window drains (another `gap` loads), speculation
+        // must be off.
+        if (i > 120 + gap && i <= 120 + 2 * gap && p.speculate)
+            ++specs_in_shadow;
+        pending.push_back({info, p, addrs[i]});
+    }
+    for (const auto &head : pending)
+        pred.update(head.info, head.actual, head.pred);
+    EXPECT_EQ(specs_in_shadow, 0u);
+}
+
+TEST(PipelinedHybrid, GapDegradesButStillPredicts)
+{
+    // Compare immediate vs gap-8 on a mixed stream: the gap must not
+    // destroy predictability (paper: ~7% prediction-rate drop).
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0};
+    auto addrs = test::repeatPattern(pattern, 100);
+
+    HybridConfig imm_cfg;
+    HybridPredictor immediate(imm_cfg);
+    const auto imm = driveGap(immediate, addrs, 1, 400);
+
+    HybridConfig gap_cfg;
+    gap_cfg.pipelined = true;
+    HybridPredictor gapped(gap_cfg);
+    const auto gap = driveGap(gapped, addrs, 8, 400, 25);
+
+    EXPECT_EQ(imm.specWrong, 0u);
+    EXPECT_EQ(gap.specWrong, 0u);
+    EXPECT_GE(gap.spec, imm.spec * 9 / 10);
+}
+
+TEST(PipelinedHybrid, ImmediateModeUnaffectedByPipelineFlag)
+{
+    // pipelined=false predictors driven with gap 1 (update right
+    // after the next predict) must behave like the immediate drive.
+    HybridConfig cfg;
+    HybridPredictor a(cfg);
+    HybridPredictor b(cfg);
+    const auto addrs = strided(0x1000, 16, 100);
+
+    const auto direct = test::drive(a, addrs, test::testPc, 0, 50);
+    // drive() updates before the next predict, so equal to gap<=1.
+    const auto queued = driveGap(b, addrs, 1, 50);
+    EXPECT_EQ(direct.spec, queued.spec);
+    EXPECT_EQ(direct.specCorrect, queued.specCorrect);
+}
+
+} // namespace
+} // namespace clap

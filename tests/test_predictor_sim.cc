@@ -1,0 +1,156 @@
+/** @file Tests for the functional predictor-evaluation driver. */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "test_util.hh"
+#include "workloads/composer.hh"
+
+namespace clap
+{
+namespace
+{
+
+Trace
+strideTrace(unsigned count)
+{
+    Trace trace("s");
+    for (unsigned i = 0; i < count; ++i)
+        test::addLoad(trace, 0x1000, 0x100000 + 8ull * i);
+    return trace;
+}
+
+TEST(PredictorSim, CountsLoadsOnly)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x1000, 0x2000);
+    test::addBranch(trace, 0x1004, true);
+    test::addLoad(trace, 0x1008, 0x3000);
+
+    StridePredictor pred{StridePredictorConfig{}};
+    const auto stats = runPredictorSim(trace, pred);
+    EXPECT_EQ(stats.loads, 2u);
+}
+
+TEST(PredictorSim, MetricsConsistent)
+{
+    StridePredictor pred{StridePredictorConfig{}};
+    const auto stats = runPredictorSim(strideTrace(200), pred);
+    EXPECT_EQ(stats.loads, 200u);
+    EXPECT_LE(stats.spec, stats.loads);
+    EXPECT_LE(stats.specCorrect, stats.spec);
+    EXPECT_LE(stats.lbHits, stats.loads);
+    EXPECT_LE(stats.formed, stats.lbHits);
+    EXPECT_NEAR(stats.predictionRate(),
+                static_cast<double>(stats.spec) / stats.loads, 1e-12);
+    EXPECT_NEAR(stats.accuracy() + stats.mispredictionRate(), 1.0,
+                1e-12);
+}
+
+TEST(PredictorSim, StrideStreamNearPerfect)
+{
+    StridePredictor pred{StridePredictorConfig{}};
+    const auto stats = runPredictorSim(strideTrace(1000), pred);
+    EXPECT_GT(stats.predictionRate(), 0.95);
+    EXPECT_GT(stats.accuracy(), 0.99);
+}
+
+TEST(PredictorSim, GhrReachesPredictor)
+{
+    // Loads interleaved with branches: the GHR passed to predict()
+    // must change with branch outcomes. We verify indirectly: a
+    // pattern where the address correlates with the preceding branch
+    // direction is only CAP-predictable when the GHR distinguishes
+    // the paths... here we simply check the plumbing doesn't crash
+    // and stats accumulate.
+    Trace trace("g");
+    for (int i = 0; i < 100; ++i) {
+        test::addBranch(trace, 0x1000, i % 2 == 0);
+        test::addLoad(trace, 0x1004,
+                      i % 2 == 0 ? 0x2000 : 0x3000);
+    }
+    HybridPredictor pred{HybridConfig{}};
+    const auto stats = runPredictorSim(trace, pred);
+    EXPECT_EQ(stats.loads, 100u);
+}
+
+TEST(PredictorSim, PipelinedGapReducesRate)
+{
+    // The same trace evaluated immediately and with a gap: the gap
+    // must not increase the prediction rate (paper figure 11).
+    TraceSpec spec;
+    spec.name = "mix";
+    spec.suite = "X";
+    spec.seed = 31;
+    spec.kernels.push_back(
+        {LinkedListKernel::Params{.numNodes = 12, .numDataFields = 2},
+         2.0, 1});
+    spec.kernels.push_back(
+        {StrideArrayKernel::Params{
+             .numArrays = 1, .numElems = 256, .chunk = 32},
+         1.0, 1});
+    const Trace trace = generateTrace(spec, 30000);
+
+    HybridConfig imm_cfg;
+    HybridPredictor imm(imm_cfg);
+    const auto imm_stats = runPredictorSim(trace, imm, {});
+
+    HybridConfig gap_cfg;
+    gap_cfg.pipelined = true;
+    HybridPredictor gapped(gap_cfg);
+    PredictorSimConfig sim_cfg;
+    sim_cfg.gapCycles = 8;
+    const auto gap_stats = runPredictorSim(trace, gapped, sim_cfg);
+
+    EXPECT_EQ(imm_stats.loads, gap_stats.loads);
+    EXPECT_LE(gap_stats.correctOfAllLoads(),
+              imm_stats.correctOfAllLoads() + 0.01);
+    // But the pipelined predictor must still predict a good chunk.
+    EXPECT_GT(gap_stats.predictionRate(), 0.25);
+}
+
+TEST(PredictorSim, SelectorStatsPopulatedForHybrid)
+{
+    TraceSpec spec;
+    spec.name = "sel";
+    spec.suite = "X";
+    spec.seed = 32;
+    spec.kernels.push_back(
+        {GlobalScalarKernel::Params{.numGlobals = 6}, 1.0, 1});
+    const Trace trace = generateTrace(spec, 20000);
+
+    HybridPredictor pred{HybridConfig{}};
+    const auto stats = runPredictorSim(trace, pred);
+    // Constant loads: both components converge, so bothSpec must be
+    // large and selection nearly perfect.
+    EXPECT_GT(stats.bothSpec, stats.loads / 2);
+    EXPECT_GT(stats.correctSelectionRate(), 0.999);
+}
+
+TEST(PredictorSim, MergeAccumulates)
+{
+    StridePredictor pred_a{StridePredictorConfig{}};
+    StridePredictor pred_b{StridePredictorConfig{}};
+    auto a = runPredictorSim(strideTrace(100), pred_a);
+    const auto b = runPredictorSim(strideTrace(50), pred_b);
+    const auto a_loads = a.loads;
+    a.merge(b);
+    EXPECT_EQ(a.loads, a_loads + b.loads);
+    EXPECT_GE(a.spec, b.spec);
+}
+
+TEST(PredictorSim, EmptyTraceZeroStats)
+{
+    Trace empty("e");
+    StridePredictor pred{StridePredictorConfig{}};
+    const auto stats = runPredictorSim(empty, pred);
+    EXPECT_EQ(stats.loads, 0u);
+    EXPECT_EQ(stats.predictionRate(), 0.0);
+    EXPECT_EQ(stats.accuracy(), 0.0);
+    EXPECT_EQ(stats.correctSelectionRate(), 1.0);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,86 @@
+/** @file Unit tests for the saturating counter. */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(SatCounter, IncrementSaturates)
+{
+    SatCounter counter(2, 0);
+    EXPECT_EQ(counter.max(), 3u);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    EXPECT_TRUE(counter.saturated());
+}
+
+TEST(SatCounter, DecrementSaturatesAtZero)
+{
+    SatCounter counter(2, 0);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+    counter.increment();
+    counter.decrement();
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SatCounter, ResetReturnsToInitial)
+{
+    SatCounter counter(2, 2);
+    EXPECT_EQ(counter.value(), 2u);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 2u);
+    counter.clear();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SatCounter, AtLeastThreshold)
+{
+    SatCounter counter(2, 0);
+    EXPECT_FALSE(counter.atLeast(2));
+    counter.increment();
+    EXPECT_FALSE(counter.atLeast(2));
+    counter.increment();
+    EXPECT_TRUE(counter.atLeast(2));
+}
+
+TEST(SatCounter, UpperHalfTwoBit)
+{
+    SatCounter counter(2, 0);
+    EXPECT_FALSE(counter.upperHalf()); // 0
+    counter.increment();
+    EXPECT_FALSE(counter.upperHalf()); // 1
+    counter.increment();
+    EXPECT_TRUE(counter.upperHalf()); // 2
+    counter.increment();
+    EXPECT_TRUE(counter.upperHalf()); // 3
+}
+
+TEST(SatCounter, OneBitCounter)
+{
+    SatCounter counter(1, 0);
+    EXPECT_EQ(counter.max(), 1u);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 1u);
+    EXPECT_TRUE(counter.upperHalf());
+    counter.increment();
+    EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(SatCounter, SetForcesValue)
+{
+    SatCounter counter(3, 0);
+    counter.set(5);
+    EXPECT_EQ(counter.value(), 5u);
+}
+
+} // namespace
+} // namespace clap

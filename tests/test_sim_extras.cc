@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Additional simulator and component edge-case tests: pipeline drains
+ * on branch mispredictions, the timing model's delayed-update path,
+ * negative immediate offsets, and unaligned addresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "sim/timing_sim.hh"
+#include "test_util.hh"
+#include "util/rng.hh"
+#include "workloads/composer.hh"
+
+namespace clap
+{
+namespace
+{
+
+/**
+ * A loop-shaped trace: bursts of a repeating pointer pattern, each
+ * burst ended by a loop-exit branch (taken N-1 times, then not
+ * taken) that the branch predictor mispredicts at the boundary.
+ */
+Trace
+loopTrace(unsigned bursts)
+{
+    Trace trace("loop");
+    const std::vector<std::uint64_t> pattern = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+    Rng rng(3);
+    for (unsigned b = 0; b < bursts; ++b) {
+        const unsigned iters = 6;
+        for (unsigned i = 0; i < iters; ++i) {
+            for (const auto addr : pattern)
+                test::addLoad(trace, 0x2000, addr);
+            test::addBranch(trace, 0x2040, i + 1 != iters);
+        }
+        // Some unpredictable branches between bursts force extra
+        // mispredictions (and thus drains).
+        for (int r = 0; r < 3; ++r)
+            test::addBranch(trace, 0x2080, rng.chance(0.5));
+    }
+    return trace;
+}
+
+TEST(PredictorSimFlush, DrainsHelpPipelinedCap)
+{
+    const Trace trace = loopTrace(60);
+
+    auto run = [&](bool flush) {
+        CapPredictorConfig cfg;
+        cfg.pipelined = true;
+        CapPredictor pred(cfg);
+        PredictorSimConfig sim;
+        sim.gapCycles = 8;
+        sim.flushOnBranchMispredict = flush;
+        return runPredictorSim(trace, pred, sim);
+    };
+    const auto with_flush = run(true);
+    const auto without_flush = run(false);
+
+    // Branch-misprediction drains terminate the CAP misprediction /
+    // staleness chains (section 5.2), so they must help — and
+    // substantially on this loop-shaped trace.
+    EXPECT_GT(with_flush.specCorrect, without_flush.specCorrect);
+    EXPECT_GT(with_flush.correctOfAllLoads(), 0.5);
+}
+
+TEST(PredictorSimFlush, ImmediateModeUnaffectedByFlushFlag)
+{
+    const Trace trace = loopTrace(20);
+    for (const bool flush : {false, true}) {
+        CapPredictor pred{CapPredictorConfig{}};
+        PredictorSimConfig sim;
+        sim.flushOnBranchMispredict = flush;
+        const auto stats = runPredictorSim(trace, pred, sim);
+        EXPECT_GT(stats.correctOfAllLoads(), 0.8) << flush;
+    }
+}
+
+TEST(TimingSimGap, DelayedUpdatesStillSpeedUp)
+{
+    const Trace trace = loopTrace(80);
+    TimingConfig config;
+    const auto base = runTimingSim(trace, config, nullptr);
+
+    TimingConfig gap_config;
+    gap_config.predictorGap.gapCycles = 8;
+    HybridConfig pred_config;
+    pred_config.pipelined = true;
+    HybridPredictor pred(pred_config);
+    const auto with = runTimingSim(trace, gap_config, &pred);
+
+    EXPECT_GT(with.specLoads, 0u);
+    EXPECT_LT(with.cycles, base.cycles);
+}
+
+TEST(TimingSimGap, GapCostsRelativeToImmediate)
+{
+    const Trace trace = loopTrace(80);
+    TimingConfig config;
+
+    HybridPredictor imm{HybridConfig{}};
+    const auto imm_result = runTimingSim(trace, config, &imm);
+
+    TimingConfig gap_config;
+    gap_config.predictorGap.gapCycles = 8;
+    HybridConfig pred_config;
+    pred_config.pipelined = true;
+    HybridPredictor gapped(pred_config);
+    const auto gap_result = runTimingSim(trace, gap_config, &gapped);
+
+    EXPECT_LE(gap_result.specCorrect, imm_result.specCorrect);
+}
+
+TEST(CapEdgeCases, NegativeImmediateOffsetRoundTrips)
+{
+    // A load with a negative displacement (e.g. frame-pointer
+    // relative): base = addr - (imm & 0xff) must reconstruct the
+    // exact address on prediction.
+    CapPredictor pred{CapPredictorConfig{}};
+    LoadInfo info;
+    info.pc = test::testPc;
+    info.immOffset = -8;
+
+    for (int i = 0; i < 10; ++i) {
+        const Prediction p = pred.predict(info);
+        pred.update(info, 0xbfff0010, p);
+    }
+    const Prediction p = pred.predict(info);
+    EXPECT_TRUE(p.speculate);
+    EXPECT_EQ(p.addr, 0xbfff0010u);
+}
+
+TEST(CapEdgeCases, UnalignedAddressesPredictedExactly)
+{
+    // The history drops address bits [1:0], but links store full
+    // base addresses, so unaligned patterns are reproduced exactly.
+    CapPredictor pred{CapPredictorConfig{}};
+    const std::vector<std::uint64_t> pattern = {0x10011, 0x10082,
+                                                0x10043, 0x10021};
+    const auto addrs = test::repeatPattern(pattern, 25);
+    const auto result = test::drive(pred, addrs, test::testPc, 0, 40);
+    EXPECT_EQ(result.specWrong, 0u);
+    EXPECT_EQ(result.spec, 40u);
+}
+
+TEST(CapEdgeCases, LargeGoStyleImmediate)
+{
+    // Go-style immediate = a 27-bit array base address; only the 8
+    // LSBs participate in the base-address arithmetic.
+    CapPredictor pred{CapPredictorConfig{}};
+    LoadInfo info;
+    info.pc = test::testPc;
+    info.immOffset = 0x08100040;
+
+    const std::vector<std::uint64_t> pattern = {
+        0x08100040 + 4, 0x08100040 + 36, 0x08100040 + 16};
+    for (int i = 0; i < 30; ++i) {
+        const std::uint64_t actual = pattern[i % pattern.size()];
+        const Prediction p = pred.predict(info);
+        if (i > 20 && p.speculate)
+            EXPECT_EQ(p.addr, actual);
+        pred.update(info, actual, p);
+    }
+}
+
+TEST(HybridEdgeCases, EvictionBetweenPredictAndUpdate)
+{
+    // Force an LB eviction between predict() and update() of the
+    // same load: update must re-allocate and not crash or corrupt.
+    HybridConfig config;
+    config.lb.entries = 2;
+    config.lb.assoc = 1;
+    HybridPredictor pred(config);
+
+    LoadInfo a;
+    a.pc = 0x1000;
+    LoadInfo b;
+    b.pc = 0x1000 + 4 * 2; // same set in a 2-set LB
+
+    const Prediction pa = pred.predict(a);
+    // Evict A's entry by touching B (same set, direct-mapped).
+    const Prediction pb = pred.predict(b);
+    pred.update(b, 0x2000, pb);
+    pred.update(a, 0x3000, pa); // must reallocate gracefully
+
+    const Prediction pa2 = pred.predict(a);
+    EXPECT_TRUE(pa2.lbHit);
+}
+
+TEST(HybridEdgeCases, ZeroAddressLoad)
+{
+    // Address 0 is a legal effective address (null-page probing).
+    HybridPredictor pred{HybridConfig{}};
+    LoadInfo info;
+    info.pc = test::testPc;
+    for (int i = 0; i < 10; ++i) {
+        const Prediction p = pred.predict(info);
+        pred.update(info, 0, p);
+    }
+    const Prediction p = pred.predict(info);
+    EXPECT_TRUE(p.speculate);
+    EXPECT_EQ(p.addr, 0u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,101 @@
+/** @file Unit tests for the console table printer and stats helpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table table;
+    table.row({"name", "value"});
+    table.row({"a", "1"});
+    table.row({"longer", "22"});
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("a       1"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting)
+{
+    Table table;
+    table.row({"h"});
+    table.newRow();
+    table.percent(0.123456, 1);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, NumericCells)
+{
+    Table table;
+    table.row({"h1", "h2"});
+    table.newRow();
+    table.cell(3.14159, 2);
+    table.cell(std::uint64_t{42});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("3.14"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Table, DataRowCount)
+{
+    Table table;
+    EXPECT_EQ(table.dataRows(), 0u);
+    table.row({"h"});
+    EXPECT_EQ(table.dataRows(), 0u);
+    table.row({"r"});
+    table.row({"r"});
+    EXPECT_EQ(table.dataRows(), 2u);
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    Table table;
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Stats, RatioGuardsZeroDenominator)
+{
+    EXPECT_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, RatioAccumulatorWeightsByCounts)
+{
+    RatioAccumulator acc;
+    acc.add(1, 2);   // 50% of 2
+    acc.add(99, 100); // 99% of 100
+    EXPECT_NEAR(acc.value(), 100.0 / 102.0, 1e-12);
+    EXPECT_EQ(acc.numerator(), 100u);
+    EXPECT_EQ(acc.denominator(), 102u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,240 @@
+/** @file Tests for the out-of-order timing model. */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_predictor.hh"
+#include "sim/timing_sim.hh"
+#include "util/rng.hh"
+#include "test_util.hh"
+#include "workloads/composer.hh"
+
+namespace clap
+{
+namespace
+{
+
+/** An ALU-only trace with no dependencies: bounded by width. */
+Trace
+wideAluTrace(unsigned count)
+{
+    Trace trace("alu");
+    for (unsigned i = 0; i < count; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000 + 4 * (i % 16);
+        rec.cls = InstClass::Alu;
+        rec.dst = 0; // no dependencies
+        trace.append(rec);
+    }
+    return trace;
+}
+
+/** A serial dependency chain of ALU ops. */
+Trace
+chainAluTrace(unsigned count)
+{
+    Trace trace("chain");
+    for (unsigned i = 0; i < count; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000;
+        rec.cls = InstClass::Alu;
+        rec.srcA = 1;
+        rec.dst = 1;
+        trace.append(rec);
+    }
+    return trace;
+}
+
+/** Pointer-chase loads: each load's address register is its dest. */
+Trace
+pointerChaseTrace(unsigned count, const std::vector<std::uint64_t> &chain)
+{
+    Trace trace("chase");
+    for (unsigned i = 0; i < count; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000;
+        rec.cls = InstClass::Load;
+        rec.effAddr = chain[i % chain.size()];
+        rec.srcA = 1;
+        rec.dst = 1;
+        rec.memSize = 4;
+        trace.append(rec);
+    }
+    return trace;
+}
+
+TEST(TimingSim, WidthBoundsIpc)
+{
+    TimingConfig config;
+    const auto result = runTimingSim(wideAluTrace(10000), config);
+    EXPECT_GT(result.ipc(), 4.0);
+    EXPECT_LE(result.ipc(),
+              static_cast<double>(config.fetchWidth) + 0.01);
+}
+
+TEST(TimingSim, DependencyChainSerializes)
+{
+    TimingConfig config;
+    const auto result = runTimingSim(chainAluTrace(10000), config);
+    // One instruction per cycle at best (latency-1 chain).
+    EXPECT_LE(result.ipc(), 1.05);
+    EXPECT_GT(result.ipc(), 0.8);
+}
+
+TEST(TimingSim, LoadLatencySlowsPointerChase)
+{
+    std::vector<std::uint64_t> chain = {0x10000, 0x10400, 0x10800,
+                                        0x10c00};
+    TimingConfig config;
+    const auto result =
+        runTimingSim(pointerChaseTrace(5000, chain), config);
+    // Each load waits for the previous: >= L1 latency + agen cycles
+    // per instruction.
+    EXPECT_LT(result.ipc(), 0.3);
+}
+
+TEST(TimingSim, MulDivSlowerThanAlu)
+{
+    Trace muldiv("md");
+    for (unsigned i = 0; i < 5000; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000;
+        rec.cls = InstClass::MulDiv;
+        rec.srcA = 1;
+        rec.dst = 1;
+        muldiv.append(rec);
+    }
+    TimingConfig config;
+    const auto chain = runTimingSim(chainAluTrace(5000), config);
+    const auto md = runTimingSim(muldiv, config);
+    EXPECT_GT(md.cycles, chain.cycles * 5);
+}
+
+TEST(TimingSim, BranchMispredictsCostCycles)
+{
+    // Random branches (unpredictable) vs biased branches.
+    auto make = [](bool random) {
+        Trace trace("b");
+        Rng rng(9);
+        for (unsigned i = 0; i < 5000; ++i) {
+            TraceRecord rec;
+            rec.pc = 0x1000;
+            rec.cls = InstClass::Branch;
+            rec.taken = random ? rng.chance(0.5) : true;
+            rec.target = 0x2000;
+            trace.append(rec);
+        }
+        return trace;
+    };
+    TimingConfig config;
+    const auto biased = runTimingSim(make(false), config);
+    const auto random = runTimingSim(make(true), config);
+    EXPECT_GT(random.branchMispredicts, biased.branchMispredicts * 5);
+    EXPECT_GT(random.cycles, biased.cycles * 2);
+}
+
+TEST(TimingSim, CacheMissesCostCycles)
+{
+    // Small working set vs streaming working set.
+    Trace fits("fits");
+    Trace misses("misses");
+    for (unsigned i = 0; i < 5000; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000;
+        rec.cls = InstClass::Load;
+        rec.dst = 0;
+        rec.memSize = 4;
+        rec.effAddr = 0x10000 + 64 * (i % 16); // 1KB set
+        fits.append(rec);
+        rec.effAddr = 0x10000 + 64ull * i * 7; // streaming
+        misses.append(rec);
+    }
+    TimingConfig config;
+    const auto small = runTimingSim(fits, config);
+    const auto big = runTimingSim(misses, config);
+    EXPECT_LT(small.l1Misses, 100u);
+    EXPECT_GT(big.l1Misses, 4000u);
+    EXPECT_GT(big.cycles, small.cycles);
+}
+
+TEST(TimingSim, AddressPredictionSpeedsUpPointerChase)
+{
+    // The paper's core claim (section 2): address prediction is the
+    // enabler for parallel execution on recursive data structures.
+    const std::vector<std::uint64_t> chain = {
+        0x10010, 0x10080, 0x10040, 0x10020, 0x100c0, 0x10060};
+    const Trace trace = pointerChaseTrace(20000, chain);
+
+    TimingConfig config;
+    const auto base = runTimingSim(trace, config, nullptr);
+
+    HybridPredictor pred{HybridConfig{}};
+    const auto accel = runTimingSim(trace, config, &pred);
+
+    EXPECT_GT(accel.specLoads, 15000u);
+    EXPECT_GT(accel.specCorrect, 15000u);
+    EXPECT_LT(accel.cycles, base.cycles * 2 / 3); // >= 1.5x speedup
+}
+
+TEST(TimingSim, WrongPredictionsDoNotHelp)
+{
+    // Random addresses: the predictor must be gated off by its
+    // confidence, so cycles stay near the no-predictor baseline.
+    Rng rng(21);
+    Trace trace("rnd");
+    for (unsigned i = 0; i < 10000; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000;
+        rec.cls = InstClass::Load;
+        rec.effAddr = 0x10000000 + (rng.below(1 << 22) & ~3ull);
+        rec.srcA = 1;
+        rec.dst = 1;
+        trace.append(rec);
+    }
+    TimingConfig config;
+    const auto base = runTimingSim(trace, config, nullptr);
+    HybridPredictor pred{HybridConfig{}};
+    const auto with = runTimingSim(trace, config, &pred);
+    EXPECT_LT(with.specLoads, 500u);
+    // Within 5% of baseline.
+    EXPECT_NEAR(static_cast<double>(with.cycles),
+                static_cast<double>(base.cycles),
+                0.05 * static_cast<double>(base.cycles));
+}
+
+TEST(TimingSim, RobLimitsFarAheadExecution)
+{
+    // A long-latency chain followed by independent work: with a
+    // smaller ROB the independent work cannot proceed as far ahead.
+    TraceSpec spec;
+    spec.name = "rob";
+    spec.suite = "X";
+    spec.seed = 77;
+    spec.kernels.push_back(
+        {LinkedListKernel::Params{.numNodes = 16, .numDataFields = 2},
+         1.0, 1});
+    spec.kernels.push_back(
+        {StrideArrayKernel::Params{
+             .numArrays = 2, .numElems = 4096, .chunk = 64},
+         1.0, 1});
+    const Trace trace = generateTrace(spec, 30000);
+
+    TimingConfig big;
+    big.robSize = 128;
+    TimingConfig small;
+    small.robSize = 16;
+    const auto big_rob = runTimingSim(trace, big);
+    const auto small_rob = runTimingSim(trace, small);
+    EXPECT_LT(big_rob.cycles, small_rob.cycles);
+}
+
+TEST(TimingSim, ResultCountsConsistent)
+{
+    const Trace trace = wideAluTrace(1000);
+    const auto result = runTimingSim(trace, TimingConfig{});
+    EXPECT_EQ(result.insts, 1000u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_EQ(result.loads, 0u);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,121 @@
+/** @file Unit tests for trace records, containers and statistics. */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(TraceRecord, ClassPredicates)
+{
+    TraceRecord rec;
+    rec.cls = InstClass::Load;
+    EXPECT_TRUE(rec.isLoad());
+    EXPECT_TRUE(rec.isMem());
+    EXPECT_FALSE(rec.isStore());
+    EXPECT_FALSE(rec.isBranch());
+
+    rec.cls = InstClass::Store;
+    EXPECT_TRUE(rec.isStore());
+    EXPECT_TRUE(rec.isMem());
+
+    rec.cls = InstClass::Branch;
+    EXPECT_TRUE(rec.isBranch());
+    EXPECT_FALSE(rec.isMem());
+}
+
+TEST(TraceRecord, ChangesFlow)
+{
+    TraceRecord rec;
+    rec.cls = InstClass::Alu;
+    EXPECT_FALSE(rec.changesFlow());
+
+    rec.cls = InstClass::Jump;
+    EXPECT_TRUE(rec.changesFlow());
+    rec.cls = InstClass::Call;
+    EXPECT_TRUE(rec.changesFlow());
+    rec.cls = InstClass::Ret;
+    EXPECT_TRUE(rec.changesFlow());
+
+    rec.cls = InstClass::Branch;
+    rec.taken = false;
+    EXPECT_FALSE(rec.changesFlow());
+    rec.taken = true;
+    EXPECT_TRUE(rec.changesFlow());
+}
+
+TEST(TraceRecord, ClassNamesAreDistinct)
+{
+    EXPECT_STREQ(instClassName(InstClass::Load), "load");
+    EXPECT_STREQ(instClassName(InstClass::Branch), "branch");
+    EXPECT_STRNE(instClassName(InstClass::Alu),
+                 instClassName(InstClass::Store));
+}
+
+TEST(Trace, AppendAndIndex)
+{
+    Trace trace("t");
+    EXPECT_EQ(trace.size(), 0u);
+    test::addLoad(trace, 0x100, 0x2000);
+    test::addLoad(trace, 0x104, 0x3000);
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].effAddr, 0x2000u);
+    EXPECT_EQ(trace[1].pc, 0x104u);
+    EXPECT_EQ(trace.name(), "t");
+}
+
+TEST(TraceCursor, IteratesAndRewinds)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    test::addLoad(trace, 0x104, 0x3000);
+
+    TraceCursor cursor(trace);
+    TraceRecord rec;
+    ASSERT_TRUE(cursor.next(rec));
+    EXPECT_EQ(rec.effAddr, 0x2000u);
+    ASSERT_TRUE(cursor.next(rec));
+    EXPECT_EQ(rec.effAddr, 0x3000u);
+    EXPECT_FALSE(cursor.next(rec));
+
+    cursor.rewind();
+    ASSERT_TRUE(cursor.next(rec));
+    EXPECT_EQ(rec.effAddr, 0x2000u);
+}
+
+TEST(TraceStats, CountsClassesAndStatics)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    test::addLoad(trace, 0x100, 0x2004); // same static load
+    test::addLoad(trace, 0x104, 0x3000);
+    test::addBranch(trace, 0x108, true);
+    test::addBranch(trace, 0x108, false);
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.totalInsts, 5u);
+    EXPECT_EQ(stats.loads(), 3u);
+    EXPECT_EQ(stats.branches(), 2u);
+    EXPECT_EQ(stats.staticLoads, 2u);
+    EXPECT_EQ(stats.staticInsts, 3u);
+    EXPECT_EQ(stats.takenBranches, 1u);
+    EXPECT_DOUBLE_EQ(stats.takenRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.loadFraction(), 0.6);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    Trace trace("e");
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.totalInsts, 0u);
+    EXPECT_EQ(stats.loadFraction(), 0.0);
+    EXPECT_EQ(stats.takenRate(), 0.0);
+}
+
+} // namespace
+} // namespace clap

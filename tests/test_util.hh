@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compact builders for load-only
+ * traces and canned address sequences.
+ */
+
+#ifndef CLAP_TESTS_TEST_UTIL_HH
+#define CLAP_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "trace/trace.hh"
+
+namespace clap::test
+{
+
+/** Default PC used for single-load test sequences. */
+constexpr std::uint64_t testPc = 0x08048000;
+
+/** Append a load record to @p trace. */
+inline void
+addLoad(Trace &trace, std::uint64_t pc, std::uint64_t addr,
+        std::int32_t imm = 0)
+{
+    TraceRecord rec;
+    rec.cls = InstClass::Load;
+    rec.pc = pc;
+    rec.effAddr = addr;
+    rec.immOffset = imm;
+    rec.dst = 1;
+    rec.memSize = 4;
+    trace.append(rec);
+}
+
+/** Append a branch record to @p trace. */
+inline void
+addBranch(Trace &trace, std::uint64_t pc, bool taken)
+{
+    TraceRecord rec;
+    rec.cls = InstClass::Branch;
+    rec.pc = pc;
+    rec.taken = taken;
+    rec.target = pc + 16;
+    trace.append(rec);
+}
+
+/** Build a load-only trace: one static load visiting @p addrs. */
+inline Trace
+loadTrace(const std::vector<std::uint64_t> &addrs,
+          std::uint64_t pc = testPc, std::int32_t imm = 0)
+{
+    Trace trace("test");
+    for (const auto addr : addrs)
+        addLoad(trace, pc, addr, imm);
+    return trace;
+}
+
+/** Repeat @p pattern @p times into a flat address sequence. */
+inline std::vector<std::uint64_t>
+repeatPattern(const std::vector<std::uint64_t> &pattern, unsigned times)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(pattern.size() * times);
+    for (unsigned i = 0; i < times; ++i)
+        out.insert(out.end(), pattern.begin(), pattern.end());
+    return out;
+}
+
+/**
+ * Drive a predictor over a sequence of (pc, imm, addr) loads with the
+ * immediate-update model and return the number of correct speculative
+ * accesses in the last @p tail_window loads (0 = whole sequence).
+ */
+struct DriveResult
+{
+    std::uint64_t spec = 0;
+    std::uint64_t specCorrect = 0;
+    std::uint64_t specWrong = 0;
+};
+
+inline DriveResult
+drive(AddressPredictor &predictor,
+      const std::vector<std::uint64_t> &addrs,
+      std::uint64_t pc = testPc, std::int32_t imm = 0,
+      std::size_t tail_window = 0)
+{
+    DriveResult result;
+    const std::size_t start =
+        tail_window == 0 || tail_window > addrs.size()
+            ? 0
+            : addrs.size() - tail_window;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        LoadInfo info;
+        info.pc = pc;
+        info.immOffset = imm;
+        const Prediction pred = predictor.predict(info);
+        predictor.update(info, addrs[i], pred);
+        if (i >= start && pred.speculate) {
+            ++result.spec;
+            if (pred.addr == addrs[i])
+                ++result.specCorrect;
+            else
+                ++result.specWrong;
+        }
+    }
+    return result;
+}
+
+} // namespace clap::test
+
+#endif // CLAP_TESTS_TEST_UTIL_HH
