@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pf"
+  "../bench/bench_ablation_pf.pdb"
+  "CMakeFiles/bench_ablation_pf.dir/bench_ablation_pf.cc.o"
+  "CMakeFiles/bench_ablation_pf.dir/bench_ablation_pf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

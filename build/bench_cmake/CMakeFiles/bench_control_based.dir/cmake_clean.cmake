@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_control_based"
+  "../bench/bench_control_based.pdb"
+  "CMakeFiles/bench_control_based.dir/bench_control_based.cc.o"
+  "CMakeFiles/bench_control_based.dir/bench_control_based.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_predictors"
+  "../bench/bench_fig05_predictors.pdb"
+  "CMakeFiles/bench_fig05_predictors.dir/bench_fig05_predictors.cc.o"
+  "CMakeFiles/bench_fig05_predictors.dir/bench_fig05_predictors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

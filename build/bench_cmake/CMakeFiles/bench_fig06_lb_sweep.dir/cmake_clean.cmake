@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_lb_sweep"
+  "../bench/bench_fig06_lb_sweep.pdb"
+  "CMakeFiles/bench_fig06_lb_sweep.dir/bench_fig06_lb_sweep.cc.o"
+  "CMakeFiles/bench_fig06_lb_sweep.dir/bench_fig06_lb_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_lb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_selector"
+  "../bench/bench_fig08_selector.pdb"
+  "CMakeFiles/bench_fig08_selector.dir/bench_fig08_selector.cc.o"
+  "CMakeFiles/bench_fig08_selector.dir/bench_fig08_selector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_history"
+  "../bench/bench_fig09_history.pdb"
+  "CMakeFiles/bench_fig09_history.dir/bench_fig09_history.cc.o"
+  "CMakeFiles/bench_fig09_history.dir/bench_fig09_history.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

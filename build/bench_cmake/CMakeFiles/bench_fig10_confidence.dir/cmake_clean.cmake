@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_confidence"
+  "../bench/bench_fig10_confidence.pdb"
+  "CMakeFiles/bench_fig10_confidence.dir/bench_fig10_confidence.cc.o"
+  "CMakeFiles/bench_fig10_confidence.dir/bench_fig10_confidence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

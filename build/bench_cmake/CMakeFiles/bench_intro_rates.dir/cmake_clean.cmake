@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_intro_rates"
+  "../bench/bench_intro_rates.pdb"
+  "CMakeFiles/bench_intro_rates.dir/bench_intro_rates.cc.o"
+  "CMakeFiles/bench_intro_rates.dir/bench_intro_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lt_sweep"
+  "../bench/bench_lt_sweep.pdb"
+  "CMakeFiles/bench_lt_sweep.dir/bench_lt_sweep.cc.o"
+  "CMakeFiles/bench_lt_sweep.dir/bench_lt_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

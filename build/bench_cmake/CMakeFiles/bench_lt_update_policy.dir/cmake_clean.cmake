@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lt_update_policy"
+  "../bench/bench_lt_update_policy.pdb"
+  "CMakeFiles/bench_lt_update_policy.dir/bench_lt_update_policy.cc.o"
+  "CMakeFiles/bench_lt_update_policy.dir/bench_lt_update_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lt_update_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_profile_assist"
+  "../bench/bench_profile_assist.pdb"
+  "CMakeFiles/bench_profile_assist.dir/bench_profile_assist.cc.o"
+  "CMakeFiles/bench_profile_assist.dir/bench_profile_assist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

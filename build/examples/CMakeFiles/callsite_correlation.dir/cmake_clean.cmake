@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callsite_correlation.dir/callsite_correlation.cpp.o"
+  "CMakeFiles/callsite_correlation.dir/callsite_correlation.cpp.o.d"
+  "callsite_correlation"
+  "callsite_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callsite_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_effects.dir/pipeline_effects.cpp.o"
+  "CMakeFiles/pipeline_effects.dir/pipeline_effects.cpp.o.d"
+  "pipeline_effects"
+  "pipeline_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cap_component.cc" "src/core/CMakeFiles/clap_core.dir/cap_component.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/cap_component.cc.o.d"
+  "/root/repo/src/core/cap_predictor.cc" "src/core/CMakeFiles/clap_core.dir/cap_predictor.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/cap_predictor.cc.o.d"
+  "/root/repo/src/core/control_predictor.cc" "src/core/CMakeFiles/clap_core.dir/control_predictor.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/control_predictor.cc.o.d"
+  "/root/repo/src/core/hybrid_predictor.cc" "src/core/CMakeFiles/clap_core.dir/hybrid_predictor.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/hybrid_predictor.cc.o.d"
+  "/root/repo/src/core/last_address_predictor.cc" "src/core/CMakeFiles/clap_core.dir/last_address_predictor.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/last_address_predictor.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/clap_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/stride_component.cc" "src/core/CMakeFiles/clap_core.dir/stride_component.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/stride_component.cc.o.d"
+  "/root/repo/src/core/stride_predictor.cc" "src/core/CMakeFiles/clap_core.dir/stride_predictor.cc.o" "gcc" "src/core/CMakeFiles/clap_core.dir/stride_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

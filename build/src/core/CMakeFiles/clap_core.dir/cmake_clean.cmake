@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clap_core.dir/cap_component.cc.o"
+  "CMakeFiles/clap_core.dir/cap_component.cc.o.d"
+  "CMakeFiles/clap_core.dir/cap_predictor.cc.o"
+  "CMakeFiles/clap_core.dir/cap_predictor.cc.o.d"
+  "CMakeFiles/clap_core.dir/control_predictor.cc.o"
+  "CMakeFiles/clap_core.dir/control_predictor.cc.o.d"
+  "CMakeFiles/clap_core.dir/hybrid_predictor.cc.o"
+  "CMakeFiles/clap_core.dir/hybrid_predictor.cc.o.d"
+  "CMakeFiles/clap_core.dir/last_address_predictor.cc.o"
+  "CMakeFiles/clap_core.dir/last_address_predictor.cc.o.d"
+  "CMakeFiles/clap_core.dir/profile.cc.o"
+  "CMakeFiles/clap_core.dir/profile.cc.o.d"
+  "CMakeFiles/clap_core.dir/stride_component.cc.o"
+  "CMakeFiles/clap_core.dir/stride_component.cc.o.d"
+  "CMakeFiles/clap_core.dir/stride_predictor.cc.o"
+  "CMakeFiles/clap_core.dir/stride_predictor.cc.o.d"
+  "libclap_core.a"
+  "libclap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clap_sim.dir/experiment.cc.o"
+  "CMakeFiles/clap_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/clap_sim.dir/predictor_sim.cc.o"
+  "CMakeFiles/clap_sim.dir/predictor_sim.cc.o.d"
+  "CMakeFiles/clap_sim.dir/timing_sim.cc.o"
+  "CMakeFiles/clap_sim.dir/timing_sim.cc.o.d"
+  "libclap_sim.a"
+  "libclap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

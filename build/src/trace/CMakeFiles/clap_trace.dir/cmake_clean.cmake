@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clap_trace.dir/record.cc.o"
+  "CMakeFiles/clap_trace.dir/record.cc.o.d"
+  "CMakeFiles/clap_trace.dir/trace_io.cc.o"
+  "CMakeFiles/clap_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/clap_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/clap_trace.dir/trace_stats.cc.o.d"
+  "libclap_trace.a"
+  "libclap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clap_util.dir/table.cc.o"
+  "CMakeFiles/clap_util.dir/table.cc.o.d"
+  "libclap_util.a"
+  "libclap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclap_util.a"
+)

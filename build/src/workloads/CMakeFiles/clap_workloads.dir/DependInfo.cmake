@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/array_kernels.cc" "src/workloads/CMakeFiles/clap_workloads.dir/array_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/array_kernels.cc.o.d"
+  "/root/repo/src/workloads/composer.cc" "src/workloads/CMakeFiles/clap_workloads.dir/composer.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/composer.cc.o.d"
+  "/root/repo/src/workloads/control_kernels.cc" "src/workloads/CMakeFiles/clap_workloads.dir/control_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/control_kernels.cc.o.d"
+  "/root/repo/src/workloads/misc_kernels.cc" "src/workloads/CMakeFiles/clap_workloads.dir/misc_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/misc_kernels.cc.o.d"
+  "/root/repo/src/workloads/rds_kernels.cc" "src/workloads/CMakeFiles/clap_workloads.dir/rds_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/rds_kernels.cc.o.d"
+  "/root/repo/src/workloads/suites.cc" "src/workloads/CMakeFiles/clap_workloads.dir/suites.cc.o" "gcc" "src/workloads/CMakeFiles/clap_workloads.dir/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/clap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clap_workloads.dir/array_kernels.cc.o"
+  "CMakeFiles/clap_workloads.dir/array_kernels.cc.o.d"
+  "CMakeFiles/clap_workloads.dir/composer.cc.o"
+  "CMakeFiles/clap_workloads.dir/composer.cc.o.d"
+  "CMakeFiles/clap_workloads.dir/control_kernels.cc.o"
+  "CMakeFiles/clap_workloads.dir/control_kernels.cc.o.d"
+  "CMakeFiles/clap_workloads.dir/misc_kernels.cc.o"
+  "CMakeFiles/clap_workloads.dir/misc_kernels.cc.o.d"
+  "CMakeFiles/clap_workloads.dir/rds_kernels.cc.o"
+  "CMakeFiles/clap_workloads.dir/rds_kernels.cc.o.d"
+  "CMakeFiles/clap_workloads.dir/suites.cc.o"
+  "CMakeFiles/clap_workloads.dir/suites.cc.o.d"
+  "libclap_workloads.a"
+  "libclap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cap_component.dir/test_cap_component.cc.o"
+  "CMakeFiles/test_cap_component.dir/test_cap_component.cc.o.d"
+  "test_cap_component"
+  "test_cap_component.pdb"
+  "test_cap_component[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cap_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cap_predictor.dir/test_cap_predictor.cc.o"
+  "CMakeFiles/test_cap_predictor.dir/test_cap_predictor.cc.o.d"
+  "test_cap_predictor"
+  "test_cap_predictor.pdb"
+  "test_cap_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cap_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

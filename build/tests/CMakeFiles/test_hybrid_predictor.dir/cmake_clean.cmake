@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_predictor.dir/test_hybrid_predictor.cc.o"
+  "CMakeFiles/test_hybrid_predictor.dir/test_hybrid_predictor.cc.o.d"
+  "test_hybrid_predictor"
+  "test_hybrid_predictor.pdb"
+  "test_hybrid_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

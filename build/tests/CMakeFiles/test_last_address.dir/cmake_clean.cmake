@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_last_address.dir/test_last_address.cc.o"
+  "CMakeFiles/test_last_address.dir/test_last_address.cc.o.d"
+  "test_last_address"
+  "test_last_address.pdb"
+  "test_last_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_last_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_table.dir/test_link_table.cc.o"
+  "CMakeFiles/test_link_table.dir/test_link_table.cc.o.d"
+  "test_link_table"
+  "test_link_table.pdb"
+  "test_link_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_load_buffer.cc" "tests/CMakeFiles/test_load_buffer.dir/test_load_buffer.cc.o" "gcc" "tests/CMakeFiles/test_load_buffer.dir/test_load_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/clap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/clap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/clap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

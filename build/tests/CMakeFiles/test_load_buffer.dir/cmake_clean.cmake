@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_buffer.dir/test_load_buffer.cc.o"
+  "CMakeFiles/test_load_buffer.dir/test_load_buffer.cc.o.d"
+  "test_load_buffer"
+  "test_load_buffer.pdb"
+  "test_load_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lt_extensions.dir/test_lt_extensions.cc.o"
+  "CMakeFiles/test_lt_extensions.dir/test_lt_extensions.cc.o.d"
+  "test_lt_extensions"
+  "test_lt_extensions.pdb"
+  "test_lt_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lt_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_sim.dir/test_predictor_sim.cc.o"
+  "CMakeFiles/test_predictor_sim.dir/test_predictor_sim.cc.o.d"
+  "test_predictor_sim"
+  "test_predictor_sim.pdb"
+  "test_predictor_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

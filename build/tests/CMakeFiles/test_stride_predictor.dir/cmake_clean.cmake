@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride_predictor.dir/test_stride_predictor.cc.o"
+  "CMakeFiles/test_stride_predictor.dir/test_stride_predictor.cc.o.d"
+  "test_stride_predictor"
+  "test_stride_predictor.pdb"
+  "test_stride_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

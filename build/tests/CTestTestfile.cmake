@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sat_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_load_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_link_table[1]_include.cmake")
+include("/root/repo/build/tests/test_stride_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_cap_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_last_address[1]_include.cmake")
+include("/root/repo/build/tests/test_pipelined[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_composer[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_branch_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_control_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_lt_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_cap_component[1]_include.cmake")
