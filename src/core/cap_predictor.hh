@@ -21,8 +21,9 @@ namespace clap
 class CapPredictor : public AddressPredictor
 {
   public:
+    /** @throws std::invalid_argument when @p config fails validate(). */
     explicit CapPredictor(const CapPredictorConfig &config)
-        : lb_(config.lb), cap_(config.cap, config.pipelined)
+        : lb_(validated(config).lb), cap_(config.cap, config.pipelined)
     {
     }
 

@@ -12,11 +12,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "util/bits.hh"
+#include "util/error.hh"
 
 namespace clap
 {
+
+namespace detail
+{
+
+/** Validation-failure factory shared by the validate() methods. */
+inline Error
+configError(const char *structName, std::string message)
+{
+    return makeError(ErrorCode::InvalidConfig, std::move(message))
+        .withContext(std::string("validating ") + structName);
+}
+
+} // namespace detail
 
 /** Load buffer geometry (shared by all predictor components). */
 struct LoadBufferConfig
@@ -25,6 +41,26 @@ struct LoadBufferConfig
     unsigned assoc = 2;
 
     std::size_t sets() const { return entries / assoc; }
+
+    /** Structural sanity checks; call before building a LoadBuffer. */
+    Expected<void>
+    validate() const
+    {
+        if (entries == 0 || !isPowerOf2(entries)) {
+            return detail::configError(
+                "LoadBufferConfig",
+                "entries must be a non-zero power of two, got " +
+                    std::to_string(entries));
+        }
+        if (assoc == 0 || entries % assoc != 0) {
+            return detail::configError(
+                "LoadBufferConfig",
+                "assoc must be >= 1 and divide entries (entries=" +
+                    std::to_string(entries) + ", assoc=" +
+                    std::to_string(assoc) + ")");
+        }
+        return ok();
+    }
 };
 
 /** Context-based (CAP) component configuration (section 3). */
@@ -83,6 +119,80 @@ struct CapConfig
 
     unsigned ltIndexBits() const { return floorLog2(ltEntries); }
     unsigned historyBits() const { return ltIndexBits() + ltTagBits; }
+
+    /** Structural sanity checks; call before building the component. */
+    Expected<void>
+    validate() const
+    {
+        if (ltEntries == 0 || !isPowerOf2(ltEntries)) {
+            return detail::configError(
+                "CapConfig",
+                "ltEntries must be a non-zero power of two, got " +
+                    std::to_string(ltEntries));
+        }
+        if (ltAssoc == 0 || ltEntries % ltAssoc != 0 ||
+            ltAssoc > ltEntries) {
+            return detail::configError(
+                "CapConfig",
+                "ltAssoc must be >= 1 and divide ltEntries (ltEntries=" +
+                    std::to_string(ltEntries) + ", ltAssoc=" +
+                    std::to_string(ltAssoc) + ")");
+        }
+        if (ltAssoc > 1 && ltTagBits == 0) {
+            return detail::configError(
+                "CapConfig",
+                "ltAssoc > 1 requires ltTagBits > 0 to match ways");
+        }
+        if (historyLength == 0) {
+            return detail::configError("CapConfig",
+                                       "historyLength must be >= 1");
+        }
+        if (historyBits() < 1 || historyBits() > 63) {
+            return detail::configError(
+                "CapConfig",
+                "history width (ltIndexBits + ltTagBits) must be within "
+                "1..63, got " + std::to_string(historyBits()));
+        }
+        if (confBits < 1 || confBits > 8) {
+            return detail::configError(
+                "CapConfig", "confBits must be within 1..8, got " +
+                                 std::to_string(confBits));
+        }
+        if (confThreshold > mask(confBits)) {
+            return detail::configError(
+                "CapConfig",
+                "confThreshold " + std::to_string(confThreshold) +
+                    " unreachable by a " + std::to_string(confBits) +
+                    "-bit counter");
+        }
+        if (offsetBits > 8) {
+            return detail::configError(
+                "CapConfig",
+                "offsetBits must be <= 8 (stored in a byte), got " +
+                    std::to_string(offsetBits));
+        }
+        if (pfBits > 6) {
+            return detail::configError(
+                "CapConfig",
+                "pfBits must be <= 6 (bits 2..7 of the base), got " +
+                    std::to_string(pfBits));
+        }
+        if (pfTableBits > 30) {
+            return detail::configError(
+                "CapConfig", "pfTableBits must be <= 30, got " +
+                                 std::to_string(pfTableBits));
+        }
+        const unsigned max_path = perPathConfidence ? 5 : 63;
+        if (pathBits > max_path) {
+            return detail::configError(
+                "CapConfig",
+                "pathBits must be <= " + std::to_string(max_path) +
+                    (perPathConfidence ? " with perPathConfidence"
+                                       : "") +
+                    ", got " + std::to_string(pathBits));
+        }
+        return ok();
+    }
 };
 
 /** Enhanced stride component configuration (sections 4, 5.2). */
@@ -109,6 +219,35 @@ struct StrideConfig
     /// Pipelined catch-up: extrapolate stride x pending instances
     /// after a misprediction (section 5.2).
     bool catchUp = true;
+
+    /** Structural sanity checks; call before building the component. */
+    Expected<void>
+    validate() const
+    {
+        if (confBits < 1 || confBits > 8) {
+            return detail::configError(
+                "StrideConfig", "confBits must be within 1..8, got " +
+                                    std::to_string(confBits));
+        }
+        if (confThreshold > mask(confBits)) {
+            return detail::configError(
+                "StrideConfig",
+                "confThreshold " + std::to_string(confThreshold) +
+                    " unreachable by a " + std::to_string(confBits) +
+                    "-bit counter");
+        }
+        if (pathBits > 63) {
+            return detail::configError(
+                "StrideConfig", "pathBits must be <= 63, got " +
+                                    std::to_string(pathBits));
+        }
+        if (useInterval && minInterval == 0) {
+            return detail::configError(
+                "StrideConfig",
+                "minInterval must be >= 1 when intervals are enabled");
+        }
+        return ok();
+    }
 };
 
 /** Link-table update policies studied in section 4.3. */
@@ -136,6 +275,27 @@ struct HybridConfig
     /// by update() calls that arrive later, so the predictors must
     /// maintain speculative state.
     bool pipelined = false;
+
+    /** Validate all sub-configs plus hybrid-level invariants. */
+    Expected<void>
+    validate() const
+    {
+        if (auto v = lb.validate(); !v)
+            return std::move(v.error()).withContext("HybridConfig.lb");
+        if (auto v = cap.validate(); !v)
+            return std::move(v.error()).withContext("HybridConfig.cap");
+        if (auto v = stride.validate(); !v) {
+            return std::move(v.error())
+                .withContext("HybridConfig.stride");
+        }
+        if (selectorInit > 3) {
+            return detail::configError(
+                "HybridConfig",
+                "selectorInit must fit the 2-bit selector (0..3), got " +
+                    std::to_string(selectorInit));
+        }
+        return ok();
+    }
 };
 
 /** Stand-alone CAP predictor configuration. */
@@ -144,6 +304,20 @@ struct CapPredictorConfig
     LoadBufferConfig lb;
     CapConfig cap;
     bool pipelined = false;
+
+    Expected<void>
+    validate() const
+    {
+        if (auto v = lb.validate(); !v) {
+            return std::move(v.error())
+                .withContext("CapPredictorConfig.lb");
+        }
+        if (auto v = cap.validate(); !v) {
+            return std::move(v.error())
+                .withContext("CapPredictorConfig.cap");
+        }
+        return ok();
+    }
 };
 
 /** Stand-alone enhanced-stride predictor configuration. */
@@ -152,6 +326,20 @@ struct StridePredictorConfig
     LoadBufferConfig lb;
     StrideConfig stride;
     bool pipelined = false;
+
+    Expected<void>
+    validate() const
+    {
+        if (auto v = lb.validate(); !v) {
+            return std::move(v.error())
+                .withContext("StridePredictorConfig.lb");
+        }
+        if (auto v = stride.validate(); !v) {
+            return std::move(v.error())
+                .withContext("StridePredictorConfig.stride");
+        }
+        return ok();
+    }
 };
 
 /** Last-address predictor configuration (prior-art baseline). */
@@ -160,7 +348,45 @@ struct LastAddressConfig
     LoadBufferConfig lb;
     unsigned confBits = 2;
     unsigned confThreshold = 2;
+
+    Expected<void>
+    validate() const
+    {
+        if (auto v = lb.validate(); !v) {
+            return std::move(v.error())
+                .withContext("LastAddressConfig.lb");
+        }
+        if (confBits < 1 || confBits > 8) {
+            return detail::configError(
+                "LastAddressConfig",
+                "confBits must be within 1..8, got " +
+                    std::to_string(confBits));
+        }
+        if (confThreshold > mask(confBits)) {
+            return detail::configError(
+                "LastAddressConfig",
+                "confThreshold " + std::to_string(confThreshold) +
+                    " unreachable by a " + std::to_string(confBits) +
+                    "-bit counter");
+        }
+        return ok();
+    }
 };
+
+/**
+ * Gate for predictor constructors: pass the config through unchanged
+ * when it validates, throw std::invalid_argument (carrying the full
+ * Error diagnostic) otherwise. Callers who prefer the error-code path
+ * should call validate() themselves before constructing.
+ */
+template <typename Config>
+const Config &
+validated(const Config &config)
+{
+    if (auto v = config.validate(); !v)
+        throw std::invalid_argument(v.error().str());
+    return config;
+}
 
 } // namespace clap
 

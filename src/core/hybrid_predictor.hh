@@ -22,8 +22,9 @@ namespace clap
 class HybridPredictor : public AddressPredictor
 {
   public:
+    /** @throws std::invalid_argument when @p config fails validate(). */
     explicit HybridPredictor(const HybridConfig &config)
-        : config_(config),
+        : config_(validated(config)),
           lb_(config.lb),
           cap_(config.cap, config.pipelined),
           stride_(config.stride, config.pipelined)

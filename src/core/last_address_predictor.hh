@@ -19,8 +19,9 @@ namespace clap
 class LastAddressPredictor : public AddressPredictor
 {
   public:
+    /** @throws std::invalid_argument when @p config fails validate(). */
     explicit LastAddressPredictor(const LastAddressConfig &config)
-        : config_(config), lb_(config.lb)
+        : config_(validated(config)), lb_(config.lb)
     {
     }
 

@@ -143,6 +143,15 @@ class LinkTable
     std::size_t numEntries() const { return entries_.size(); }
     unsigned assoc() const { return assoc_; }
 
+    /**
+     * Raw access to entry slot @p i (fault injection / state dumps).
+     * Does not touch LRU. @pre i < numEntries()
+     */
+    LTEntry &entryAt(std::size_t i) { return entries_[i]; }
+    const LTEntry &entryAt(std::size_t i) const { return entries_[i]; }
+
+    const CapConfig &config() const { return config_; }
+
     /** Invalidate all entries (and the decoupled PF table). */
     void
     clear()

@@ -130,6 +130,16 @@ class LoadBuffer
 
     const LoadBufferConfig &config() const { return config_; }
 
+    /** Total entry slots (valid or not). */
+    std::size_t numEntries() const { return entries_.size(); }
+
+    /**
+     * Raw access to entry slot @p i (fault injection / state dumps).
+     * Does not touch LRU. @pre i < numEntries()
+     */
+    LBEntry &entryAt(std::size_t i) { return entries_[i]; }
+    const LBEntry &entryAt(std::size_t i) const { return entries_[i]; }
+
     /** Invalidate all entries. */
     void
     clear()

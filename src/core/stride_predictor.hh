@@ -20,8 +20,10 @@ namespace clap
 class StridePredictor : public AddressPredictor
 {
   public:
+    /** @throws std::invalid_argument when @p config fails validate(). */
     explicit StridePredictor(const StridePredictorConfig &config)
-        : lb_(config.lb), stride_(config.stride, config.pipelined)
+        : lb_(validated(config).lb),
+          stride_(config.stride, config.pipelined)
     {
     }
 

@@ -1,0 +1,166 @@
+#include "sim/fault_injector.hh"
+
+#include <iterator>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/link_table.hh"
+#include "core/load_buffer.hh"
+#include "core/stride_predictor.hh"
+
+namespace clap
+{
+
+FaultInjector::FaultInjector(const FaultInjectorConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    faultProb_ = config_.faultsPerMillionLoads / 1e6;
+    if (faultProb_ < 0.0)
+        faultProb_ = 0.0;
+}
+
+void
+FaultInjector::attach(LoadBuffer &lb)
+{
+    lbs_.push_back(&lb);
+}
+
+void
+FaultInjector::attach(LinkTable &lt)
+{
+    lts_.push_back(&lt);
+}
+
+void
+FaultInjector::attach(HybridPredictor &predictor)
+{
+    attach(predictor.loadBuffer());
+    attach(predictor.capComponent().linkTable());
+}
+
+void
+FaultInjector::attach(CapPredictor &predictor)
+{
+    attach(predictor.loadBuffer());
+    attach(predictor.component().linkTable());
+}
+
+void
+FaultInjector::attach(StridePredictor &predictor)
+{
+    attach(predictor.loadBuffer());
+}
+
+void
+FaultInjector::onLoad()
+{
+    ++loads_;
+    if (faultProb_ <= 0.0)
+        return;
+    if (rng_.chance(faultProb_))
+        injectOne();
+}
+
+void
+FaultInjector::injectOne()
+{
+    // Collect the state classes that are both enabled and backed by
+    // an attached structure, then pick one uniformly. LT tag/PF
+    // classes require the mechanism to be configured (a predictor
+    // without tags has no tag bits to flip).
+    Kind kinds[5];
+    unsigned num_kinds = 0;
+    const bool has_lt = !lts_.empty();
+    const bool has_lb = !lbs_.empty();
+    const bool lt_has_tags =
+        has_lt && lts_.front()->config().ltTagBits > 0;
+    const bool lt_has_pf = has_lt && lts_.front()->config().pfBits > 0;
+
+    if (has_lt && config_.targetLtLinks)
+        kinds[num_kinds++] = Kind::LtLink;
+    if (lt_has_tags && config_.targetLtTags)
+        kinds[num_kinds++] = Kind::LtTag;
+    if (lt_has_pf && config_.targetLtPf)
+        kinds[num_kinds++] = Kind::LtPf;
+    if (has_lb && config_.targetLbHistory)
+        kinds[num_kinds++] = Kind::LbHistory;
+    if (has_lb && config_.targetConfidence)
+        kinds[num_kinds++] = Kind::Confidence;
+    if (num_kinds == 0)
+        return;
+
+    const Kind kind = kinds[rng_.below(num_kinds)];
+    switch (kind) {
+      case Kind::LtLink:
+      case Kind::LtTag:
+      case Kind::LtPf:
+        flipLt(kind);
+        break;
+      case Kind::LbHistory:
+      case Kind::Confidence:
+        flipLb(kind);
+        break;
+    }
+}
+
+void
+FaultInjector::flipLt(Kind kind)
+{
+    LinkTable &lt = *lts_[rng_.below(lts_.size())];
+    LTEntry &entry = lt.entryAt(
+        static_cast<std::size_t>(rng_.below(lt.numEntries())));
+    const CapConfig &cap = lt.config();
+
+    switch (kind) {
+      case Kind::LtLink:
+        entry.link ^= std::uint64_t{1} << rng_.below(64);
+        ++counts_.ltLink;
+        break;
+      case Kind::LtTag:
+        entry.tag ^= std::uint64_t{1} << rng_.below(cap.ltTagBits);
+        ++counts_.ltTag;
+        break;
+      case Kind::LtPf:
+        entry.pf ^= static_cast<std::uint8_t>(
+            std::uint8_t{1} << rng_.below(cap.pfBits));
+        ++counts_.ltPf;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+FaultInjector::flipLb(Kind kind)
+{
+    LoadBuffer &lb = *lbs_[rng_.below(lbs_.size())];
+    LBEntry &entry = lb.entryAt(
+        static_cast<std::size_t>(rng_.below(lb.numEntries())));
+
+    if (kind == Kind::LbHistory) {
+        // Flip one bit of the architectural or (50/50) the
+        // speculative history register.
+        HistoryRegister &hist =
+            rng_.below(2) == 0 ? entry.hist : entry.specHist;
+        const unsigned num_bits = hist.numBits();
+        if (num_bits == 0)
+            return;
+        hist.setValue(hist.value() ^
+                      (std::uint64_t{1} << rng_.below(num_bits)));
+        ++counts_.lbHistory;
+        return;
+    }
+
+    // Confidence class: one of the saturating counters. Flipping a
+    // bit within the counter width always yields a representable
+    // value (max() is all-ones).
+    SatCounter *counters[] = {&entry.capConf, &entry.strideConf,
+                              &entry.selector};
+    SatCounter &counter = *counters[rng_.below(std::size(counters))];
+    const unsigned width = floorLog2(counter.max() + 1u);
+    counter.set(static_cast<std::uint8_t>(
+        counter.value() ^ (1u << rng_.below(width))));
+    ++counts_.confidence;
+}
+
+} // namespace clap

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic soft-error injection into live predictor state. The
+ * paper's central robustness argument is that all CAP state (LB
+ * histories, LT links/tags/PF bits, confidence counters) is
+ * speculative: a corrupted entry can only cost mispredictions, never
+ * correctness. This subsystem makes that claim measurable: a seeded
+ * RNG flips single bits in the attached structures at a configurable
+ * faults-per-million-loads rate, and the resilience benchmark sweeps
+ * the rate to show coverage degrading smoothly while the enhanced
+ * confidence mechanisms (tags, path indications, PF hysteresis)
+ * shield accuracy.
+ *
+ * Wiring: construct, attach() the predictor (or its tables), point
+ * PredictorSimConfig::faultInjector at it, run the simulation. The
+ * injector draws once per dynamic load, so a given (seed, rate,
+ * trace) triple injects a reproducible fault sequence.
+ */
+
+#ifndef CLAP_SIM_FAULT_INJECTOR_HH
+#define CLAP_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace clap
+{
+
+class LoadBuffer;
+class LinkTable;
+class HybridPredictor;
+class CapPredictor;
+class StridePredictor;
+
+/** Fault-injection knobs. */
+struct FaultInjectorConfig
+{
+    /// Expected number of injected faults per million dynamic loads.
+    /// 0 disables injection (the injector becomes a no-op hook).
+    double faultsPerMillionLoads = 0.0;
+
+    /// RNG seed: the same seed, rate, and attach order reproduce the
+    /// exact same fault sequence.
+    std::uint64_t seed = 0xfa171;
+
+    /// @name Targeted state classes (all on by default)
+    /// @{
+    bool targetLtLinks = true;    ///< LT predicted-base (link) bits
+    bool targetLtTags = true;     ///< LT history-tag bits
+    bool targetLtPf = true;       ///< LT pollution-free bits
+    bool targetLbHistory = true;  ///< LB compressed history registers
+    bool targetConfidence = true; ///< confidence/selector counters
+    /// @}
+};
+
+/** Injected-fault tally per state class. */
+struct FaultCounts
+{
+    std::uint64_t ltLink = 0;
+    std::uint64_t ltTag = 0;
+    std::uint64_t ltPf = 0;
+    std::uint64_t lbHistory = 0;
+    std::uint64_t confidence = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return ltLink + ltTag + ltPf + lbHistory + confidence;
+    }
+};
+
+/**
+ * Seeded single-bit fault injector over predictor state. Attach any
+ * number of load buffers and link tables (directly or via the
+ * predictor convenience overloads); onLoad() is the per-dynamic-load
+ * hook the simulators call.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultInjectorConfig &config = {});
+
+    /// @name Attach targets
+    /// @{
+    void attach(LoadBuffer &lb);
+    void attach(LinkTable &lt);
+    void attach(HybridPredictor &predictor);
+    void attach(CapPredictor &predictor);
+    void attach(StridePredictor &predictor);
+    /// @}
+
+    /**
+     * Per-dynamic-load hook: draws the Bernoulli fault event and, on
+     * a hit, flips one random bit in one random attached structure.
+     */
+    void onLoad();
+
+    /** Dynamic loads observed so far. */
+    std::uint64_t loadsSeen() const { return loads_; }
+
+    /** Faults injected so far, per state class. */
+    const FaultCounts &counts() const { return counts_; }
+
+    const FaultInjectorConfig &config() const { return config_; }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        LtLink,
+        LtTag,
+        LtPf,
+        LbHistory,
+        Confidence,
+    };
+
+    void injectOne();
+    void flipLt(Kind kind);
+    void flipLb(Kind kind);
+
+    FaultInjectorConfig config_;
+    Rng rng_;
+    double faultProb_ = 0.0;
+    std::vector<LoadBuffer *> lbs_;
+    std::vector<LinkTable *> lts_;
+    std::uint64_t loads_ = 0;
+    FaultCounts counts_;
+};
+
+} // namespace clap
+
+#endif // CLAP_SIM_FAULT_INJECTOR_HH

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "sim/branch_predictor.hh"
+#include "sim/fault_injector.hh"
 
 namespace clap
 {
@@ -103,6 +104,9 @@ runPredictorSim(const Trace &trace, AddressPredictor &predictor,
         }
 
         if (rec.isLoad()) {
+            if (config.faultInjector)
+                config.faultInjector->onLoad();
+
             LoadInfo info;
             info.pc = rec.pc;
             info.immOffset = rec.immOffset;

@@ -26,6 +26,8 @@
 namespace clap
 {
 
+class FaultInjector;
+
 /** Configuration of the functional evaluation. */
 struct PredictorSimConfig
 {
@@ -48,6 +50,12 @@ struct PredictorSimConfig
     /// misprediction is likely to happen when the traversal is
     /// over"). Only meaningful when gapCycles > 0.
     bool flushOnBranchMispredict = true;
+
+    /// Optional soft-error hook: when set, onLoad() fires once per
+    /// dynamic load *before* the prediction, so injected faults are
+    /// visible to the very next lookup. The injector must already be
+    /// attached to the predictor under test (see fault_injector.hh).
+    FaultInjector *faultInjector = nullptr;
 };
 
 /**

@@ -5,6 +5,8 @@
 #include <deque>
 #include <vector>
 
+#include "sim/fault_injector.hh"
+
 namespace clap
 {
 
@@ -175,6 +177,8 @@ runTimingSim(const Trace &trace, const TimingConfig &config,
             Prediction pred;
             LoadInfo info;
             if (predictor) {
+                if (config.predictorGap.faultInjector)
+                    config.predictorGap.faultInjector->onLoad();
                 info.pc = rec.pc;
                 info.immOffset = rec.immOffset;
                 info.ghr = ghr;

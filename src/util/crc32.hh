@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant)
+ * used as the integrity footer of trace format v2. Table-driven,
+ * incremental (suitable for streaming writers), header-only.
+ */
+
+#ifndef CLAP_UTIL_CRC32_HH
+#define CLAP_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace clap
+{
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Incremental CRC-32 accumulator.
+ *
+ *   Crc32 crc;
+ *   crc.update(buf, n);  // repeat
+ *   std::uint32_t digest = crc.value();
+ */
+class Crc32
+{
+  public:
+    /** Fold @p len bytes of @p data into the running CRC. */
+    void
+    update(const void *data, std::size_t len)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        std::uint32_t crc = state_;
+        for (std::size_t i = 0; i < len; ++i)
+            crc = (crc >> 8) ^ detail::crc32Table[(crc ^ bytes[i]) & 0xff];
+        state_ = crc;
+    }
+
+    /** Finalized digest of everything updated so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+    /** Restart from the empty message. */
+    void reset() { state_ = 0xffffffffu; }
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace clap
+
+#endif // CLAP_UTIL_CRC32_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the structured error layer (Error/Expected) and the
+ * configuration validate() methods it underpins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cap_predictor.hh"
+#include "core/config.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "util/crc32.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+namespace
+{
+
+TEST(Error, CarriesCodeMessageAndContext)
+{
+    Error e = makeError(ErrorCode::Truncated, "file cut short")
+                  .withContext("reading foo.trc")
+                  .withContext("loading suite INT");
+    EXPECT_EQ(e.code(), ErrorCode::Truncated);
+    EXPECT_EQ(e.message(), "file cut short");
+    ASSERT_EQ(e.contexts().size(), 2u);
+    EXPECT_EQ(e.contexts()[0], "reading foo.trc");
+    EXPECT_EQ(e.str(),
+              "Truncated: file cut short (reading foo.trc; loading "
+              "suite INT)");
+}
+
+TEST(Error, EveryCodeHasAName)
+{
+    for (int c = 0; c <= static_cast<int>(ErrorCode::InvalidArgument);
+         ++c) {
+        EXPECT_STRNE(errorCodeName(static_cast<ErrorCode>(c)),
+                     "Unknown");
+    }
+}
+
+TEST(Expected, ValueAndErrorPaths)
+{
+    Expected<int> good(42);
+    ASSERT_TRUE(good);
+    EXPECT_EQ(*good, 42);
+    EXPECT_EQ(good.valueOr(-1), 42);
+
+    Expected<int> bad(makeError(ErrorCode::IoError, "nope"));
+    ASSERT_FALSE(bad);
+    EXPECT_EQ(bad.error().code(), ErrorCode::IoError);
+    EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+TEST(Expected, VoidSpecialization)
+{
+    Expected<void> good = ok();
+    EXPECT_TRUE(good);
+
+    Expected<void> bad = makeError(ErrorCode::InvalidConfig, "bad");
+    ASSERT_FALSE(bad);
+    EXPECT_EQ(bad.error().code(), ErrorCode::InvalidConfig);
+}
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // Standard test vector: CRC-32("123456789") = 0xcbf43926.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+
+    // Incremental updates equal the one-shot digest.
+    Crc32 crc;
+    crc.update("1234", 4);
+    crc.update("56789", 5);
+    EXPECT_EQ(crc.value(), 0xcbf43926u);
+}
+
+TEST(ConfigValidate, DefaultsAreValid)
+{
+    EXPECT_TRUE(LoadBufferConfig{}.validate());
+    EXPECT_TRUE(CapConfig{}.validate());
+    EXPECT_TRUE(StrideConfig{}.validate());
+    EXPECT_TRUE(HybridConfig{}.validate());
+    EXPECT_TRUE(CapPredictorConfig{}.validate());
+    EXPECT_TRUE(StridePredictorConfig{}.validate());
+    EXPECT_TRUE(LastAddressConfig{}.validate());
+}
+
+TEST(ConfigValidate, LoadBufferRejectsBadGeometry)
+{
+    LoadBufferConfig lb;
+    lb.entries = 0;
+    EXPECT_EQ(lb.validate().error().code(), ErrorCode::InvalidConfig);
+
+    lb.entries = 100; // not a power of two
+    EXPECT_FALSE(lb.validate());
+
+    lb.entries = 64;
+    lb.assoc = 0;
+    EXPECT_FALSE(lb.validate());
+
+    lb.assoc = 3; // does not divide 64
+    EXPECT_FALSE(lb.validate());
+
+    lb.assoc = 4;
+    EXPECT_TRUE(lb.validate());
+}
+
+TEST(ConfigValidate, CapRejectsAssocWithoutTags)
+{
+    CapConfig cap;
+    cap.ltAssoc = 2;
+    cap.ltTagBits = 0;
+    const auto v = cap.validate();
+    ASSERT_FALSE(v);
+    EXPECT_EQ(v.error().code(), ErrorCode::InvalidConfig);
+    EXPECT_NE(v.error().message().find("ltTagBits"), std::string::npos);
+}
+
+TEST(ConfigValidate, CapRejectsBadBounds)
+{
+    CapConfig cap;
+    cap.ltEntries = 1000; // not a power of two
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.historyLength = 0;
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.ltTagBits = 80; // history wider than 63 bits
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.confBits = 0;
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.confBits = 2;
+    cap.confThreshold = 4; // unreachable by a 2-bit counter
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.pfBits = 7;
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.offsetBits = 9;
+    EXPECT_FALSE(cap.validate());
+
+    cap = CapConfig{};
+    cap.perPathConfidence = true;
+    cap.pathBits = 6; // bitmap is 32 bits -> at most 5
+    EXPECT_FALSE(cap.validate());
+    cap.pathBits = 5;
+    EXPECT_TRUE(cap.validate());
+}
+
+TEST(ConfigValidate, StrideRejectsBadBounds)
+{
+    StrideConfig stride;
+    stride.confBits = 9;
+    EXPECT_FALSE(stride.validate());
+
+    stride = StrideConfig{};
+    stride.useInterval = true;
+    stride.minInterval = 0;
+    EXPECT_FALSE(stride.validate());
+
+    stride = StrideConfig{};
+    stride.useInterval = false;
+    stride.minInterval = 0; // irrelevant when intervals are off
+    EXPECT_TRUE(stride.validate());
+}
+
+TEST(ConfigValidate, CompositeConfigsNameTheFailingPart)
+{
+    HybridConfig hybrid;
+    hybrid.cap.ltAssoc = 2;
+    hybrid.cap.ltTagBits = 0;
+    const auto v = hybrid.validate();
+    ASSERT_FALSE(v);
+    EXPECT_NE(v.error().str().find("HybridConfig.cap"),
+              std::string::npos);
+
+    HybridConfig selector;
+    selector.selectorInit = 4;
+    EXPECT_FALSE(selector.validate());
+}
+
+TEST(ConfigValidate, ConstructorsEnforceValidation)
+{
+    HybridConfig bad_hybrid;
+    bad_hybrid.lb.entries = 100;
+    EXPECT_THROW(HybridPredictor{bad_hybrid}, std::invalid_argument);
+
+    CapPredictorConfig bad_cap;
+    bad_cap.cap.historyLength = 0;
+    EXPECT_THROW(CapPredictor{bad_cap}, std::invalid_argument);
+
+    StridePredictorConfig bad_stride;
+    bad_stride.stride.confBits = 0;
+    EXPECT_THROW(StridePredictor{bad_stride}, std::invalid_argument);
+
+    LastAddressConfig bad_last;
+    bad_last.confThreshold = 100;
+    EXPECT_THROW(LastAddressPredictor{bad_last}, std::invalid_argument);
+
+    // The diagnostic survives into the exception text.
+    try {
+        HybridPredictor pred(bad_hybrid);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &ex) {
+        EXPECT_NE(std::string(ex.what()).find("InvalidConfig"),
+                  std::string::npos);
+    }
+
+    // Valid configs still construct.
+    EXPECT_NO_THROW(HybridPredictor{HybridConfig{}});
+}
+
+} // namespace
+} // namespace clap

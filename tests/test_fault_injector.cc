@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the soft-error fault injector: seeded determinism,
+ * rate scaling, state-class targeting, and the paper's graceful-
+ * degradation property — injected faults may cost mispredictions but
+ * never break simulation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/fault_injector.hh"
+#include "sim/predictor_sim.hh"
+#include "test_util.hh"
+
+namespace clap
+{
+namespace
+{
+
+/** A learnable 4-address cycle: CAP covers it fully when healthy. */
+Trace
+cycleTrace(unsigned repeats = 3000)
+{
+    return test::loadTrace(test::repeatPattern(
+        {0x10000, 0x10040, 0x100c0, 0x10200}, repeats));
+}
+
+PredictionStats
+runWithFaults(const Trace &trace, double rate, std::uint64_t seed,
+              FaultCounts *counts_out = nullptr)
+{
+    HybridPredictor predictor{HybridConfig{}};
+    FaultInjectorConfig config;
+    config.faultsPerMillionLoads = rate;
+    config.seed = seed;
+    FaultInjector injector(config);
+    injector.attach(predictor);
+
+    PredictorSimConfig sim;
+    sim.faultInjector = &injector;
+    const PredictionStats stats = runPredictorSim(trace, predictor, sim);
+    if (counts_out)
+        *counts_out = injector.counts();
+    return stats;
+}
+
+TEST(FaultInjector, ZeroRateIsANoOp)
+{
+    const Trace trace = cycleTrace();
+    FaultCounts counts;
+    const PredictionStats with =
+        runWithFaults(trace, 0.0, 123, &counts);
+    EXPECT_EQ(counts.total(), 0u);
+
+    HybridPredictor clean{HybridConfig{}};
+    const PredictionStats without = runPredictorSim(trace, clean, {});
+    EXPECT_EQ(with.spec, without.spec);
+    EXPECT_EQ(with.specCorrect, without.specCorrect);
+}
+
+TEST(FaultInjector, SameSeedReproducesExactly)
+{
+    const Trace trace = cycleTrace();
+    FaultCounts a_counts, b_counts;
+    const PredictionStats a =
+        runWithFaults(trace, 5000, 42, &a_counts);
+    const PredictionStats b =
+        runWithFaults(trace, 5000, 42, &b_counts);
+    EXPECT_EQ(a_counts.total(), b_counts.total());
+    EXPECT_EQ(a_counts.ltLink, b_counts.ltLink);
+    EXPECT_EQ(a_counts.lbHistory, b_counts.lbHistory);
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.specCorrect, b.specCorrect);
+
+    // A different seed gives a different fault placement (and with
+    // this many faults, almost surely different counters).
+    FaultCounts c_counts;
+    runWithFaults(trace, 5000, 43, &c_counts);
+    EXPECT_EQ(a_counts.total() > 0, true);
+    EXPECT_TRUE(c_counts.total() > 0);
+}
+
+TEST(FaultInjector, RateScalesInjectedFaults)
+{
+    const Trace trace = cycleTrace();
+    const std::uint64_t loads = trace.size();
+
+    FaultCounts low, high;
+    runWithFaults(trace, 1000, 7, &low);   // 0.1% of loads
+    runWithFaults(trace, 20000, 7, &high); // 2% of loads
+
+    // Expected counts: rate * loads / 1e6, allow generous slack.
+    const double low_expected = 1000.0 * loads / 1e6;
+    const double high_expected = 20000.0 * loads / 1e6;
+    EXPECT_GT(low.total(), 0u);
+    EXPECT_LT(low.total(), 4 * low_expected + 10);
+    EXPECT_GT(high.total(), high_expected / 4);
+    EXPECT_GT(high.total(), low.total());
+}
+
+TEST(FaultInjector, InvariantsHoldUnderHeavyFaults)
+{
+    const Trace trace = cycleTrace();
+    FaultCounts counts;
+    const PredictionStats stats =
+        runWithFaults(trace, 100000, 99, &counts); // 10% of loads
+    EXPECT_GT(counts.total(), 0u);
+    EXPECT_LE(stats.spec, stats.loads);
+    EXPECT_LE(stats.specCorrect, stats.spec);
+    EXPECT_LE(stats.formedCorrect, stats.formed);
+    EXPECT_GE(stats.accuracy(), 0.0);
+    EXPECT_LE(stats.accuracy(), 1.0);
+}
+
+TEST(FaultInjector, HeavyFaultsOnlyDegradeCoverage)
+{
+    const Trace trace = cycleTrace();
+    const PredictionStats healthy = runWithFaults(trace, 0, 1);
+    const PredictionStats faulty = runWithFaults(trace, 100000, 1);
+    // Graceful degradation: corrupted speculative state can lose
+    // correct predictions but the simulation completes and the
+    // predictor keeps functioning (it still covers most loads).
+    EXPECT_LE(faulty.specCorrect, healthy.specCorrect);
+    EXPECT_GT(faulty.specCorrect, healthy.specCorrect / 2);
+}
+
+TEST(FaultInjector, TargetsCanBeRestricted)
+{
+    const Trace trace = cycleTrace(500);
+    HybridPredictor predictor{HybridConfig{}};
+    FaultInjectorConfig config;
+    config.faultsPerMillionLoads = 50000;
+    config.targetLtLinks = false;
+    config.targetLtTags = false;
+    config.targetLtPf = false;
+    config.targetConfidence = false; // only LB history remains
+    FaultInjector injector(config);
+    injector.attach(predictor);
+
+    PredictorSimConfig sim;
+    sim.faultInjector = &injector;
+    runPredictorSim(trace, predictor, sim);
+
+    EXPECT_GT(injector.counts().lbHistory, 0u);
+    EXPECT_EQ(injector.counts().ltLink, 0u);
+    EXPECT_EQ(injector.counts().ltTag, 0u);
+    EXPECT_EQ(injector.counts().ltPf, 0u);
+    EXPECT_EQ(injector.counts().confidence, 0u);
+    EXPECT_EQ(injector.loadsSeen(), trace.size());
+}
+
+TEST(FaultInjector, AttachesToEveryPredictorShape)
+{
+    const Trace trace = cycleTrace(500);
+    FaultInjectorConfig config;
+    config.faultsPerMillionLoads = 50000;
+
+    {
+        CapPredictor cap{CapPredictorConfig{}};
+        FaultInjector injector(config);
+        injector.attach(cap);
+        PredictorSimConfig sim;
+        sim.faultInjector = &injector;
+        runPredictorSim(trace, cap, sim);
+        EXPECT_GT(injector.counts().total(), 0u);
+    }
+    {
+        StridePredictor stride{StridePredictorConfig{}};
+        FaultInjector injector(config);
+        injector.attach(stride);
+        PredictorSimConfig sim;
+        sim.faultInjector = &injector;
+        runPredictorSim(trace, stride, sim);
+        // No LT attached: only LB classes fire.
+        EXPECT_GT(injector.counts().total(), 0u);
+        EXPECT_EQ(injector.counts().ltLink, 0u);
+    }
+}
+
+TEST(FaultInjector, NoTagNoPfConfigSkipsThoseClasses)
+{
+    const Trace trace = cycleTrace(500);
+    CapPredictorConfig naive;
+    naive.cap.ltTagBits = 0;
+    naive.cap.pfBits = 0;
+    naive.cap.pathBits = 0;
+    CapPredictor predictor{naive};
+
+    FaultInjectorConfig config;
+    config.faultsPerMillionLoads = 50000;
+    FaultInjector injector(config);
+    injector.attach(predictor);
+
+    PredictorSimConfig sim;
+    sim.faultInjector = &injector;
+    runPredictorSim(trace, predictor, sim);
+    EXPECT_EQ(injector.counts().ltTag, 0u);
+    EXPECT_EQ(injector.counts().ltPf, 0u);
+    EXPECT_GT(injector.counts().total(), 0u);
+}
+
+} // namespace
+} // namespace clap
