@@ -31,19 +31,20 @@ results()
     static const PfResults cached = [] {
         const std::size_t len = defaultTraceLength();
         PfResults r;
-        r.with = runPerSuite(capFactory(), {}, len);
+        r.with = sweepPerSuite("pf_on", capFactory(), {}, len);
         PredictorFactory no_pf = [] {
             CapPredictorConfig config;
             config.cap.pfBits = 0;
             return std::make_unique<CapPredictor>(config);
         };
-        r.without = runPerSuite(no_pf, {}, len);
+        r.without = sweepPerSuite("pf_off", no_pf, {}, len);
         PredictorFactory decoupled_pf = [] {
             CapPredictorConfig config;
             config.cap.pfTableBits = 16;
             return std::make_unique<CapPredictor>(config);
         };
-        r.decoupled = runPerSuite(decoupled_pf, {}, len);
+        r.decoupled =
+            sweepPerSuite("pf_decoupled", decoupled_pf, {}, len);
         return r;
     }();
     return cached;
@@ -90,8 +91,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("ablation_pf", argc, argv,
+                                  printResults);
 }

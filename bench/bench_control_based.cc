@@ -45,9 +45,9 @@ results()
             config.usePathHistory = true;
             return std::make_unique<ControlAddressPredictor>(config);
         };
-        r.gshare = runPerSuite(gshare_factory, {}, len);
-        r.path = runPerSuite(path_factory, {}, len);
-        r.cap = runPerSuite(capFactory(), {}, len);
+        r.gshare = sweepPerSuite("gshare", gshare_factory, {}, len);
+        r.path = sweepPerSuite("path", path_factory, {}, len);
+        r.cap = sweepPerSuite("cap", capFactory(), {}, len);
         return r;
     }();
     return cached;
@@ -94,8 +94,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("control_based", argc, argv,
+                                  printResults);
 }

@@ -52,49 +52,94 @@ naiveConfig()
 
 /// One trace per behavioural family keeps the sweep representative
 /// without paying for the full 45-trace catalog at every rate.
-std::vector<Trace>
-sweepTraces()
+std::vector<TraceSpec>
+sweepSpecs()
 {
-    std::vector<Trace> traces;
-    const std::size_t len = defaultTraceLength();
+    std::vector<TraceSpec> specs;
     for (const char *suite : {"INT", "MM", "TPC", "NT"})
-        traces.push_back(generateTrace(buildSuite(suite).front(), len));
-    return traces;
+        specs.push_back(buildSuite(suite).front());
+    return specs;
 }
 
-PredictionStats
-runOne(const Trace &trace, const CapPredictorConfig &config, double rate,
-       std::uint64_t *faults)
+/**
+ * One fault-injection cell as a self-contained sweep job. The
+ * injector seed is salted with the retry attempt: a job failing its
+ * post-run structural audit (CorruptedState, retryable) draws a fresh
+ * fault pattern on the retry instead of deterministically re-failing.
+ */
+SweepJob
+faultJob(const std::string &key, const TraceSpec &spec,
+         const CapPredictorConfig &config, double rate)
 {
-    CapPredictor predictor{config};
-    FaultInjectorConfig fault_config;
-    fault_config.faultsPerMillionLoads = rate;
-    FaultInjector injector(fault_config);
-    injector.attach(predictor);
+    SweepJob job;
+    job.key = key;
+    job.run = [spec, config,
+               rate](const JobContext &ctx) -> Expected<JobResult> {
+        const Trace trace = generateTrace(spec, defaultTraceLength());
+        CapPredictor predictor{config};
+        FaultInjectorConfig fault_config;
+        fault_config.faultsPerMillionLoads = rate;
+        fault_config.seed += ctx.attempt;
+        FaultInjector injector(fault_config);
+        injector.attach(predictor);
 
-    PredictorSimConfig sim;
-    sim.faultInjector = &injector;
-    const PredictionStats stats = runPredictorSim(trace, predictor, sim);
-    *faults += injector.counts().total();
-    return stats;
+        PredictorSimConfig sim;
+        sim.faultInjector = &injector;
+        sim.cancel = ctx.cancel;
+        JobResult result;
+        result.stats = runPredictorSim(trace, predictor, sim);
+        result.hasStats = true;
+        result.faults = injector.counts().total();
+        if (auto audit = predictor.audit(); !audit) {
+            return std::move(audit.error())
+                .withContext("after fault injection on '" +
+                             spec.name + "'");
+        }
+        return result;
+    };
+    return job;
 }
 
 const std::vector<SweepPoint> &
 results()
 {
     static const std::vector<SweepPoint> cached = [] {
-        const std::vector<Trace> traces = sweepTraces();
-        std::vector<SweepPoint> points;
-        for (const double rate : rates) {
-            SweepPoint point;
-            for (const Trace &trace : traces) {
-                point.naive.merge(runOne(trace, naiveConfig(), rate,
-                                         &point.naiveFaults));
-                point.enhanced.merge(runOne(trace, CapPredictorConfig{},
-                                            rate,
-                                            &point.enhancedFaults));
+        const std::vector<TraceSpec> specs = sweepSpecs();
+        std::vector<SweepJob> jobs;
+        for (std::size_t i = 0; i < std::size(rates); ++i) {
+            const std::string prefix =
+                "rate" + std::to_string(static_cast<unsigned long long>(
+                             rates[i]));
+            for (const auto &spec : specs) {
+                jobs.push_back(faultJob(
+                    prefix + "/naive/" + spec.name, spec,
+                    naiveConfig(), rates[i]));
+                jobs.push_back(faultJob(
+                    prefix + "/enhanced/" + spec.name, spec,
+                    CapPredictorConfig{}, rates[i]));
             }
-            points.push_back(point);
+        }
+
+        const SweepReport report = runSweepJobs(jobs);
+
+        // Fold outcomes back into per-rate points; failed cells
+        // contribute nothing (graceful degradation) and appear in the
+        // harness failure list instead.
+        std::vector<SweepPoint> points(std::size(rates));
+        const std::size_t per_rate = 2 * specs.size();
+        for (std::size_t j = 0; j < report.outcomes.size(); ++j) {
+            const JobOutcome &outcome = report.outcomes[j];
+            if (!outcome.ok)
+                continue;
+            SweepPoint &point = points[j / per_rate];
+            const bool naive = (j % 2) == 0;
+            if (naive) {
+                point.naive.merge(outcome.result.stats);
+                point.naiveFaults += outcome.result.faults;
+            } else {
+                point.enhanced.merge(outcome.result.stats);
+                point.enhancedFaults += outcome.result.faults;
+            }
         }
         return points;
     }();
@@ -146,8 +191,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fault_resilience", argc, argv,
+                                  printResults);
 }

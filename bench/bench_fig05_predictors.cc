@@ -33,9 +33,9 @@ results()
     static const Fig5Results cached = [] {
         const std::size_t len = defaultTraceLength();
         Fig5Results r;
-        r.stride = runPerSuite(strideFactory(), {}, len);
-        r.cap = runPerSuite(capFactory(), {}, len);
-        r.hybrid = runPerSuite(hybridFactory(), {}, len);
+        r.stride = sweepPerSuite("stride", strideFactory(), {}, len);
+        r.cap = sweepPerSuite("cap", capFactory(), {}, len);
+        r.hybrid = sweepPerSuite("hybrid", hybridFactory(), {}, len);
         return r;
     }();
     return cached;
@@ -80,8 +80,6 @@ printFig5()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printFig5();
-    return 0;
+    return clap::bench::benchMain("fig05_predictors", argc, argv,
+                                  printFig5);
 }

@@ -43,7 +43,7 @@ results()
                 config.lb.assoc = lb.assoc;
                 return std::make_unique<HybridPredictor>(config);
             };
-            r.push_back(runPerSuite(factory, {}, len));
+            r.push_back(sweepPerSuite(lb.label, factory, {}, len));
         }
         return r;
     }();
@@ -94,8 +94,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig06_lb_sweep", argc, argv,
+                                  printResults);
 }

@@ -33,10 +33,10 @@ results()
         const std::size_t len = defaultTraceLength();
         const auto specs = buildCatalog();
         Fig7Results r;
-        r.stride = runSpeedup(specs, strideFactory(), TimingConfig{},
-                              len);
-        r.hybrid = runSpeedup(specs, hybridFactory(), TimingConfig{},
-                              len);
+        r.stride = sweepSpeedup("stride", specs, strideFactory(),
+                                TimingConfig{}, len);
+        r.hybrid = sweepSpeedup("hybrid", specs, hybridFactory(),
+                                TimingConfig{}, len);
         return r;
     }();
     return cached;
@@ -109,8 +109,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig07_speedup", argc, argv,
+                                  printResults);
 }

@@ -20,8 +20,8 @@ using namespace clap::bench;
 const std::vector<SuiteStats> &
 results()
 {
-    static const std::vector<SuiteStats> cached =
-        runPerSuite(hybridFactory(), {}, defaultTraceLength());
+    static const std::vector<SuiteStats> cached = sweepPerSuite(
+        "hybrid", hybridFactory(), {}, defaultTraceLength());
     return cached;
 }
 
@@ -71,8 +71,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig08_selector", argc, argv,
+                                  printResults);
 }

@@ -41,7 +41,11 @@ results()
                     config.cap.historyLength = hist;
                     return std::make_unique<CapPredictor>(config);
                 };
-                const auto suites = runPerSuite(factory, {}, len);
+                const std::string label =
+                    std::string(corr ? "corr" : "nocorr") + "_h" +
+                    std::to_string(hist);
+                const auto suites =
+                    sweepPerSuite(label, factory, {}, len);
                 const double value =
                     suites.back().stats.correctOfAllLoads();
                 (corr ? r.withCorr : r.withoutCorr).push_back(value);
@@ -89,8 +93,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig09_history", argc, argv,
+                                  printResults);
 }

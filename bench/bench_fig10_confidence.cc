@@ -49,7 +49,10 @@ results()
                 config.cap.historyLength = cfg.historyLength;
                 return std::make_unique<CapPredictor>(config);
             };
-            r.push_back(runPerSuite(factory, {}, len).back().stats);
+            r.push_back(
+                sweepPerSuite(cfg.label, factory, {}, len)
+                    .back()
+                    .stats);
         }
         return r;
     }();
@@ -101,8 +104,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig10_confidence", argc, argv,
+                                  printResults);
 }

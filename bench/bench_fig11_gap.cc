@@ -35,12 +35,15 @@ results()
         for (const unsigned gap : gaps) {
             PredictorSimConfig sim;
             sim.gapCycles = gap;
+            const std::string suffix = "_g" + std::to_string(gap);
             r.stride.push_back(
-                runPerSuite(strideFactory(gap != 0), sim, len)
+                sweepPerSuite("stride" + suffix,
+                              strideFactory(gap != 0), sim, len)
                     .back()
                     .stats);
             r.hybrid.push_back(
-                runPerSuite(hybridFactory(gap != 0), sim, len)
+                sweepPerSuite("hybrid" + suffix,
+                              hybridFactory(gap != 0), sim, len)
                     .back()
                     .stats);
         }
@@ -93,8 +96,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig11_gap", argc, argv,
+                                  printResults);
 }

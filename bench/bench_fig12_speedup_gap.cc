@@ -39,14 +39,16 @@ results()
         gapped.predictorGap.gapCycles = 8;
 
         Fig12Results r;
-        r.strideImm =
-            runSpeedup(specs, strideFactory(false), immediate, len);
-        r.strideGap =
-            runSpeedup(specs, strideFactory(true), gapped, len);
-        r.hybridImm =
-            runSpeedup(specs, hybridFactory(false), immediate, len);
-        r.hybridGap =
-            runSpeedup(specs, hybridFactory(true), gapped, len);
+        r.strideImm = sweepSpeedup("stride_imm", specs,
+                                   strideFactory(false), immediate,
+                                   len);
+        r.strideGap = sweepSpeedup("stride_gap8", specs,
+                                   strideFactory(true), gapped, len);
+        r.hybridImm = sweepSpeedup("hybrid_imm", specs,
+                                   hybridFactory(false), immediate,
+                                   len);
+        r.hybridGap = sweepSpeedup("hybrid_gap8", specs,
+                                   hybridFactory(true), gapped, len);
         return r;
     }();
     return cached;
@@ -115,8 +117,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("fig12_speedup_gap", argc, argv,
+                                  printResults);
 }

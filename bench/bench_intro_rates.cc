@@ -29,8 +29,8 @@ results()
     static const IntroResults cached = [] {
         const std::size_t len = defaultTraceLength();
         IntroResults r;
-        r.last = runPerSuite(lastAddressFactory(), {}, len);
-        r.stride = runPerSuite(strideFactory(), {}, len);
+        r.last = sweepPerSuite("last", lastAddressFactory(), {}, len);
+        r.stride = sweepPerSuite("stride", strideFactory(), {}, len);
         return r;
     }();
     return cached;
@@ -74,8 +74,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("intro_rates", argc, argv,
+                                  printResults);
 }

@@ -30,7 +30,8 @@ assocResults()
                 config.cap.ltAssoc = assoc;
                 return std::make_unique<HybridPredictor>(config);
             };
-            r.push_back(runPerSuite(factory, {}, len));
+            r.push_back(sweepPerSuite(
+                "lt_assoc" + std::to_string(assoc), factory, {}, len));
         }
         return r;
     }();
@@ -49,7 +50,8 @@ results()
                 config.cap.ltEntries = entries;
                 return std::make_unique<HybridPredictor>(config);
             };
-            r.push_back(runPerSuite(factory, {}, len));
+            r.push_back(sweepPerSuite(
+                "lt" + std::to_string(entries), factory, {}, len));
         }
         return r;
     }();
@@ -106,8 +108,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("lt_sweep", argc, argv,
+                                  printResults);
 }

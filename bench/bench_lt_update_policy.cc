@@ -42,7 +42,8 @@ results()
                 config.ltUpdatePolicy = policy.policy;
                 return std::make_unique<HybridPredictor>(config);
             };
-            r.push_back(runPerSuite(factory, {}, len));
+            r.push_back(
+                sweepPerSuite(policy.label, factory, {}, len));
         }
         return r;
     }();
@@ -87,8 +88,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("lt_update_policy", argc, argv,
+                                  printResults);
 }

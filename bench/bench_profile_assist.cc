@@ -44,36 +44,94 @@ sizedConfig(bool small)
     return config;
 }
 
-const ProfileResults &
-results()
+/**
+ * One profile-assist cell as a self-contained sweep job: regenerate
+ * the trace, profile it when @p profiled, run the predictor, audit.
+ * The size-0 profiled job additionally reports the static-load
+ * classification counts through the aux counters (aux0 = classified
+ * static loads, aux1 = those left Unknown).
+ */
+SweepJob
+profileJob(const std::string &key, const TraceSpec &spec, bool small,
+           bool profiled, bool count_classes)
 {
-    static const ProfileResults cached = [] {
-        const std::size_t len = defaultTraceLength();
-        ProfileResults r;
-        std::uint64_t unknown = 0;
-        std::uint64_t total = 0;
-        for (const auto &spec : buildCatalog()) {
-            const Trace trace = generateTrace(spec, len);
-
+    SweepJob job;
+    job.key = key;
+    job.run = [spec, small, profiled, count_classes](
+                  const JobContext &ctx) -> Expected<JobResult> {
+        const Trace trace =
+            generateTrace(spec, defaultTraceLength());
+        JobResult result;
+        PredictorSimConfig sim;
+        sim.cancel = ctx.cancel;
+        std::unique_ptr<AddressPredictor> predictor;
+        if (profiled) {
             LoadClassifier classifier;
             for (const auto &rec : trace.records()) {
                 if (rec.isLoad())
                     classifier.observe(rec.pc, rec.effAddr);
             }
             const auto classes = classifier.classifyAll();
-            for (const auto &[pc, cls] : classes) {
-                (void)pc;
-                ++total;
-                unknown += cls == LoadClass::Unknown ? 1 : 0;
+            if (count_classes) {
+                for (const auto &[pc, cls] : classes) {
+                    (void)pc;
+                    ++result.aux0;
+                    result.aux1 +=
+                        cls == LoadClass::Unknown ? 1 : 0;
+                }
             }
+            predictor = std::make_unique<ProfileAssistedPredictor>(
+                sizedConfig(small), classes);
+        } else {
+            predictor = std::make_unique<HybridPredictor>(
+                sizedConfig(small));
+        }
+        result.stats = runPredictorSim(trace, *predictor, sim);
+        result.hasStats = true;
+        if (auto audit = predictor->audit(); !audit) {
+            return std::move(audit.error())
+                .withContext("after trace '" + spec.name + "'");
+        }
+        return result;
+    };
+    return job;
+}
 
+const ProfileResults &
+results()
+{
+    static const ProfileResults cached = [] {
+        std::vector<SweepJob> jobs;
+        for (const auto &spec : buildCatalog()) {
             for (const int size : {0, 1}) {
-                HybridPredictor plain(sizedConfig(size == 1));
-                r.plain[size].merge(runPredictorSim(trace, plain, {}));
-                ProfileAssistedPredictor profiled(
-                    sizedConfig(size == 1), classes);
-                r.profiled[size].merge(
-                    runPredictorSim(trace, profiled, {}));
+                const std::string suffix =
+                    (size == 1 ? "/small/" : "/base/") + spec.name;
+                jobs.push_back(profileJob("plain" + suffix, spec,
+                                          size == 1, false, false));
+                jobs.push_back(profileJob("profiled" + suffix, spec,
+                                          size == 1, true,
+                                          size == 0));
+            }
+        }
+
+        const SweepReport report = runSweepJobs(jobs);
+
+        ProfileResults r;
+        std::uint64_t unknown = 0;
+        std::uint64_t total = 0;
+        // Job layout per spec: plain/base, profiled/base,
+        // plain/small, profiled/small.
+        for (std::size_t j = 0; j < report.outcomes.size(); ++j) {
+            const JobOutcome &outcome = report.outcomes[j];
+            if (!outcome.ok)
+                continue;
+            const int size = static_cast<int>((j % 4) / 2);
+            if ((j % 2) == 0) {
+                r.plain[size].merge(outcome.result.stats);
+            } else {
+                r.profiled[size].merge(outcome.result.stats);
+                total += outcome.result.aux0;
+                unknown += outcome.result.aux1;
             }
         }
         r.unknownFraction =
@@ -128,8 +186,6 @@ printResults()
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printResults();
-    return 0;
+    return clap::bench::benchMain("profile_assist", argc, argv,
+                                  printResults);
 }

@@ -5,6 +5,26 @@
  * with google-benchmark (single iteration — these are experiment
  * harnesses, not microbenchmarks) and prints a paper-style result
  * table afterwards, annotated with the values the paper reports.
+ *
+ * All harnesses route their sweeps through the resilient runner
+ * (runner/sweep.hh) and share a flag layer on top of the
+ * google-benchmark flags:
+ *
+ *   --jobs=N        worker threads (default 1 = serial order)
+ *   --timeout-ms=N  per-job wall-clock budget (0 = no watchdog)
+ *   --retries=N     retry budget for transient failures (default 2)
+ *   --backoff-ms=N  retry backoff base; retry r sleeps base << r
+ *   --journal=PATH  checkpoint completed jobs to PATH (JSONL+CRC)
+ *   --resume        replay the journal, re-run only missing jobs
+ *                   (default journal: BENCH_<name>.journal)
+ *   --out=PATH      result JSON path (default BENCH_<name>.json)
+ *   --no-json       skip writing the result JSON
+ *
+ * Results additionally land in BENCH_<name>.json (written atomically
+ * via temp-file + rename): every printed table plus any failed jobs.
+ * The JSON contains no run-dependent counters, so an interrupted +
+ * resumed sweep produces a byte-identical file to an uninterrupted
+ * one.
  */
 
 #ifndef CLAP_BENCH_BENCH_UTIL_HH
@@ -13,16 +33,24 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cap_predictor.hh"
 #include "core/config.hh"
 #include "core/hybrid_predictor.hh"
 #include "core/last_address_predictor.hh"
 #include "core/stride_predictor.hh"
+#include "runner/sweep.hh"
 #include "sim/experiment.hh"
+#include "util/atomic_file.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace clap::bench
@@ -71,13 +99,317 @@ lastAddressFactory()
     };
 }
 
-/** Print a titled table to stdout with a blank line around it. */
+/** Parsed sweep flags (see file header). */
+struct SweepOptions
+{
+    unsigned jobs = 1;
+    std::uint64_t timeoutMs = 0;
+    unsigned retries = 2;
+    std::uint64_t backoffMs = 10;
+    std::string journalPath; ///< resolved; empty = no checkpointing
+    bool resume = false;
+    std::string outPath; ///< resolved result JSON path
+    bool noJson = false;
+};
+
+/** Process-wide bench harness state (one bench binary = one state). */
+struct BenchState
+{
+    std::string name; ///< e.g. "fig05_predictors"
+    SweepOptions options;
+
+    /// Printed tables in print order (title, formatted cells).
+    std::vector<std::pair<std::string, Table>> tables;
+
+    /// Jobs that ended in a structured error, across all sweeps.
+    struct Failure
+    {
+        std::string key;
+        std::string error;
+    };
+    std::vector<Failure> failures;
+
+    RunnerCounters counters; ///< accumulated over all sweeps
+    std::size_t journalBadLines = 0;
+
+    static BenchState &
+    instance()
+    {
+        static BenchState state;
+        return state;
+    }
+};
+
+/** Runner built from the bench flags. Journalling benches always run
+ *  the runner in resume mode: benchMain() truncates the journal once
+ *  at startup for fresh runs, so the several sweeps of one binary
+ *  (e.g. the stride and hybrid columns of a figure) append to — and
+ *  on --resume replay from — a single shared journal. */
+inline SweepRunner
+makeSweepRunner()
+{
+    const SweepOptions &options = BenchState::instance().options;
+    RunnerConfig config;
+    config.threads = options.jobs;
+    config.timeoutMs = options.timeoutMs;
+    config.maxRetries = options.retries;
+    config.backoffBaseMs = options.backoffMs;
+    config.journalPath = options.journalPath;
+    config.resume = !options.journalPath.empty();
+    return SweepRunner(config);
+}
+
+/** Fold one sweep's report into the bench state. */
+inline void
+recordSweepReport(const SweepReport &report)
+{
+    BenchState &state = BenchState::instance();
+    if (!report.status) {
+        std::fprintf(stderr, "sweep error: %s\n",
+                     report.status.error().str().c_str());
+        state.failures.push_back(
+            {"(sweep)", report.status.error().str()});
+    }
+    for (const auto &outcome : report.outcomes) {
+        if (!outcome.ok)
+            state.failures.push_back(
+                {outcome.key, outcome.error.str()});
+    }
+    state.counters.executed += report.counters.executed;
+    state.counters.journalHits += report.counters.journalHits;
+    state.counters.retries += report.counters.retries;
+    state.counters.timeouts += report.counters.timeouts;
+    state.counters.failures += report.counters.failures;
+    state.journalBadLines += report.journalBadLines;
+}
+
+/** Resilient runPerTrace under the bench flags. */
+inline std::vector<TraceStatsResult>
+sweepPerTrace(const std::string &label,
+              const std::vector<TraceSpec> &specs,
+              const PredictorFactory &factory,
+              const PredictorSimConfig &sim_config, std::size_t len)
+{
+    auto output = runPerTraceResilient(label, specs, factory,
+                                       sim_config, len,
+                                       makeSweepRunner());
+    recordSweepReport(output.report);
+    return std::move(output.results);
+}
+
+/** Resilient runPerSuite under the bench flags. */
+inline std::vector<SuiteStats>
+sweepPerSuite(const std::string &label, const PredictorFactory &factory,
+              const PredictorSimConfig &sim_config, std::size_t len)
+{
+    return aggregateBySuite(
+        sweepPerTrace(label, buildCatalog(), factory, sim_config, len));
+}
+
+/** Resilient runSpeedup under the bench flags. */
+inline std::vector<SpeedupResult>
+sweepSpeedup(const std::string &label,
+             const std::vector<TraceSpec> &specs,
+             const PredictorFactory &factory,
+             const TimingConfig &config, std::size_t len)
+{
+    auto output = runSpeedupResilient(label, specs, factory, config,
+                                      len, makeSweepRunner());
+    recordSweepReport(output.report);
+    return std::move(output.results);
+}
+
+/** Custom job batch (fault sweeps etc.) under the bench flags. */
+inline SweepReport
+runSweepJobs(const std::vector<SweepJob> &jobs)
+{
+    SweepReport report = makeSweepRunner().run(jobs);
+    recordSweepReport(report);
+    return report;
+}
+
+/** Print a titled table to stdout and register it for the JSON. */
 inline void
 printTable(const std::string &title, const Table &table)
 {
     std::printf("\n=== %s ===\n", title.c_str());
     table.print(std::cout);
     std::fflush(stdout);
+    BenchState::instance().tables.emplace_back(title, table);
+}
+
+/** Serialise the bench state to its result JSON (deterministic). */
+inline std::string
+benchJson()
+{
+    const BenchState &state = BenchState::instance();
+    std::string json = "{\n  \"bench\": \"";
+    json += jsonEscape(state.name);
+    json += "\",\n  \"tables\": [";
+    for (std::size_t t = 0; t < state.tables.size(); ++t) {
+        if (t != 0)
+            json += ',';
+        json += "\n    {\"title\": \"";
+        json += jsonEscape(state.tables[t].first);
+        json += "\", \"rows\": [";
+        const auto &rows = state.tables[t].second.rows();
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            if (r != 0)
+                json += ',';
+            json += "\n      [";
+            for (std::size_t c = 0; c < rows[r].size(); ++c) {
+                if (c != 0)
+                    json += ", ";
+                json += '"';
+                json += jsonEscape(rows[r][c]);
+                json += '"';
+            }
+            json += ']';
+        }
+        json += "\n    ]}";
+    }
+    json += "\n  ],\n  \"failedJobs\": [";
+    for (std::size_t f = 0; f < state.failures.size(); ++f) {
+        if (f != 0)
+            json += ',';
+        json += "\n    {\"key\": \"";
+        json += jsonEscape(state.failures[f].key);
+        json += "\", \"error\": \"";
+        json += jsonEscape(state.failures[f].error);
+        json += "\"}";
+    }
+    json += "\n  ]\n}\n";
+    return json;
+}
+
+/** Parse and strip the bench sweep flags from argv; exits on error. */
+inline void
+parseSweepFlags(int &argc, char **argv, SweepOptions &options)
+{
+    auto bail = [](const std::string &message) {
+        std::fprintf(stderr, "bench flags: %s\n", message.c_str());
+        std::exit(2);
+    };
+    auto parseUint = [&bail](const std::string &flag,
+                             const std::string &text) -> std::uint64_t {
+        try {
+            std::size_t end = 0;
+            const unsigned long long value = std::stoull(text, &end);
+            if (end != text.size())
+                throw std::invalid_argument(text);
+            return value;
+        } catch (const std::exception &) {
+            bail("bad value '" + text + "' for " + flag);
+            return 0; // unreachable
+        }
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&](const std::string &prefix,
+                           std::string &value) {
+            if (arg.compare(0, prefix.size(), prefix) != 0)
+                return false;
+            value = arg.substr(prefix.size());
+            return true;
+        };
+        std::string value;
+        if (valueOf("--jobs=", value)) {
+            options.jobs = static_cast<unsigned>(
+                parseUint("--jobs", value));
+            if (options.jobs == 0)
+                bail("--jobs must be >= 1");
+        } else if (valueOf("--timeout-ms=", value)) {
+            options.timeoutMs = parseUint("--timeout-ms", value);
+        } else if (valueOf("--retries=", value)) {
+            options.retries = static_cast<unsigned>(
+                parseUint("--retries", value));
+        } else if (valueOf("--backoff-ms=", value)) {
+            options.backoffMs = parseUint("--backoff-ms", value);
+        } else if (valueOf("--journal=", value)) {
+            options.journalPath = value;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (valueOf("--out=", value)) {
+            options.outPath = value;
+        } else if (arg == "--no-json") {
+            options.noJson = true;
+        } else {
+            argv[out++] = argv[i]; // not ours: keep for benchmark
+            continue;
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
+/**
+ * Shared main() of every bench binary: parse the sweep flags, run the
+ * google-benchmark harness (which triggers the sweeps), print the
+ * figure via @p printFn, then write the result JSON atomically.
+ */
+inline int
+benchMain(const std::string &name, int argc, char **argv,
+          const std::function<void()> &printFn)
+{
+    BenchState &state = BenchState::instance();
+    state.name = name;
+    parseSweepFlags(argc, argv, state.options);
+
+    // Resolve defaults that depend on the bench name.
+    if (state.options.resume && state.options.journalPath.empty())
+        state.options.journalPath = "BENCH_" + name + ".journal";
+    if (state.options.outPath.empty())
+        state.options.outPath = "BENCH_" + name + ".json";
+
+    // Fresh journalled run: truncate once here, then every sweep of
+    // this process appends (the runner itself always resumes).
+    if (!state.options.journalPath.empty() && !state.options.resume) {
+        std::ofstream truncate(state.options.journalPath,
+                               std::ios::trunc);
+        if (!truncate) {
+            std::fprintf(stderr, "cannot create journal %s\n",
+                         state.options.journalPath.c_str());
+            return 1;
+        }
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFn();
+
+    const RunnerCounters &counters = state.counters;
+    if (counters.executed != 0 || counters.journalHits != 0) {
+        std::printf("\nsweep: %llu executed, %llu from journal, "
+                    "%llu retries, %llu timeouts, %llu failed",
+                    static_cast<unsigned long long>(counters.executed),
+                    static_cast<unsigned long long>(
+                        counters.journalHits),
+                    static_cast<unsigned long long>(counters.retries),
+                    static_cast<unsigned long long>(counters.timeouts),
+                    static_cast<unsigned long long>(counters.failures));
+        if (state.journalBadLines != 0)
+            std::printf(", %llu journal lines salvaged",
+                        static_cast<unsigned long long>(
+                            state.journalBadLines));
+        std::printf("\n");
+    }
+    for (const auto &failure : state.failures)
+        std::fprintf(stderr, "failed job %s: %s\n",
+                     failure.key.c_str(), failure.error.c_str());
+
+    if (!state.options.noJson) {
+        if (auto written =
+                writeFileAtomic(state.options.outPath, benchJson());
+            !written) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         state.options.outPath.c_str(),
+                         written.error().str().c_str());
+            return 1;
+        }
+    }
+    return state.failures.empty() ? 0 : 3;
 }
 
 } // namespace clap::bench

@@ -1,0 +1,116 @@
+#include "core/audit.hh"
+
+#include <string>
+
+#include "core/link_table.hh"
+#include "core/load_buffer.hh"
+#include "util/bits.hh"
+#include "util/sat_counter.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+Error
+corrupt(std::string message, const char *structure, std::size_t index)
+{
+    return makeError(ErrorCode::CorruptedState, std::move(message))
+        .withContext(std::string(structure) + " entry " +
+                     std::to_string(index));
+}
+
+/** Counter within its saturation range (defense against raw writes). */
+bool
+counterOk(const SatCounter &counter)
+{
+    return counter.value() <= counter.max();
+}
+
+} // namespace
+
+Expected<void>
+auditLoadBuffer(const LoadBuffer &lb)
+{
+    const unsigned assoc = lb.config().assoc;
+    for (std::size_t i = 0; i < lb.numEntries(); ++i) {
+        const LBEntry &entry = lb.entryAt(i);
+        if (!entry.valid)
+            continue;
+
+        // Tag uniqueness within the set: a duplicated tag would make
+        // lookup() results depend on way order.
+        const std::size_t set = i / assoc;
+        for (std::size_t j = set * assoc; j < i; ++j) {
+            const LBEntry &other = lb.entryAt(j);
+            if (other.valid && other.tag == entry.tag) {
+                return corrupt("duplicate LB tag 0x" +
+                                   std::to_string(entry.tag) +
+                                   " in set " + std::to_string(set),
+                               "LB", i);
+            }
+        }
+
+        // History registers must fit their configured width.
+        if ((entry.hist.value() & ~mask(entry.hist.numBits())) != 0)
+            return corrupt("history value exceeds width", "LB", i);
+        if ((entry.specHist.value() &
+             ~mask(entry.specHist.numBits())) != 0) {
+            return corrupt("speculative history value exceeds width",
+                           "LB", i);
+        }
+
+        // Confidence and selector counters within saturation range.
+        if (!counterOk(entry.capConf))
+            return corrupt("CAP confidence counter overflow", "LB", i);
+        if (!counterOk(entry.strideConf)) {
+            return corrupt("stride confidence counter overflow", "LB",
+                           i);
+        }
+        if (!counterOk(entry.selector))
+            return corrupt("selector counter overflow", "LB", i);
+    }
+    return ok();
+}
+
+Expected<void>
+auditLinkTable(const LinkTable &lt)
+{
+    const CapConfig &config = lt.config();
+    const unsigned assoc = lt.assoc();
+    for (std::size_t i = 0; i < lt.numEntries(); ++i) {
+        const LTEntry &entry = lt.entryAt(i);
+
+        // PF bits live in bits [0, pfBits); anything above means a
+        // raw write landed outside the mechanism's field.
+        if ((entry.pf & ~mask(config.pfBits)) != 0)
+            return corrupt("PF bits exceed configured width", "LT", i);
+
+        if (!entry.valid)
+            continue;
+
+        // Tags are history MSBs truncated to ltTagBits.
+        if ((entry.tag & ~mask(config.ltTagBits)) != 0)
+            return corrupt("tag exceeds ltTagBits", "LT", i);
+
+        // Tag uniqueness within a set (associative organizations;
+        // direct-mapped sets hold one entry, nothing to collide).
+        const std::size_t set = i / assoc;
+        if (config.ltTagBits > 0) {
+            for (std::size_t j = set * assoc; j < i; ++j) {
+                const LTEntry &other = lt.entryAt(j);
+                if (other.valid && other.tag == entry.tag) {
+                    return corrupt("duplicate LT tag 0x" +
+                                       std::to_string(entry.tag) +
+                                       " in set " +
+                                       std::to_string(set),
+                                   "LT", i);
+                }
+            }
+        }
+    }
+    return ok();
+}
+
+} // namespace clap

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Structural invariant auditor for the predictor tables. The paper's
+ * robustness claim is that all predictor state is speculative — a
+ * corrupted entry costs mispredictions, never correctness — but the
+ * *simulator* still relies on structural invariants (tag uniqueness
+ * within a set, field values within their configured widths, counters
+ * within their saturation range) to stay meaningful. audit() checks
+ * exactly those invariants and reports the first violation as an
+ * ErrorCode::CorruptedState, which the sweep runner classifies as
+ * retryable: a fault-injection job whose tables end a trace in an
+ * inconsistent state is re-run (with a re-salted fault sequence)
+ * instead of silently polluting the sweep's statistics.
+ *
+ * The checks are read-only (LRU state is not touched) and O(entries),
+ * intended to run between traces, not per prediction.
+ */
+
+#ifndef CLAP_CORE_AUDIT_HH
+#define CLAP_CORE_AUDIT_HH
+
+#include "util/error.hh"
+
+namespace clap
+{
+
+class LoadBuffer;
+class LinkTable;
+
+/**
+ * Check the LB structural invariants: no duplicate valid tags within
+ * a set, history registers within their configured widths, and all
+ * confidence/selector counters within their saturation range.
+ */
+Expected<void> auditLoadBuffer(const LoadBuffer &lb);
+
+/**
+ * Check the LT structural invariants: no duplicate valid tags within
+ * a set, tags within ltTagBits, and PF bits within pfBits.
+ */
+Expected<void> auditLinkTable(const LinkTable &lt);
+
+} // namespace clap
+
+#endif // CLAP_CORE_AUDIT_HH

@@ -1,5 +1,7 @@
 #include "core/cap_predictor.hh"
 
+#include "core/audit.hh"
+
 namespace clap
 {
 
@@ -39,6 +41,16 @@ CapPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
     result.speculate = pred.capSpec;
     result.addr = pred.capAddr;
     cap_.update(*entry, info, actual_addr, result);
+}
+
+Expected<void>
+CapPredictor::audit() const
+{
+    if (auto v = auditLoadBuffer(lb_); !v)
+        return std::move(v.error()).withContext("cap predictor");
+    if (auto v = auditLinkTable(cap_.linkTable()); !v)
+        return std::move(v.error()).withContext("cap predictor");
+    return ok();
 }
 
 } // namespace clap

@@ -32,6 +32,9 @@ class CapPredictor : public AddressPredictor
                 const Prediction &pred) override;
     std::string name() const override { return "cap"; }
 
+    /** LB + LT structural invariants (core/audit.hh). */
+    Expected<void> audit() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     CapComponent &component() { return cap_; }
 

@@ -1,5 +1,7 @@
 #include "core/hybrid_predictor.hh"
 
+#include "core/audit.hh"
+
 namespace clap
 {
 
@@ -108,6 +110,16 @@ HybridPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
         else
             entry->selector.decrement();
     }
+}
+
+Expected<void>
+HybridPredictor::audit() const
+{
+    if (auto v = auditLoadBuffer(lb_); !v)
+        return std::move(v.error()).withContext("hybrid predictor");
+    if (auto v = auditLinkTable(cap_.linkTable()); !v)
+        return std::move(v.error()).withContext("hybrid predictor");
+    return ok();
 }
 
 } // namespace clap

@@ -45,6 +45,9 @@ class HybridPredictor : public AddressPredictor
 
     std::string name() const override { return "hybrid"; }
 
+    /** Shared LB + CAP LT structural invariants (core/audit.hh). */
+    Expected<void> audit() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     CapComponent &capComponent() { return cap_; }
     StrideComponent &strideComponent() { return stride_; }

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/error.hh"
+
 namespace clap
 {
 
@@ -87,6 +89,15 @@ class AddressPredictor
 
     /** Human-readable predictor name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Check the predictor's structural invariants (tag uniqueness,
+     * field widths, counter ranges — see core/audit.hh). The sweep
+     * runner calls this between traces; a CorruptedState error marks
+     * the finished job as retryable under fault injection. The
+     * default is a no-op for predictors without auditable tables.
+     */
+    virtual Expected<void> audit() const { return ok(); }
 };
 
 } // namespace clap

@@ -1,5 +1,7 @@
 #include "core/stride_predictor.hh"
 
+#include "core/audit.hh"
+
 namespace clap
 {
 
@@ -40,6 +42,14 @@ StridePredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
     result.speculate = pred.strideSpec;
     result.addr = pred.strideAddr;
     stride_.update(*entry, info, actual_addr, result);
+}
+
+Expected<void>
+StridePredictor::audit() const
+{
+    if (auto v = auditLoadBuffer(lb_); !v)
+        return std::move(v.error()).withContext("stride predictor");
+    return ok();
 }
 
 } // namespace clap

@@ -32,6 +32,9 @@ class StridePredictor : public AddressPredictor
                 const Prediction &pred) override;
     std::string name() const override { return "stride"; }
 
+    /** LB structural invariants (core/audit.hh). */
+    Expected<void> audit() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     StrideComponent &component() { return stride_; }
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sweep-job model for the resilient runner: one job is one
+ * (configuration x trace) cell of an experiment, identified by a
+ * stable string key so a crashed sweep can be resumed from its
+ * journal. A job's payload is a closure returning Expected<JobResult>
+ * — failures stay structured (util/error.hh) instead of aborting the
+ * sweep.
+ */
+
+#ifndef CLAP_RUNNER_JOB_HH
+#define CLAP_RUNNER_JOB_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/metrics.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+
+/**
+ * What one job produced. A union-of-fields rather than a variant so
+ * the journal can serialise every sweep kind with one record shape:
+ * prediction-rate sweeps fill stats, timing sweeps fill the cycle
+ * pair, fault sweeps additionally report the injected-fault count.
+ */
+struct JobResult
+{
+    PredictionStats stats;
+    bool hasStats = false;
+
+    std::uint64_t baseCycles = 0;
+    std::uint64_t predCycles = 0;
+    bool hasTiming = false;
+
+    std::uint64_t faults = 0; ///< injected faults (fault sweeps)
+
+    /// Free-form auxiliary counters for custom sweeps (e.g. static
+    /// load classification totals); journalled when nonzero.
+    std::uint64_t aux0 = 0;
+    std::uint64_t aux1 = 0;
+
+    bool operator==(const JobResult &) const = default;
+};
+
+/**
+ * Execution context handed to a job closure. @p attempt lets jobs
+ * whose failure mode is deterministic in their seed (fault injection)
+ * salt the seed per retry; @p cancel is the watchdog's cooperative
+ * cancellation flag, to be wired into PredictorSimConfig::cancel.
+ */
+struct JobContext
+{
+    unsigned attempt = 0;
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/** Job payload: runs one experiment cell. Must be self-contained
+ *  (generate its own trace, build a fresh predictor) so retries and
+ *  resumed runs start from identical state. */
+using JobFn = std::function<Expected<JobResult>(const JobContext &)>;
+
+/** One schedulable unit of a sweep. */
+struct SweepJob
+{
+    /// Stable identity across process restarts (journal key), e.g.
+    /// "fig05/cap/INT_rds1". Must be unique within one sweep.
+    std::string key;
+    JobFn run;
+};
+
+/** Final outcome of one job, journalled and returned to the caller. */
+struct JobOutcome
+{
+    std::string key;
+    unsigned attempts = 0;    ///< executions performed (0 if journalled)
+    bool ok = false;
+    JobResult result;         ///< valid when ok
+    Error error;              ///< valid when !ok
+    bool fromJournal = false; ///< satisfied by a prior run's journal
+};
+
+} // namespace clap
+
+#endif // CLAP_RUNNER_JOB_HH

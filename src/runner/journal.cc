@@ -1,0 +1,333 @@
+#include "runner/journal.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "util/crc32.hh"
+#include "util/json.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+void
+appendUintArray(std::string &out, const char *name,
+                const std::array<std::uint64_t, 4> &values)
+{
+    out += '"';
+    out += name;
+    out += "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += std::to_string(values[i]);
+    }
+    out += ']';
+}
+
+void
+appendUint(std::string &out, const char *name, std::uint64_t value)
+{
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+std::string
+encodeStats(const PredictionStats &stats)
+{
+    std::string out = "{";
+    appendUint(out, "loads", stats.loads);
+    out += ',';
+    appendUint(out, "lbHits", stats.lbHits);
+    out += ',';
+    appendUint(out, "formed", stats.formed);
+    out += ',';
+    appendUint(out, "formedCorrect", stats.formedCorrect);
+    out += ',';
+    appendUint(out, "spec", stats.spec);
+    out += ',';
+    appendUint(out, "specCorrect", stats.specCorrect);
+    out += ',';
+    appendUintArray(out, "specBy", stats.specBy);
+    out += ',';
+    appendUintArray(out, "specCorrectBy", stats.specCorrectBy);
+    out += ',';
+    appendUint(out, "bothSpec", stats.bothSpec);
+    out += ',';
+    appendUintArray(out, "selectorState", stats.selectorState);
+    out += ',';
+    appendUint(out, "missSelections", stats.missSelections);
+    out += '}';
+    return out;
+}
+
+bool
+decodeUintArray(const JsonValue &obj, const char *name,
+                std::array<std::uint64_t, 4> &values)
+{
+    const JsonValue *arr = obj.find(name);
+    if (arr == nullptr || arr->kind != JsonValue::Kind::Array ||
+        arr->items.size() != values.size())
+        return false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!arr->items[i].isUint)
+            return false;
+        values[i] = arr->items[i].uintValue;
+    }
+    return true;
+}
+
+Expected<PredictionStats>
+decodeStats(const JsonValue &obj)
+{
+    PredictionStats stats;
+    stats.loads = obj.uintOr("loads", 0);
+    stats.lbHits = obj.uintOr("lbHits", 0);
+    stats.formed = obj.uintOr("formed", 0);
+    stats.formedCorrect = obj.uintOr("formedCorrect", 0);
+    stats.spec = obj.uintOr("spec", 0);
+    stats.specCorrect = obj.uintOr("specCorrect", 0);
+    stats.bothSpec = obj.uintOr("bothSpec", 0);
+    stats.missSelections = obj.uintOr("missSelections", 0);
+    if (!decodeUintArray(obj, "specBy", stats.specBy) ||
+        !decodeUintArray(obj, "specCorrectBy", stats.specCorrectBy) ||
+        !decodeUintArray(obj, "selectorState", stats.selectorState)) {
+        return makeError(ErrorCode::BadRecord,
+                         "journal stats arrays malformed");
+    }
+    return stats;
+}
+
+std::string
+encodeError(const Error &error)
+{
+    std::string out = "{\"code\":\"";
+    out += errorCodeName(error.code());
+    out += "\",\"message\":\"";
+    out += jsonEscape(error.message());
+    out += "\",\"contexts\":[";
+    const auto &contexts = error.contexts();
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += '"';
+        out += jsonEscape(contexts[i]);
+        out += '"';
+    }
+    out += "]}";
+    return out;
+}
+
+Error
+decodeError(const JsonValue &obj)
+{
+    Error error(errorCodeFromName(obj.stringOr("code", "None")),
+                obj.stringOr("message", ""));
+    if (const JsonValue *contexts = obj.find("contexts");
+        contexts != nullptr &&
+        contexts->kind == JsonValue::Kind::Array) {
+        for (const auto &ctx : contexts->items) {
+            // withContext mutates in place; assigning its returned
+            // rvalue reference back would self-move-assign.
+            if (ctx.kind == JsonValue::Kind::String)
+                std::move(error).withContext(ctx.str);
+        }
+    }
+    return error;
+}
+
+} // namespace
+
+std::string
+encodeJournalLine(const JobOutcome &outcome)
+{
+    std::string json = "{\"key\":\"";
+    json += jsonEscape(outcome.key);
+    json += "\",\"ok\":";
+    json += outcome.ok ? "true" : "false";
+    json += ",";
+    appendUint(json, "attempts", outcome.attempts);
+    if (outcome.ok) {
+        if (outcome.result.hasStats) {
+            json += ",\"stats\":";
+            json += encodeStats(outcome.result.stats);
+        }
+        if (outcome.result.hasTiming) {
+            json += ",\"timing\":{";
+            appendUint(json, "baseCycles", outcome.result.baseCycles);
+            json += ',';
+            appendUint(json, "predCycles", outcome.result.predCycles);
+            json += '}';
+        }
+        if (outcome.result.faults != 0) {
+            json += ',';
+            appendUint(json, "faults", outcome.result.faults);
+        }
+        if (outcome.result.aux0 != 0) {
+            json += ',';
+            appendUint(json, "aux0", outcome.result.aux0);
+        }
+        if (outcome.result.aux1 != 0) {
+            json += ',';
+            appendUint(json, "aux1", outcome.result.aux1);
+        }
+    } else {
+        json += ",\"error\":";
+        json += encodeError(outcome.error);
+    }
+    json += '}';
+
+    char crcHex[9];
+    std::snprintf(crcHex, sizeof(crcHex), "%08x",
+                  crc32(json.data(), json.size()));
+
+    std::string line = journalMagic;
+    line += ' ';
+    line += crcHex;
+    line += ' ';
+    line += json;
+    line += '\n';
+    return line;
+}
+
+Expected<JobOutcome>
+decodeJournalLine(const std::string &line)
+{
+    // Frame: "CLAPJ1 <8 hex> <json>".
+    const std::string magic = std::string(journalMagic) + ' ';
+    if (line.size() < magic.size() + 10 ||
+        line.compare(0, magic.size(), magic) != 0)
+        return makeError(ErrorCode::BadMagic,
+                         "journal line lacks " +
+                             std::string(journalMagic) + " frame");
+    const std::size_t crcBegin = magic.size();
+    if (line[crcBegin + 8] != ' ')
+        return makeError(ErrorCode::BadHeader,
+                         "journal CRC field malformed");
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const char c = line[crcBegin + i];
+        expected <<= 4;
+        if (c >= '0' && c <= '9')
+            expected |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            expected |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return makeError(ErrorCode::BadHeader,
+                             "journal CRC field malformed");
+    }
+
+    const std::string json = line.substr(crcBegin + 9);
+    if (crc32(json.data(), json.size()) != expected)
+        return makeError(ErrorCode::BadChecksum,
+                         "journal line CRC mismatch");
+
+    auto parsed = parseJson(json);
+    if (!parsed)
+        return std::move(parsed.error())
+            .withContext("journal line JSON");
+    const JsonValue &obj = *parsed;
+
+    JobOutcome outcome;
+    outcome.key = obj.stringOr("key", "");
+    if (outcome.key.empty())
+        return makeError(ErrorCode::BadRecord,
+                         "journal record missing key");
+    outcome.ok = obj.boolOr("ok", false);
+    outcome.attempts =
+        static_cast<unsigned>(obj.uintOr("attempts", 1));
+    outcome.fromJournal = true;
+
+    if (outcome.ok) {
+        if (const JsonValue *stats = obj.find("stats");
+            stats != nullptr) {
+            auto decoded = decodeStats(*stats);
+            if (!decoded)
+                return std::move(decoded.error())
+                    .withContext("journal record '" + outcome.key +
+                                 "'");
+            outcome.result.stats = *decoded;
+            outcome.result.hasStats = true;
+        }
+        if (const JsonValue *timing = obj.find("timing");
+            timing != nullptr) {
+            outcome.result.baseCycles = timing->uintOr("baseCycles", 0);
+            outcome.result.predCycles = timing->uintOr("predCycles", 0);
+            outcome.result.hasTiming = true;
+        }
+        outcome.result.faults = obj.uintOr("faults", 0);
+        outcome.result.aux0 = obj.uintOr("aux0", 0);
+        outcome.result.aux1 = obj.uintOr("aux1", 0);
+    } else if (const JsonValue *error = obj.find("error");
+               error != nullptr) {
+        outcome.error = decodeError(*error);
+    } else {
+        return makeError(ErrorCode::BadRecord,
+                         "failed journal record lacks error object");
+    }
+    return outcome;
+}
+
+Expected<JournalLoad>
+loadJournal(const std::string &path)
+{
+    JournalLoad load;
+
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return load; // first run: nothing journalled yet
+
+    std::ifstream in(path);
+    if (!in)
+        return makeError(ErrorCode::IoError,
+                         "cannot open journal for reading")
+            .withContext(path);
+
+    // Last-writer-wins de-duplication preserving first-seen order.
+    std::unordered_map<std::string, std::size_t> byKey;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto outcome = decodeJournalLine(line);
+        if (!outcome) {
+            ++load.badLines; // salvage: skip torn/corrupt frames
+            continue;
+        }
+        auto [it, inserted] =
+            byKey.try_emplace(outcome->key, load.outcomes.size());
+        if (inserted)
+            load.outcomes.push_back(std::move(*outcome));
+        else
+            load.outcomes[it->second] = std::move(*outcome);
+    }
+    if (in.bad())
+        return makeError(ErrorCode::IoError, "journal read failed")
+            .withContext(path);
+    return load;
+}
+
+Expected<void>
+appendJournal(const std::string &path, const JobOutcome &outcome)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return makeError(ErrorCode::IoError,
+                         "cannot open journal for append")
+            .withContext(path);
+    out << encodeJournalLine(outcome);
+    out.flush();
+    if (!out)
+        return makeError(ErrorCode::IoError, "journal append failed")
+            .withContext(path);
+    return ok();
+}
+
+} // namespace clap

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Crash-safe sweep journal: an append-only text file with one
+ * CRC-32-framed JSON record per completed job. Workers append a line
+ * as soon as a job finishes (success or structured failure); a
+ * resumed sweep replays the journal and re-runs only the jobs with no
+ * valid record.
+ *
+ * Line format (one record per line):
+ *
+ *     CLAPJ1 <crc32:8 lowercase hex> <json object>\n
+ *
+ * The CRC covers exactly the JSON bytes (not the magic or the CRC
+ * field), so a torn tail write — the common crash artefact of an
+ * append-only log — fails the frame check and is skipped, as is any
+ * line corrupted in place. Salvage semantics: bad lines are counted
+ * and ignored, never fatal; duplicate keys resolve last-writer-wins
+ * (a re-run after a salvaged partial line supersedes it).
+ */
+
+#ifndef CLAP_RUNNER_JOURNAL_HH
+#define CLAP_RUNNER_JOURNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+
+/** Journal line magic (bumped on any format change). */
+inline constexpr const char *journalMagic = "CLAPJ1";
+
+/** Serialise @p outcome as one framed journal line (with '\n'). */
+std::string encodeJournalLine(const JobOutcome &outcome);
+
+/**
+ * Decode one journal line (without the trailing '\n'). Returns a
+ * structured error on bad magic, bad CRC frame, or malformed JSON.
+ */
+Expected<JobOutcome> decodeJournalLine(const std::string &line);
+
+/** Result of replaying a journal file. */
+struct JournalLoad
+{
+    /// Valid outcomes, de-duplicated last-writer-wins, file order.
+    std::vector<JobOutcome> outcomes;
+    std::size_t badLines = 0; ///< frames skipped during salvage
+};
+
+/**
+ * Replay the journal at @p path. A missing file is an empty journal
+ * (first run), not an error; unreadable or corrupt lines are skipped
+ * and counted. Only I/O failures on an *existing* file are errors.
+ */
+Expected<JournalLoad> loadJournal(const std::string &path);
+
+/** Append one outcome to the journal (open-append-close, flushed). */
+Expected<void> appendJournal(const std::string &path,
+                             const JobOutcome &outcome);
+
+} // namespace clap
+
+#endif // CLAP_RUNNER_JOURNAL_HH

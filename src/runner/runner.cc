@@ -1,0 +1,303 @@
+#include "runner/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "runner/journal.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Per-worker watchdog state. The worker publishes its current
+ * attempt's deadline (ms since the sweep epoch, +1 so 0 can mean
+ * "idle"); the watchdog thread compares it against now and raises
+ * cancel, which the simulators poll cooperatively
+ * (PredictorSimConfig::cancel). The mutex serialises the
+ * deadline/cancel handshake so an expired deadline from a finished
+ * attempt can never reap the slot's next attempt.
+ */
+struct WorkerSlot
+{
+    std::mutex m;
+    std::uint64_t deadline = 0; ///< 0 = no attempt in flight
+    std::atomic<bool> cancel{false};
+
+    /** Worker, attempt start: arm the deadline (0 = no budget). */
+    void
+    arm(std::uint64_t deadline_ms)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        cancel.store(false, std::memory_order_relaxed);
+        deadline = deadline_ms;
+    }
+
+    /** Worker, attempt end: disarm; true when the watchdog fired. */
+    bool
+    disarm()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        deadline = 0;
+        return cancel.load(std::memory_order_relaxed);
+    }
+
+    /** Watchdog: raise cancel when the armed deadline has passed. */
+    void
+    reapIfExpired(std::uint64_t now_ms)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (deadline != 0 && now_ms >= deadline) {
+            cancel.store(true, std::memory_order_relaxed);
+            deadline = 0; // fire once per attempt
+        }
+    }
+};
+
+std::uint64_t
+msSince(Clock::time_point epoch)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+/** Run one job with retries; fills everything but outcome.key. */
+void
+executeWithRetries(const SweepJob &job, const RunnerConfig &config,
+                   WorkerSlot &slot, Clock::time_point epoch,
+                   JobOutcome &outcome, bool &timedOut,
+                   std::uint64_t &retriesUsed)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        if (attempt > 0) {
+            ++retriesUsed;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                config.backoffBaseMs << (attempt - 1)));
+        }
+
+        slot.arm(config.timeoutMs != 0
+                     ? msSince(epoch) + config.timeoutMs + 1
+                     : 0);
+
+        JobContext ctx;
+        ctx.attempt = attempt;
+        ctx.cancel = &slot.cancel;
+
+        Expected<JobResult> result = makeError(
+            ErrorCode::InvalidArgument, "job produced no result");
+        try {
+            result = job.run(ctx);
+        } catch (const std::invalid_argument &e) {
+            result = makeError(ErrorCode::InvalidConfig, e.what())
+                         .withContext("job threw");
+        } catch (const std::exception &e) {
+            result = makeError(ErrorCode::InvalidArgument, e.what())
+                         .withContext("job threw");
+        }
+
+        const bool reaped = slot.disarm();
+        outcome.attempts = attempt + 1;
+
+        // A raised cancel flag means the watchdog reaped this
+        // attempt; whatever the job returned is partial state.
+        // Timeouts are deterministic in the job, so never retried.
+        if (reaped) {
+            outcome.ok = false;
+            outcome.error =
+                makeError(ErrorCode::Timeout,
+                          "exceeded " +
+                              std::to_string(config.timeoutMs) +
+                              " ms wall-clock budget")
+                    .withContext("job '" + job.key + "'");
+            timedOut = true;
+            return;
+        }
+
+        if (result) {
+            outcome.ok = true;
+            outcome.result = std::move(*result);
+            return;
+        }
+        if (isRetryable(result.error().code()) &&
+            attempt < config.maxRetries)
+            continue;
+        outcome.ok = false;
+        outcome.error = std::move(result.error())
+                            .withContext("job '" + job.key + "'");
+        return;
+    }
+}
+
+} // namespace
+
+SweepReport
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    SweepReport report;
+    report.outcomes.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        report.outcomes[i].key = jobs[i].key;
+
+    // Job keys are journal identities; duplicates would make resume
+    // ambiguous, so reject the sweep up front.
+    {
+        std::unordered_set<std::string> keys;
+        for (const auto &job : jobs) {
+            if (!keys.insert(job.key).second) {
+                report.status =
+                    makeError(ErrorCode::InvalidArgument,
+                              "duplicate job key '" + job.key + "'");
+                return report;
+            }
+        }
+    }
+
+    // Checkpointing setup: replay (resume) or truncate (fresh run).
+    std::vector<bool> done(jobs.size(), false);
+    if (!config_.journalPath.empty()) {
+        if (config_.resume) {
+            auto load = loadJournal(config_.journalPath);
+            if (!load) {
+                report.status =
+                    std::move(load.error())
+                        .withContext("resuming sweep journal");
+                return report;
+            }
+            report.journalBadLines = load->badLines;
+            std::unordered_map<std::string, const JobOutcome *> byKey;
+            for (const auto &outcome : load->outcomes)
+                byKey.emplace(outcome.key, &outcome);
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                auto it = byKey.find(jobs[i].key);
+                if (it == byKey.end())
+                    continue;
+                report.outcomes[i] = *it->second;
+                done[i] = true;
+                ++report.counters.journalHits;
+            }
+        } else {
+            std::ofstream truncate(config_.journalPath,
+                                   std::ios::trunc);
+            if (!truncate) {
+                report.status =
+                    makeError(ErrorCode::IoError,
+                              "cannot create sweep journal")
+                        .withContext(config_.journalPath);
+                return report;
+            }
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!done[i])
+            pending.push_back(i);
+    }
+    if (pending.empty())
+        return report;
+
+    const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(1u, config_.threads), pending.size()));
+    const Clock::time_point epoch = Clock::now();
+
+    std::vector<std::unique_ptr<WorkerSlot>> slots;
+    slots.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        slots.push_back(std::make_unique<WorkerSlot>());
+
+    std::atomic<std::size_t> next{0};
+    std::mutex journalMutex; // serialises appends + shared counters
+    RunnerCounters counters;
+    counters.journalHits = report.counters.journalHits;
+    Expected<void> status = ok();
+
+    auto workerBody = [&](unsigned slotIndex) {
+        WorkerSlot &slot = *slots[slotIndex];
+        for (;;) {
+            const std::size_t claim =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (claim >= pending.size())
+                return;
+            const std::size_t index = pending[claim];
+            const SweepJob &job = jobs[index];
+            JobOutcome &outcome = report.outcomes[index];
+
+            bool timedOut = false;
+            std::uint64_t retriesUsed = 0;
+            executeWithRetries(job, config_, slot, epoch, outcome,
+                               timedOut, retriesUsed);
+
+            std::lock_guard<std::mutex> lock(journalMutex);
+            ++counters.executed;
+            counters.retries += retriesUsed;
+            if (timedOut)
+                ++counters.timeouts;
+            if (!outcome.ok)
+                ++counters.failures;
+            if (!config_.journalPath.empty()) {
+                if (auto appended =
+                        appendJournal(config_.journalPath, outcome);
+                    !appended && status) {
+                    status = std::move(appended.error())
+                                 .withContext("checkpointing sweep");
+                }
+            }
+        }
+    };
+
+    // Watchdog: poll worker deadlines, raise cancel on expiry. The
+    // simulators poll the flag every ~4k records, so reap latency is
+    // pollMs plus one simulation poll interval.
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    if (config_.timeoutMs != 0) {
+        watchdog = std::thread([&] {
+            constexpr auto pollMs = std::chrono::milliseconds(2);
+            while (!watchdogStop.load(std::memory_order_relaxed)) {
+                const std::uint64_t now = msSince(epoch);
+                for (auto &slot : slots)
+                    slot->reapIfExpired(now);
+                std::this_thread::sleep_for(pollMs);
+            }
+        });
+    }
+
+    if (threads == 1) {
+        workerBody(0); // serial mode: run on the calling thread
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            workers.emplace_back(workerBody, t);
+        for (auto &worker : workers)
+            worker.join();
+    }
+
+    if (watchdog.joinable()) {
+        watchdogStop.store(true, std::memory_order_relaxed);
+        watchdog.join();
+    }
+
+    report.counters = counters;
+    if (!status)
+        report.status = std::move(status);
+    return report;
+}
+
+} // namespace clap

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Resilient sweep runner: executes a batch of SweepJobs on a pool of
+ * worker threads with
+ *
+ *  - per-job wall-clock timeouts enforced by a watchdog thread via
+ *    cooperative cancellation (PredictorSimConfig::cancel),
+ *  - bounded retries with exponential backoff for transient failures
+ *    (isRetryable(), e.g. CorruptedState from a structural audit),
+ *  - graceful degradation: a job that exhausts its retries is
+ *    recorded as a structured Error in its JobOutcome; the rest of
+ *    the sweep completes,
+ *  - crash-resumable checkpointing: every finished job is appended to
+ *    a CRC-framed JSONL journal (runner/journal.hh); a resumed run
+ *    replays the journal and executes only the missing jobs.
+ *
+ * Results are returned in job order regardless of completion order,
+ * so downstream aggregation (and the bench tables built from it) is
+ * identical to a serial run.
+ */
+
+#ifndef CLAP_RUNNER_RUNNER_HH
+#define CLAP_RUNNER_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+
+/** Knobs of one sweep execution. */
+struct RunnerConfig
+{
+    /// Worker threads; 1 reproduces the serial execution order.
+    unsigned threads = 1;
+
+    /// Per-job wall-clock budget in milliseconds; 0 disables the
+    /// watchdog. A reaped job fails with ErrorCode::Timeout
+    /// (deterministic, hence never retried).
+    std::uint64_t timeoutMs = 0;
+
+    /// Retries after the first attempt for retryable failures.
+    unsigned maxRetries = 2;
+
+    /// Backoff before retry r (0-based) is backoffBaseMs << r.
+    std::uint64_t backoffBaseMs = 10;
+
+    /// Journal file path; empty disables checkpointing.
+    std::string journalPath;
+
+    /// Replay journalPath before running and skip journalled jobs.
+    /// When false an existing journal is truncated (fresh sweep).
+    bool resume = false;
+};
+
+/** Aggregate execution counters of one run() call. */
+struct RunnerCounters
+{
+    std::uint64_t executed = 0;    ///< jobs actually run
+    std::uint64_t journalHits = 0; ///< jobs satisfied from the journal
+    std::uint64_t retries = 0;     ///< extra attempts performed
+    std::uint64_t timeouts = 0;    ///< jobs reaped by the watchdog
+    std::uint64_t failures = 0;    ///< jobs that ended in an Error
+};
+
+/** Outcome of a whole sweep. */
+struct SweepReport
+{
+    std::vector<JobOutcome> outcomes; ///< one per job, in job order
+    RunnerCounters counters;
+    std::size_t journalBadLines = 0; ///< salvage count from resume
+
+    /// Sweep-level failure (duplicate keys, unusable journal). Job
+    /// failures do NOT set this; they live in their outcomes.
+    Expected<void> status = ok();
+};
+
+/** Executes sweeps per RunnerConfig; stateless between run() calls. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    const RunnerConfig &config() const { return config_; }
+
+    /**
+     * Execute @p jobs. Never throws; job exceptions are converted to
+     * structured errors in the corresponding outcome.
+     */
+    SweepReport run(const std::vector<SweepJob> &jobs) const;
+
+  private:
+    RunnerConfig config_;
+};
+
+} // namespace clap
+
+#endif // CLAP_RUNNER_RUNNER_HH

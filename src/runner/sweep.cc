@@ -1,0 +1,119 @@
+#include "runner/sweep.hh"
+
+#include <utility>
+
+#include "workloads/composer.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+std::string
+jobKey(const std::string &label, const TraceSpec &spec)
+{
+    return label + "/" + spec.name;
+}
+
+} // namespace
+
+TraceSweepOutput
+runPerTraceResilient(const std::string &label,
+                     const std::vector<TraceSpec> &specs,
+                     const PredictorFactory &factory,
+                     const PredictorSimConfig &sim_config,
+                     std::size_t trace_len, const SweepRunner &runner)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const auto &spec : specs) {
+        SweepJob job;
+        job.key = jobKey(label, spec);
+        job.run = [spec, factory, sim_config,
+                   trace_len](const JobContext &ctx)
+            -> Expected<JobResult> {
+            const Trace trace = generateTrace(spec, trace_len);
+            auto predictor = factory();
+            PredictorSimConfig config = sim_config;
+            config.cancel = ctx.cancel;
+            JobResult result;
+            result.stats = runPredictorSim(trace, *predictor, config);
+            result.hasStats = true;
+            if (auto audit = predictor->audit(); !audit) {
+                return std::move(audit.error())
+                    .withContext("after trace '" + spec.name + "'");
+            }
+            return result;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    TraceSweepOutput output;
+    output.report = runner.run(jobs);
+    output.results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        TraceStatsResult result;
+        result.trace = specs[i].name;
+        result.suite = specs[i].suite;
+        if (output.report.outcomes[i].ok)
+            result.stats = output.report.outcomes[i].result.stats;
+        // else: zeroed placeholder keeps index pairing intact.
+        output.results.push_back(std::move(result));
+    }
+    return output;
+}
+
+SpeedupSweepOutput
+runSpeedupResilient(const std::string &label,
+                    const std::vector<TraceSpec> &specs,
+                    const PredictorFactory &factory,
+                    const TimingConfig &config, std::size_t trace_len,
+                    const SweepRunner &runner)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const auto &spec : specs) {
+        SweepJob job;
+        job.key = jobKey(label, spec);
+        job.run = [spec, factory, config,
+                   trace_len](const JobContext &ctx)
+            -> Expected<JobResult> {
+            const Trace trace = generateTrace(spec, trace_len);
+            TimingConfig timing = config;
+            timing.predictorGap.cancel = ctx.cancel;
+            JobResult result;
+            result.baseCycles =
+                runTimingSim(trace, timing, nullptr).cycles;
+            auto predictor = factory();
+            result.predCycles =
+                runTimingSim(trace, timing, predictor.get()).cycles;
+            result.hasTiming = true;
+            if (auto audit = predictor->audit(); !audit) {
+                return std::move(audit.error())
+                    .withContext("after trace '" + spec.name + "'");
+            }
+            return result;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    SpeedupSweepOutput output;
+    output.report = runner.run(jobs);
+    output.results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SpeedupResult result;
+        result.trace = specs[i].name;
+        result.suite = specs[i].suite;
+        if (output.report.outcomes[i].ok) {
+            result.baseCycles =
+                output.report.outcomes[i].result.baseCycles;
+            result.predCycles =
+                output.report.outcomes[i].result.predCycles;
+        }
+        output.results.push_back(std::move(result));
+    }
+    return output;
+}
+
+} // namespace clap

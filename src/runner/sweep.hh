@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Resilient counterparts of the experiment drivers (sim/experiment.hh):
+ * the same per-trace and speedup sweeps, decomposed into one SweepJob
+ * per (config x trace) cell and executed through SweepRunner, gaining
+ * parallelism, watchdog timeouts, retries, and journal-based resume.
+ *
+ * Jobs are self-contained (the trace is generated and the predictor
+ * built inside the job), so a retried or resumed cell reproduces the
+ * serial run bit-for-bit. After each simulation the predictor's
+ * structural invariants are audited (core/audit.hh); a violation
+ * fails the cell with CorruptedState, which the runner treats as
+ * transient and retries — the graceful-degradation path for
+ * fault-injection sweeps.
+ *
+ * Failed cells keep their slot in the returned results vector as
+ * zeroed placeholders so index pairing across sweeps (e.g. stride[i]
+ * vs hybrid[i] in fig. 7) survives partial failure; consult the
+ * SweepReport for the structured errors.
+ */
+
+#ifndef CLAP_RUNNER_SWEEP_HH
+#define CLAP_RUNNER_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "sim/experiment.hh"
+
+namespace clap
+{
+
+/** Per-trace prediction sweep output. */
+struct TraceSweepOutput
+{
+    std::vector<TraceStatsResult> results; ///< one per spec, in order
+    SweepReport report;
+};
+
+/** Per-trace timing-comparison sweep output. */
+struct SpeedupSweepOutput
+{
+    std::vector<SpeedupResult> results; ///< one per spec, in order
+    SweepReport report;
+};
+
+/**
+ * Resilient runPerTrace: one job per spec, keyed
+ * "<label>/<spec.name>". @p label namespaces the journal so several
+ * sweeps (e.g. the stride and hybrid columns of one figure) can share
+ * a journal file. @p factory must be callable from worker threads
+ * concurrently (build-and-return, no shared mutable state).
+ */
+TraceSweepOutput
+runPerTraceResilient(const std::string &label,
+                     const std::vector<TraceSpec> &specs,
+                     const PredictorFactory &factory,
+                     const PredictorSimConfig &sim_config,
+                     std::size_t trace_len, const SweepRunner &runner);
+
+/** Resilient runSpeedup; same contract as runPerTraceResilient. */
+SpeedupSweepOutput
+runSpeedupResilient(const std::string &label,
+                    const std::vector<TraceSpec> &specs,
+                    const PredictorFactory &factory,
+                    const TimingConfig &config, std::size_t trace_len,
+                    const SweepRunner &runner);
+
+} // namespace clap
+
+#endif // CLAP_RUNNER_SWEEP_HH

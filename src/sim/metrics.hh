@@ -40,6 +40,9 @@ struct PredictionStats
     std::uint64_t missSelections = 0; ///< wrong pick, other was right
     /// @}
 
+    /// Counter-wise equality (determinism tests, journal round-trips).
+    bool operator==(const PredictionStats &) const = default;
+
     double predictionRate() const { return ratio(spec, loads); }
     double accuracy() const { return ratio(specCorrect, spec); }
     double mispredictionRate() const

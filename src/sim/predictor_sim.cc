@@ -94,6 +94,11 @@ runPredictorSim(const Trace &trace, AddressPredictor &predictor,
     };
 
     for (const auto &rec : trace.records()) {
+        // Watchdog cancellation: bail out with partial statistics.
+        if (config.cancel != nullptr && (inst_index & 0xfff) == 0 &&
+            config.cancel->load(std::memory_order_relaxed))
+            return stats;
+
         // Resolve predictions whose gap has elapsed.
         while (!pending.empty() &&
                pending.front().issueInst + gap_insts <= inst_index) {

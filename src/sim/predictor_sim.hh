@@ -17,6 +17,7 @@
 #ifndef CLAP_SIM_PREDICTOR_SIM_HH
 #define CLAP_SIM_PREDICTOR_SIM_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/predictor.hh"
@@ -56,6 +57,14 @@ struct PredictorSimConfig
     /// visible to the very next lookup. The injector must already be
     /// attached to the predictor under test (see fault_injector.hh).
     FaultInjector *faultInjector = nullptr;
+
+    /// Cooperative cancellation for the sweep runner's watchdog: when
+    /// set, the simulation polls this flag every few thousand records
+    /// and returns early with partial statistics once it reads true.
+    /// The caller is responsible for checking the flag afterwards and
+    /// discarding the partial result (runner/sweep.cc turns it into a
+    /// structured Timeout error).
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**

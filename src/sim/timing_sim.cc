@@ -103,6 +103,13 @@ runTimingSim(const Trace &trace, const TimingConfig &config,
 
     std::uint64_t inst_index = 0;
     for (const auto &rec : trace.records()) {
+        // Watchdog cancellation: bail out with partial results (the
+        // sweep runner discards them and reports a Timeout error).
+        if (config.predictorGap.cancel != nullptr &&
+            (inst_index & 0xfff) == 0 &&
+            config.predictorGap.cancel->load(std::memory_order_relaxed))
+            break;
+
         // --- Fetch ------------------------------------------------
         if (fetched_this_cycle >= config.fetchWidth) {
             ++fetch_cycle;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Atomic whole-file writes: the content is streamed to a temporary
+ * sibling (same directory, so the rename cannot cross filesystems)
+ * and renamed over the destination only after a successful close. An
+ * interrupted writer therefore never leaves a truncated destination
+ * file — readers see either the old content or the new content,
+ * nothing in between. Used for BENCH_*.json experiment output and
+ * anywhere else a partial file would masquerade as a complete one.
+ */
+
+#ifndef CLAP_UTIL_ATOMIC_FILE_HH
+#define CLAP_UTIL_ATOMIC_FILE_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/error.hh"
+
+namespace clap
+{
+
+/**
+ * Write @p content to @p path atomically (temp file + rename).
+ * On failure the temporary file is removed and @p path is untouched.
+ */
+inline Expected<void>
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return makeError(ErrorCode::IoError,
+                             "cannot open temporary file " + tmp)
+                .withContext("writing " + path);
+        }
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            return makeError(ErrorCode::IoError,
+                             "short write to temporary file " + tmp)
+                .withContext("writing " + path);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return makeError(ErrorCode::IoError,
+                         "rename " + tmp + " -> " + path + " failed")
+            .withContext("writing " + path);
+    }
+    return ok();
+}
+
+} // namespace clap
+
+#endif // CLAP_UTIL_ATOMIC_FILE_HH

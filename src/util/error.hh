@@ -39,6 +39,8 @@ enum class ErrorCode : std::uint8_t
     BadChecksum,    ///< CRC footer mismatch
     InvalidConfig,  ///< configuration failed validation
     InvalidArgument,///< caller-supplied argument out of range
+    Timeout,        ///< job exceeded its wall-clock budget (watchdog)
+    CorruptedState, ///< structural invariant violated (audit failure)
 };
 
 /** Printable name of an ErrorCode. */
@@ -56,8 +58,35 @@ errorCodeName(ErrorCode code)
       case ErrorCode::BadChecksum:     return "BadChecksum";
       case ErrorCode::InvalidConfig:   return "InvalidConfig";
       case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::Timeout:         return "Timeout";
+      case ErrorCode::CorruptedState:  return "CorruptedState";
     }
     return "Unknown";
+}
+
+/** Parse an errorCodeName() string back to its code (journal reload). */
+inline ErrorCode
+errorCodeFromName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(ErrorCode::CorruptedState);
+         ++i) {
+        const auto code = static_cast<ErrorCode>(i);
+        if (name == errorCodeName(code))
+            return code;
+    }
+    return ErrorCode::None;
+}
+
+/**
+ * True for failure kinds worth retrying: transient conditions that a
+ * fresh attempt can clear (e.g. predictor state corrupted by an
+ * injected fault). Timeouts and input/config errors are deterministic
+ * and retrying them only burns the sweep's wall-clock budget.
+ */
+inline bool
+isRetryable(ErrorCode code)
+{
+    return code == ErrorCode::CorruptedState;
 }
 
 /** A structured error: code + message + context chain. */

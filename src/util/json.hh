@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Minimal JSON support for the sweep-runner journal and the bench
+ * output files: an escaping helper for writers and a small
+ * recursive-descent parser for readers. The parser covers the JSON
+ * the repo itself emits (objects, arrays, strings, unsigned integers,
+ * doubles, booleans, null) and returns structured Errors instead of
+ * throwing, consistent with the repo-wide error convention.
+ *
+ * This is deliberately not a general-purpose JSON library: no
+ * streaming, no \uXXXX surrogate pairs (escapes decode to '?'), and
+ * numbers keep both a double and (when integral and in range) a
+ * uint64 reading, which is what the journal counters need.
+ */
+
+#ifndef CLAP_UTIL_JSON_HH
+#define CLAP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace clap
+{
+
+/** Escape @p text for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** One parsed JSON value (tree-structured). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::uint64_t uintValue = 0; ///< valid when isUint
+    bool isUint = false;         ///< number is a non-negative integer
+    std::string str;
+    std::vector<JsonValue> items; ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *
+    find(std::string_view key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &[name, value] : members) {
+            if (name == key)
+                return &value;
+        }
+        return nullptr;
+    }
+
+    /** Member read with fallback: uint value of @p key or @p fallback. */
+    std::uint64_t
+    uintOr(std::string_view key, std::uint64_t fallback) const
+    {
+        const JsonValue *v = find(key);
+        return v != nullptr && v->isUint ? v->uintValue : fallback;
+    }
+
+    /** Member read with fallback: string value of @p key. */
+    std::string
+    stringOr(std::string_view key, std::string fallback) const
+    {
+        const JsonValue *v = find(key);
+        return v != nullptr && v->kind == Kind::String ? v->str
+                                                       : fallback;
+    }
+
+    /** Member read with fallback: bool value of @p key. */
+    bool
+    boolOr(std::string_view key, bool fallback) const
+    {
+        const JsonValue *v = find(key);
+        return v != nullptr && v->kind == Kind::Bool ? v->boolean
+                                                     : fallback;
+    }
+};
+
+namespace detail
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Expected<JsonValue>
+    parse()
+    {
+        auto value = parseValue(0);
+        if (!value)
+            return value;
+        skipWs();
+        if (pos_ != text_.size()) {
+            return fail("trailing characters after JSON value");
+        }
+        return value;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 32;
+
+    Error
+    fail(std::string message) const
+    {
+        return makeError(ErrorCode::BadRecord, std::move(message))
+            .withContext("at offset " + std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    Expected<JsonValue>
+    parseValue(unsigned depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"')
+            return parseString();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        JsonValue value;
+        if (consumeWord("true")) {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+            return value;
+        }
+        if (consumeWord("false")) {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = false;
+            return value;
+        }
+        if (consumeWord("null"))
+            return value;
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+
+    Expected<JsonValue>
+    parseObject(unsigned depth)
+    {
+        consume('{');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return value;
+        for (;;) {
+            skipWs();
+            auto key = parseString();
+            if (!key)
+                return key;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            auto member = parseValue(depth + 1);
+            if (!member)
+                return member;
+            value.members.emplace_back(std::move(key->str),
+                                       std::move(*member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return value;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Expected<JsonValue>
+    parseArray(unsigned depth)
+    {
+        consume('[');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return value;
+        for (;;) {
+            auto item = parseValue(depth + 1);
+            if (!item)
+                return item;
+            value.items.push_back(std::move(*item));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return value;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Expected<JsonValue>
+    parseString()
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return value;
+            if (c != '\\') {
+                value.str += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  value.str += '"'; break;
+              case '\\': value.str += '\\'; break;
+              case '/':  value.str += '/'; break;
+              case 'n':  value.str += '\n'; break;
+              case 'r':  value.str += '\r'; break;
+              case 't':  value.str += '\t'; break;
+              case 'b':  value.str += '\b'; break;
+              case 'f':  value.str += '\f'; break;
+              case 'u':
+                // No surrogate decoding; skip the 4 hex digits.
+                if (text_.size() - pos_ < 4)
+                    return fail("truncated \\u escape");
+                pos_ += 4;
+                value.str += '?';
+                break;
+              default:
+                return fail("bad escape in string");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Expected<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string token(text_.substr(start, pos_ - start));
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        try {
+            value.number = std::stod(token);
+        } catch (const std::exception &) {
+            return fail("bad number '" + token + "'");
+        }
+        if (token.find_first_of(".eE") == std::string::npos &&
+            token[0] != '-') {
+            try {
+                value.uintValue = std::stoull(token);
+                value.isUint = true;
+            } catch (const std::exception &) {
+                // Out of uint64 range: keep the double reading only.
+            }
+        }
+        return value;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse @p text as one JSON document. */
+inline Expected<JsonValue>
+parseJson(std::string_view text)
+{
+    return detail::JsonParser(text).parse();
+}
+
+} // namespace clap
+
+#endif // CLAP_UTIL_JSON_HH

@@ -44,6 +44,12 @@ class Table
     /** Number of data rows added (excluding the header). */
     std::size_t dataRows() const;
 
+    /** All rows (header first) as formatted cells (JSON export). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render the table to @p os. */
     void print(std::ostream &os) const;
 

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Structural invariant auditor (core/audit.hh): clean predictors pass
+ * after simulation; deliberately corrupted LB/LT state is detected
+ * and reported as a retryable CorruptedState error.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/audit.hh"
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "util/bits.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace
+{
+
+using namespace clap;
+
+constexpr std::size_t traceLen = 20000;
+
+Trace
+smallTrace()
+{
+    return generateTrace(buildCatalog().front(), traceLen);
+}
+
+TEST(Audit, CleanPredictorsPassAfterSimulation)
+{
+    const Trace trace = smallTrace();
+
+    CapPredictor cap{CapPredictorConfig{}};
+    runPredictorSim(trace, cap, {});
+    EXPECT_TRUE(cap.audit().hasValue());
+
+    StridePredictor stride{StridePredictorConfig{}};
+    runPredictorSim(trace, stride, {});
+    EXPECT_TRUE(stride.audit().hasValue());
+
+    HybridPredictor hybrid{HybridConfig{}};
+    runPredictorSim(trace, hybrid, {});
+    EXPECT_TRUE(hybrid.audit().hasValue());
+}
+
+TEST(Audit, FreshPredictorsPass)
+{
+    CapPredictor cap{CapPredictorConfig{}};
+    EXPECT_TRUE(cap.audit().hasValue());
+    HybridPredictor hybrid{HybridConfig{}};
+    EXPECT_TRUE(hybrid.audit().hasValue());
+}
+
+TEST(Audit, LtTagOutOfRangeDetected)
+{
+    CapPredictor cap{CapPredictorConfig{}};
+    LinkTable &lt = cap.component().linkTable();
+    const unsigned tag_bits = lt.config().ltTagBits;
+    ASSERT_GT(tag_bits, 0u);
+
+    LTEntry &entry = lt.entryAt(0);
+    entry.valid = true;
+    entry.tag = mask(tag_bits) + 1; // one bit above the field
+
+    const auto result = cap.audit();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code(), ErrorCode::CorruptedState);
+    EXPECT_TRUE(isRetryable(result.error().code()));
+}
+
+TEST(Audit, PfBitsOutOfRangeDetectedEvenOnInvalidEntry)
+{
+    CapPredictor cap{CapPredictorConfig{}};
+    LinkTable &lt = cap.component().linkTable();
+    ASSERT_LT(lt.config().pfBits, 8u);
+
+    LTEntry &entry = lt.entryAt(3);
+    entry.valid = false; // pf storage is live even when invalid
+    entry.pf = 0xff;
+
+    const auto result = cap.audit();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code(), ErrorCode::CorruptedState);
+}
+
+TEST(Audit, DuplicateLbTagsDetected)
+{
+    HybridPredictor hybrid{HybridConfig{}};
+    LoadBuffer &lb = hybrid.loadBuffer();
+    ASSERT_GE(lb.config().assoc, 2u);
+
+    // Two ways of set 0 with the same tag.
+    lb.entryAt(0).valid = true;
+    lb.entryAt(0).tag = 0x123;
+    lb.entryAt(1).valid = true;
+    lb.entryAt(1).tag = 0x123;
+
+    const auto result = hybrid.audit();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code(), ErrorCode::CorruptedState);
+}
+
+TEST(Audit, DistinctLbTagsPass)
+{
+    HybridPredictor hybrid{HybridConfig{}};
+    LoadBuffer &lb = hybrid.loadBuffer();
+    lb.entryAt(0).valid = true;
+    lb.entryAt(0).tag = 0x123;
+    lb.entryAt(1).valid = true;
+    lb.entryAt(1).tag = 0x124;
+    EXPECT_TRUE(hybrid.audit().hasValue());
+}
+
+TEST(Audit, DuplicateLtTagsDetectedInAssociativeConfig)
+{
+    CapPredictorConfig config;
+    config.cap.ltAssoc = 2;
+    CapPredictor cap{config};
+    LinkTable &lt = cap.component().linkTable();
+    ASSERT_EQ(lt.assoc(), 2u);
+
+    lt.entryAt(0).valid = true;
+    lt.entryAt(0).tag = 0x5;
+    lt.entryAt(1).valid = true;
+    lt.entryAt(1).tag = 0x5;
+
+    const auto result = cap.audit();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().code(), ErrorCode::CorruptedState);
+}
+
+TEST(Audit, ErrorCarriesStructureContext)
+{
+    CapPredictor cap{CapPredictorConfig{}};
+    LinkTable &lt = cap.component().linkTable();
+    lt.entryAt(7).valid = true;
+    lt.entryAt(7).tag = ~std::uint64_t{0};
+
+    const auto result = cap.audit();
+    ASSERT_FALSE(result.hasValue());
+    const std::string text = result.error().str();
+    EXPECT_NE(text.find("LT entry 7"), std::string::npos) << text;
+    EXPECT_NE(text.find("cap predictor"), std::string::npos) << text;
+}
+
+TEST(Audit, RetryableClassification)
+{
+    EXPECT_TRUE(isRetryable(ErrorCode::CorruptedState));
+    EXPECT_FALSE(isRetryable(ErrorCode::Timeout));
+    EXPECT_FALSE(isRetryable(ErrorCode::IoError));
+    EXPECT_FALSE(isRetryable(ErrorCode::InvalidConfig));
+}
+
+TEST(Audit, ErrorCodeNamesRoundTrip)
+{
+    EXPECT_EQ(errorCodeFromName("Timeout"), ErrorCode::Timeout);
+    EXPECT_EQ(errorCodeFromName("CorruptedState"),
+              ErrorCode::CorruptedState);
+    EXPECT_EQ(errorCodeFromName("IoError"), ErrorCode::IoError);
+    EXPECT_EQ(errorCodeFromName("garbage"), ErrorCode::None);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Determinism regression: the same seeded config and trace must
+ * produce bit-identical statistics whether run serially, run twice,
+ * or run through the parallel sweep runner. This is what makes
+ * journal-based resume sound — a re-executed job reproduces the
+ * result the crashed run would have journalled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "runner/sweep.hh"
+#include "sim/experiment.hh"
+#include "sim/predictor_sim.hh"
+#include "sim/timing_sim.hh"
+#include "workloads/composer.hh"
+
+namespace
+{
+
+using namespace clap;
+
+constexpr std::size_t traceLen = 20000;
+
+std::vector<TraceSpec>
+someSpecs()
+{
+    const auto catalog = buildCatalog();
+    // A slice is enough; every trace family is covered by the full
+    // suite runs elsewhere and this test runs each spec four times.
+    return {catalog.begin(), catalog.begin() + 6};
+}
+
+PredictorFactory
+hybridFactory()
+{
+    return [] {
+        return std::make_unique<HybridPredictor>(HybridConfig{});
+    };
+}
+
+TEST(Determinism, RepeatedPredictorRunsAreBitIdentical)
+{
+    const TraceSpec spec = buildCatalog().front();
+    const Trace first_trace = generateTrace(spec, traceLen);
+    const Trace second_trace = generateTrace(spec, traceLen);
+    ASSERT_EQ(first_trace.size(), second_trace.size());
+
+    HybridPredictor first{HybridConfig{}};
+    HybridPredictor second{HybridConfig{}};
+    const PredictionStats a = runPredictorSim(first_trace, first, {});
+    const PredictionStats b =
+        runPredictorSim(second_trace, second, {});
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.loads, 0u);
+}
+
+TEST(Determinism, ParallelSweepMatchesSerialDriverExactly)
+{
+    const std::vector<TraceSpec> specs = someSpecs();
+    const PredictorSimConfig sim_config{};
+
+    const std::vector<TraceStatsResult> serial =
+        runPerTrace(specs, hybridFactory(), sim_config, traceLen);
+
+    RunnerConfig config;
+    config.threads = 4;
+    const TraceSweepOutput parallel = runPerTraceResilient(
+        "det", specs, hybridFactory(), sim_config, traceLen,
+        SweepRunner(config));
+
+    ASSERT_TRUE(parallel.report.status.hasValue());
+    ASSERT_EQ(parallel.results.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel.results[i].trace, serial[i].trace);
+        EXPECT_EQ(parallel.results[i].suite, serial[i].suite);
+        EXPECT_EQ(parallel.results[i].stats, serial[i].stats)
+            << "trace " << serial[i].trace;
+    }
+}
+
+TEST(Determinism, RepeatedParallelSweepsAgree)
+{
+    const std::vector<TraceSpec> specs = someSpecs();
+    RunnerConfig config;
+    config.threads = 3;
+
+    const TraceSweepOutput a = runPerTraceResilient(
+        "rep", specs, hybridFactory(), {}, traceLen,
+        SweepRunner(config));
+    const TraceSweepOutput b = runPerTraceResilient(
+        "rep", specs, hybridFactory(), {}, traceLen,
+        SweepRunner(config));
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i)
+        EXPECT_EQ(a.results[i].stats, b.results[i].stats);
+}
+
+TEST(Determinism, TimingModelIsDeterministic)
+{
+    const TraceSpec spec = buildCatalog().front();
+    const Trace trace = generateTrace(spec, traceLen);
+    const TimingConfig config{};
+
+    const auto base_a = runTimingSim(trace, config, nullptr);
+    const auto base_b = runTimingSim(trace, config, nullptr);
+    EXPECT_EQ(base_a.cycles, base_b.cycles);
+
+    StridePredictor pred_a{StridePredictorConfig{}};
+    StridePredictor pred_b{StridePredictorConfig{}};
+    const auto with_a = runTimingSim(trace, config, &pred_a);
+    const auto with_b = runTimingSim(trace, config, &pred_b);
+    EXPECT_EQ(with_a.cycles, with_b.cycles);
+}
+
+} // namespace

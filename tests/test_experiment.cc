@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Experiment-driver edge cases (sim/experiment.hh): empty spec lists,
+ * single-trace suites, traces with zero loads, and the speedup
+ * division-by-zero guard. These are the shapes a partially failed or
+ * resumed sweep can legitimately produce, so the aggregation layer
+ * must not crash or emit NaNs on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stride_predictor.hh"
+#include "runner/sweep.hh"
+#include "sim/experiment.hh"
+#include "sim/predictor_sim.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace
+{
+
+using namespace clap;
+
+PredictorFactory
+strideFactory()
+{
+    return [] {
+        return std::make_unique<StridePredictor>(
+            StridePredictorConfig{});
+    };
+}
+
+TEST(Experiment, EmptySpecListYieldsEmptyResults)
+{
+    const std::vector<TraceSpec> specs;
+    const auto results =
+        runPerTrace(specs, strideFactory(), {}, 10000);
+    EXPECT_TRUE(results.empty());
+
+    // Aggregation over nothing still emits every suite row plus the
+    // Average row, all zeroed — harness tables render, just empty.
+    const auto aggregated = aggregateBySuite(results);
+    ASSERT_EQ(aggregated.size(), suiteNames().size() + 1);
+    for (const auto &entry : aggregated) {
+        EXPECT_EQ(entry.stats.loads, 0u);
+        EXPECT_EQ(entry.stats.spec, 0u);
+        EXPECT_EQ(entry.stats.predictionRate(), 0.0);
+        EXPECT_FALSE(std::isnan(entry.stats.accuracy()));
+    }
+    EXPECT_EQ(aggregated.back().suite, "Average");
+}
+
+TEST(Experiment, SingleTraceSuiteAggregation)
+{
+    const TraceSpec spec = buildCatalog().front();
+    const auto results =
+        runPerTrace({spec}, strideFactory(), {}, 20000);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_GT(results[0].stats.loads, 0u);
+
+    const auto aggregated = aggregateBySuite(results);
+    ASSERT_EQ(aggregated.size(), suiteNames().size() + 1);
+    for (const auto &entry : aggregated) {
+        if (entry.suite == spec.suite || entry.suite == "Average") {
+            // The lone trace's counters, unchanged by aggregation.
+            EXPECT_EQ(entry.stats, results[0].stats)
+                << "suite " << entry.suite;
+        } else {
+            EXPECT_EQ(entry.stats.loads, 0u)
+                << "suite " << entry.suite;
+        }
+    }
+}
+
+TEST(Experiment, ZeroLoadTraceHasNoNanMetrics)
+{
+    // A trace with instructions but no loads: every rate metric must
+    // come back 0.0 (the ratio() guard), never NaN or a crash.
+    Trace trace;
+    for (int i = 0; i < 64; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x1000 + 4 * static_cast<std::uint64_t>(i);
+        rec.cls = InstClass::Alu;
+        trace.append(rec);
+    }
+
+    StridePredictor predictor{StridePredictorConfig{}};
+    const PredictionStats stats = runPredictorSim(trace, predictor, {});
+    EXPECT_EQ(stats.loads, 0u);
+    EXPECT_EQ(stats.spec, 0u);
+    EXPECT_EQ(stats.predictionRate(), 0.0);
+    EXPECT_EQ(stats.accuracy(), 0.0);
+    EXPECT_EQ(stats.mispredictionRate(), 0.0);
+    EXPECT_EQ(stats.correctOfAllLoads(), 0.0);
+    EXPECT_FALSE(std::isnan(stats.correctSelectionRate()));
+}
+
+TEST(Experiment, SpeedupGuardsDivisionByZero)
+{
+    SpeedupResult result;
+    result.baseCycles = 1000;
+    result.predCycles = 0; // e.g. a failed cell's zeroed placeholder
+    EXPECT_EQ(result.speedup(), 0.0);
+
+    result.predCycles = 500;
+    EXPECT_DOUBLE_EQ(result.speedup(), 2.0);
+}
+
+TEST(Experiment, ResilientSweepWithEmptySpecsIsOk)
+{
+    const std::vector<TraceSpec> specs;
+    const TraceSweepOutput output = runPerTraceResilient(
+        "empty", specs, strideFactory(), {}, 10000,
+        SweepRunner(RunnerConfig{}));
+    EXPECT_TRUE(output.results.empty());
+    EXPECT_TRUE(output.report.status.hasValue());
+    EXPECT_TRUE(output.report.outcomes.empty());
+}
+
+} // namespace
