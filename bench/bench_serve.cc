@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Load generator for the sharded prediction service (src/serve/):
+ * M concurrent client threads replay workload-composer traces against
+ * a PredictionService and the harness reports aggregate throughput,
+ * per-request predict latency percentiles (p50/p95/p99), and
+ * per-shard queue depth, for the 1-shard baseline versus the sharded
+ * configurations — the serving-layer scaling experiment the paper's
+ * inline simulator cannot express.
+ *
+ * A second, deterministic phase runs the semantics cross-check
+ * (serve/crosscheck.hh) as sweep jobs through the resilient runner:
+ * for each (trace, shards) cell, a single-threaded deterministic
+ * service replay must produce PredictionStats bit-for-bit equal to
+ * the sharded PredictorSim reference. A mismatch fails the job (and
+ * the harness exits non-zero), which is what the CI serve-smoke job
+ * asserts.
+ *
+ * Environment knobs (besides the shared bench/sweep flags):
+ *   CLAP_SERVE_SHARDS   sharded configuration size (default 4;
+ *                       rounded down to a power of two)
+ *   CLAP_SERVE_CLIENTS  concurrent client threads (default 4)
+ *   CLAP_TRACE_INSTS    per-trace instruction budget (suites.hh)
+ *
+ * Note on determinism: the throughput table contains wall-clock
+ * measurements and is inherently run-dependent; the cross-check
+ * table, stats, and failure list are deterministic. BENCH_serve.json
+ * is still written atomically via the shared machinery.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "serve/crosscheck.hh"
+#include "serve/service.hh"
+#include "workloads/composer.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::bench;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    const long value = std::atol(text);
+    return value < 1 ? fallback : static_cast<unsigned>(value);
+}
+
+unsigned
+shardedConfigSize()
+{
+    unsigned shards = envUnsigned("CLAP_SERVE_SHARDS", 4);
+    while (!isPowerOf2(shards))
+        --shards;
+    return shards;
+}
+
+/// One representative trace per behavioural family; clients cycle
+/// through these so the shard load is a mixed workload.
+std::vector<TraceSpec>
+clientSpecs()
+{
+    std::vector<TraceSpec> specs;
+    for (const char *suite : {"INT", "MM", "TPC", "NT"})
+        specs.push_back(buildSuite(suite).front());
+    return specs;
+}
+
+struct LoadPoint
+{
+    unsigned shards = 0;
+    unsigned clients = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t overloaded = 0;
+    double elapsedSec = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    std::size_t maxQueueDepth = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t auditFailures = 0;
+
+    double
+    predictionsPerSec() const
+    {
+        return elapsedSec <= 0.0
+            ? 0.0
+            : static_cast<double>(loads - overloaded) / elapsedSec;
+    }
+};
+
+double
+percentileUs(std::vector<std::uint32_t> &latencies_ns, double fraction)
+{
+    if (latencies_ns.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        fraction * static_cast<double>(latencies_ns.size() - 1));
+    std::nth_element(latencies_ns.begin(),
+                     latencies_ns.begin() + static_cast<std::ptrdiff_t>(rank),
+                     latencies_ns.end());
+    return static_cast<double>(latencies_ns[rank]) / 1000.0;
+}
+
+/** Run one load-generation configuration: @p clients threads replay
+ *  pre-generated traces against a @p shards-shard service. */
+LoadPoint
+runLoadPhase(unsigned shards, unsigned clients,
+             const std::vector<Trace> &traces)
+{
+    ServiceConfig config;
+    config.shards = shards;
+    config.overload = OverloadPolicy::Block;
+    PredictionService service(config, hybridFactory());
+
+    std::vector<Expected<ReplayResult>> results;
+    results.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c)
+        results.emplace_back(ReplayResult{});
+
+    const auto begin = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (unsigned c = 0; c < clients; ++c) {
+            threads.emplace_back([&service, &traces, &results, c] {
+                ClientSession session = service.connect();
+                results[c] = replayTrace(
+                    session, traces[c % traces.size()],
+                    /*collect_latencies=*/true);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    service.stop();
+    const auto end = std::chrono::steady_clock::now();
+
+    LoadPoint point;
+    point.shards = shards;
+    point.clients = clients;
+    point.elapsedSec =
+        std::chrono::duration<double>(end - begin).count();
+
+    std::vector<std::uint32_t> latencies;
+    for (unsigned c = 0; c < clients; ++c) {
+        if (!results[c]) {
+            BenchState::instance().failures.push_back(
+                {"serve/load/shards" + std::to_string(shards) +
+                     "/client" + std::to_string(c),
+                 results[c].error().str()});
+            continue;
+        }
+        point.loads += results[c]->loads;
+        point.overloaded += results[c]->overloaded;
+        latencies.insert(latencies.end(),
+                         results[c]->latenciesNs.begin(),
+                         results[c]->latenciesNs.end());
+    }
+    point.p50Us = percentileUs(latencies, 0.50);
+    point.p95Us = percentileUs(latencies, 0.95);
+    point.p99Us = percentileUs(latencies, 0.99);
+
+    for (const ShardSnapshot &snap : service.snapshot()) {
+        point.maxQueueDepth =
+            std::max(point.maxQueueDepth, snap.maxQueueDepth);
+        point.batches += snap.batches;
+        if (snap.auditFailed) {
+            ++point.auditFailures;
+            BenchState::instance().failures.push_back(
+                {"serve/load/shards" + std::to_string(shards) +
+                     "/audit",
+                 snap.auditError.str()});
+        }
+    }
+    return point;
+}
+
+/** One deterministic cross-check cell as a self-contained sweep job:
+ *  stats divergence is a CorruptedState failure of the job. */
+SweepJob
+crosscheckJob(const std::string &key, const TraceSpec &spec,
+              unsigned shards)
+{
+    SweepJob job;
+    job.key = key;
+    job.run = [spec, shards](const JobContext &) -> Expected<JobResult> {
+        const Trace trace = generateTrace(spec, defaultTraceLength());
+        ServiceConfig config;
+        config.shards = shards;
+        // Deterministic mode drains batch-per-request; audit every
+        // request would be O(table-size * trace-length) per cell.
+        config.auditEveryBatches = 256;
+        auto checked = crosscheckTrace(trace, hybridFactory(), config);
+        if (!checked) {
+            return std::move(checked.error())
+                .withContext("crosscheck on '" + spec.name + "'");
+        }
+        if (!checked->equal()) {
+            return makeError(
+                       ErrorCode::CorruptedState,
+                       "service stats diverge from PredictorSim "
+                       "(service spec=" +
+                           std::to_string(checked->service.spec) +
+                           " correct=" +
+                           std::to_string(checked->service.specCorrect) +
+                           ", reference spec=" +
+                           std::to_string(checked->reference.spec) +
+                           " correct=" +
+                           std::to_string(
+                               checked->reference.specCorrect) +
+                           ")")
+                .withContext("crosscheck on '" + spec.name + "'");
+        }
+        JobResult result;
+        result.stats = checked->service;
+        result.hasStats = true;
+        result.aux0 = 1; // stats equality held
+        return result;
+    };
+    return job;
+}
+
+struct ServeResults
+{
+    std::vector<LoadPoint> loadPoints;
+    SweepReport crosscheck;
+    std::vector<std::string> crosscheckKeys;
+};
+
+const ServeResults &
+results()
+{
+    static const ServeResults cached = [] {
+        ServeResults out;
+        const unsigned sharded = shardedConfigSize();
+        const unsigned clients = envUnsigned("CLAP_SERVE_CLIENTS", 4);
+        const std::vector<TraceSpec> specs = clientSpecs();
+
+        std::vector<Trace> traces;
+        traces.reserve(specs.size());
+        for (const auto &spec : specs)
+            traces.push_back(generateTrace(spec, defaultTraceLength()));
+
+        std::vector<unsigned> shard_counts{1};
+        if (sharded > 1)
+            shard_counts.push_back(sharded);
+        for (unsigned shards : shard_counts)
+            out.loadPoints.push_back(
+                runLoadPhase(shards, clients, traces));
+
+        std::vector<SweepJob> jobs;
+        for (unsigned shards : shard_counts) {
+            for (const auto &spec : specs) {
+                const std::string key = "crosscheck/shards" +
+                    std::to_string(shards) + "/" + spec.name;
+                out.crosscheckKeys.push_back(key);
+                jobs.push_back(crosscheckJob(key, spec, shards));
+            }
+        }
+        out.crosscheck = runSweepJobs(jobs);
+        return out;
+    }();
+    return cached;
+}
+
+void
+BM_Serve(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&results());
+    const auto &points = results().loadPoints;
+    if (!points.empty()) {
+        state.counters["preds_per_sec_1shard"] =
+            points.front().predictionsPerSec();
+        state.counters["preds_per_sec_sharded"] =
+            points.back().predictionsPerSec();
+    }
+}
+BENCHMARK(BM_Serve)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void
+printResults()
+{
+    const ServeResults &res = results();
+
+    Table load;
+    load.row({"shards", "clients", "loads", "preds/s", "p50_us",
+              "p95_us", "p99_us", "qdepth_max", "batches",
+              "audit_fail"});
+    for (const LoadPoint &point : res.loadPoints) {
+        load.newRow();
+        load.cell(static_cast<std::uint64_t>(point.shards));
+        load.cell(static_cast<std::uint64_t>(point.clients));
+        load.cell(point.loads);
+        load.cell(point.predictionsPerSec(), 0);
+        load.cell(point.p50Us, 2);
+        load.cell(point.p95Us, 2);
+        load.cell(point.p99Us, 2);
+        load.cell(static_cast<std::uint64_t>(point.maxQueueDepth));
+        load.cell(point.batches);
+        load.cell(point.auditFailures);
+    }
+    printTable("Service load generation: throughput / latency vs "
+               "shard count (wall-clock; run-dependent)",
+               load);
+
+    Table check;
+    check.row({"cell", "loads", "spec", "correct", "stats_equal"});
+    for (std::size_t j = 0; j < res.crosscheck.outcomes.size(); ++j) {
+        const JobOutcome &outcome = res.crosscheck.outcomes[j];
+        check.newRow();
+        check.cell(res.crosscheckKeys[j]);
+        if (outcome.ok) {
+            check.cell(outcome.result.stats.loads);
+            check.cell(outcome.result.stats.spec);
+            check.cell(outcome.result.stats.specCorrect);
+            check.cell(outcome.result.aux0 == 1 ? "yes" : "NO");
+        } else {
+            check.cell("-");
+            check.cell("-");
+            check.cell("-");
+            check.cell("FAILED");
+        }
+    }
+    printTable("Deterministic cross-check: service stats vs "
+               "PredictorSim reference (must all be yes)",
+               check);
+
+    if (res.loadPoints.size() >= 2) {
+        const double base = res.loadPoints.front().predictionsPerSec();
+        const double sharded =
+            res.loadPoints.back().predictionsPerSec();
+        std::printf("\nsharded/1-shard throughput ratio: %.2fx "
+                    "(gains need cores; on a single-CPU host the "
+                    "configurations should roughly tie)\n",
+                    base <= 0.0 ? 0.0 : sharded / base);
+    }
+    std::printf("expected: every cross-check row reports stats_equal "
+                "= yes — the service layer must not change prediction "
+                "semantics\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return clap::bench::benchMain("serve", argc, argv, printResults);
+}

@@ -76,7 +76,9 @@ inspect(const std::string &path, bool salvage)
                      static_cast<unsigned long long>(result->records),
                      static_cast<unsigned long long>(result->declared));
     }
-    printTraceStats(computeTraceStats(trace), std::cout);
+    const TraceStats stats = computeTraceStats(trace);
+    printTraceStats(stats, std::cout);
+    printTraceHistogram(stats, std::cout);
     return result->salvaged ? exitSalvaged : exitOk;
 }
 

@@ -1,25 +1,59 @@
 #!/bin/sh
-# Build and run the full test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer. The robustness contract is that every
-# corruption path (bad traces, bad configs, injected faults) returns a
-# typed error or degrades gracefully -- never trips UB -- and this is
-# the script that proves it.
+# Build and run the full test suite in BOTH configurations:
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
-set -eu
+#   1. the default (plain) config, the same one CI and developers use;
+#   2. RelWithDebInfo + -DCLAP_SANITIZE=address,undefined.
+#
+# The robustness contract is that every corruption path (bad traces,
+# bad configs, injected faults) returns a typed error or degrades
+# gracefully -- never trips UB -- and this is the script that proves
+# it. Both configs run even if the first fails; the script exits
+# non-zero if either build or either ctest run failed.
+#
+# Usage: scripts/check.sh [plain-build-dir] [asan-build-dir]
+#        (defaults: build, build-asan)
+set -u
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${1:-build-asan}
+PLAIN_DIR=${1:-build}
+ASAN_DIR=${2:-build-asan}
+STATUS=0
 
-cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCLAP_SANITIZE=address,undefined
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+run_config() {
+    # $1 = build dir, $2 = extra cmake args (may be empty), $3 = label
+    _dir=$1
+    _args=$2
+    _label=$3
+    # shellcheck disable=SC2086  # _args is intentionally word-split
+    if ! cmake -B "$_dir" -S . $_args; then
+        echo "check.sh: [$_label] configure FAILED" >&2
+        STATUS=1
+        return
+    fi
+    if ! cmake --build "$_dir" -j "$(nproc)"; then
+        echo "check.sh: [$_label] build FAILED" >&2
+        STATUS=1
+        return
+    fi
+    # halt_on_error makes any UBSan diagnostic fail the test run
+    # instead of scrolling past in the log.
+    if ! UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+         ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+         ctest --test-dir "$_dir" --output-on-failure -j "$(nproc)"; then
+        echo "check.sh: [$_label] ctest FAILED" >&2
+        STATUS=1
+        return
+    fi
+    echo "check.sh: [$_label] clean"
+}
 
-# halt_on_error makes any UBSan diagnostic fail the test run instead
-# of scrolling past in the log.
-UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
-ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+run_config "$PLAIN_DIR" "" "default"
+run_config "$ASAN_DIR" \
+    "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLAP_SANITIZE=address,undefined" \
+    "asan+ubsan"
 
-echo "check.sh: all tests clean under ASan+UBSan"
+if [ "$STATUS" -ne 0 ]; then
+    echo "check.sh: FAILURES (see above)" >&2
+    exit "$STATUS"
+fi
+echo "check.sh: all tests clean in both configurations"

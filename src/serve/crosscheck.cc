@@ -1,0 +1,111 @@
+#include "serve/crosscheck.hh"
+
+#include <chrono>
+
+#include "sim/predictor_sim.hh"
+
+namespace clap
+{
+
+Expected<ReplayResult>
+replayTrace(ClientSession &session, const Trace &trace,
+            bool collect_latencies)
+{
+    using Clock = std::chrono::steady_clock;
+
+    ReplayResult result;
+    if (collect_latencies)
+        result.latenciesNs.reserve(trace.size() / 4);
+
+    for (const auto &rec : trace.records()) {
+        if (rec.isLoad()) {
+            ++result.loads;
+            const Clock::time_point begin =
+                collect_latencies ? Clock::now() : Clock::time_point{};
+            auto pred = session.predict(rec.pc, rec.immOffset);
+            if (!pred) {
+                if (pred.error().code() == ErrorCode::Overloaded) {
+                    ++result.overloaded;
+                    continue; // shed: skip the matching train
+                }
+                return std::move(pred.error())
+                    .withContext("replaying load at pc " +
+                                 std::to_string(rec.pc));
+            }
+            if (collect_latencies) {
+                const auto ns =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - begin)
+                        .count();
+                result.latenciesNs.push_back(static_cast<std::uint32_t>(
+                    ns < 0 ? 0
+                           : ns > UINT32_MAX ? UINT32_MAX : ns));
+            }
+            ++result.predicts;
+            auto trained = session.train(rec.pc, rec.immOffset,
+                                         rec.effAddr, *pred);
+            if (!trained) {
+                if (trained.error().code() == ErrorCode::Overloaded) {
+                    ++result.overloaded;
+                    continue;
+                }
+                return std::move(trained.error())
+                    .withContext("replaying load at pc " +
+                                 std::to_string(rec.pc));
+            }
+            ++result.trains;
+        } else if (rec.isBranch()) {
+            session.observeBranch(rec.taken);
+        } else if (rec.cls == InstClass::Call) {
+            session.observeCall(rec.pc);
+        }
+    }
+    return result;
+}
+
+PredictionStats
+shardedReferenceStats(const Trace &trace, const PredictorFactory &factory,
+                      unsigned shards)
+{
+    PredictionStats reference;
+    for (unsigned s = 0; s < shards; ++s) {
+        // Keep every non-load record (identical global history) and
+        // only this shard's loads; with shards == 1 this copies the
+        // trace verbatim.
+        Trace sub;
+        sub.reserve(trace.size());
+        for (const auto &rec : trace.records()) {
+            if (!rec.isLoad() || shardOfPc(rec.pc, shards) == s)
+                sub.append(rec);
+        }
+        auto predictor = factory();
+        reference.merge(runPredictorSim(sub, *predictor, {}));
+    }
+    return reference;
+}
+
+Expected<CrosscheckResult>
+crosscheckTrace(const Trace &trace, const PredictorFactory &factory,
+                ServiceConfig config)
+{
+    config.deterministic = true;
+    config.overload = OverloadPolicy::Block;
+
+    CrosscheckResult result;
+    {
+        PredictionService service(config, factory);
+        ClientSession session = service.connect();
+        auto replay = replayTrace(session, trace);
+        if (!replay) {
+            return std::move(replay.error())
+                .withContext("deterministic service replay");
+        }
+        service.stop();
+        result.service = service.aggregateStats();
+    }
+    result.reference =
+        shardedReferenceStats(trace, factory, config.shards);
+    return result;
+}
+
+} // namespace clap

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Bounded multi-producer / single-consumer blocking queue, the
+ * per-shard mailbox of the prediction service. Producers are client
+ * sessions submitting requests; the single consumer is the shard's
+ * worker (or, in deterministic mode, the caller itself draining the
+ * shard inline).
+ *
+ * Backpressure is explicit: push() either blocks until space frees up
+ * (OverloadPolicy::Block) or fails immediately with Full
+ * (OverloadPolicy::Reject upstream turns that into a structured
+ * ErrorCode::Overloaded). close() wakes every waiter; a closed queue
+ * rejects new items but still hands out what it holds, so a stopping
+ * service drains instead of dropping.
+ */
+
+#ifndef CLAP_SERVE_QUEUE_HH
+#define CLAP_SERVE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace clap
+{
+
+/** Outcome of a BoundedQueue push attempt. */
+enum class QueuePush : std::uint8_t
+{
+    Ok,     ///< item enqueued
+    Full,   ///< non-blocking push found the queue at capacity
+    Closed, ///< queue closed; item not enqueued
+};
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Enqueue @p item. When @p block is true, waits for space (or for
+     * close()); otherwise returns Full on a queue at capacity.
+     */
+    QueuePush
+    push(T item, bool block)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (block) {
+            notFull_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+        } else if (!closed_ && items_.size() >= capacity_) {
+            return QueuePush::Full;
+        }
+        if (closed_)
+            return QueuePush::Closed;
+        items_.push_back(std::move(item));
+        if (items_.size() > maxDepth_)
+            maxDepth_ = items_.size();
+        lock.unlock();
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Move up to @p max items into @p out (appended). When @p wait is
+     * true, blocks until at least one item is available or the queue
+     * is closed; a 0 return then means closed-and-drained. When
+     * @p wait is false, returns 0 as soon as the queue is empty.
+     */
+    std::size_t
+    popBatch(std::vector<T> &out, std::size_t max, bool wait)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (wait) {
+            notEmpty_.wait(lock, [this] {
+                return closed_ || !items_.empty();
+            });
+        }
+        std::size_t popped = 0;
+        while (popped < max && !items_.empty()) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            ++popped;
+        }
+        lock.unlock();
+        if (popped != 0)
+            notFull_.notify_all();
+        return popped;
+    }
+
+    /** Reject further pushes and wake all waiters; items remain
+     *  poppable until drained. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Current number of queued items (monitoring gauge). */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** High-water mark of depth() over the queue's lifetime. */
+    std::size_t
+    maxDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return maxDepth_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    std::size_t maxDepth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace clap
+
+#endif // CLAP_SERVE_QUEUE_HH

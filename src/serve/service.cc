@@ -1,0 +1,315 @@
+#include "serve/service.hh"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "serve/queue.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+/**
+ * Rendezvous for a synchronous predict(): the client blocks on
+ * wait() while the shard worker computes the prediction and calls
+ * complete(). Stack-allocated in predict(), so completion must (and
+ * does) happen before predict() returns.
+ */
+struct ResponseSlot
+{
+    std::mutex mutex;
+    std::condition_variable ready;
+    bool done = false;
+    Prediction value;
+
+    void
+    complete(const Prediction &pred)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            value = pred;
+            done = true;
+        }
+        ready.notify_one();
+    }
+
+    Prediction
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready.wait(lock, [this] { return done; });
+        return value;
+    }
+};
+
+} // namespace
+
+/** One queued request; isTrain selects the active fields. */
+struct PredictionService::Request
+{
+    bool isTrain = false;
+    LoadInfo info;
+    std::uint64_t actualAddr = 0; ///< train
+    Prediction pred;              ///< train: the resolved prediction
+    ResponseSlot *slot = nullptr; ///< predict: completion rendezvous
+};
+
+/**
+ * One shard: a full predictor instance plus its mailbox, worker, and
+ * statistics. The mutex guards the predictor and every counter below
+ * it; in threaded mode only the shard's worker takes it on the hot
+ * path (snapshots take it briefly), in deterministic mode it
+ * serialises the inline drains.
+ */
+struct PredictionService::Shard
+{
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+    BoundedQueue<Request> queue;
+    std::atomic<std::uint64_t> rejected{0}; ///< producer-side counter
+
+    mutable std::mutex mutex;
+    std::unique_ptr<AddressPredictor> predictor;
+    PredictionStats stats;
+    std::uint64_t predicts = 0;
+    std::uint64_t trains = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t audits = 0;
+    bool auditFailed = false;
+    Error auditError;
+
+    std::thread worker;
+};
+
+PredictionService::PredictionService(const ServiceConfig &config,
+                                     PredictorFactory factory)
+    : config_(validated(config))
+{
+    assert(factory != nullptr);
+    shards_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+        auto shard = std::make_unique<Shard>(config_.queueCapacity);
+        shard->predictor = factory();
+        assert(shard->predictor != nullptr);
+        shards_.push_back(std::move(shard));
+    }
+    if (!config_.deterministic) {
+        for (auto &shard : shards_) {
+            Shard *raw = shard.get();
+            shard->worker =
+                std::thread([this, raw] { workerLoop(*raw); });
+        }
+    }
+}
+
+PredictionService::~PredictionService()
+{
+    stop();
+}
+
+void
+PredictionService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    for (auto &shard : shards_)
+        shard->queue.close();
+    for (auto &shard : shards_) {
+        if (shard->worker.joinable())
+            shard->worker.join();
+        // Deterministic mode has no workers; drain any leftovers so
+        // stop() upholds the processed-not-dropped guarantee there
+        // too.
+        drainShard(*shard);
+    }
+}
+
+bool
+PredictionService::stopped() const
+{
+    std::lock_guard<std::mutex> lock(stopMutex_);
+    return stopped_;
+}
+
+Expected<void>
+PredictionService::submit(Request request, unsigned shard_index)
+{
+    Shard &shard = *shards_[shard_index];
+    const bool block = config_.overload == OverloadPolicy::Block &&
+                       !config_.deterministic;
+    switch (shard.queue.push(std::move(request), block)) {
+      case QueuePush::Ok:
+        break;
+      case QueuePush::Full:
+        shard.rejected.fetch_add(1, std::memory_order_relaxed);
+        return makeError(ErrorCode::Overloaded,
+                         "shard queue full (capacity " +
+                             std::to_string(config_.queueCapacity) + ")")
+            .withContext("shard " + std::to_string(shard_index));
+      case QueuePush::Closed:
+        return makeError(ErrorCode::InvalidArgument,
+                         "prediction service is stopped")
+            .withContext("shard " + std::to_string(shard_index));
+    }
+    if (config_.deterministic)
+        drainShard(shard);
+    return ok();
+}
+
+Expected<Prediction>
+PredictionService::predict(const LoadInfo &info)
+{
+    ResponseSlot slot;
+    Request request;
+    request.info = info;
+    request.slot = &slot;
+    if (auto submitted = submit(std::move(request), shardOf(info.pc));
+        !submitted)
+        return std::move(submitted.error()).withContext("predict");
+    return slot.wait();
+}
+
+Expected<void>
+PredictionService::train(const LoadInfo &info, std::uint64_t actual_addr,
+                         const Prediction &pred)
+{
+    Request request;
+    request.isTrain = true;
+    request.info = info;
+    request.actualAddr = actual_addr;
+    request.pred = pred;
+    if (auto submitted = submit(std::move(request), shardOf(info.pc));
+        !submitted)
+        return std::move(submitted.error()).withContext("train");
+    return ok();
+}
+
+void
+PredictionService::drainShard(Shard &shard)
+{
+    std::vector<Request> batch;
+    batch.reserve(config_.maxBatch);
+    while (shard.queue.popBatch(batch, config_.maxBatch,
+                                /*wait=*/false) != 0) {
+        processBatch(shard, batch);
+        batch.clear();
+    }
+}
+
+void
+PredictionService::workerLoop(Shard &shard)
+{
+    std::vector<Request> batch;
+    batch.reserve(config_.maxBatch);
+    // popBatch returns 0 only once the queue is closed *and* drained,
+    // so a stopping service finishes every accepted request.
+    while (shard.queue.popBatch(batch, config_.maxBatch,
+                                /*wait=*/true) != 0) {
+        processBatch(shard, batch);
+        batch.clear();
+    }
+}
+
+void
+PredictionService::processBatch(Shard &shard,
+                                std::vector<Request> &batch)
+{
+    // Predictions computed under the lock, delivered after it: the
+    // rendezvous wakeups need not hold up the shard.
+    std::vector<std::pair<ResponseSlot *, Prediction>> responses;
+    responses.reserve(batch.size());
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (Request &request : batch) {
+            if (request.isTrain) {
+                shard.predictor->update(request.info,
+                                        request.actualAddr,
+                                        request.pred);
+                tallyPrediction(shard.stats, request.pred,
+                                request.actualAddr);
+                ++shard.trains;
+            } else {
+                responses.emplace_back(
+                    request.slot,
+                    shard.predictor->predict(request.info));
+                ++shard.predicts;
+            }
+        }
+        ++shard.batches;
+        if (config_.auditEveryBatches != 0 &&
+            shard.batches % config_.auditEveryBatches == 0) {
+            ++shard.audits;
+            if (auto audit = shard.predictor->audit();
+                !audit && !shard.auditFailed) {
+                shard.auditFailed = true;
+                shard.auditError = std::move(audit.error())
+                                       .withContext("per-batch audit");
+            }
+        }
+    }
+    for (auto &[slot, pred] : responses)
+        slot->complete(pred);
+}
+
+PredictionStats
+PredictionService::aggregateStats() const
+{
+    PredictionStats total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.merge(shard->stats);
+    }
+    return total;
+}
+
+std::vector<ShardSnapshot>
+PredictionService::snapshot() const
+{
+    std::vector<ShardSnapshot> out;
+    out.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        ShardSnapshot snap;
+        {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            snap.stats = shard->stats;
+            snap.predicts = shard->predicts;
+            snap.trains = shard->trains;
+            snap.batches = shard->batches;
+            snap.audits = shard->audits;
+            snap.auditFailed = shard->auditFailed;
+            snap.auditError = shard->auditError;
+        }
+        snap.rejected =
+            shard->rejected.load(std::memory_order_relaxed);
+        snap.queueDepth = shard->queue.depth();
+        snap.maxQueueDepth = shard->queue.maxDepth();
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+Expected<void>
+PredictionService::health() const
+{
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const auto &shard = shards_[s];
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        if (shard->auditFailed) {
+            Error error = shard->auditError;
+            return std::move(error).withContext(
+                "shard " + std::to_string(s));
+        }
+    }
+    return ok();
+}
+
+} // namespace clap

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Sharded, batched load-address prediction service. Turns the inline
+ * predictors (core/) into a concurrently queryable component: a
+ * PredictionService owns N predictor shards — each a full
+ * CAP/stride/hybrid instance behind its own mutex — and routes every
+ * request to the shard selected by a hash of the load PC, so the
+ * per-static-load state (LB entry, stride state, LT links reached
+ * from it) of one static load never crosses shards.
+ *
+ * Requests enter through per-client ClientSessions and queue into a
+ * bounded per-shard MPSC mailbox (serve/queue.hh). Backpressure is a
+ * first-class outcome: under OverloadPolicy::Block producers wait for
+ * queue space; under OverloadPolicy::Reject a full shard fails the
+ * request with a structured ErrorCode::Overloaded. Each shard's
+ * worker drains its queue in batches of up to maxBatch requests,
+ * paying the mutex/notify cost once per batch instead of once per
+ * request, and runs the structural invariant auditor (core/audit.hh)
+ * over the shard's predictor after every auditEveryBatches-th batch.
+ *
+ * Deterministic mode (ServiceConfig::deterministic) runs without
+ * worker threads: the submitting thread itself drains the shard
+ * inline through the very same batch path. With one client this makes
+ * the service a pure function of the request sequence, which is what
+ * the cross-check (serve/crosscheck.hh) exploits to prove the service
+ * layer does not change prediction semantics: its aggregate
+ * PredictionStats must equal a plain PredictorSim run bit for bit.
+ */
+
+#ifndef CLAP_SERVE_SERVICE_HH
+#define CLAP_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/predictor.hh"
+#include "sim/metrics.hh"
+#include "util/bits.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+
+/// Builds a fresh predictor per shard (same alias as
+/// sim/experiment.hh; redeclared here to keep this header light).
+using PredictorFactory =
+    std::function<std::unique_ptr<AddressPredictor>()>;
+
+/** What a full shard queue does to the submitting client. */
+enum class OverloadPolicy : std::uint8_t
+{
+    Block,  ///< producer waits for queue space
+    Reject, ///< request fails with ErrorCode::Overloaded
+};
+
+/** Service-level knobs; predictor geometry comes from the factory. */
+struct ServiceConfig
+{
+    /// Predictor shards; must be a power of two so the PC hash can
+    /// select one with a mask.
+    unsigned shards = 4;
+
+    /// Per-shard request queue capacity (backpressure bound).
+    std::size_t queueCapacity = 1024;
+
+    /// Requests a shard worker drains per queue round-trip.
+    std::size_t maxBatch = 64;
+
+    OverloadPolicy overload = OverloadPolicy::Block;
+
+    /// No worker threads: the submitting thread drains the target
+    /// shard inline after every request. Single-client only; exists
+    /// for the semantics cross-check and for debugging.
+    bool deterministic = false;
+
+    /// Run the structural auditor on a shard's predictor after every
+    /// N-th processed batch (0 disables). Audit failures are recorded
+    /// per shard and surfaced via PredictionService::health().
+    unsigned auditEveryBatches = 1;
+
+    /** Structural sanity checks; call before building a service. */
+    Expected<void>
+    validate() const
+    {
+        if (shards == 0 || shards > 4096 || !isPowerOf2(shards)) {
+            return detail::configError(
+                "ServiceConfig",
+                "shards must be a power of two in 1..4096, got " +
+                    std::to_string(shards));
+        }
+        if (queueCapacity == 0) {
+            return detail::configError(
+                "ServiceConfig", "queueCapacity must be >= 1");
+        }
+        if (maxBatch == 0 || maxBatch > queueCapacity) {
+            return detail::configError(
+                "ServiceConfig",
+                "maxBatch must be within 1..queueCapacity (maxBatch=" +
+                    std::to_string(maxBatch) + ", queueCapacity=" +
+                    std::to_string(queueCapacity) + ")");
+        }
+        return ok();
+    }
+};
+
+/**
+ * The shard a load PC routes to. A pure function of (pc, shards), so
+ * one static load can never map to two shards — the invariant that
+ * keeps per-static-load predictor state shard-local. PCs are strongly
+ * clustered, hence the mix64 finalizer before taking the low bits.
+ */
+inline unsigned
+shardOfPc(std::uint64_t pc, unsigned shards)
+{
+    return static_cast<unsigned>(mix64(pc) & mask(floorLog2(shards)));
+}
+
+/** Point-in-time view of one shard (monitoring / bench reporting). */
+struct ShardSnapshot
+{
+    PredictionStats stats;        ///< tallied at train resolution
+    std::uint64_t predicts = 0;   ///< predict requests processed
+    std::uint64_t trains = 0;     ///< train requests processed
+    std::uint64_t batches = 0;    ///< queue drain rounds
+    std::uint64_t audits = 0;     ///< auditor runs
+    std::uint64_t rejected = 0;   ///< requests refused as Overloaded
+    std::size_t queueDepth = 0;   ///< current mailbox depth
+    std::size_t maxQueueDepth = 0;///< mailbox high-water mark
+    bool auditFailed = false;
+    Error auditError;             ///< valid when auditFailed
+};
+
+class ClientSession;
+
+class PredictionService
+{
+  public:
+    /**
+     * Build a service of config.shards predictors (one factory call
+     * per shard) and start the shard workers (none in deterministic
+     * mode). Throws std::invalid_argument on an invalid config, like
+     * the predictor constructors (core/config.hh validated()).
+     */
+    PredictionService(const ServiceConfig &config,
+                      PredictorFactory factory);
+    ~PredictionService();
+
+    PredictionService(const PredictionService &) = delete;
+    PredictionService &operator=(const PredictionService &) = delete;
+
+    const ServiceConfig &config() const { return config_; }
+
+    unsigned
+    shardOf(std::uint64_t pc) const
+    {
+        return shardOfPc(pc, config_.shards);
+    }
+
+    /** Open a session; one per client thread, not thread-safe. */
+    ClientSession connect();
+
+    /**
+     * Form a prediction for @p info, synchronously: enqueue on the
+     * PC's shard and wait for the shard worker's response. Fails with
+     * Overloaded (Reject policy, full queue) or InvalidArgument
+     * (service stopped).
+     */
+    Expected<Prediction> predict(const LoadInfo &info);
+
+    /**
+     * Resolve a prior prediction with the load's actual address.
+     * Fire-and-forget: returns once the request is queued (the shard
+     * applies it in FIFO order, hence before any later predict of the
+     * same PC from this client). Same failure modes as predict().
+     */
+    Expected<void> train(const LoadInfo &info,
+                         std::uint64_t actual_addr,
+                         const Prediction &pred);
+
+    /**
+     * Stop accepting requests, drain every shard queue, and join the
+     * workers. Idempotent; also run by the destructor. Outstanding
+     * requests are processed, not dropped, so no client hangs.
+     */
+    void stop();
+
+    bool stopped() const;
+
+    /** Sum of the per-shard statistics (train-resolved tallies). */
+    PredictionStats aggregateStats() const;
+
+    /** Per-shard monitoring snapshot, in shard order. */
+    std::vector<ShardSnapshot> snapshot() const;
+
+    /**
+     * First recorded per-shard audit failure, if any — the service
+     * keeps serving after one (predictor state is speculative;
+     * corruption costs accuracy, not correctness), but reports it.
+     */
+    Expected<void> health() const;
+
+  private:
+    friend class ClientSession;
+
+    struct Shard;
+    struct Request;
+
+    Expected<void> submit(Request request, unsigned shard_index);
+    void drainShard(Shard &shard);
+    void processBatch(Shard &shard, std::vector<Request> &batch);
+    void workerLoop(Shard &shard);
+
+    ServiceConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    bool stopped_ = false;
+    mutable std::mutex stopMutex_;
+};
+
+/**
+ * Per-client handle: carries the client's global branch/path history
+ * (the front-end context a real fetch engine would attach to each
+ * load) and forwards requests to the service. One session per client
+ * thread; sessions are independent, the service below is shared.
+ */
+class ClientSession
+{
+  public:
+    /** Predict the load at @p pc with opcode immediate @p imm_offset,
+     *  using this session's history as context. */
+    Expected<Prediction>
+    predict(std::uint64_t pc, std::int32_t imm_offset)
+    {
+        ++requests_;
+        return service_->predict(makeInfo(pc, imm_offset));
+    }
+
+    /** Resolve @p pred (returned by predict for this pc) with the
+     *  load's actual effective address. */
+    Expected<void>
+    train(std::uint64_t pc, std::int32_t imm_offset,
+          std::uint64_t actual_addr, const Prediction &pred)
+    {
+        ++requests_;
+        return service_->train(makeInfo(pc, imm_offset), actual_addr,
+                               pred);
+    }
+
+    /** Record a conditional branch outcome into the session GHR. */
+    void observeBranch(bool taken) { ghr_ = (ghr_ << 1) | (taken ? 1 : 0); }
+
+    /** Record a call site into the session path history. */
+    void observeCall(std::uint64_t pc) { path_ = (path_ << 4) ^ (pc >> 2); }
+
+    std::uint64_t ghr() const { return ghr_; }
+    std::uint64_t pathHist() const { return path_; }
+    std::uint64_t requests() const { return requests_; }
+
+  private:
+    friend class PredictionService;
+    explicit ClientSession(PredictionService &service)
+        : service_(&service)
+    {
+    }
+
+    LoadInfo
+    makeInfo(std::uint64_t pc, std::int32_t imm_offset) const
+    {
+        LoadInfo info;
+        info.pc = pc;
+        info.immOffset = imm_offset;
+        info.ghr = ghr_;
+        info.pathHist = path_;
+        return info;
+    }
+
+    PredictionService *service_;
+    std::uint64_t ghr_ = 0;
+    std::uint64_t path_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+inline ClientSession
+PredictionService::connect()
+{
+    return ClientSession(*this);
+}
+
+} // namespace clap
+
+#endif // CLAP_SERVE_SERVICE_HH

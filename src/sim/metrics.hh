@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/predictor.hh"
 #include "util/stats.hh"
 
 namespace clap
@@ -78,6 +79,61 @@ struct PredictionStats
         missSelections += other.missSelections;
     }
 };
+
+/**
+ * Tally one resolved prediction into @p stats: the load's actual
+ * effective address is known and @p pred is what the predictor
+ * returned for it. This is the single metric definition shared by the
+ * inline simulator (sim/predictor_sim.cc) and the prediction service
+ * (serve/service.cc); keeping both on one function is what makes the
+ * service's deterministic mode bit-for-bit comparable to a
+ * PredictorSim run.
+ */
+inline void
+tallyPrediction(PredictionStats &stats, const Prediction &pred,
+                std::uint64_t actual)
+{
+    ++stats.loads;
+    if (pred.lbHit)
+        ++stats.lbHits;
+    if (pred.hasAddress) {
+        ++stats.formed;
+        // For the hybrid, count "formed correct" when the selected
+        // (or any, if none selected) component address matches.
+        const bool formed_correct = pred.speculate
+            ? pred.addr == actual
+            : (pred.capHasAddr && pred.capAddr == actual) ||
+                (pred.strideHasAddr && pred.strideAddr == actual) ||
+                (!pred.capHasAddr && !pred.strideHasAddr &&
+                 pred.addr == actual);
+        if (formed_correct)
+            ++stats.formedCorrect;
+    }
+    if (pred.speculate) {
+        ++stats.spec;
+        const auto comp = static_cast<std::size_t>(pred.component);
+        ++stats.specBy[comp];
+        if (pred.addr == actual) {
+            ++stats.specCorrect;
+            ++stats.specCorrectBy[comp];
+        }
+    }
+
+    // Selector statistics (section 4.4): loads where both components
+    // performed (wanted) a speculative access.
+    if (pred.capSpec && pred.strideSpec) {
+        ++stats.bothSpec;
+        ++stats.selectorState[pred.selectorState & 3];
+        if (pred.speculate && pred.addr != actual) {
+            const bool other_correct =
+                pred.component == Component::Cap
+                    ? pred.strideAddr == actual
+                    : pred.capAddr == actual;
+            if (other_correct)
+                ++stats.missSelections;
+        }
+    }
+}
 
 } // namespace clap
 

@@ -20,53 +20,12 @@ struct PendingPrediction
     std::uint64_t issueInst = 0;
 };
 
-/** Tally one resolved prediction into @p stats. */
+/** Tally one resolved prediction into @p stats (shared definition in
+ *  sim/metrics.hh). */
 void
 tally(PredictionStats &stats, const PendingPrediction &pending)
 {
-    const Prediction &pred = pending.pred;
-    const std::uint64_t actual = pending.actualAddr;
-
-    ++stats.loads;
-    if (pred.lbHit)
-        ++stats.lbHits;
-    if (pred.hasAddress) {
-        ++stats.formed;
-        // For the hybrid, count "formed correct" when the selected
-        // (or any, if none selected) component address matches.
-        const bool formed_correct = pred.speculate
-            ? pred.addr == actual
-            : (pred.capHasAddr && pred.capAddr == actual) ||
-                (pred.strideHasAddr && pred.strideAddr == actual) ||
-                (!pred.capHasAddr && !pred.strideHasAddr &&
-                 pred.addr == actual);
-        if (formed_correct)
-            ++stats.formedCorrect;
-    }
-    if (pred.speculate) {
-        ++stats.spec;
-        const auto comp = static_cast<std::size_t>(pred.component);
-        ++stats.specBy[comp];
-        if (pred.addr == actual) {
-            ++stats.specCorrect;
-            ++stats.specCorrectBy[comp];
-        }
-    }
-
-    // Selector statistics (section 4.4): loads where both components
-    // performed (wanted) a speculative access.
-    if (pred.capSpec && pred.strideSpec) {
-        ++stats.bothSpec;
-        ++stats.selectorState[pred.selectorState & 3];
-        if (pred.speculate && pred.addr != actual) {
-            const bool other_correct =
-                pred.component == Component::Cap
-                    ? pred.strideAddr == actual
-                    : pred.capAddr == actual;
-            if (other_correct)
-                ++stats.missSelections;
-        }
-    }
+    tallyPrediction(stats, pending.pred, pending.actualAddr);
 }
 
 } // namespace

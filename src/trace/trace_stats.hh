@@ -49,6 +49,14 @@ TraceStats computeTraceStats(const Trace &trace);
 /** Human-readable dump of @p stats. */
 void printTraceStats(const TraceStats &stats, std::ostream &os);
 
+/**
+ * Per-class instruction histogram: one row per instruction class with
+ * its dynamic count, share of all instructions, and a bar scaled to
+ * the most frequent class. Zero-count classes are listed too so the
+ * mix (and what is absent from it) reads at a glance.
+ */
+void printTraceHistogram(const TraceStats &stats, std::ostream &os);
+
 } // namespace clap
 
 #endif // CLAP_TRACE_TRACE_STATS_HH

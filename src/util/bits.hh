@@ -65,6 +65,24 @@ alignUp(std::uint64_t value, std::uint64_t align)
     return (value + align - 1) & ~(align - 1);
 }
 
+/**
+ * Mix @p value into a well-distributed 64-bit hash (the splitmix64
+ * finalizer). Load PCs are strongly clustered (fixed alignment, a few
+ * hot code regions), so consumers that index tables or shards with
+ * PC-derived bits push the value through this finalizer first and
+ * then take the bits they need with bits()/mask().
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t value)
+{
+    value ^= value >> 30;
+    value *= 0xbf58476d1ce4e5b9ull;
+    value ^= value >> 27;
+    value *= 0x94d049bb133111ebull;
+    value ^= value >> 31;
+    return value;
+}
+
 /** Sign-extend the low @p n bits of @p value to 64 bits. */
 constexpr std::int64_t
 signExtend(std::uint64_t value, unsigned n)

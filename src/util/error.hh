@@ -41,6 +41,7 @@ enum class ErrorCode : std::uint8_t
     InvalidArgument,///< caller-supplied argument out of range
     Timeout,        ///< job exceeded its wall-clock budget (watchdog)
     CorruptedState, ///< structural invariant violated (audit failure)
+    Overloaded,     ///< bounded queue full under the Reject policy
 };
 
 /** Printable name of an ErrorCode. */
@@ -60,6 +61,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::InvalidArgument: return "InvalidArgument";
       case ErrorCode::Timeout:         return "Timeout";
       case ErrorCode::CorruptedState:  return "CorruptedState";
+      case ErrorCode::Overloaded:      return "Overloaded";
     }
     return "Unknown";
 }
@@ -68,7 +70,7 @@ errorCodeName(ErrorCode code)
 inline ErrorCode
 errorCodeFromName(const std::string &name)
 {
-    for (int i = 0; i <= static_cast<int>(ErrorCode::CorruptedState);
+    for (int i = 0; i <= static_cast<int>(ErrorCode::Overloaded);
          ++i) {
         const auto code = static_cast<ErrorCode>(i);
         if (name == errorCodeName(code))
@@ -80,13 +82,15 @@ errorCodeFromName(const std::string &name)
 /**
  * True for failure kinds worth retrying: transient conditions that a
  * fresh attempt can clear (e.g. predictor state corrupted by an
- * injected fault). Timeouts and input/config errors are deterministic
- * and retrying them only burns the sweep's wall-clock budget.
+ * injected fault, or a service shard queue momentarily full). Timeouts
+ * and input/config errors are deterministic and retrying them only
+ * burns the sweep's wall-clock budget.
  */
 inline bool
 isRetryable(ErrorCode code)
 {
-    return code == ErrorCode::CorruptedState;
+    return code == ErrorCode::CorruptedState ||
+           code == ErrorCode::Overloaded;
 }
 
 /** A structured error: code + message + context chain. */

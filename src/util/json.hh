@@ -320,7 +320,12 @@ class JsonParser
         JsonValue value;
         value.kind = JsonValue::Kind::Number;
         try {
-            value.number = std::stod(token);
+            std::size_t end = 0;
+            value.number = std::stod(token, &end);
+            // stod stops at the longest valid prefix; a partial
+            // consume means a malformed token like "1e" or "1.2.3".
+            if (end != token.size())
+                return fail("bad number '" + token + "'");
         } catch (const std::exception &) {
             return fail("bad number '" + token + "'");
         }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "util/bits.hh"
 
 namespace clap
@@ -72,6 +74,48 @@ TEST(Bits, AlignUp)
     EXPECT_EQ(alignUp(16, 16), 16u);
     EXPECT_EQ(alignUp(17, 16), 32u);
     EXPECT_EQ(alignUp(0x1001, 0x1000), 0x2000u);
+}
+
+TEST(Bits, Mix64IsDeterministicAndNonTrivial)
+{
+    // Compile-time evaluable, stable across runs, and not identity.
+    static_assert(mix64(0x12345678u) == mix64(0x12345678u));
+    EXPECT_EQ(mix64(0xdeadbeef), mix64(0xdeadbeef));
+    EXPECT_NE(mix64(0xdeadbeef), 0xdeadbeefull);
+    // Zero is the only fixed point of the splitmix64 finalizer.
+    EXPECT_EQ(mix64(0), 0u);
+    EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(Bits, Mix64AvalanchesNeighbours)
+{
+    // Adjacent inputs (the failure mode of untreated PCs: 4-byte
+    // strides) must land in different halves of the output space
+    // often enough that low-bit extraction balances.
+    int low_bit_flips = 0;
+    for (std::uint64_t pc = 0; pc < 256; ++pc) {
+        if ((mix64(pc) & 1) != (mix64(pc + 1) & 1))
+            ++low_bit_flips;
+    }
+    EXPECT_GT(low_bit_flips, 96);  // ~128 expected for a fair bit
+    EXPECT_LT(low_bit_flips, 160);
+}
+
+TEST(Bits, Mix64SpreadsClusteredPcsAcrossShardMask)
+{
+    // The serve-layer shard hash is mix64(pc) & mask(floorLog2(N)):
+    // a text segment's worth of consecutive word-aligned PCs must
+    // touch every shard, where pc & mask(...) alone would alias.
+    constexpr unsigned shards = 8;
+    std::array<std::uint64_t, shards> hits{};
+    for (std::uint64_t pc = 0x08048000; pc < 0x08048000 + 0x800;
+         pc += 4) {
+        const auto shard = mix64(pc) & mask(floorLog2(shards));
+        ASSERT_LT(shard, shards);
+        ++hits[shard];
+    }
+    for (unsigned s = 0; s < shards; ++s)
+        EXPECT_GT(hits[s], 0u) << "shard " << s << " never hit";
 }
 
 TEST(Bits, SignExtend)

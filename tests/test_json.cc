@@ -1,0 +1,205 @@
+/** @file Edge-case tests for the util/json.hh parser. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hh"
+
+namespace clap
+{
+namespace
+{
+
+// --- Escape sequences ----------------------------------------------
+
+TEST(JsonParser, DecodesSimpleEscapes)
+{
+    auto value = parseJson(R"("a\n\t\r\b\f\"\\\/z")");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->kind, JsonValue::Kind::String);
+    EXPECT_EQ(value->str, "a\n\t\r\b\f\"\\/z");
+}
+
+TEST(JsonParser, UnicodeEscapeDecodesToPlaceholder)
+{
+    // Documented non-goal: \uXXXX escapes decode to '?' (the hex
+    // digits are skipped, not validated).
+    auto value = parseJson(R"("A\u0042C")");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->str, "A?C");
+}
+
+TEST(JsonParser, RejectsTruncatedUnicodeEscape)
+{
+    EXPECT_FALSE(parseJson(R"("\u00)"));
+    EXPECT_FALSE(parseJson("\"\\u0"));
+}
+
+TEST(JsonParser, RejectsBadEscapeAndUnterminatedString)
+{
+    EXPECT_FALSE(parseJson(R"("\q")"));
+    EXPECT_FALSE(parseJson("\"abc"));
+    EXPECT_FALSE(parseJson("\"abc\\"));
+}
+
+TEST(JsonParser, EscapeRoundTripsThroughJsonEscape)
+{
+    const std::string original = "tab\there \"quote\" back\\slash\nnl";
+    auto value = parseJson('"' + jsonEscape(original) + '"');
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->str, original);
+}
+
+TEST(JsonParser, ControlCharacterEscapesRoundTrip)
+{
+    // jsonEscape emits \u00XX for C0 controls; the parser maps those
+    // to '?' (documented lossy placeholder), not to garbage.
+    auto value = parseJson('"' + jsonEscape(std::string("a\x01z")) + '"');
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->str, "a?z");
+}
+
+// --- Numbers -------------------------------------------------------
+
+TEST(JsonParser, ParsesExponentForms)
+{
+    auto value = parseJson("1e3");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->kind, JsonValue::Kind::Number);
+    EXPECT_DOUBLE_EQ(value->number, 1000.0);
+    EXPECT_FALSE(value->isUint); // exponent form keeps double only
+
+    value = parseJson("2.5E-2");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_DOUBLE_EQ(value->number, 0.025);
+
+    value = parseJson("-1.25e2");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_DOUBLE_EQ(value->number, -125.0);
+    EXPECT_FALSE(value->isUint);
+}
+
+TEST(JsonParser, Uint64BoundaryKeepsIntegerReading)
+{
+    auto value = parseJson("18446744073709551615");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_TRUE(value->isUint);
+    EXPECT_EQ(value->uintValue, ~std::uint64_t{0});
+
+    // One past the boundary: only the double reading survives.
+    value = parseJson("18446744073709551616");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_FALSE(value->isUint);
+    EXPECT_GT(value->number, 1.8e19);
+}
+
+TEST(JsonParser, RejectsNanAndInfinity)
+{
+    EXPECT_FALSE(parseJson("NaN"));
+    EXPECT_FALSE(parseJson("nan"));
+    EXPECT_FALSE(parseJson("Infinity"));
+    EXPECT_FALSE(parseJson("-Infinity"));
+    EXPECT_FALSE(parseJson("[1, NaN]"));
+    EXPECT_FALSE(parseJson(R"({"v": Infinity})"));
+}
+
+TEST(JsonParser, RejectsMalformedNumbers)
+{
+    EXPECT_FALSE(parseJson("-"));
+    EXPECT_FALSE(parseJson("1e"));
+    EXPECT_FALSE(parseJson("1e999")); // out of double range
+    EXPECT_FALSE(parseJson("1.2.3"));
+}
+
+// --- Nesting depth -------------------------------------------------
+
+TEST(JsonParser, AcceptsModerateNesting)
+{
+    std::string text;
+    for (int i = 0; i < 16; ++i)
+        text += '[';
+    text += '1';
+    for (int i = 0; i < 16; ++i)
+        text += ']';
+    auto value = parseJson(text);
+    ASSERT_TRUE(value) << value.error().str();
+}
+
+TEST(JsonParser, RejectsDeepNesting)
+{
+    std::string arrays;
+    for (int i = 0; i < 64; ++i)
+        arrays += '[';
+    arrays += '1';
+    for (int i = 0; i < 64; ++i)
+        arrays += ']';
+    EXPECT_FALSE(parseJson(arrays));
+
+    std::string objects;
+    for (int i = 0; i < 64; ++i)
+        objects += R"({"k":)";
+    objects += "0";
+    for (int i = 0; i < 64; ++i)
+        objects += '}';
+    EXPECT_FALSE(parseJson(objects));
+}
+
+// --- Trailing garbage ----------------------------------------------
+
+TEST(JsonParser, RejectsTrailingGarbage)
+{
+    EXPECT_FALSE(parseJson("{} x"));
+    EXPECT_FALSE(parseJson("1 2"));
+    EXPECT_FALSE(parseJson("[1],"));
+    EXPECT_FALSE(parseJson(R"("s" trailing)"));
+    EXPECT_FALSE(parseJson("true false"));
+}
+
+TEST(JsonParser, AcceptsSurroundingWhitespace)
+{
+    auto value = parseJson("  \t\n {\"k\": [1, 2]} \r\n ");
+    ASSERT_TRUE(value) << value.error().str();
+    const JsonValue *k = value->find("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->items.size(), 2u);
+}
+
+// --- Structural errors and accessors -------------------------------
+
+TEST(JsonParser, RejectsStructuralGarbage)
+{
+    EXPECT_FALSE(parseJson(""));
+    EXPECT_FALSE(parseJson("{"));
+    EXPECT_FALSE(parseJson("[1, ]"));
+    EXPECT_FALSE(parseJson("{\"k\" 1}"));
+    EXPECT_FALSE(parseJson("{\"k\": 1,}"));
+    EXPECT_FALSE(parseJson("{1: 2}"));
+}
+
+TEST(JsonParser, ErrorsCarryBadRecordCodeAndOffset)
+{
+    auto value = parseJson("[1, oops]");
+    ASSERT_FALSE(value);
+    EXPECT_EQ(value.error().code(), ErrorCode::BadRecord);
+    EXPECT_NE(value.error().str().find("at offset"), std::string::npos);
+}
+
+TEST(JsonParser, AccessorFallbacks)
+{
+    auto value = parseJson(
+        R"({"n": 7, "s": "txt", "b": true, "f": 1.5})");
+    ASSERT_TRUE(value) << value.error().str();
+    EXPECT_EQ(value->uintOr("n", 0), 7u);
+    EXPECT_EQ(value->uintOr("missing", 42), 42u);
+    EXPECT_EQ(value->uintOr("f", 42), 42u); // non-integer: fallback
+    EXPECT_EQ(value->stringOr("s", ""), "txt");
+    EXPECT_EQ(value->stringOr("n", "fb"), "fb");
+    EXPECT_TRUE(value->boolOr("b", false));
+    EXPECT_TRUE(value->boolOr("missing", true));
+    // find() on a non-object is null, never UB.
+    EXPECT_EQ(value->find("s")->find("x"), nullptr);
+}
+
+} // namespace
+} // namespace clap

@@ -82,5 +82,38 @@ TEST(SatCounter, SetForcesValue)
     EXPECT_EQ(counter.value(), 5u);
 }
 
+TEST(SatCounter, WideCounterSaturatesBothEnds)
+{
+    // 8-bit counter: saturation must hold at 255 and at 0, with no
+    // wrap-around in either direction.
+    SatCounter counter(8, 0);
+    EXPECT_EQ(counter.max(), 255u);
+    for (int i = 0; i < 300; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 255u);
+    EXPECT_TRUE(counter.saturated());
+    counter.increment();
+    EXPECT_EQ(counter.value(), 255u); // still pinned, no wrap
+    for (int i = 0; i < 300; ++i)
+        counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u); // pinned at the bottom too
+    EXPECT_FALSE(counter.saturated());
+}
+
+TEST(SatCounter, InitialValueAtMaxStaysSaturated)
+{
+    SatCounter counter(4, 15);
+    EXPECT_TRUE(counter.saturated());
+    counter.increment();
+    EXPECT_EQ(counter.value(), 15u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 15u); // reset returns to initial=max
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 14u);
+    EXPECT_FALSE(counter.saturated());
+}
+
 } // namespace
 } // namespace clap
