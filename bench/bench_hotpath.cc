@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Replay-loop throughput harness for the perf work that is not a
+ * paper figure: the shared trace store, the ring-buffered pending
+ * queue, and the single-lookup LoadBuffer handle path. Each predictor
+ * family replays one representative trace per suite (INT, MM, TPC,
+ * NT) through runPredictorSim and the harness reports records/sec and
+ * ns/load, per predictor and in aggregate.
+ *
+ * Throughput is informational, not gating: CI's perf-smoke job only
+ * asserts that the binary runs and BENCH_hotpath.json is valid JSON.
+ * Like bench_serve's load table, the timing cells are wall-clock and
+ * inherently run-dependent; the JSON is still written atomically via
+ * the shared machinery.
+ *
+ * Environment knobs (besides the shared bench/sweep flags):
+ *   CLAP_TRACE_INSTS  per-trace instruction budget (suites.hh)
+ */
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/predictor_sim.hh"
+#include "workloads/composer.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::bench;
+
+/// One representative trace per behavioural family (same mix the
+/// serve bench replays).
+std::vector<TraceSpec>
+representativeSpecs()
+{
+    std::vector<TraceSpec> specs;
+    for (const char *suite : {"INT", "MM", "TPC", "NT"})
+        specs.push_back(buildSuite(suite).front());
+    return specs;
+}
+
+struct HotpathRow
+{
+    std::string predictor;
+    std::uint64_t records = 0;
+    std::uint64_t loads = 0;
+    double elapsedSec = 0.0;
+
+    double
+    recordsPerSec() const
+    {
+        return elapsedSec <= 0.0
+            ? 0.0
+            : static_cast<double>(records) / elapsedSec;
+    }
+
+    double
+    nsPerLoad() const
+    {
+        return loads == 0
+            ? 0.0
+            : elapsedSec * 1e9 / static_cast<double>(loads);
+    }
+};
+
+struct HotpathResults
+{
+    std::vector<HotpathRow> rows;
+    HotpathRow total;
+};
+
+HotpathRow
+measure(const std::string &name, const PredictorFactory &factory,
+        const std::vector<std::shared_ptr<const Trace>> &traces)
+{
+    HotpathRow row;
+    row.predictor = name;
+    for (const auto &trace : traces) {
+        auto predictor = factory();
+        const auto begin = std::chrono::steady_clock::now();
+        const PredictionStats stats =
+            runPredictorSim(*trace, *predictor, {});
+        const auto end = std::chrono::steady_clock::now();
+        row.records += trace->records().size();
+        row.loads += stats.loads;
+        row.elapsedSec +=
+            std::chrono::duration<double>(end - begin).count();
+    }
+    return row;
+}
+
+const HotpathResults &
+results()
+{
+    static const HotpathResults cached = [] {
+        HotpathResults out;
+        // Pre-fetch through the store so generation time (shared with
+        // every other harness in a batched run) stays out of the
+        // replay measurement.
+        std::vector<std::shared_ptr<const Trace>> traces;
+        for (const auto &spec : representativeSpecs()) {
+            traces.push_back(
+                globalTraceStore().get(spec, defaultTraceLength()));
+        }
+
+        out.rows.push_back(
+            measure("last", lastAddressFactory(), traces));
+        out.rows.push_back(measure("stride", strideFactory(), traces));
+        out.rows.push_back(measure("cap", capFactory(), traces));
+        out.rows.push_back(measure("hybrid", hybridFactory(), traces));
+
+        out.total.predictor = "total";
+        for (const HotpathRow &row : out.rows) {
+            out.total.records += row.records;
+            out.total.loads += row.loads;
+            out.total.elapsedSec += row.elapsedSec;
+        }
+        return out;
+    }();
+    return cached;
+}
+
+void
+BM_Hotpath(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&results());
+    state.counters["records_per_sec"] = results().total.recordsPerSec();
+    state.counters["ns_per_load"] = results().total.nsPerLoad();
+}
+BENCHMARK(BM_Hotpath)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void
+printResults()
+{
+    const HotpathResults &res = results();
+    Table table;
+    table.row({"predictor", "records", "loads", "ms", "Mrec/s",
+               "ns/load"});
+    auto emit = [&table](const HotpathRow &row) {
+        table.newRow();
+        table.cell(row.predictor);
+        table.cell(row.records);
+        table.cell(row.loads);
+        table.cell(row.elapsedSec * 1e3, 1);
+        table.cell(row.recordsPerSec() / 1e6, 2);
+        table.cell(row.nsPerLoad(), 1);
+    };
+    for (const HotpathRow &row : res.rows)
+        emit(row);
+    emit(res.total);
+    printTable("Replay-loop throughput per predictor "
+               "(wall-clock; run-dependent)",
+               table);
+    std::printf("\nthroughput is informational; CI only checks that "
+                "this harness runs and emits valid JSON\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return clap::bench::benchMain("hotpath", argc, argv, printResults);
+}

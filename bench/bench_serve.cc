@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -115,7 +116,7 @@ percentileUs(std::vector<std::uint32_t> &latencies_ns, double fraction)
  *  pre-generated traces against a @p shards-shard service. */
 LoadPoint
 runLoadPhase(unsigned shards, unsigned clients,
-             const std::vector<Trace> &traces)
+             const std::vector<std::shared_ptr<const Trace>> &traces)
 {
     ServiceConfig config;
     config.shards = shards;
@@ -135,7 +136,7 @@ runLoadPhase(unsigned shards, unsigned clients,
             threads.emplace_back([&service, &traces, &results, c] {
                 ClientSession session = service.connect();
                 results[c] = replayTrace(
-                    session, traces[c % traces.size()],
+                    session, *traces[c % traces.size()],
                     /*collect_latencies=*/true);
             });
         }
@@ -194,13 +195,14 @@ crosscheckJob(const std::string &key, const TraceSpec &spec,
     SweepJob job;
     job.key = key;
     job.run = [spec, shards](const JobContext &) -> Expected<JobResult> {
-        const Trace trace = generateTrace(spec, defaultTraceLength());
+        const std::shared_ptr<const Trace> trace =
+            globalTraceStore().get(spec, defaultTraceLength());
         ServiceConfig config;
         config.shards = shards;
         // Deterministic mode drains batch-per-request; audit every
         // request would be O(table-size * trace-length) per cell.
         config.auditEveryBatches = 256;
-        auto checked = crosscheckTrace(trace, hybridFactory(), config);
+        auto checked = crosscheckTrace(*trace, hybridFactory(), config);
         if (!checked) {
             return std::move(checked.error())
                 .withContext("crosscheck on '" + spec.name + "'");
@@ -246,10 +248,14 @@ results()
         const unsigned clients = envUnsigned("CLAP_SERVE_CLIENTS", 4);
         const std::vector<TraceSpec> specs = clientSpecs();
 
-        std::vector<Trace> traces;
+        // The store shares each client trace with the cross-check
+        // phase below (and caps the process at one copy per spec).
+        std::vector<std::shared_ptr<const Trace>> traces;
         traces.reserve(specs.size());
-        for (const auto &spec : specs)
-            traces.push_back(generateTrace(spec, defaultTraceLength()));
+        for (const auto &spec : specs) {
+            traces.push_back(
+                globalTraceStore().get(spec, defaultTraceLength()));
+        }
 
         std::vector<unsigned> shard_counts{1};
         if (sharded > 1)

@@ -49,6 +49,7 @@
 #include "core/stride_predictor.hh"
 #include "runner/sweep.hh"
 #include "sim/experiment.hh"
+#include "trace/trace_store.hh"
 #include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -132,6 +133,12 @@ struct BenchState
     RunnerCounters counters; ///< accumulated over all sweeps
     std::size_t journalBadLines = 0;
 
+    /// Trace-store counters accumulated over all sweeps. Printed in
+    /// the stdout summary only — the result JSON must stay free of
+    /// run-dependent counters (journal hits skip generations, so a
+    /// resumed run reports different hit/miss totals).
+    TraceStoreStats traceStore;
+
     static BenchState &
     instance()
     {
@@ -181,6 +188,12 @@ recordSweepReport(const SweepReport &report)
     state.counters.timeouts += report.counters.timeouts;
     state.counters.failures += report.counters.failures;
     state.journalBadLines += report.journalBadLines;
+    state.traceStore.hits += report.traceStore.hits;
+    state.traceStore.misses += report.traceStore.misses;
+    state.traceStore.evictions += report.traceStore.evictions;
+    state.traceStore.bytesGenerated += report.traceStore.bytesGenerated;
+    state.traceStore.bytesCached = report.traceStore.bytesCached;
+    state.traceStore.bytesPeak = report.traceStore.bytesPeak;
 }
 
 /** Resilient runPerTrace under the bench flags. */
@@ -394,6 +407,18 @@ benchMain(const std::string &name, int argc, char **argv,
                         static_cast<unsigned long long>(
                             state.journalBadLines));
         std::printf("\n");
+    }
+    if (state.traceStore.hits != 0 || state.traceStore.misses != 0) {
+        const TraceStoreStats &ts = state.traceStore;
+        std::printf("trace store: %llu hits, %llu generated "
+                    "(%.1f MiB), %llu evicted, peak %.1f MiB\n",
+                    static_cast<unsigned long long>(ts.hits),
+                    static_cast<unsigned long long>(ts.misses),
+                    static_cast<double>(ts.bytesGenerated) /
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(ts.evictions),
+                    static_cast<double>(ts.bytesPeak) /
+                        (1024.0 * 1024.0));
     }
     for (const auto &failure : state.failures)
         std::fprintf(stderr, "failed job %s: %s\n",

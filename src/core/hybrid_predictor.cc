@@ -18,6 +18,7 @@ HybridPredictor::predict(const LoadInfo &info)
         entry = &lb_.allocate(info.pc);
         entry->selector = SatCounter(2, config_.selectorInit);
     }
+    pred.lbHandle = lb_.handleOf(*entry);
     const CapResult cap = cap_.predict(*entry, info);
     const StrideResult stride = stride_.predict(*entry, info);
 
@@ -60,7 +61,7 @@ void
 HybridPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
                         const Prediction &pred, bool allow_lt_update)
 {
-    LBEntry *entry = lb_.lookup(info.pc);
+    LBEntry *entry = lb_.acquire(info.pc, pred.lbHandle);
     if (!entry) {
         // Evicted since predict: reallocate; the component updates
         // below self-initialize the fresh entry.

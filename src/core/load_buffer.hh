@@ -16,6 +16,7 @@
 
 #include "core/config.hh"
 #include "core/history.hh"
+#include "core/predictor.hh"
 #include "util/sat_counter.hh"
 
 namespace clap
@@ -80,7 +81,8 @@ class LoadBuffer
     explicit LoadBuffer(const LoadBufferConfig &config)
         : config_(config),
           sets_(config.sets()),
-          entries_(config.entries)
+          entries_(config.entries),
+          gens_(config.entries, 0)
     {
     }
 
@@ -100,6 +102,41 @@ class LoadBuffer
         return nullptr;
     }
 
+    /** Handle to @p entry for revalidation at update time.
+     *  @pre entry is a reference into this buffer */
+    LBHandle
+    handleOf(const LBEntry &entry) const
+    {
+        LBHandle handle;
+        handle.slot = static_cast<std::uint32_t>(&entry - entries_.data());
+        handle.gen = gens_[handle.slot];
+        handle.valid = true;
+        return handle;
+    }
+
+    /**
+     * The entry for @p pc, using @p handle to skip the associative
+     * search when it still designates @p pc's live entry. Equivalent
+     * to lookup(pc) in every observable way — the fast path performs
+     * the same single LRU touch a lookup hit would — so predictors can
+     * substitute it for the update-time lookup without changing
+     * results. A stale handle (slot reallocated, entry invalidated, or
+     * tag rewritten, e.g. by fault injection) degrades to lookup(pc).
+     */
+    LBEntry *
+    acquire(std::uint64_t pc, const LBHandle &handle)
+    {
+        if (handle.valid && handle.slot < entries_.size() &&
+            gens_[handle.slot] == handle.gen) {
+            LBEntry &entry = entries_[handle.slot];
+            if (entry.valid && entry.tag == pcTag(pc)) {
+                entry.lruStamp = ++stamp_;
+                return &entry;
+            }
+        }
+        return lookup(pc);
+    }
+
     /**
      * Allocate (or re-initialize) the entry for @p pc, evicting the
      * LRU way of its set. The returned entry is reset to defaults
@@ -117,6 +154,9 @@ class LoadBuffer
             if (!entry.valid || entry.lruStamp < victim->lruStamp)
                 victim = &entry;
         }
+        // Reusing the slot invalidates any handle captured against
+        // its previous occupant.
+        ++gens_[static_cast<std::size_t>(victim - entries_.data())];
         *victim = LBEntry{};
         victim->valid = true;
         victim->tag = pcTag(pc);
@@ -140,12 +180,14 @@ class LoadBuffer
     LBEntry &entryAt(std::size_t i) { return entries_[i]; }
     const LBEntry &entryAt(std::size_t i) const { return entries_[i]; }
 
-    /** Invalidate all entries. */
+    /** Invalidate all entries (and any outstanding handles). */
     void
     clear()
     {
         for (auto &entry : entries_)
             entry = LBEntry{};
+        for (auto &gen : gens_)
+            ++gen;
     }
 
   private:
@@ -164,6 +206,7 @@ class LoadBuffer
     LoadBufferConfig config_;
     std::size_t sets_;
     std::vector<LBEntry> entries_;
+    std::vector<std::uint32_t> gens_; ///< per-slot allocation generation
     std::uint64_t stamp_ = 0;
     std::uint64_t allocations_ = 0;
 };

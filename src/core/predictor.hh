@@ -39,6 +39,26 @@ struct LoadInfo
 };
 
 /**
+ * Opaque reference to the load-buffer entry a predict() call used:
+ * the entry's slot index plus the slot's generation stamp at predict
+ * time (bumped on every (re)allocation of the slot). update() hands
+ * the same Prediction back, and the predictor revalidates the handle
+ * (generation AND tag must still match) instead of repeating the
+ * set-associative search — one LoadBuffer search per load instead of
+ * two. A stale handle (entry evicted between predict and update, or a
+ * generation counter that wrapped onto a reused slot) falls back to a
+ * fresh lookup; the tag check makes a wrapped-generation false match
+ * harmless, because a slot that passes it holds this PC's entry
+ * anyway.
+ */
+struct LBHandle
+{
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    bool valid = false; ///< false = no handle captured (always search)
+};
+
+/**
  * Outcome of a predict() call. The same object must be passed back to
  * update() for training: it carries the per-component predictions so
  * hybrid selection and statistics need no second table lookup.
@@ -56,6 +76,10 @@ struct Prediction
     bool speculate = false;  ///< confidence allows a speculative access
     std::uint64_t addr = 0;  ///< the speculated address (if speculate)
     Component component = Component::None; ///< winning component
+
+    /// Load-buffer entry used at predict time; lets update() skip the
+    /// second set-associative search (validated, never trusted).
+    LBHandle lbHandle;
 
     /// @name Per-component detail (hybrid bookkeeping and statistics)
     /// @{

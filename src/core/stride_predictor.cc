@@ -17,6 +17,7 @@ StridePredictor::predict(const LoadInfo &info)
         // starts with the first fetch of the load.
         entry = &lb_.allocate(info.pc);
     }
+    pred.lbHandle = lb_.handleOf(*entry);
     const StrideResult result = stride_.predict(*entry, info);
     pred.hasAddress = result.hasAddr;
     pred.speculate = result.speculate;
@@ -33,7 +34,7 @@ void
 StridePredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
                         const Prediction &pred)
 {
-    LBEntry *entry = lb_.lookup(info.pc);
+    LBEntry *entry = lb_.acquire(info.pc, pred.lbHandle);
     if (!entry)
         entry = &lb_.allocate(info.pc); // evicted since predict
 

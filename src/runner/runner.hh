@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "runner/job.hh"
+#include "trace/trace_store.hh"
 #include "util/error.hh"
 
 namespace clap
@@ -73,6 +74,12 @@ struct SweepReport
     std::vector<JobOutcome> outcomes; ///< one per job, in job order
     RunnerCounters counters;
     std::size_t journalBadLines = 0; ///< salvage count from resume
+
+    /// Delta of the global trace store's counters over this run():
+    /// `misses` is the number of traces actually generated, so a
+    /// C-config x T-trace sweep shows exactly T generations when the
+    /// cache does its job (hits tell the rest of the story).
+    TraceStoreStats traceStore;
 
     /// Sweep-level failure (duplicate keys, unusable journal). Job
     /// failures do NOT set this; they live in their outcomes.

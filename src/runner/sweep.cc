@@ -1,7 +1,9 @@
 #include "runner/sweep.hh"
 
+#include <memory>
 #include <utility>
 
+#include "trace/trace_store.hh"
 #include "workloads/composer.hh"
 
 namespace clap
@@ -33,12 +35,15 @@ runPerTraceResilient(const std::string &label,
         job.run = [spec, factory, sim_config,
                    trace_len](const JobContext &ctx)
             -> Expected<JobResult> {
-            const Trace trace = generateTrace(spec, trace_len);
+            // The store makes the trace shared across every config
+            // sweeping it: C configs x T traces pay T generations.
+            const std::shared_ptr<const Trace> trace =
+                globalTraceStore().get(spec, trace_len);
             auto predictor = factory();
             PredictorSimConfig config = sim_config;
             config.cancel = ctx.cancel;
             JobResult result;
-            result.stats = runPredictorSim(trace, *predictor, config);
+            result.stats = runPredictorSim(*trace, *predictor, config);
             result.hasStats = true;
             if (auto audit = predictor->audit(); !audit) {
                 return std::move(audit.error())
@@ -50,7 +55,10 @@ runPerTraceResilient(const std::string &label,
     }
 
     TraceSweepOutput output;
+    const TraceStoreStats store_before = globalTraceStore().stats();
     output.report = runner.run(jobs);
+    output.report.traceStore =
+        globalTraceStore().stats().delta(store_before);
     output.results.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
         TraceStatsResult result;
@@ -79,15 +87,16 @@ runSpeedupResilient(const std::string &label,
         job.run = [spec, factory, config,
                    trace_len](const JobContext &ctx)
             -> Expected<JobResult> {
-            const Trace trace = generateTrace(spec, trace_len);
+            const std::shared_ptr<const Trace> trace =
+                globalTraceStore().get(spec, trace_len);
             TimingConfig timing = config;
             timing.predictorGap.cancel = ctx.cancel;
             JobResult result;
             result.baseCycles =
-                runTimingSim(trace, timing, nullptr).cycles;
+                runTimingSim(*trace, timing, nullptr).cycles;
             auto predictor = factory();
             result.predCycles =
-                runTimingSim(trace, timing, predictor.get()).cycles;
+                runTimingSim(*trace, timing, predictor.get()).cycles;
             result.hasTiming = true;
             if (auto audit = predictor->audit(); !audit) {
                 return std::move(audit.error())
@@ -99,7 +108,10 @@ runSpeedupResilient(const std::string &label,
     }
 
     SpeedupSweepOutput output;
+    const TraceStoreStats store_before = globalTraceStore().stats();
     output.report = runner.run(jobs);
+    output.report.traceStore =
+        globalTraceStore().stats().delta(store_before);
     output.results.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
         SpeedupResult result;

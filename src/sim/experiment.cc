@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include "trace/trace_store.hh"
 #include "workloads/composer.hh"
 
 namespace clap
@@ -13,12 +14,13 @@ runPerTrace(const std::vector<TraceSpec> &specs,
     std::vector<TraceStatsResult> results;
     results.reserve(specs.size());
     for (const auto &spec : specs) {
-        const Trace trace = generateTrace(spec, trace_len);
+        const std::shared_ptr<const Trace> trace =
+            globalTraceStore().get(spec, trace_len);
         auto predictor = factory();
         TraceStatsResult result;
         result.trace = spec.name;
         result.suite = spec.suite;
-        result.stats = runPredictorSim(trace, *predictor, sim_config);
+        result.stats = runPredictorSim(*trace, *predictor, sim_config);
         results.push_back(std::move(result));
     }
     return results;
@@ -61,15 +63,16 @@ runSpeedup(const std::vector<TraceSpec> &specs,
     std::vector<SpeedupResult> results;
     results.reserve(specs.size());
     for (const auto &spec : specs) {
-        const Trace trace = generateTrace(spec, trace_len);
+        const std::shared_ptr<const Trace> trace =
+            globalTraceStore().get(spec, trace_len);
         SpeedupResult result;
         result.trace = spec.name;
         result.suite = spec.suite;
         result.baseCycles =
-            runTimingSim(trace, config, nullptr).cycles;
+            runTimingSim(*trace, config, nullptr).cycles;
         auto predictor = factory();
         result.predCycles =
-            runTimingSim(trace, config, predictor.get()).cycles;
+            runTimingSim(*trace, config, predictor.get()).cycles;
         results.push_back(std::move(result));
     }
     return results;

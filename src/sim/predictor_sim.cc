@@ -1,9 +1,10 @@
 #include "sim/predictor_sim.hh"
 
-#include <deque>
+#include <algorithm>
 
 #include "sim/branch_predictor.hh"
 #include "sim/fault_injector.hh"
+#include "util/ring_buffer.hh"
 
 namespace clap
 {
@@ -31,7 +32,8 @@ tally(PredictionStats &stats, const PendingPrediction &pending)
 } // namespace
 
 PredictionStats
-runPredictorSim(const Trace &trace, AddressPredictor &predictor,
+runPredictorSim(std::span<const TraceRecord> records,
+                AddressPredictor &predictor,
                 const PredictorSimConfig &config)
 {
     PredictionStats stats;
@@ -41,18 +43,25 @@ runPredictorSim(const Trace &trace, AddressPredictor &predictor,
     std::uint64_t ghr = 0;
     std::uint64_t path = 0;
     std::uint64_t inst_index = 0;
-    std::deque<PendingPrediction> pending;
+    // In-flight bound: pending predictions resolve before a new one
+    // is pushed, so at most gap_insts (one load per instruction slot)
+    // — and never more than the trace has records — are outstanding.
+    // Pre-sizing once makes the replay loop allocation-free.
+    RingBuffer<PendingPrediction> pending(
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            gap_insts, records.size())) + 1);
     HybridBranchPredictor branch_pred;
 
     auto drain = [&] {
-        for (const auto &head : pending) {
+        while (!pending.empty()) {
+            const PendingPrediction &head = pending.front();
             predictor.update(head.info, head.actualAddr, head.pred);
             tally(stats, head);
+            pending.pop_front();
         }
-        pending.clear();
     };
 
-    for (const auto &rec : trace.records()) {
+    for (const auto &rec : records) {
         // Watchdog cancellation: bail out with partial statistics.
         if (config.cancel != nullptr && (inst_index & 0xfff) == 0 &&
             config.cancel->load(std::memory_order_relaxed))
@@ -106,6 +115,14 @@ runPredictorSim(const Trace &trace, AddressPredictor &predictor,
     // Drain the pipeline at trace end.
     drain();
     return stats;
+}
+
+PredictionStats
+runPredictorSim(const Trace &trace, AddressPredictor &predictor,
+                const PredictorSimConfig &config)
+{
+    return runPredictorSim(
+        std::span<const TraceRecord>(trace.records()), predictor, config);
 }
 
 } // namespace clap

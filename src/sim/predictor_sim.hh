@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "core/predictor.hh"
 #include "sim/metrics.hh"
@@ -68,10 +69,17 @@ struct PredictorSimConfig
 };
 
 /**
- * Run @p predictor over @p trace and return the aggregated
+ * Run @p predictor over @p records and return the aggregated
  * statistics. The predictor is trained in place (pass a fresh
- * predictor for independent measurements).
+ * predictor for independent measurements). The span form is the
+ * primary interface: replaying a shared immutable trace (or any slice
+ * of one, via TraceCursor::remaining()) needs no copy.
  */
+PredictionStats runPredictorSim(std::span<const TraceRecord> records,
+                                AddressPredictor &predictor,
+                                const PredictorSimConfig &config = {});
+
+/** Convenience overload over a whole owned trace. */
 PredictionStats runPredictorSim(const Trace &trace,
                                 AddressPredictor &predictor,
                                 const PredictorSimConfig &config = {});

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "sim/fault_injector.hh"
+#include "util/ring_buffer.hh"
 
 namespace clap
 {
@@ -70,8 +70,8 @@ struct PendingUpdate
 } // namespace
 
 TimingResult
-runTimingSim(const Trace &trace, const TimingConfig &config,
-             AddressPredictor *predictor)
+runTimingSim(std::span<const TraceRecord> records,
+             const TimingConfig &config, AddressPredictor *predictor)
 {
     TimingResult result;
     MemoryHierarchy memory(config.memory);
@@ -97,12 +97,19 @@ runTimingSim(const Trace &trace, const TimingConfig &config,
     const std::uint64_t gap_insts =
         static_cast<std::uint64_t>(config.predictorGap.gapCycles) *
         config.predictorGap.fetchWidth;
-    std::deque<PendingUpdate> pending;
+    // In-flight bound: a load's update enqueues before the
+    // end-of-iteration drain for its own instruction slot, so the
+    // queue momentarily holds gap_insts + 1 entries (and never more
+    // than the trace has records). Pre-sizing once makes the replay
+    // loop allocation-free.
+    RingBuffer<PendingUpdate> pending(
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            gap_insts, records.size())) + 1);
     std::uint64_t ghr = 0;
     std::uint64_t path = 0;
 
     std::uint64_t inst_index = 0;
-    for (const auto &rec : trace.records()) {
+    for (const auto &rec : records) {
         // Watchdog cancellation: bail out with partial results (the
         // sweep runner discards them and reports a Timeout error).
         if (config.predictorGap.cancel != nullptr &&
@@ -159,11 +166,12 @@ runTimingSim(const Trace &trace, const TimingConfig &config,
                 // predictions resolve before fetch resumes
                 // (terminates CAP misprediction chains, section 5.2).
                 if (predictor && gap_insts != 0) {
-                    for (const auto &head : pending) {
+                    while (!pending.empty()) {
+                        const PendingUpdate &head = pending.front();
                         predictor->update(head.info, head.actualAddr,
                                           head.pred);
+                        pending.pop_front();
                     }
-                    pending.clear();
                 }
             }
             ghr = (ghr << 1) | (rec.taken ? 1 : 0);
@@ -287,13 +295,24 @@ runTimingSim(const Trace &trace, const TimingConfig &config,
     }
 
     if (predictor) {
-        for (const auto &head : pending)
+        while (!pending.empty()) {
+            const PendingUpdate &head = pending.front();
             predictor->update(head.info, head.actualAddr, head.pred);
+            pending.pop_front();
+        }
     }
 
     result.insts = inst_index;
     result.l1Misses = memory.l1().misses();
     return result;
+}
+
+TimingResult
+runTimingSim(const Trace &trace, const TimingConfig &config,
+             AddressPredictor *predictor)
+{
+    return runTimingSim(std::span<const TraceRecord>(trace.records()),
+                        config, predictor);
 }
 
 } // namespace clap

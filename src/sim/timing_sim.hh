@@ -22,6 +22,7 @@
 #define CLAP_SIM_TIMING_SIM_HH
 
 #include <cstdint>
+#include <span>
 
 #include "core/predictor.hh"
 #include "sim/branch_predictor.hh"
@@ -81,10 +82,16 @@ struct TimingResult
 };
 
 /**
- * Run the timing model over @p trace.
+ * Run the timing model over @p records (the primary, copy-free form:
+ * replay a shared immutable trace without owning it).
  * @param predictor Optional address predictor; nullptr simulates the
  *                  no-address-prediction baseline.
  */
+TimingResult runTimingSim(std::span<const TraceRecord> records,
+                          const TimingConfig &config,
+                          AddressPredictor *predictor = nullptr);
+
+/** Convenience overload over a whole owned trace. */
 TimingResult runTimingSim(const Trace &trace, const TimingConfig &config,
                           AddressPredictor *predictor = nullptr);
 

@@ -10,6 +10,7 @@
 #define CLAP_TRACE_TRACE_HH
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,13 @@ class TraceSink
 
     /** Number of records appended so far. */
     virtual std::size_t size() const = 0;
+
+    /**
+     * Capacity hint: the producer expects to append roughly @p n
+     * more records. In-memory sinks pre-allocate so the generation
+     * loop never reallocates; streaming sinks ignore it (default).
+     */
+    virtual void reserve(std::size_t n) { (void)n; }
 };
 
 /** Producer interface for trace records. */
@@ -66,7 +74,13 @@ class Trace : public TraceSink
 
     const TraceRecord &operator[](std::size_t i) const { return records_[i]; }
 
-    void reserve(std::size_t n) { records_.reserve(n); }
+    /** Pre-allocate room for @p n more records (TraceSink hint). */
+    void
+    reserve(std::size_t n) override
+    {
+        records_.reserve(records_.size() + n);
+    }
+
     void clear() { records_.clear(); }
 
   private:
@@ -74,7 +88,15 @@ class Trace : public TraceSink
     std::vector<TraceRecord> records_;
 };
 
-/** TraceSource view over an in-memory Trace. */
+/**
+ * TraceSource view over an in-memory Trace.
+ *
+ * The TraceSource::next() contract copies each record into the
+ * caller's buffer; the replay hot paths use the zero-copy interface
+ * instead: peek()/advance() hand out a pointer into the trace's
+ * record vector, and remaining() exposes the unconsumed tail as a
+ * span for bulk consumers (the simulators iterate spans directly).
+ */
 class TraceCursor : public TraceSource
 {
   public:
@@ -83,11 +105,34 @@ class TraceCursor : public TraceSource
     bool
     next(TraceRecord &rec) override
     {
-        if (pos_ >= trace_->size())
+        const TraceRecord *head = peek();
+        if (head == nullptr)
             return false;
-        rec = (*trace_)[pos_++];
+        rec = *head;
+        advance();
         return true;
     }
+
+    /** The current record without copying; nullptr at end of trace. */
+    const TraceRecord *
+    peek() const
+    {
+        return pos_ < trace_->size() ? &(*trace_)[pos_] : nullptr;
+    }
+
+    /** Step past the current record. @pre peek() != nullptr */
+    void advance() { ++pos_; }
+
+    /** The unconsumed tail of the trace as a zero-copy span. */
+    std::span<const TraceRecord>
+    remaining() const
+    {
+        return std::span<const TraceRecord>(trace_->records())
+            .subspan(pos_);
+    }
+
+    /** Records consumed so far. */
+    std::size_t position() const { return pos_; }
 
     void rewind() override { pos_ = 0; }
 

@@ -1,0 +1,374 @@
+#include "trace/trace_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "workloads/composer.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+/** Deterministic text form of a double (shortest round-trip form
+ *  would do; %.17g is stable across platforms for our parameters). */
+void
+appendDouble(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+void
+appendUint(std::string &out, std::uint64_t value)
+{
+    out += std::to_string(value);
+}
+
+/** Canonical field list per kernel family; the name prefix keeps
+ *  families with identical field counts apart. */
+struct ParamsKeyVisitor
+{
+    std::string &out;
+
+    void
+    operator()(const LinkedListKernel::Params &p) const
+    {
+        out += "linked_list(";
+        appendUint(out, p.numNodes);
+        out += ',';
+        appendUint(out, p.numDataFields);
+        out += ',';
+        appendDouble(out, p.mutateProb);
+        out += ')';
+    }
+
+    void
+    operator()(const DoublyLinkedListKernel::Params &p) const
+    {
+        out += "dlist(";
+        appendUint(out, p.numNodes);
+        out += ',';
+        appendDouble(out, p.forwardBias);
+        out += ')';
+    }
+
+    void
+    operator()(const BinaryTreeKernel::Params &p) const
+    {
+        out += "btree(";
+        appendUint(out, p.numNodes);
+        out += ',';
+        appendUint(out, p.keyPeriod);
+        out += ',';
+        appendDouble(out, p.randomKeyProb);
+        out += ')';
+    }
+
+    void
+    operator()(const ArrayListKernel::Params &p) const
+    {
+        out += "array_list(";
+        appendUint(out, p.numElems);
+        out += ',';
+        appendUint(out, p.numLists);
+        out += ',';
+        appendUint(out, p.listLen);
+        out += ')';
+    }
+
+    void
+    operator()(const CallSiteKernel::Params &p) const
+    {
+        out += "call_site(";
+        appendUint(out, p.numSites);
+        out += ',';
+        appendUint(out, p.seqLen);
+        out += ',';
+        appendUint(out, p.calleeLoads);
+        out += ',';
+        appendDouble(out, p.noiseProb);
+        out += ')';
+    }
+
+    void
+    operator()(const StackFrameKernel::Params &p) const
+    {
+        out += "stack_frame(";
+        appendUint(out, p.maxDepth);
+        out += ',';
+        appendUint(out, p.savedRegs);
+        out += ',';
+        appendUint(out, p.bodyAlu);
+        out += ')';
+    }
+
+    void
+    operator()(const RepeatedBurstKernel::Params &p) const
+    {
+        out += "repeated_burst(";
+        appendUint(out, p.numRuns);
+        out += ',';
+        appendUint(out, p.runLen);
+        out += ',';
+        appendUint(out, p.stride);
+        out += ')';
+    }
+
+    void
+    operator()(const StrideArrayKernel::Params &p) const
+    {
+        out += "stride_array(";
+        appendUint(out, p.numArrays);
+        out += ',';
+        appendUint(out, p.numElems);
+        out += ',';
+        appendUint(out, p.elemSize);
+        out += ',';
+        appendUint(out, p.chunk);
+        out += ')';
+    }
+
+    void
+    operator()(const MatrixKernel::Params &p) const
+    {
+        out += "matrix(";
+        appendUint(out, p.rows);
+        out += ',';
+        appendUint(out, p.cols);
+        out += ',';
+        appendUint(out, p.elemSize);
+        out += ',';
+        appendUint(out, p.chunk);
+        out += ')';
+    }
+
+    void
+    operator()(const HashTableKernel::Params &p) const
+    {
+        out += "hash_table(";
+        appendUint(out, p.numBuckets);
+        out += ',';
+        appendUint(out, p.numEntries);
+        out += ',';
+        appendUint(out, p.probesPerStep);
+        out += ',';
+        appendDouble(out, p.hotKeyProb);
+        out += ',';
+        appendUint(out, p.hotKeys);
+        out += ')';
+    }
+
+    void
+    operator()(const RandomPointerKernel::Params &p) const
+    {
+        out += "random_ptr(";
+        appendUint(out, p.regionBytes);
+        out += ',';
+        appendUint(out, p.loadsPerStep);
+        out += ')';
+    }
+
+    void
+    operator()(const GlobalScalarKernel::Params &p) const
+    {
+        out += "global_scalar(";
+        appendUint(out, p.numGlobals);
+        out += ',';
+        appendUint(out, p.readsPerStep);
+        out += ')';
+    }
+};
+
+} // namespace
+
+std::string
+traceStoreKey(const TraceSpec &spec, std::size_t target_insts)
+{
+    std::string key;
+    key.reserve(64 + 48 * spec.kernels.size());
+    key += spec.name;
+    key += '|';
+    appendUint(key, spec.seed);
+    key += '|';
+    appendUint(key, target_insts);
+    for (const auto &weighted : spec.kernels) {
+        key += '|';
+        std::visit(ParamsKeyVisitor{key}, weighted.params);
+        key += "w=";
+        appendDouble(key, weighted.weight);
+        key += ",v=";
+        appendUint(key, weighted.variants);
+    }
+    return key;
+}
+
+std::size_t
+traceBytes(const Trace &trace)
+{
+    return sizeof(Trace) +
+        trace.records().capacity() * sizeof(TraceRecord) +
+        trace.name().capacity();
+}
+
+std::shared_ptr<const Trace>
+TraceStore::get(const TraceSpec &spec, std::size_t target_insts)
+{
+    const std::string key = traceStoreKey(spec, target_insts);
+
+    std::promise<std::shared_ptr<const Trace>> promise;
+    std::shared_future<std::shared_ptr<const Trace>> waiting;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto found = entries_.find(key);
+        if (found != entries_.end()) {
+            // Cached or in flight: count the hit, touch the LRU, and
+            // wait outside the lock (immediate for completed entries)
+            // so an in-flight generation never stalls requests for
+            // other keys.
+            ++stats_.hits;
+            touchLocked(key, found->second);
+            waiting = found->second.future;
+        } else {
+            ++stats_.misses;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            entry.lruPos = lru_.insert(lru_.end(), key);
+            entries_.emplace(key, std::move(entry));
+        }
+    }
+    if (waiting.valid())
+        return waiting.get();
+
+    // Generate outside the lock: concurrent requests for *other* keys
+    // proceed in parallel; requests for this key block on the future.
+    std::shared_ptr<const Trace> trace;
+    try {
+        trace = std::make_shared<const Trace>(
+            generateTrace(spec, target_insts));
+    } catch (...) {
+        // Propagate to every waiter, then forget the key so a later
+        // request can retry.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto found = entries_.find(key);
+        if (found != entries_.end()) {
+            lru_.erase(found->second.lruPos);
+            entries_.erase(found);
+        }
+        throw;
+    }
+    promise.set_value(trace);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::size_t bytes = traceBytes(*trace);
+        stats_.bytesGenerated += bytes;
+        // Re-find: clear() may have dropped the in-flight entry.
+        auto found = entries_.find(key);
+        if (found != entries_.end()) {
+            found->second.bytes = bytes;
+            found->second.ready = true;
+            stats_.bytesCached += bytes;
+            if (stats_.bytesCached > stats_.bytesPeak)
+                stats_.bytesPeak = stats_.bytesCached;
+            enforceBudgetLocked();
+        }
+    }
+    return trace;
+}
+
+TraceStoreStats
+TraceStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+TraceStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t ready = 0;
+    for (const auto &[key, entry] : entries_)
+        ready += entry.ready ? 1 : 0;
+    return ready;
+}
+
+void
+TraceStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // In-flight entries must survive: their generator thread will
+    // re-find them by key (and miss, which is fine), but waiters hold
+    // the shared_future, so dropping our reference is safe either way.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.ready) {
+            stats_.bytesCached -= it->second.bytes;
+            lru_.erase(it->second.lruPos);
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+TraceStore::touchLocked(const std::string &key, Entry &entry)
+{
+    // splice() relinks the node; entry.lruPos stays valid and now
+    // points at the most-recently-used position.
+    lru_.splice(lru_.end(), lru_, entry.lruPos);
+    (void)key;
+}
+
+void
+TraceStore::enforceBudgetLocked()
+{
+    if (byteBudget_ == 0)
+        return;
+    auto cursor = lru_.begin();
+    while (stats_.bytesCached > byteBudget_ && cursor != lru_.end()) {
+        auto found = entries_.find(*cursor);
+        // Skip in-flight entries: their bytes are not counted yet and
+        // waiters would regenerate redundantly if we dropped them.
+        if (found == entries_.end() || !found->second.ready) {
+            ++cursor;
+            continue;
+        }
+        stats_.bytesCached -= found->second.bytes;
+        ++stats_.evictions;
+        cursor = lru_.erase(cursor);
+        entries_.erase(found);
+    }
+}
+
+namespace
+{
+
+std::size_t
+globalStoreBudget()
+{
+    std::size_t budget = std::size_t{512} << 20; // 512 MiB
+    if (const char *env = std::getenv("CLAP_TRACE_STORE_BYTES");
+        env != nullptr && *env != '\0') {
+        const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+        if (parsed > 0)
+            budget = static_cast<std::size_t>(parsed);
+    }
+    return budget;
+}
+
+} // namespace
+
+TraceStore &
+globalTraceStore()
+{
+    static TraceStore store(globalStoreBudget());
+    return store;
+}
+
+} // namespace clap

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared trace store: a concurrent, content-addressed, immutable
+ * cache of generated traces. Sweeps over C configurations x T traces
+ * historically paid C x T trace generations because every sweep cell
+ * was self-contained; the store collapses that to T — the first
+ * requester of a (TraceSpec, length) pair generates the trace, every
+ * later requester (including concurrent ones) shares the same
+ * read-only std::shared_ptr<const Trace>.
+ *
+ * Keying is by *content*: the canonical serialization of the spec
+ * (name, seed, every kernel's parameters, weights, variant counts)
+ * plus the requested length. Two structurally identical specs share
+ * one cache slot regardless of object identity; any parameter change
+ * produces a different key. Generation is deterministic in
+ * (spec, length), so a cached trace is byte-for-byte identical to a
+ * freshly generated one — callers can mix store and direct generation
+ * without affecting results.
+ *
+ * Concurrency: the first requester installs a std::shared_future
+ * under the store mutex and generates *outside* the lock; concurrent
+ * requesters for the same key block on the future instead of
+ * regenerating (generate-once under contention). Distinct keys
+ * generate fully in parallel.
+ *
+ * Memory: completed traces are LRU-evicted once the total cached
+ * bytes exceed the byte budget. Eviction only drops the store's
+ * reference — outstanding shared_ptrs keep their trace alive, and a
+ * later request for an evicted key transparently regenerates.
+ * Hit/miss/eviction/byte statistics are exported into SweepReport by
+ * the resilient sweep drivers (runner/sweep.cc).
+ */
+
+#ifndef CLAP_TRACE_TRACE_STORE_HH
+#define CLAP_TRACE_TRACE_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/trace.hh"
+
+namespace clap
+{
+
+struct TraceSpec;
+
+/**
+ * Monotone counters + byte gauges of one TraceStore. The counters
+ * only grow; delta() turns two snapshots into a per-sweep report.
+ */
+struct TraceStoreStats
+{
+    std::uint64_t hits = 0;      ///< requests served from cache
+    std::uint64_t misses = 0;    ///< requests that generated
+    std::uint64_t evictions = 0; ///< traces dropped by the LRU policy
+
+    /// Bytes spent generating (sum over misses; monotone).
+    std::uint64_t bytesGenerated = 0;
+
+    std::uint64_t bytesCached = 0; ///< currently held (gauge)
+    std::uint64_t bytesPeak = 0;   ///< high-water mark (monotone)
+
+    bool operator==(const TraceStoreStats &) const = default;
+
+    /** Counters since @p before; gauges keep their current values. */
+    TraceStoreStats
+    delta(const TraceStoreStats &before) const
+    {
+        TraceStoreStats d = *this;
+        d.hits -= before.hits;
+        d.misses -= before.misses;
+        d.evictions -= before.evictions;
+        d.bytesGenerated -= before.bytesGenerated;
+        return d;
+    }
+};
+
+/**
+ * Canonical content key of (spec, target length). Exposed so tests
+ * can assert that structurally equal specs collide and that any
+ * parameter change separates them.
+ */
+std::string traceStoreKey(const TraceSpec &spec, std::size_t target_insts);
+
+/** Approximate resident bytes of a generated trace. */
+std::size_t traceBytes(const Trace &trace);
+
+/** Concurrent content-addressed cache of immutable generated traces. */
+class TraceStore
+{
+  public:
+    /** @param byte_budget LRU eviction threshold; 0 = never evict. */
+    explicit TraceStore(std::size_t byte_budget = 0)
+        : byteBudget_(byte_budget)
+    {
+    }
+
+    TraceStore(const TraceStore &) = delete;
+    TraceStore &operator=(const TraceStore &) = delete;
+
+    /**
+     * The trace for (spec, target_insts): generated on first request,
+     * shared afterwards. Blocks while another thread generates the
+     * same key; never blocks generation of other keys. The returned
+     * trace is immutable — treat it as read-only shared data.
+     */
+    std::shared_ptr<const Trace> get(const TraceSpec &spec,
+                                     std::size_t target_insts);
+
+    /** Point-in-time statistics snapshot. */
+    TraceStoreStats stats() const;
+
+    /** Cached (completed) trace count. */
+    std::size_t size() const;
+
+    std::size_t byteBudget() const { return byteBudget_; }
+
+    /** Drop every cached trace (outstanding shared_ptrs survive). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::shared_future<std::shared_ptr<const Trace>> future;
+        std::size_t bytes = 0; ///< 0 while generation is in flight
+        bool ready = false;    ///< future fulfilled and bytes counted
+        std::list<std::string>::iterator lruPos; ///< into lru_
+    };
+
+    /** Move @p key to the most-recently-used position. */
+    void touchLocked(const std::string &key, Entry &entry);
+
+    /** Evict ready LRU entries until bytesCached_ <= byteBudget_. */
+    void enforceBudgetLocked();
+
+    const std::size_t byteBudget_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::list<std::string> lru_; ///< front = least recently used
+    TraceStoreStats stats_;
+};
+
+/**
+ * The process-wide store shared by the experiment drivers, the sweep
+ * runner, and the bench harnesses. Budget comes from the
+ * CLAP_TRACE_STORE_BYTES environment variable (bytes; read once at
+ * first use), default 512 MiB — enough for the full 45-trace catalog
+ * at the default 200k-instruction budget.
+ */
+TraceStore &globalTraceStore();
+
+} // namespace clap
+
+#endif // CLAP_TRACE_TRACE_STORE_HH

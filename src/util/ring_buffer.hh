@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer for the simulation hot loops. The
+ * pipelined update model keeps at most gap-window-many predictions in
+ * flight, so the pending queue has a provable capacity bound; backing
+ * it with a pre-sized ring (instead of std::deque, which allocates
+ * chunks as it cycles) makes the steady-state replay loop
+ * allocation-free. Iteration order (front to back) matches deque
+ * iteration, so drain loops behave identically.
+ */
+
+#ifndef CLAP_UTIL_RING_BUFFER_HH
+#define CLAP_UTIL_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace clap
+{
+
+/**
+ * Bounded FIFO over a single pre-allocated array. Not thread-safe;
+ * overflow is a programming error (asserted), not a growth trigger —
+ * callers size the ring from their in-flight bound.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** A ring of room for @p capacity elements (0 allowed: a ring
+     *  that is always empty and full, for bypassed code paths). */
+    explicit RingBuffer(std::size_t capacity) : slots_(capacity) {}
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == slots_.size(); }
+
+    /** Append a copy of @p value. @pre !full() */
+    void
+    push_back(const T &value)
+    {
+        assert(!full());
+        slots_[wrap(head_ + count_)] = value;
+        ++count_;
+    }
+
+    /** The oldest element. @pre !empty() */
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return slots_[head_];
+    }
+
+    /** Drop the oldest element. @pre !empty() */
+    void
+    pop_front()
+    {
+        assert(!empty());
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    /** The @p i-th element from the front (0 = oldest). @pre i < size() */
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < count_);
+        return slots_[wrap(head_ + i)];
+    }
+
+    /** Forget every element (storage stays allocated). */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::size_t
+    wrap(std::size_t index) const
+    {
+        // Capacity is arbitrary (sized from the gap window), so index
+        // arithmetic wraps by conditional subtraction, not a mask;
+        // head_ + i < 2 * capacity always holds.
+        return index < slots_.size() ? index : index - slots_.size();
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace clap
+
+#endif // CLAP_UTIL_RING_BUFFER_HH

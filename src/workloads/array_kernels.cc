@@ -16,6 +16,7 @@ StrideArrayKernel::init(KernelContext &ctx)
     assert(params_.numArrays >= 1 && params_.numArrays <= 4);
     assert(params_.numElems >= 2);
 
+    bases_.reserve(params_.numArrays);
     for (unsigned a = 0; a < params_.numArrays; ++a) {
         bases_.push_back(heap_->alloc(
             static_cast<std::uint64_t>(params_.numElems) *

@@ -62,6 +62,11 @@ generateTrace(const TraceSpec &spec, std::size_t target_insts,
 {
     assert(!spec.kernels.empty());
 
+    // Generation stops at the first kernel-step boundary past the
+    // target; the largest step is a few hundred records, so a fixed
+    // slack keeps in-memory sinks reallocation-free to the very end.
+    sink.reserve(target_insts + 1024);
+
     Rng rng(spec.seed);
     SimHeap heap(rng);
     SimStack stack;
@@ -69,6 +74,7 @@ generateTrace(const TraceSpec &spec, std::size_t target_insts,
     // Each kernel gets a private code page and register window so
     // static PCs and dependencies never collide across kernels.
     std::vector<std::unique_ptr<Kernel>> kernels;
+    kernels.reserve(spec.kernels.size());
     for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
         kernels.push_back(makeKernel(spec.kernels[k].params));
         KernelContext ctx;
@@ -116,8 +122,7 @@ Trace
 generateTrace(const TraceSpec &spec, std::size_t target_insts)
 {
     Trace trace(spec.name);
-    trace.reserve(target_insts + 1024);
-    generateTrace(spec, target_insts, trace);
+    generateTrace(spec, target_insts, trace); // reserves via the sink
     return trace;
 }
 

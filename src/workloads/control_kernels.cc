@@ -20,6 +20,7 @@ CallSiteKernel::init(KernelContext &ctx)
     // Each call site owns an argument block the callee dereferences;
     // blocks are spread over the heap so their addresses carry no
     // arithmetic relation.
+    siteData_.reserve(params_.numSites);
     for (unsigned s = 0; s < params_.numSites; ++s)
         siteData_.push_back(heap_->alloc(4 * params_.calleeLoads + 16));
     envVar_ = heap_->allocGlobal(8);
@@ -29,6 +30,7 @@ CallSiteKernel::init(KernelContext &ctx)
     // parameters. Typically, such sequences do not exceed four to
     // five repetitions" (section 3.2) — these runs are what pushes
     // the required history length to ~4.
+    siteSeq_.reserve(params_.seqLen);
     while (siteSeq_.size() < params_.seqLen) {
         const auto site =
             static_cast<unsigned>(rng_->below(params_.numSites));
@@ -147,6 +149,7 @@ RepeatedBurstKernel::init(KernelContext &ctx)
     assert(params_.numRuns >= 1);
     assert(params_.runLen >= 1);
 
+    runBases_.reserve(params_.numRuns);
     for (unsigned r = 0; r < params_.numRuns; ++r) {
         runBases_.push_back(
             heap_->alloc(params_.stride * params_.runLen + 16, 32));

@@ -23,6 +23,7 @@ HashTableKernel::init(KernelContext &ctx)
         const std::uint64_t node = heap_->alloc(16);
         chains_[rng_->below(params_.numBuckets)].push_back(node);
     }
+    hotBuckets_.reserve(params_.hotKeys);
     for (unsigned h = 0; h < params_.hotKeys; ++h) {
         hotBuckets_.push_back(static_cast<std::uint32_t>(
             rng_->below(params_.numBuckets)));
@@ -99,6 +100,7 @@ GlobalScalarKernel::init(KernelContext &ctx)
 {
     bind(ctx);
     assert(params_.numGlobals >= 1 && params_.numGlobals <= 16);
+    globals_.reserve(params_.numGlobals);
     for (unsigned g = 0; g < params_.numGlobals; ++g)
         globals_.push_back(heap_->allocGlobal(8));
 }

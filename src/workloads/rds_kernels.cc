@@ -166,6 +166,7 @@ BinaryTreeKernel::init(KernelContext &ctx)
     rootVar_ = heap_->allocGlobal(8);
 
     // A short recurring sequence of searched keys (present in tree).
+    keySeq_.reserve(params_.keyPeriod);
     for (unsigned i = 0; i < params_.keyPeriod; ++i) {
         keySeq_.push_back(
             nodes_[rng_->below(nodes_.size())].key);
@@ -242,6 +243,7 @@ ArrayListKernel::init(KernelContext &ctx)
         std::swap(perm[i], perm[rng_->below(i + 1)]);
 
     nextIdx_.assign(params_.numElems, 0);
+    heads_.reserve(params_.numLists);
     std::size_t cursor = 0;
     for (unsigned l = 0; l < params_.numLists; ++l) {
         heads_.push_back(perm[cursor]);

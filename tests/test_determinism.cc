@@ -15,6 +15,7 @@
 #include "sim/experiment.hh"
 #include "sim/predictor_sim.hh"
 #include "sim/timing_sim.hh"
+#include "trace/trace_store.hh"
 #include "workloads/composer.hh"
 
 namespace
@@ -96,6 +97,45 @@ TEST(Determinism, RepeatedParallelSweepsAgree)
     ASSERT_EQ(a.results.size(), b.results.size());
     for (std::size_t i = 0; i < a.results.size(); ++i)
         EXPECT_EQ(a.results[i].stats, b.results[i].stats);
+}
+
+TEST(Determinism, CachedSweepMatchesFreshGenerationExactly)
+{
+    // The sweep drivers now replay traces shared through the global
+    // trace store. The seed semantics were per-job generation, so a
+    // store-backed sweep must be bit-for-bit equal to statistics
+    // computed over freshly generated traces — and a second sweep
+    // (all cache hits) must agree with the first.
+    const std::vector<TraceSpec> specs = someSpecs();
+
+    std::vector<PredictionStats> fresh;
+    for (const auto &spec : specs) {
+        const Trace trace = generateTrace(spec, traceLen);
+        HybridPredictor predictor{HybridConfig{}};
+        fresh.push_back(runPredictorSim(trace, predictor, {}));
+    }
+
+    const std::vector<TraceStatsResult> first =
+        runPerTrace(specs, hybridFactory(), {}, traceLen);
+    const std::vector<TraceStatsResult> second =
+        runPerTrace(specs, hybridFactory(), {}, traceLen);
+
+    ASSERT_EQ(first.size(), fresh.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(first[i].stats, fresh[i])
+            << "cached trace diverged on " << specs[i].name;
+        EXPECT_EQ(second[i].stats, fresh[i])
+            << "repeat (all-hits) sweep diverged on " << specs[i].name;
+    }
+}
+
+TEST(Determinism, StoreTraceEqualsDirectGeneration)
+{
+    const TraceSpec spec = buildCatalog().front();
+    const auto cached = globalTraceStore().get(spec, traceLen);
+    const Trace direct = generateTrace(spec, traceLen);
+    ASSERT_EQ(cached->records().size(), direct.records().size());
+    EXPECT_TRUE(cached->records() == direct.records());
 }
 
 TEST(Determinism, TimingModelIsDeterministic)

@@ -109,6 +109,131 @@ TEST(LoadBuffer, ClearInvalidatesAll)
     EXPECT_EQ(lb.lookup(0x2000), nullptr);
 }
 
+TEST(LoadBufferHandle, AcquireFastPathReturnsTheLookedUpEntry)
+{
+    LoadBuffer lb(smallConfig());
+    LBEntry &entry = lb.allocate(0x1000);
+    entry.lastAddr = 0x42;
+
+    const LBHandle handle = lb.handleOf(entry);
+    EXPECT_TRUE(handle.valid);
+
+    LBEntry *acquired = lb.acquire(0x1000, handle);
+    ASSERT_NE(acquired, nullptr);
+    EXPECT_EQ(acquired, &entry);
+    EXPECT_EQ(acquired->lastAddr, 0x42u);
+}
+
+TEST(LoadBufferHandle, InvalidHandleDegradesToLookup)
+{
+    LoadBuffer lb(smallConfig());
+    lb.allocate(0x1000).lastAddr = 0x42;
+
+    LBEntry *acquired = lb.acquire(0x1000, LBHandle{});
+    ASSERT_NE(acquired, nullptr);
+    EXPECT_EQ(acquired->lastAddr, 0x42u);
+    EXPECT_EQ(lb.acquire(0x9000, LBHandle{}), nullptr);
+}
+
+TEST(LoadBufferHandle, FastPathTouchesLruLikeLookup)
+{
+    // Replay of LruEvictionWithinSet with the touch done through
+    // acquire(): the eviction decision must be identical, proving
+    // the handle path is LRU-equivalent to lookup().
+    LoadBuffer lb(smallConfig(8, 2));
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + 4 * 4; // same set
+    const std::uint64_t pc_c = pc_a + 8 * 4;
+
+    const LBHandle handle_a = lb.handleOf(lb.allocate(pc_a));
+    lb.allocate(pc_b);
+    ASSERT_EQ(lb.acquire(pc_a, handle_a), lb.lookup(pc_a));
+    ASSERT_NE(lb.acquire(pc_a, handle_a), nullptr); // touch A again
+
+    lb.allocate(pc_c);
+    EXPECT_NE(lb.lookup(pc_a), nullptr); // A survived: B was LRU
+    EXPECT_EQ(lb.lookup(pc_b), nullptr);
+    EXPECT_NE(lb.lookup(pc_c), nullptr);
+}
+
+TEST(LoadBufferHandle, StaleHandleAfterEvictionFallsBack)
+{
+    LoadBuffer lb(smallConfig(4, 1));
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + 4 * 4; // same set: evicts A
+
+    const LBHandle handle_a = lb.handleOf(lb.allocate(pc_a));
+    lb.allocate(pc_b).lastAddr = 0xb;
+
+    // A's slot was reallocated: the stale handle must not resurrect
+    // it (fresh lookup misses), and must not corrupt B's entry.
+    EXPECT_EQ(lb.acquire(pc_a, handle_a), nullptr);
+    LBEntry *b = lb.acquire(pc_b, handle_a); // wrong-pc handle
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->lastAddr, 0xbu);
+}
+
+TEST(LoadBufferHandle, ReallocationToSamePcStillResolvesCorrectly)
+{
+    LoadBuffer lb(smallConfig(4, 1));
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + 4 * 4;
+
+    const LBHandle stale = lb.handleOf(lb.allocate(pc_a));
+    lb.allocate(pc_b);          // evict A
+    lb.allocate(pc_a).lastAddr = 0x77; // A returns to the same slot
+
+    // Generation differs, so the fast path is rejected, but the
+    // fallback lookup still finds A's (new) entry.
+    LBEntry *entry = lb.acquire(pc_a, stale);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->lastAddr, 0x77u);
+}
+
+TEST(LoadBufferHandle, ClearInvalidatesOutstandingHandles)
+{
+    LoadBuffer lb(smallConfig());
+    const LBHandle handle = lb.handleOf(lb.allocate(0x1000));
+    lb.clear();
+    EXPECT_EQ(lb.acquire(0x1000, handle), nullptr);
+}
+
+TEST(LoadBufferHandle, ForgedGenerationIsNeutralizedByTheTagCheck)
+{
+    // A wrapped (or forged) generation stamp can only pass the fast
+    // path when the slot still holds the requested PC's entry — in
+    // which case the answer is correct anyway. With a different
+    // occupant the tag check must reject it.
+    LoadBuffer lb(smallConfig(4, 1));
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + 4 * 4;
+
+    LBHandle forged = lb.handleOf(lb.allocate(pc_a));
+    lb.allocate(pc_b).lastAddr = 0xb; // same slot, gen bumped
+    forged.gen += 1;                  // simulate a full wrap
+
+    // Fast path passes the generation test but the tag is B's, so
+    // acquiring A falls back to a fresh lookup (miss).
+    EXPECT_EQ(lb.acquire(pc_a, forged), nullptr);
+    // Acquiring B with the forged handle is the harmless-wrap case:
+    // the slot *is* B's entry, so returning it is correct.
+    LBEntry *b = lb.acquire(pc_b, forged);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->lastAddr, 0xbu);
+}
+
+TEST(LoadBufferHandle, OutOfRangeSlotFallsBack)
+{
+    LoadBuffer lb(smallConfig());
+    lb.allocate(0x1000).lastAddr = 0x42;
+    LBHandle bogus;
+    bogus.valid = true;
+    bogus.slot = 1u << 20; // far out of range
+    LBEntry *entry = lb.acquire(0x1000, bogus);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->lastAddr, 0x42u);
+}
+
 TEST(LoadBuffer, ManyLoadsFillWholeCapacity)
 {
     LoadBuffer lb(smallConfig(64, 2));

@@ -88,6 +88,69 @@ TEST(TraceCursor, IteratesAndRewinds)
     EXPECT_EQ(rec.effAddr, 0x2000u);
 }
 
+TEST(TraceCursor, PeekDoesNotAdvance)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    test::addLoad(trace, 0x104, 0x3000);
+
+    TraceCursor cursor(trace);
+    const TraceRecord *head = cursor.peek();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(head->effAddr, 0x2000u);
+    EXPECT_EQ(cursor.peek(), head); // still the same record
+    EXPECT_EQ(cursor.position(), 0u);
+
+    cursor.advance();
+    ASSERT_NE(cursor.peek(), nullptr);
+    EXPECT_EQ(cursor.peek()->effAddr, 0x3000u);
+    cursor.advance();
+    EXPECT_EQ(cursor.peek(), nullptr);
+}
+
+TEST(TraceCursor, PeekPointsIntoTheTraceStorage)
+{
+    // The zero-copy contract: peek() hands out the trace's own
+    // record, not a copy.
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    TraceCursor cursor(trace);
+    EXPECT_EQ(cursor.peek(), &trace[0]);
+}
+
+TEST(TraceCursor, RemainingExposesTheUnconsumedTail)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    test::addLoad(trace, 0x104, 0x3000);
+    test::addLoad(trace, 0x108, 0x4000);
+
+    TraceCursor cursor(trace);
+    EXPECT_EQ(cursor.remaining().size(), 3u);
+    EXPECT_EQ(cursor.remaining().data(), trace.records().data());
+
+    cursor.advance();
+    const std::span<const TraceRecord> tail = cursor.remaining();
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].effAddr, 0x3000u);
+    EXPECT_EQ(tail[1].effAddr, 0x4000u);
+
+    cursor.advance();
+    cursor.advance();
+    EXPECT_TRUE(cursor.remaining().empty());
+
+    cursor.rewind();
+    EXPECT_EQ(cursor.remaining().size(), 3u);
+}
+
+TEST(Trace, ReserveIsRelativeToCurrentSize)
+{
+    Trace trace("t");
+    test::addLoad(trace, 0x100, 0x2000);
+    trace.reserve(10); // room for 10 *more* records
+    EXPECT_GE(trace.records().capacity(), 11u);
+}
+
 TEST(TraceStats, CountsClassesAndStatics)
 {
     Trace trace("t");

@@ -1,0 +1,202 @@
+/** @file Unit tests for the shared content-addressed trace store. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid_predictor.hh"
+#include "runner/sweep.hh"
+#include "trace/trace_store.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace clap
+{
+namespace
+{
+
+// Lengths unique to this binary so global-store assertions are not
+// perturbed by entries other tests may have cached.
+constexpr std::size_t storeLen = 6000;
+constexpr std::size_t sweepLen = 6100;
+
+TraceSpec
+someSpec(std::size_t index = 0)
+{
+    const auto catalog = buildCatalog();
+    return catalog.at(index);
+}
+
+TEST(TraceStoreKey, StructurallyEqualSpecsCollide)
+{
+    const TraceSpec a = someSpec();
+    const TraceSpec b = someSpec(); // rebuilt, distinct objects
+    EXPECT_EQ(traceStoreKey(a, storeLen), traceStoreKey(b, storeLen));
+}
+
+TEST(TraceStoreKey, AnyFieldChangeSeparates)
+{
+    const TraceSpec base = someSpec();
+    const std::string key = traceStoreKey(base, storeLen);
+
+    TraceSpec reseeded = base;
+    reseeded.seed += 1;
+    EXPECT_NE(traceStoreKey(reseeded, storeLen), key);
+
+    EXPECT_NE(traceStoreKey(base, storeLen + 1), key);
+
+    TraceSpec reweighted = base;
+    ASSERT_FALSE(reweighted.kernels.empty());
+    reweighted.kernels.front().weight += 0.125;
+    EXPECT_NE(traceStoreKey(reweighted, storeLen), key);
+
+    // The name participates (two named catalog entries never alias).
+    TraceSpec renamed = base;
+    renamed.name += "x";
+    EXPECT_NE(traceStoreKey(renamed, storeLen), key);
+}
+
+TEST(TraceStoreKey, EveryCatalogEntryIsUnique)
+{
+    std::set<std::string> keys;
+    for (const auto &spec : buildCatalog())
+        keys.insert(traceStoreKey(spec, storeLen));
+    EXPECT_EQ(keys.size(), buildCatalog().size());
+}
+
+TEST(TraceStore, SecondRequestSharesTheFirstTrace)
+{
+    TraceStore store;
+    const TraceSpec spec = someSpec();
+    const auto first = store.get(spec, storeLen);
+    const auto second = store.get(spec, storeLen);
+    EXPECT_EQ(first.get(), second.get());
+
+    const TraceStoreStats stats = store.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TraceStore, CachedTraceIsByteIdenticalToFreshGeneration)
+{
+    TraceStore store;
+    const TraceSpec spec = someSpec(1);
+    const auto cached = store.get(spec, storeLen);
+    const auto again = store.get(spec, storeLen);
+    const Trace fresh = generateTrace(spec, storeLen);
+
+    ASSERT_EQ(cached->records().size(), fresh.records().size());
+    EXPECT_TRUE(cached->records() == fresh.records());
+    EXPECT_EQ(again.get(), cached.get());
+    EXPECT_EQ(cached->name(), fresh.name());
+}
+
+TEST(TraceStore, ConcurrentFirstRequestsGenerateOnce)
+{
+    TraceStore store;
+    const TraceSpec spec = someSpec(2);
+    constexpr unsigned threads = 8;
+
+    std::vector<std::shared_ptr<const Trace>> results(threads);
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&store, &spec, &results, t] {
+                results[t] = store.get(spec, storeLen);
+            });
+        }
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    for (unsigned t = 0; t < threads; ++t) {
+        ASSERT_NE(results[t], nullptr);
+        EXPECT_EQ(results[t].get(), results[0].get());
+    }
+    const TraceStoreStats stats = store.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, threads - 1u);
+    EXPECT_EQ(stats.bytesGenerated, traceBytes(*results[0]));
+}
+
+TEST(TraceStore, EvictionRespectsByteBudget)
+{
+    // Budget for roughly one trace: caching several catalog entries
+    // must evict, and the cached gauge must honour the budget.
+    const TraceSpec probe = someSpec();
+    TraceStore sizing;
+    const std::size_t one = traceBytes(*sizing.get(probe, storeLen));
+
+    TraceStore store(one + one / 2);
+    std::vector<std::shared_ptr<const Trace>> held;
+    for (std::size_t i = 0; i < 4; ++i)
+        held.push_back(store.get(someSpec(i), storeLen));
+
+    const TraceStoreStats stats = store.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LE(stats.bytesCached, store.byteBudget());
+    EXPECT_GE(stats.bytesPeak, stats.bytesCached);
+
+    // Eviction only drops the store's reference; outstanding
+    // shared_ptrs stay alive, and a regenerated trace is identical.
+    const auto regenerated = store.get(someSpec(0), storeLen);
+    EXPECT_TRUE(regenerated->records() == held[0]->records());
+}
+
+TEST(TraceStore, ClearDropsEntriesButKeepsOutstandingTraces)
+{
+    TraceStore store;
+    const TraceSpec spec = someSpec(3);
+    const auto before = store.get(spec, storeLen);
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+
+    const auto after = store.get(spec, storeLen);
+    EXPECT_NE(after.get(), before.get()); // regenerated
+    EXPECT_TRUE(after->records() == before->records());
+    EXPECT_EQ(store.stats().misses, 2u);
+}
+
+TEST(TraceStore, SweepOfCConfigsPaysExactlyTGenerations)
+{
+    // The acceptance property of the store: a C-config x T-trace
+    // sweep through the resilient drivers performs exactly T
+    // generations — every later config sweeps cached traces.
+    const auto catalog = buildCatalog();
+    const std::vector<TraceSpec> specs(catalog.begin(),
+                                       catalog.begin() + 5);
+    const auto factory = [] {
+        return std::make_unique<HybridPredictor>(HybridConfig{});
+    };
+
+    RunnerConfig config;
+    config.threads = 2;
+    const SweepRunner runner{config};
+
+    const TraceSweepOutput first = runPerTraceResilient(
+        "store_c0", specs, factory, {}, sweepLen, runner);
+    ASSERT_TRUE(first.report.status.hasValue());
+    EXPECT_EQ(first.report.traceStore.misses, specs.size());
+    EXPECT_EQ(first.report.traceStore.hits, 0u);
+
+    // Configs 2..C: all hits, zero generations.
+    for (unsigned c = 1; c < 3; ++c) {
+        PredictorSimConfig sim_config;
+        sim_config.gapCycles = c; // a different config per sweep
+        const TraceSweepOutput later = runPerTraceResilient(
+            "store_c" + std::to_string(c), specs, factory, sim_config,
+            sweepLen, runner);
+        ASSERT_TRUE(later.report.status.hasValue());
+        EXPECT_EQ(later.report.traceStore.misses, 0u)
+            << "config " << c << " regenerated a cached trace";
+        EXPECT_EQ(later.report.traceStore.hits, specs.size());
+    }
+}
+
+} // namespace
+} // namespace clap
