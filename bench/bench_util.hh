@@ -44,6 +44,7 @@
 
 #include "core/cap_predictor.hh"
 #include "core/config.hh"
+#include "obs/trace_events.hh"
 #include "core/hybrid_predictor.hh"
 #include "core/last_address_predictor.hh"
 #include "core/stride_predictor.hh"
@@ -187,6 +188,8 @@ recordSweepReport(const SweepReport &report)
     state.counters.retries += report.counters.retries;
     state.counters.timeouts += report.counters.timeouts;
     state.counters.failures += report.counters.failures;
+    state.counters.backoffs += report.counters.backoffs;
+    state.counters.backoffMs += report.counters.backoffMs;
     state.journalBadLines += report.journalBadLines;
     state.traceStore.hits += report.traceStore.hits;
     state.traceStore.misses += report.traceStore.misses;
@@ -402,6 +405,12 @@ benchMain(const std::string &name, int argc, char **argv,
                     static_cast<unsigned long long>(counters.retries),
                     static_cast<unsigned long long>(counters.timeouts),
                     static_cast<unsigned long long>(counters.failures));
+        if (counters.backoffs != 0)
+            std::printf(", %llu backoffs (%llu ms slept)",
+                        static_cast<unsigned long long>(
+                            counters.backoffs),
+                        static_cast<unsigned long long>(
+                            counters.backoffMs));
         if (state.journalBadLines != 0)
             std::printf(", %llu journal lines salvaged",
                         static_cast<unsigned long long>(
@@ -411,13 +420,16 @@ benchMain(const std::string &name, int argc, char **argv,
     if (state.traceStore.hits != 0 || state.traceStore.misses != 0) {
         const TraceStoreStats &ts = state.traceStore;
         std::printf("trace store: %llu hits, %llu generated "
-                    "(%.1f MiB), %llu evicted, peak %.1f MiB\n",
+                    "(%.1f MiB), %llu evicted, peak %.1f MiB, "
+                    "%.1f MiB resident\n",
                     static_cast<unsigned long long>(ts.hits),
                     static_cast<unsigned long long>(ts.misses),
                     static_cast<double>(ts.bytesGenerated) /
                         (1024.0 * 1024.0),
                     static_cast<unsigned long long>(ts.evictions),
                     static_cast<double>(ts.bytesPeak) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(ts.bytesCached) /
                         (1024.0 * 1024.0));
     }
     for (const auto &failure : state.failures)
@@ -433,6 +445,18 @@ benchMain(const std::string &name, int argc, char **argv,
                          written.error().str().c_str());
             return 1;
         }
+    }
+
+    // Spans flush again at exit; flushing here surfaces write errors
+    // while we can still report them, and prints the path once.
+    if (obs::traceEventsEnabled()) {
+        if (auto flushed = obs::flushTraceEvents(); !flushed) {
+            std::fprintf(stderr, "cannot write trace events: %s\n",
+                         flushed.error().str().c_str());
+            return 1;
+        }
+        std::printf("trace events: wrote %s\n",
+                    obs::traceEventsPath().c_str());
     }
     return state.failures.empty() ? 0 : 3;
 }

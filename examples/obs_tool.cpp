@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Observability tooling: run a predictor over a catalog trace and
+ * print its internal-state telemetry (core/telemetry.hh), or validate
+ * a trace-event span file emitted by the obs layer. Demonstrates the
+ * introspection API and doubles as the CI smoke-check utility:
+ *
+ *   obs_tool                                  # usage + trace list
+ *   obs_tool stats INT_go                     # hybrid telemetry
+ *   obs_tool stats INT_go --predictor=cap     # cap | stride | hybrid | last
+ *   obs_tool stats INT_go --insts=500000      # custom trace length
+ *   obs_tool stats INT_go --json              # machine-readable dump
+ *   obs_tool stats INT_go --metrics           # + global metrics registry
+ *   obs_tool check-spans FILE                 # validate trace-event JSON
+ *
+ * The --json output is a pure function of (trace, predictor, insts):
+ * it contains the PredictionStats counters and the telemetry snapshot
+ * but never the (enablement-dependent) metrics registry, so CI can
+ * diff a CLAP_METRICS=0 run against a CLAP_METRICS=1 run byte for
+ * byte to prove instrumentation changes no simulation result.
+ *
+ * Exit codes (scriptable):
+ *   0  success
+ *   1  usage error / unknown trace or predictor name
+ *   3  cannot open the span file
+ *   4  span file is not valid trace-event JSON
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "core/telemetry.hh"
+#include "obs/metrics.hh"
+#include "sim/predictor_sim.hh"
+#include "util/json.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace
+{
+
+enum ExitCode
+{
+    exitOk = 0,
+    exitUsage = 1,
+    exitOpenFailure = 3,
+    exitInvalid = 4,
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s stats <trace-name> [--predictor=NAME] [--insts=N] "
+        "[--json] [--metrics]\n"
+        "       %s check-spans <file>\n\n"
+        "predictors: hybrid (default), cap, stride, last\n"
+        "traces: run `trace_tool` without arguments for the catalog\n",
+        argv0, argv0);
+}
+
+std::unique_ptr<clap::AddressPredictor>
+makePredictor(const std::string &name)
+{
+    using namespace clap;
+    if (name == "hybrid")
+        return std::make_unique<HybridPredictor>(HybridConfig{});
+    if (name == "cap")
+        return std::make_unique<CapPredictor>(CapPredictorConfig{});
+    if (name == "stride")
+        return std::make_unique<StridePredictor>(
+            StridePredictorConfig{});
+    if (name == "last")
+        return std::make_unique<LastAddressPredictor>(
+            LastAddressConfig{});
+    return nullptr;
+}
+
+/** Deterministic PredictionStats rendering for the --json dump. */
+std::string
+statsJson(const clap::PredictionStats &stats)
+{
+    std::string json = "{\"loads\": " + std::to_string(stats.loads);
+    json += ", \"lb_hits\": " + std::to_string(stats.lbHits);
+    json += ", \"formed\": " + std::to_string(stats.formed);
+    json += ", \"formed_correct\": " +
+        std::to_string(stats.formedCorrect);
+    json += ", \"spec\": " + std::to_string(stats.spec);
+    json += ", \"spec_correct\": " + std::to_string(stats.specCorrect);
+    json += ", \"both_spec\": " + std::to_string(stats.bothSpec);
+    json += ", \"miss_selections\": " +
+        std::to_string(stats.missSelections);
+    json += "}";
+    return json;
+}
+
+int
+runStats(int argc, char **argv)
+{
+    using namespace clap;
+
+    std::string traceName;
+    std::string predictorName = "hybrid";
+    std::size_t insts = defaultTraceLength();
+    bool asJson = false;
+    bool withMetrics = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--predictor=", 0) == 0) {
+            predictorName = arg.substr(12);
+        } else if (arg.rfind("--insts=", 0) == 0) {
+            insts = static_cast<std::size_t>(
+                std::atol(arg.c_str() + 8));
+            if (insts == 0) {
+                std::fprintf(stderr, "obs_tool: bad --insts value\n");
+                return exitUsage;
+            }
+        } else if (arg == "--json") {
+            asJson = true;
+        } else if (arg == "--metrics") {
+            withMetrics = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "obs_tool: unknown flag '%s'\n",
+                         arg.c_str());
+            return exitUsage;
+        } else if (traceName.empty()) {
+            traceName = arg;
+        } else {
+            std::fprintf(stderr, "obs_tool: extra argument '%s'\n",
+                         arg.c_str());
+            return exitUsage;
+        }
+    }
+    if (traceName.empty()) {
+        usage(argv[0]);
+        return exitUsage;
+    }
+
+    TraceSpec spec;
+    bool found = false;
+    for (const auto &candidate : buildCatalog()) {
+        if (candidate.name == traceName) {
+            spec = candidate;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::fprintf(stderr,
+                     "obs_tool: unknown trace '%s' (see trace_tool)\n",
+                     traceName.c_str());
+        return exitUsage;
+    }
+
+    auto predictor = makePredictor(predictorName);
+    if (predictor == nullptr) {
+        std::fprintf(stderr, "obs_tool: unknown predictor '%s'\n",
+                     predictorName.c_str());
+        return exitUsage;
+    }
+
+    const Trace trace = generateTrace(spec, insts);
+    const PredictionStats stats =
+        runPredictorSim(trace, *predictor, PredictorSimConfig{});
+    const PredictorTelemetry telemetry =
+        predictor->snapshotTelemetry();
+
+    if (asJson) {
+        // One deterministic document; see the file header on why the
+        // metrics registry is deliberately excluded here.
+        std::string json = "{\n\"trace\": \"" + jsonEscape(traceName) +
+            "\",\n\"stats\": " + statsJson(stats) +
+            ",\n\"telemetry\": " + telemetryJson(telemetry) + "}\n";
+        std::fputs(json.c_str(), stdout);
+    } else {
+        std::printf("trace %s (%zu records), predictor %s\n",
+                    traceName.c_str(), trace.size(),
+                    predictor->name().c_str());
+        std::printf(
+            "loads %llu, prediction rate %.2f%%, accuracy %.2f%%\n\n",
+            static_cast<unsigned long long>(stats.loads),
+            100.0 * stats.predictionRate(), 100.0 * stats.accuracy());
+        std::fputs(telemetryText(telemetry).c_str(), stdout);
+    }
+    if (withMetrics) {
+        std::printf("\n-- metrics registry (%s) --\n%s",
+                    obs::metricsEnabled() ? "enabled" : "disabled",
+                    obs::metricsText().c_str());
+    }
+    return exitOk;
+}
+
+/**
+ * Validate a Chrome/Perfetto trace-event file: top-level object with
+ * a traceEvents array whose elements carry a string name/ph, numeric
+ * ts, pid and tid, and a dur on every complete ('X') event.
+ */
+int
+checkSpans(const std::string &path)
+{
+    using namespace clap;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "obs_tool: cannot open %s\n",
+                     path.c_str());
+        return exitOpenFailure;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    const auto parsed = parseJson(text);
+    if (!parsed) {
+        std::fprintf(stderr, "obs_tool: %s: %s\n", path.c_str(),
+                     parsed.error().str().c_str());
+        return exitInvalid;
+    }
+    const JsonValue &root = *parsed;
+    const JsonValue *events = root.find("traceEvents");
+    if (root.kind != JsonValue::Kind::Object || events == nullptr ||
+        events->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr,
+                     "obs_tool: %s: missing traceEvents array\n",
+                     path.c_str());
+        return exitInvalid;
+    }
+
+    std::size_t complete = 0;
+    std::size_t instants = 0;
+    std::size_t metadata = 0;
+    for (std::size_t i = 0; i < events->items.size(); ++i) {
+        const JsonValue &event = events->items[i];
+        auto bad = [&](const char *what) {
+            std::fprintf(stderr, "obs_tool: %s: event %zu: %s\n",
+                         path.c_str(), i, what);
+            return exitInvalid;
+        };
+        if (event.kind != JsonValue::Kind::Object)
+            return bad("not an object");
+        const JsonValue *name = event.find("name");
+        const JsonValue *ph = event.find("ph");
+        if (name == nullptr || name->kind != JsonValue::Kind::String)
+            return bad("missing string name");
+        if (ph == nullptr || ph->kind != JsonValue::Kind::String ||
+            ph->str.size() != 1)
+            return bad("missing one-char ph");
+        const JsonValue *ts = event.find("ts");
+        const JsonValue *pid = event.find("pid");
+        const JsonValue *tid = event.find("tid");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::Number)
+            return bad("missing numeric ts");
+        if (pid == nullptr || pid->kind != JsonValue::Kind::Number)
+            return bad("missing numeric pid");
+        if (tid == nullptr || tid->kind != JsonValue::Kind::Number)
+            return bad("missing numeric tid");
+        switch (ph->str[0]) {
+          case 'X': {
+            const JsonValue *dur = event.find("dur");
+            if (dur == nullptr ||
+                dur->kind != JsonValue::Kind::Number)
+                return bad("complete event without numeric dur");
+            ++complete;
+            break;
+          }
+          case 'i':
+            ++instants;
+            break;
+          case 'M':
+            ++metadata;
+            break;
+          default:
+            return bad("unexpected ph");
+        }
+    }
+
+    std::printf("%s: valid trace-event JSON: %zu complete spans, "
+                "%zu instants, %zu metadata events\n",
+                path.c_str(), complete, instants, metadata);
+    return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::string(argv[1]) == "stats")
+        return runStats(argc, argv);
+    if (argc >= 3 && std::string(argv[1]) == "check-spans")
+        return checkSpans(argv[2]);
+    usage(argv[0]);
+    return argc < 2 ? exitOk : exitUsage;
+}

@@ -101,16 +101,40 @@ CapComponent::predict(LBEntry &entry, const LoadInfo &info)
         result.addr = addrOf(entry, lt.link);
     }
 
+    // The gate bools are computed individually (pathAllows is pure,
+    // so lifting it out of the short-circuit chain changes nothing)
+    // to attribute each non-speculated formed prediction to the first
+    // failing gate in the paper's order (telemetry only).
     bool confident = true;
+    bool conf_ok = true;
+    bool tag_ok = true;
+    bool path_ok = true;
     if (config_.useConfidence) {
-        confident = entry.capConf.atLeast(
-                        static_cast<std::uint8_t>(config_.confThreshold)) &&
-            lt.tagMatch && pathAllows(entry, info.ghr);
+        conf_ok = entry.capConf.atLeast(
+            static_cast<std::uint8_t>(config_.confThreshold));
+        tag_ok = lt.tagMatch;
+        path_ok = pathAllows(entry, info.ghr);
+        confident = conf_ok && tag_ok && path_ok;
     } else {
         confident = lt.hit;
     }
-    result.speculate = result.hasAddr && confident &&
+    const bool pipe_ok =
         !(pipelined_ && (entry.capBlocked || entry.capSpecStale));
+    result.speculate = result.hasAddr && confident && pipe_ok;
+
+    if (result.hasAddr) {
+        ++gates_.formed;
+        if (result.speculate)
+            ++gates_.speculated;
+        else if (!conf_ok)
+            ++gates_.confVetoes;
+        else if (!tag_ok)
+            ++gates_.tagVetoes;
+        else if (!path_ok)
+            ++gates_.pathVetoes;
+        else if (!pipe_ok)
+            ++gates_.pipeVetoes;
+    }
 
     if (pipelined_) {
         // Maintain the speculative history: assume the prediction is

@@ -16,6 +16,7 @@
 #include "core/link_table.hh"
 #include "core/load_buffer.hh"
 #include "core/predictor.hh"
+#include "core/telemetry.hh"
 
 namespace clap
 {
@@ -70,6 +71,9 @@ class CapComponent
     const LinkTable &linkTable() const { return lt_; }
     const CapConfig &config() const { return config_; }
 
+    /** Cumulative speculation-gate attribution (telemetry). */
+    const CapGateStats &gateStats() const { return gates_; }
+
   private:
     /** Control-flow indication check (section 3.4). */
     bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;
@@ -81,6 +85,7 @@ class CapComponent
     CapConfig config_;
     bool pipelined_;
     LinkTable lt_;
+    CapGateStats gates_;
 };
 
 } // namespace clap

@@ -44,6 +44,20 @@ CapPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
     cap_.update(*entry, info, actual_addr, result);
 }
 
+PredictorTelemetry
+CapPredictor::snapshotTelemetry() const
+{
+    PredictorTelemetry t;
+    t.predictor = name();
+    fillLoadBufferTelemetry(lb_, t, /*withCap=*/true,
+                            /*withStride=*/false,
+                            /*withSelector=*/false);
+    fillLinkTableTelemetry(cap_.linkTable(), t);
+    t.hasCapGates = true;
+    t.capGates = cap_.gateStats();
+    return t;
+}
+
 Expected<void>
 CapPredictor::audit() const
 {

@@ -35,6 +35,9 @@ class CapPredictor : public AddressPredictor
     /** LB + LT structural invariants (core/audit.hh). */
     Expected<void> audit() const override;
 
+    /** LB/LT occupancy, cap confidence hist, gate vetoes. */
+    PredictorTelemetry snapshotTelemetry() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     CapComponent &component() { return cap_; }
 

@@ -113,6 +113,22 @@ HybridPredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
     }
 }
 
+PredictorTelemetry
+HybridPredictor::snapshotTelemetry() const
+{
+    PredictorTelemetry t;
+    t.predictor = name();
+    fillLoadBufferTelemetry(lb_, t, /*withCap=*/true,
+                            /*withStride=*/true,
+                            /*withSelector=*/true);
+    fillLinkTableTelemetry(cap_.linkTable(), t);
+    t.hasCapGates = true;
+    t.capGates = cap_.gateStats();
+    t.hasStrideGates = true;
+    t.strideGates = stride_.gateStats();
+    return t;
+}
+
 Expected<void>
 HybridPredictor::audit() const
 {

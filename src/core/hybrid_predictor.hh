@@ -48,6 +48,10 @@ class HybridPredictor : public AddressPredictor
     /** Shared LB + CAP LT structural invariants (core/audit.hh). */
     Expected<void> audit() const override;
 
+    /** LB/LT occupancy, both confidence hists, selector
+     *  distribution, and per-component gate vetoes. */
+    PredictorTelemetry snapshotTelemetry() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     CapComponent &capComponent() { return cap_; }
     StrideComponent &strideComponent() { return stride_; }

@@ -51,4 +51,17 @@ LastAddressPredictor::update(const LoadInfo &info,
     entry->lastValid = true;
 }
 
+PredictorTelemetry
+LastAddressPredictor::snapshotTelemetry() const
+{
+    PredictorTelemetry t;
+    t.predictor = name();
+    // The last-address confidence counter lives in the shared
+    // strideConf field, so the stride histogram reports it.
+    fillLoadBufferTelemetry(lb_, t, /*withCap=*/false,
+                            /*withStride=*/true,
+                            /*withSelector=*/false);
+    return t;
+}
+
 } // namespace clap

@@ -30,6 +30,9 @@ class LastAddressPredictor : public AddressPredictor
                 const Prediction &pred) override;
     std::string name() const override { return "last"; }
 
+    /** LB occupancy and confidence hist (stored in strideConf). */
+    PredictorTelemetry snapshotTelemetry() const override;
+
   private:
     LastAddressConfig config_;
     LoadBuffer lb_;

@@ -123,6 +123,8 @@ class LinkTable
         const bool install =
             !entry.valid || config_.pfBits == 0 || pf_match;
         if (install) {
+            if (entry.valid && entry.link != base)
+                ++linkOverwrites_;
             entry.valid = true;
             entry.tag = tag(hist);
             entry.link = base;
@@ -136,6 +138,10 @@ class LinkTable
 
     /** Number of link installations performed. */
     std::uint64_t linkWrites() const { return linkWrites_; }
+
+    /** Installs that replaced a live entry holding a different link
+     *  (pollution the PF bits did not catch). */
+    std::uint64_t linkOverwrites() const { return linkOverwrites_; }
 
     /** Number of updates filtered out by the PF mechanism. */
     std::uint64_t pfFiltered() const { return pfFiltered_; }
@@ -208,6 +214,7 @@ class LinkTable
     std::vector<bool> pfTableValid_;
     std::uint64_t stamp_ = 0;
     std::uint64_t linkWrites_ = 0;
+    std::uint64_t linkOverwrites_ = 0;
     std::uint64_t pfFiltered_ = 0;
 
     /** PF bits: bits 2..2+pfBits-1 of the base address. */

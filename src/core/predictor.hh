@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/telemetry.hh"
 #include "util/error.hh"
 
 namespace clap
@@ -122,6 +123,21 @@ class AddressPredictor
      * default is a no-op for predictors without auditable tables.
      */
     virtual Expected<void> audit() const { return ok(); }
+
+    /**
+     * Deterministic snapshot of internal predictor state for
+     * diagnostics (core/telemetry.hh): table occupancy, confidence
+     * and selector distributions, gate-veto attribution. Never part
+     * of the PredictionStats reproducibility contract. The default
+     * reports only the predictor name.
+     */
+    virtual PredictorTelemetry
+    snapshotTelemetry() const
+    {
+        PredictorTelemetry t;
+        t.predictor = name();
+        return t;
+    }
 };
 
 } // namespace clap

@@ -123,6 +123,15 @@ class ProfileAssistedPredictor : public AddressPredictor
     /** Loads filtered out by the profile (diagnostics). */
     std::uint64_t filteredLoads() const { return filtered_; }
 
+    /** Delegates to the wrapped hybrid (its name is reported). */
+    PredictorTelemetry
+    snapshotTelemetry() const override
+    {
+        PredictorTelemetry t = hybrid_.snapshotTelemetry();
+        t.predictor = name();
+        return t;
+    }
+
   private:
     LoadClass classOf(std::uint64_t pc) const;
 

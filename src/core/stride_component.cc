@@ -32,19 +32,39 @@ StrideComponent::predict(LBEntry &entry, const LoadInfo &info)
     result.hasAddr = true;
     result.addr = base + static_cast<std::uint64_t>(entry.stride);
 
+    // Gate cascade with first-failure attribution (telemetry only;
+    // later gates are evaluated exactly when they were before).
     bool confident = entry.strideConf.atLeast(
         static_cast<std::uint8_t>(config_.confThreshold));
+    const bool conf_ok = confident;
+    bool interval_ok = true;
+    bool path_ok = true;
     if (confident && config_.useInterval && entry.intervalValid &&
         entry.run + (pipelined_ ? entry.stridePending : 0) >=
             entry.interval) {
         // At the learned boundary: predict but do not speculate
         // (trading a misprediction for a no-prediction).
         confident = false;
+        interval_ok = false;
     }
-    if (confident && !pathAllows(entry, info.ghr))
+    if (confident && !pathAllows(entry, info.ghr)) {
         confident = false;
-    result.speculate =
-        confident && !(pipelined_ && entry.strideBlocked);
+        path_ok = false;
+    }
+    const bool pipe_ok = !(pipelined_ && entry.strideBlocked);
+    result.speculate = confident && pipe_ok;
+
+    ++gates_.formed;
+    if (result.speculate)
+        ++gates_.speculated;
+    else if (!conf_ok)
+        ++gates_.confVetoes;
+    else if (!interval_ok)
+        ++gates_.intervalVetoes;
+    else if (!path_ok)
+        ++gates_.pathVetoes;
+    else if (!pipe_ok)
+        ++gates_.pipeVetoes;
 
     if (pipelined_) {
         entry.specLastAddr = result.addr;

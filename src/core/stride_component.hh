@@ -16,6 +16,7 @@
 #include "core/config.hh"
 #include "core/load_buffer.hh"
 #include "core/predictor.hh"
+#include "core/telemetry.hh"
 
 namespace clap
 {
@@ -49,11 +50,15 @@ class StrideComponent
 
     const StrideConfig &config() const { return config_; }
 
+    /** Cumulative speculation-gate attribution (telemetry). */
+    const StrideGateStats &gateStats() const { return gates_; }
+
   private:
     bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;
 
     StrideConfig config_;
     bool pipelined_;
+    StrideGateStats gates_;
 };
 
 } // namespace clap

@@ -45,6 +45,19 @@ StridePredictor::update(const LoadInfo &info, std::uint64_t actual_addr,
     stride_.update(*entry, info, actual_addr, result);
 }
 
+PredictorTelemetry
+StridePredictor::snapshotTelemetry() const
+{
+    PredictorTelemetry t;
+    t.predictor = name();
+    fillLoadBufferTelemetry(lb_, t, /*withCap=*/false,
+                            /*withStride=*/true,
+                            /*withSelector=*/false);
+    t.hasStrideGates = true;
+    t.strideGates = stride_.gateStats();
+    return t;
+}
+
 Expected<void>
 StridePredictor::audit() const
 {

@@ -35,6 +35,9 @@ class StridePredictor : public AddressPredictor
     /** LB structural invariants (core/audit.hh). */
     Expected<void> audit() const override;
 
+    /** LB occupancy, stride confidence hist, gate vetoes. */
+    PredictorTelemetry snapshotTelemetry() const override;
+
     LoadBuffer &loadBuffer() { return lb_; }
     StrideComponent &component() { return stride_; }
 

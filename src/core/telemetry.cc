@@ -1,0 +1,232 @@
+#include "core/telemetry.hh"
+
+#include <cstdio>
+
+#include "core/link_table.hh"
+#include "core/load_buffer.hh"
+#include "util/json.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+void
+bump(std::vector<std::uint64_t> &hist, std::uint8_t value,
+     std::uint8_t max)
+{
+    if (hist.size() < static_cast<std::size_t>(max) + 1)
+        hist.resize(static_cast<std::size_t>(max) + 1, 0);
+    ++hist[value];
+}
+
+void
+appendHist(std::string &json, const char *name,
+           const std::vector<std::uint64_t> &hist)
+{
+    json += "  \"";
+    json += name;
+    json += "\": [";
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        if (i != 0)
+            json += ", ";
+        json += std::to_string(hist[i]);
+    }
+    json += "]";
+}
+
+std::string
+histLine(const std::vector<std::uint64_t> &hist)
+{
+    std::string line = "[";
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        if (i != 0)
+            line += " ";
+        line += std::to_string(hist[i]);
+    }
+    line += "]";
+    return line;
+}
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+std::string
+pctStr(std::uint64_t part, std::uint64_t whole)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", pct(part, whole));
+    return buf;
+}
+
+} // namespace
+
+void
+fillLoadBufferTelemetry(const LoadBuffer &lb, PredictorTelemetry &t,
+                        bool withCap, bool withStride, bool withSelector)
+{
+    t.hasLoadBuffer = true;
+    t.lbEntries = lb.numEntries();
+    t.lbAllocations = lb.allocations();
+    t.hasSelector = withSelector;
+    for (std::size_t i = 0; i < lb.numEntries(); ++i) {
+        const LBEntry &entry = lb.entryAt(i);
+        if (!entry.valid)
+            continue;
+        ++t.lbValid;
+        if (withCap)
+            bump(t.capConfHist, entry.capConf.value(),
+                 entry.capConf.max());
+        if (withStride)
+            bump(t.strideConfHist, entry.strideConf.value(),
+                 entry.strideConf.max());
+        if (withSelector)
+            ++t.selectorHist[entry.selector.value() & 3u];
+    }
+}
+
+void
+fillLinkTableTelemetry(const LinkTable &lt, PredictorTelemetry &t)
+{
+    t.hasLinkTable = true;
+    t.ltEntries = lt.numEntries();
+    t.ltLinkWrites = lt.linkWrites();
+    t.ltLinkOverwrites = lt.linkOverwrites();
+    t.ltPfRejected = lt.pfFiltered();
+    for (std::size_t i = 0; i < lt.numEntries(); ++i) {
+        if (lt.entryAt(i).valid)
+            ++t.ltValid;
+    }
+}
+
+std::string
+telemetryJson(const PredictorTelemetry &t)
+{
+    std::string json = "{\n";
+    json += "  \"predictor\": \"" + jsonEscape(t.predictor) + "\",\n";
+    if (t.hasLoadBuffer) {
+        json += "  \"lb\": {\"entries\": " + std::to_string(t.lbEntries) +
+            ", \"valid\": " + std::to_string(t.lbValid) +
+            ", \"allocations\": " + std::to_string(t.lbAllocations) +
+            "},\n";
+    }
+    if (t.hasLinkTable) {
+        json += "  \"lt\": {\"entries\": " + std::to_string(t.ltEntries) +
+            ", \"valid\": " + std::to_string(t.ltValid) +
+            ", \"link_writes\": " + std::to_string(t.ltLinkWrites) +
+            ", \"link_overwrites\": " +
+            std::to_string(t.ltLinkOverwrites) +
+            ", \"pf_rejected\": " + std::to_string(t.ltPfRejected) +
+            "},\n";
+    }
+    if (!t.capConfHist.empty()) {
+        appendHist(json, "cap_conf_hist", t.capConfHist);
+        json += ",\n";
+    }
+    if (!t.strideConfHist.empty()) {
+        appendHist(json, "stride_conf_hist", t.strideConfHist);
+        json += ",\n";
+    }
+    if (t.hasSelector) {
+        json += "  \"selector_hist\": [";
+        for (std::size_t i = 0; i < t.selectorHist.size(); ++i) {
+            if (i != 0)
+                json += ", ";
+            json += std::to_string(t.selectorHist[i]);
+        }
+        json += "],\n";
+    }
+    if (t.hasCapGates) {
+        const CapGateStats &g = t.capGates;
+        json += "  \"cap_gates\": {\"formed\": " +
+            std::to_string(g.formed) +
+            ", \"speculated\": " + std::to_string(g.speculated) +
+            ", \"conf_vetoes\": " + std::to_string(g.confVetoes) +
+            ", \"tag_vetoes\": " + std::to_string(g.tagVetoes) +
+            ", \"path_vetoes\": " + std::to_string(g.pathVetoes) +
+            ", \"pipe_vetoes\": " + std::to_string(g.pipeVetoes) +
+            "},\n";
+    }
+    if (t.hasStrideGates) {
+        const StrideGateStats &g = t.strideGates;
+        json += "  \"stride_gates\": {\"formed\": " +
+            std::to_string(g.formed) +
+            ", \"speculated\": " + std::to_string(g.speculated) +
+            ", \"conf_vetoes\": " + std::to_string(g.confVetoes) +
+            ", \"interval_vetoes\": " +
+            std::to_string(g.intervalVetoes) +
+            ", \"path_vetoes\": " + std::to_string(g.pathVetoes) +
+            ", \"pipe_vetoes\": " + std::to_string(g.pipeVetoes) +
+            "},\n";
+    }
+    json += "  \"end\": true\n}\n";
+    return json;
+}
+
+std::string
+telemetryText(const PredictorTelemetry &t)
+{
+    std::string out = "predictor: " + t.predictor + "\n";
+    if (t.hasLoadBuffer) {
+        out += "load buffer: " + std::to_string(t.lbValid) + "/" +
+            std::to_string(t.lbEntries) + " valid (" +
+            pctStr(t.lbValid, t.lbEntries) + " occupancy), " +
+            std::to_string(t.lbAllocations) + " allocations\n";
+    }
+    if (t.hasLinkTable) {
+        out += "link table: " + std::to_string(t.ltValid) + "/" +
+            std::to_string(t.ltEntries) + " valid (" +
+            pctStr(t.ltValid, t.ltEntries) + " occupancy)\n";
+        const std::uint64_t updates = t.ltLinkWrites + t.ltPfRejected;
+        out += "  link writes: " + std::to_string(t.ltLinkWrites) +
+            " (" + std::to_string(t.ltLinkOverwrites) +
+            " overwrote a different live link)\n";
+        out += "  PF-bit rejects: " + std::to_string(t.ltPfRejected) +
+            " of " + std::to_string(updates) + " updates (" +
+            pctStr(t.ltPfRejected, updates) + ")\n";
+    }
+    if (!t.capConfHist.empty())
+        out += "cap confidence hist (value 0..max): " +
+            histLine(t.capConfHist) + "\n";
+    if (!t.strideConfHist.empty())
+        out += "stride confidence hist (value 0..max): " +
+            histLine(t.strideConfHist) + "\n";
+    if (t.hasSelector) {
+        out += "selector hist (0/1 stride, 2/3 cap): [";
+        for (std::size_t i = 0; i < t.selectorHist.size(); ++i) {
+            if (i != 0)
+                out += " ";
+            out += std::to_string(t.selectorHist[i]);
+        }
+        out += "]\n";
+    }
+    if (t.hasCapGates) {
+        const CapGateStats &g = t.capGates;
+        out += "cap gates: formed " + std::to_string(g.formed) +
+            ", speculated " + std::to_string(g.speculated) + " (" +
+            pctStr(g.speculated, g.formed) + ")\n";
+        out += "  vetoes: conf " + std::to_string(g.confVetoes) +
+            ", tag " + std::to_string(g.tagVetoes) + ", path " +
+            std::to_string(g.pathVetoes) + ", pipeline " +
+            std::to_string(g.pipeVetoes) + "\n";
+    }
+    if (t.hasStrideGates) {
+        const StrideGateStats &g = t.strideGates;
+        out += "stride gates: formed " + std::to_string(g.formed) +
+            ", speculated " + std::to_string(g.speculated) + " (" +
+            pctStr(g.speculated, g.formed) + ")\n";
+        out += "  vetoes: conf " + std::to_string(g.confVetoes) +
+            ", interval " + std::to_string(g.intervalVetoes) +
+            ", path " + std::to_string(g.pathVetoes) + ", pipeline " +
+            std::to_string(g.pipeVetoes) + "\n";
+    }
+    return out;
+}
+
+} // namespace clap

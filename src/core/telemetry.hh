@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Predictor-state introspection: a deterministic snapshot of the
+ * internal structures the paper's analysis rests on — load-buffer and
+ * link-table occupancy, confidence-counter and selector distributions,
+ * control-flow-gate veto rates, and the PF-bit filter's
+ * overwrite/reject behaviour (sections 3.4, 3.5, 3.7).
+ *
+ * PredictorTelemetry is deliberately NOT part of PredictionStats:
+ * PredictionStats carries the bit-for-bit reproducibility contract
+ * (serve/crosscheck compares it with operator==), while telemetry is
+ * a diagnostic view that may grow fields freely. Everything here is
+ * computed from deterministic simulation state, so two identical runs
+ * produce identical telemetry — but nothing ever compares it for
+ * equality across configurations.
+ *
+ * The structs are plain data with no dependency on src/obs; the obs
+ * layer and tools render them (telemetryJson/telemetryText).
+ */
+
+#ifndef CLAP_CORE_TELEMETRY_HH
+#define CLAP_CORE_TELEMETRY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clap
+{
+
+/**
+ * Why CAP predictions that formed an address were (not) speculated
+ * on: each formed prediction either speculates or is vetoed by the
+ * first failing gate in the order the paper discusses them —
+ * confidence counter (3.4), LT tag filter (3.4), control-flow
+ * indication (3.4), pipeline block/stale (5.2).
+ */
+struct CapGateStats
+{
+    std::uint64_t formed = 0;     ///< predictions with an address
+    std::uint64_t speculated = 0; ///< ... that passed every gate
+    std::uint64_t confVetoes = 0; ///< confidence counter below threshold
+    std::uint64_t tagVetoes = 0;  ///< LT tag confidence filter miss
+    std::uint64_t pathVetoes = 0; ///< control-flow indication veto
+    std::uint64_t pipeVetoes = 0; ///< blocked/stale speculative state
+};
+
+/** Same attribution for the enhanced stride component's gate
+ *  cascade: confidence, then interval boundary, then control flow. */
+struct StrideGateStats
+{
+    std::uint64_t formed = 0;
+    std::uint64_t speculated = 0;
+    std::uint64_t confVetoes = 0;
+    std::uint64_t intervalVetoes = 0; ///< learned array-boundary stop
+    std::uint64_t pathVetoes = 0;
+    std::uint64_t pipeVetoes = 0;
+};
+
+/** Point-in-time introspection snapshot of one predictor. */
+struct PredictorTelemetry
+{
+    std::string predictor; ///< predictor name() this was taken from
+
+    /// @name Load buffer occupancy
+    /// @{
+    bool hasLoadBuffer = false;
+    std::uint64_t lbEntries = 0; ///< total slots
+    std::uint64_t lbValid = 0;   ///< currently valid entries
+    std::uint64_t lbAllocations = 0;
+    /// @}
+
+    /// @name Link table occupancy and PF-bit filter
+    /// @{
+    bool hasLinkTable = false;
+    std::uint64_t ltEntries = 0;
+    std::uint64_t ltValid = 0;
+    std::uint64_t ltLinkWrites = 0;     ///< links installed
+    std::uint64_t ltLinkOverwrites = 0; ///< installs replacing a
+                                        ///< different live link
+    std::uint64_t ltPfRejected = 0;     ///< updates the PF hysteresis
+                                        ///< filtered out
+    /// @}
+
+    /// @name Per-entry distributions over valid LB entries
+    /// @{
+    std::vector<std::uint64_t> capConfHist;    ///< index = counter value
+    std::vector<std::uint64_t> strideConfHist; ///< index = counter value
+    std::array<std::uint64_t, 4> selectorHist{}; ///< 2-bit selector
+    bool hasSelector = false;
+    /// @}
+
+    /// @name Speculation gate attribution (cumulative over the run)
+    /// @{
+    bool hasCapGates = false;
+    CapGateStats capGates;
+    bool hasStrideGates = false;
+    StrideGateStats strideGates;
+    /// @}
+};
+
+class LoadBuffer;
+class LinkTable;
+
+/** Fill LB occupancy and the per-entry confidence/selector
+ *  distributions from @p lb. @p withCap / @p withStride /
+ *  @p withSelector select which distributions are meaningful for the
+ *  calling predictor. */
+void fillLoadBufferTelemetry(const LoadBuffer &lb, PredictorTelemetry &t,
+                             bool withCap, bool withStride,
+                             bool withSelector);
+
+/** Fill LT occupancy and PF-bit counters from @p lt. */
+void fillLinkTableTelemetry(const LinkTable &lt, PredictorTelemetry &t);
+
+/** Deterministic JSON rendering (parseable by util/json.hh). */
+std::string telemetryJson(const PredictorTelemetry &t);
+
+/** Human-readable multi-line rendering for obs_tool / stdout. */
+std::string telemetryText(const PredictorTelemetry &t);
+
+} // namespace clap
+
+#endif // CLAP_CORE_TELEMETRY_HH

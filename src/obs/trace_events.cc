@@ -1,0 +1,287 @@
+#include "obs/trace_events.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/atomic_file.hh"
+#include "util/json.hh"
+
+namespace clap::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One buffered trace event. durNs is meaningful for ph 'X' only. */
+struct Event
+{
+    std::string name;
+    std::string cat;
+    char ph = 'X';
+    std::uint64_t tsNs = 0;
+    std::uint64_t durNs = 0;
+    std::uint32_t tid = 0;
+};
+
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+/**
+ * Per-thread event buffer. The owning thread appends under the
+ * buffer's own mutex (uncontended except while a flush snapshots it);
+ * the sink keeps a shared_ptr so buffers of exited threads survive
+ * until the final flush.
+ */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+    std::uint64_t dropped = 0;
+};
+
+class Sink
+{
+  public:
+    static Sink &
+    instance()
+    {
+        // Intentionally leaked: the constructor registers an atexit
+        // flush, which would otherwise run after a function-local
+        // static's destructor (reverse registration order) and touch
+        // a destroyed object. A never-destroyed sink makes exit-time
+        // flushing from any thread safe.
+        static Sink *sink = new Sink();
+        return *sink;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    std::uint64_t
+    nowNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - epoch_)
+                .count());
+    }
+
+    void
+    record(Event &&event)
+    {
+        ThreadBuffer &buffer = localBuffer();
+        event.tid = buffer.tid;
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        if (buffer.events.size() >= kMaxEventsPerThread) {
+            ++buffer.dropped;
+            return;
+        }
+        buffer.events.push_back(std::move(event));
+    }
+
+    std::size_t
+    buffered()
+    {
+        std::size_t total = 0;
+        std::lock_guard<std::mutex> registry(mutex_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> lock(buffer->mutex);
+            total += buffer->events.size();
+        }
+        return total;
+    }
+
+    Expected<void>
+    flush()
+    {
+        if (!enabled())
+            return ok();
+
+        // Snapshot every buffer (copies, so recording threads stall
+        // only for the memcpy), then render and write without any
+        // lock held.
+        std::vector<Event> events;
+        std::uint64_t dropped = 0;
+        {
+            std::lock_guard<std::mutex> registry(mutex_);
+            for (const auto &buffer : buffers_) {
+                std::lock_guard<std::mutex> lock(buffer->mutex);
+                events.insert(events.end(), buffer->events.begin(),
+                              buffer->events.end());
+                dropped += buffer->dropped;
+            }
+        }
+        std::stable_sort(events.begin(), events.end(),
+                         [](const Event &a, const Event &b) {
+                             if (a.tsNs != b.tsNs)
+                                 return a.tsNs < b.tsNs;
+                             return a.tid < b.tid;
+                         });
+
+        std::string json;
+        json.reserve(96 + events.size() * 96);
+        json += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+        json += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+                "\"tid\": 0, \"ts\": 0, \"args\": {\"name\": \"clap\", "
+                "\"dropped_events\": " +
+            std::to_string(dropped) + "}}";
+        char buf[64];
+        for (const Event &event : events) {
+            json += ",\n{\"name\": \"";
+            json += jsonEscape(event.name);
+            json += "\", \"cat\": \"";
+            json += jsonEscape(event.cat);
+            json += "\", \"ph\": \"";
+            json += event.ph;
+            json += "\", \"pid\": 1, \"tid\": ";
+            json += std::to_string(event.tid);
+            // Timestamps are microseconds in the trace-event format;
+            // keep nanosecond precision with three decimals.
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          static_cast<double>(event.tsNs) / 1000.0);
+            json += ", \"ts\": ";
+            json += buf;
+            if (event.ph == 'X') {
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              static_cast<double>(event.durNs) / 1000.0);
+                json += ", \"dur\": ";
+                json += buf;
+            } else if (event.ph == 'i') {
+                json += ", \"s\": \"t\"";
+            }
+            json += "}";
+        }
+        json += "\n]}\n";
+        return writeFileAtomic(path_, json);
+    }
+
+  private:
+    Sink()
+    {
+        if (const char *env = std::getenv("CLAP_TRACE_EVENTS");
+            env != nullptr && *env != '\0') {
+            path_ = env;
+        }
+        epoch_ = Clock::now();
+        if (!path_.empty()) {
+            std::atexit([] {
+                if (auto flushed = Sink::instance().flush(); !flushed) {
+                    std::fprintf(
+                        stderr, "trace events: final flush failed: %s\n",
+                        flushed.error().str().c_str());
+                }
+            });
+        }
+    }
+
+    ThreadBuffer &
+    localBuffer()
+    {
+        thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+            auto fresh = std::make_shared<ThreadBuffer>();
+            std::lock_guard<std::mutex> registry(mutex_);
+            fresh->tid = nextTid_++;
+            buffers_.push_back(fresh);
+            return fresh;
+        }();
+        return *buffer;
+    }
+
+    std::string path_;
+    Clock::time_point epoch_;
+    std::mutex mutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    std::uint32_t nextTid_ = 1;
+};
+
+} // namespace
+
+bool
+traceEventsEnabled()
+{
+#ifdef CLAP_OBS_DISABLED
+    return false;
+#else
+    static const bool enabled = Sink::instance().enabled();
+    return enabled;
+#endif
+}
+
+const std::string &
+traceEventsPath()
+{
+    return Sink::instance().path();
+}
+
+std::uint64_t
+traceNowNs()
+{
+    return Sink::instance().nowNs();
+}
+
+void
+traceInstant(std::string name, std::string_view cat)
+{
+#ifndef CLAP_OBS_DISABLED
+    if (!traceEventsEnabled())
+        return;
+    Event event;
+    event.name = std::move(name);
+    event.cat = cat;
+    event.ph = 'i';
+    event.tsNs = Sink::instance().nowNs();
+    Sink::instance().record(std::move(event));
+#else
+    (void)name;
+    (void)cat;
+#endif
+}
+
+Expected<void>
+flushTraceEvents()
+{
+#ifdef CLAP_OBS_DISABLED
+    return ok();
+#else
+    return Sink::instance().flush();
+#endif
+}
+
+std::size_t
+bufferedTraceEventCount()
+{
+#ifdef CLAP_OBS_DISABLED
+    return 0;
+#else
+    if (!traceEventsEnabled())
+        return 0;
+    return Sink::instance().buffered();
+#endif
+}
+
+void
+Span::finish()
+{
+#ifndef CLAP_OBS_DISABLED
+    if (!armed_)
+        return;
+    armed_ = false;
+    Event event;
+    event.name = std::move(name_);
+    event.cat = std::move(cat_);
+    event.ph = 'X';
+    event.tsNs = startNs_;
+    event.durNs = Sink::instance().nowNs() - startNs_;
+    Sink::instance().record(std::move(event));
+#endif
+}
+
+} // namespace clap::obs

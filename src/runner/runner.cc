@@ -13,6 +13,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
 #include "runner/journal.hh"
 
 namespace clap
@@ -77,19 +79,39 @@ msSince(Clock::time_point epoch)
             .count());
 }
 
+/** What one job's attempts cost (aggregated into RunnerCounters). */
+struct AttemptUsage
+{
+    bool timedOut = false;
+    std::uint64_t retries = 0;
+    std::uint64_t backoffs = 0;
+    std::uint64_t backoffMs = 0;
+};
+
 /** Run one job with retries; fills everything but outcome.key. */
 void
 executeWithRetries(const SweepJob &job, const RunnerConfig &config,
                    WorkerSlot &slot, Clock::time_point epoch,
-                   JobOutcome &outcome, bool &timedOut,
-                   std::uint64_t &retriesUsed)
+                   JobOutcome &outcome, AttemptUsage &usage)
 {
     for (unsigned attempt = 0;; ++attempt) {
         if (attempt > 0) {
-            ++retriesUsed;
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                config.backoffBaseMs << (attempt - 1)));
+            ++usage.retries;
+            const std::uint64_t backoff_ms =
+                config.backoffBaseMs << (attempt - 1);
+            if (backoff_ms != 0) {
+                ++usage.backoffs;
+                usage.backoffMs += backoff_ms;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff_ms));
+            }
         }
+        obs::Span span("job:" + job.key +
+                           (attempt > 0
+                                ? " (retry " + std::to_string(attempt) +
+                                    ")"
+                                : ""),
+                       "runner");
 
         slot.arm(config.timeoutMs != 0
                      ? msSince(epoch) + config.timeoutMs + 1
@@ -125,7 +147,7 @@ executeWithRetries(const SweepJob &job, const RunnerConfig &config,
                               std::to_string(config.timeoutMs) +
                               " ms wall-clock budget")
                     .withContext("job '" + job.key + "'");
-            timedOut = true;
+            usage.timedOut = true;
             return;
         }
 
@@ -238,15 +260,37 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             const SweepJob &job = jobs[index];
             JobOutcome &outcome = report.outcomes[index];
 
-            bool timedOut = false;
-            std::uint64_t retriesUsed = 0;
+            static obs::Counter &jobsRun = obs::counter("runner.jobs");
+            static obs::Counter &retriesRun =
+                obs::counter("runner.retries");
+            static obs::Counter &timeoutsRun =
+                obs::counter("runner.timeouts");
+            static obs::Counter &failuresRun =
+                obs::counter("runner.failures");
+            static obs::Counter &backoffMsRun =
+                obs::counter("runner.backoff_ms");
+            static obs::Histogram &jobMs =
+                obs::histogram("runner.job_ms");
+
+            const std::uint64_t jobStartMs = msSince(epoch);
+            AttemptUsage usage;
             executeWithRetries(job, config_, slot, epoch, outcome,
-                               timedOut, retriesUsed);
+                               usage);
+            jobsRun.add();
+            retriesRun.add(usage.retries);
+            backoffMsRun.add(usage.backoffMs);
+            if (usage.timedOut)
+                timeoutsRun.add();
+            if (!outcome.ok)
+                failuresRun.add();
+            jobMs.record(msSince(epoch) - jobStartMs);
 
             std::lock_guard<std::mutex> lock(journalMutex);
             ++counters.executed;
-            counters.retries += retriesUsed;
-            if (timedOut)
+            counters.retries += usage.retries;
+            counters.backoffs += usage.backoffs;
+            counters.backoffMs += usage.backoffMs;
+            if (usage.timedOut)
                 ++counters.timeouts;
             if (!outcome.ok)
                 ++counters.failures;

@@ -66,6 +66,8 @@ struct RunnerCounters
     std::uint64_t retries = 0;     ///< extra attempts performed
     std::uint64_t timeouts = 0;    ///< jobs reaped by the watchdog
     std::uint64_t failures = 0;    ///< jobs that ended in an Error
+    std::uint64_t backoffs = 0;    ///< backoff sleeps taken
+    std::uint64_t backoffMs = 0;   ///< total time slept backing off
 };
 
 /** Outcome of a whole sweep. */

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace_events.hh"
 #include "trace/trace_store.hh"
 #include "workloads/composer.hh"
 
@@ -43,7 +44,11 @@ runPerTraceResilient(const std::string &label,
             PredictorSimConfig config = sim_config;
             config.cancel = ctx.cancel;
             JobResult result;
-            result.stats = runPredictorSim(*trace, *predictor, config);
+            {
+                obs::Span span("cell:" + spec.name, "sweep");
+                result.stats =
+                    runPredictorSim(*trace, *predictor, config);
+            }
             result.hasStats = true;
             if (auto audit = predictor->audit(); !audit) {
                 return std::move(audit.error())
@@ -92,12 +97,14 @@ runSpeedupResilient(const std::string &label,
             TimingConfig timing = config;
             timing.predictorGap.cancel = ctx.cancel;
             JobResult result;
+            obs::Span span("cell:" + spec.name, "sweep");
             result.baseCycles =
                 runTimingSim(*trace, timing, nullptr).cycles;
             auto predictor = factory();
             result.predCycles =
                 runTimingSim(*trace, timing, predictor.get()).cycles;
             result.hasTiming = true;
+            span.finish();
             if (auto audit = predictor->audit(); !audit) {
                 return std::move(audit.error())
                     .withContext("after trace '" + spec.name + "'");

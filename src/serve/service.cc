@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
 #include "serve/queue.hh"
 
 namespace clap
@@ -151,6 +153,11 @@ PredictionService::submit(Request request, unsigned shard_index)
         break;
       case QueuePush::Full:
         shard.rejected.fetch_add(1, std::memory_order_relaxed);
+        {
+            static obs::Counter &rejects =
+                obs::counter("serve.rejects");
+            rejects.add();
+        }
         return makeError(ErrorCode::Overloaded,
                          "shard queue full (capacity " +
                              std::to_string(config_.queueCapacity) + ")")
@@ -223,6 +230,20 @@ void
 PredictionService::processBatch(Shard &shard,
                                 std::vector<Request> &batch)
 {
+    // Registry references resolved once; recording afterwards is a
+    // branch plus a relaxed add (see obs/metrics.hh cost model).
+    static obs::Counter &predicts = obs::counter("serve.predicts");
+    static obs::Counter &trains = obs::counter("serve.trains");
+    static obs::Counter &batches = obs::counter("serve.batches");
+    static obs::Histogram &batchSize =
+        obs::histogram("serve.batch_size");
+    static obs::Histogram &queueDepth =
+        obs::histogram("serve.queue_depth");
+
+    obs::Span span("serve.batch", "serve");
+    std::uint64_t batch_predicts = 0;
+    std::uint64_t batch_trains = 0;
+
     // Predictions computed under the lock, delivered after it: the
     // rendezvous wakeups need not hold up the shard.
     std::vector<std::pair<ResponseSlot *, Prediction>> responses;
@@ -237,11 +258,13 @@ PredictionService::processBatch(Shard &shard,
                 tallyPrediction(shard.stats, request.pred,
                                 request.actualAddr);
                 ++shard.trains;
+                ++batch_trains;
             } else {
                 responses.emplace_back(
                     request.slot,
                     shard.predictor->predict(request.info));
                 ++shard.predicts;
+                ++batch_predicts;
             }
         }
         ++shard.batches;
@@ -256,6 +279,11 @@ PredictionService::processBatch(Shard &shard,
             }
         }
     }
+    predicts.add(batch_predicts);
+    trains.add(batch_trains);
+    batches.add();
+    batchSize.record(batch.size());
+    queueDepth.record(shard.queue.depth());
     for (auto &[slot, pred] : responses)
         slot->complete(pred);
 }
@@ -287,6 +315,7 @@ PredictionService::snapshot() const
             snap.audits = shard->audits;
             snap.auditFailed = shard->auditFailed;
             snap.auditError = shard->auditError;
+            snap.telemetry = shard->predictor->snapshotTelemetry();
         }
         snap.rejected =
             shard->rejected.load(std::memory_order_relaxed);

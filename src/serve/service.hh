@@ -132,6 +132,11 @@ struct ShardSnapshot
     std::size_t maxQueueDepth = 0;///< mailbox high-water mark
     bool auditFailed = false;
     Error auditError;             ///< valid when auditFailed
+
+    /// Predictor-state introspection (core/telemetry.hh), taken under
+    /// the shard lock so it is consistent with stats. Diagnostic only
+    /// — never part of the PredictionStats equality contract.
+    PredictorTelemetry telemetry;
 };
 
 class ClientSession;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
 #include "sim/branch_predictor.hh"
 #include "sim/fault_injector.hh"
 #include "util/ring_buffer.hh"
@@ -36,6 +38,15 @@ runPredictorSim(std::span<const TraceRecord> records,
                 AddressPredictor &predictor,
                 const PredictorSimConfig &config)
 {
+    // Per-run instrumentation only: the per-record loop below is the
+    // hot path the <5% overhead budget protects, so it records
+    // nothing.
+    obs::Span span("sim.predictor", "sim");
+    static obs::Counter &runs = obs::counter("sim.predictor_runs");
+    static obs::Counter &recordCount = obs::counter("sim.records");
+    runs.add();
+    recordCount.add(records.size());
+
     PredictionStats stats;
     const std::uint64_t gap_insts =
         static_cast<std::uint64_t>(config.gapCycles) * config.fetchWidth;

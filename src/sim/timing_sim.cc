@@ -4,6 +4,8 @@
 #include <array>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
 #include "sim/fault_injector.hh"
 #include "util/ring_buffer.hh"
 
@@ -73,6 +75,15 @@ TimingResult
 runTimingSim(std::span<const TraceRecord> records,
              const TimingConfig &config, AddressPredictor *predictor)
 {
+    // Per-run instrumentation only; the cycle loop stays untouched.
+    obs::Span span(predictor != nullptr ? "sim.timing(pred)"
+                                        : "sim.timing(base)",
+                   "sim");
+    static obs::Counter &runs = obs::counter("sim.timing_runs");
+    static obs::Counter &recordCount = obs::counter("sim.records");
+    runs.add();
+    recordCount.add(records.size());
+
     TimingResult result;
     MemoryHierarchy memory(config.memory);
     HybridBranchPredictor branch_pred(config.branch);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
 #include "workloads/composer.hh"
 
 namespace clap
@@ -217,6 +219,10 @@ traceBytes(const Trace &trace)
 std::shared_ptr<const Trace>
 TraceStore::get(const TraceSpec &spec, std::size_t target_insts)
 {
+    static obs::Counter &hitCounter = obs::counter("trace_store.hits");
+    static obs::Counter &missCounter =
+        obs::counter("trace_store.misses");
+
     const std::string key = traceStoreKey(spec, target_insts);
 
     std::promise<std::shared_ptr<const Trace>> promise;
@@ -240,11 +246,16 @@ TraceStore::get(const TraceSpec &spec, std::size_t target_insts)
             entries_.emplace(key, std::move(entry));
         }
     }
-    if (waiting.valid())
+    if (waiting.valid()) {
+        hitCounter.add();
+        obs::traceInstant("trace_store.hit:" + spec.name, "trace");
         return waiting.get();
+    }
+    missCounter.add();
 
     // Generate outside the lock: concurrent requests for *other* keys
     // proceed in parallel; requests for this key block on the future.
+    obs::Span span("generate:" + spec.name, "trace");
     std::shared_ptr<const Trace> trace;
     try {
         trace = std::make_shared<const Trace>(
@@ -261,6 +272,7 @@ TraceStore::get(const TraceSpec &spec, std::size_t target_insts)
         }
         throw;
     }
+    span.finish();
     promise.set_value(trace);
 
     {
@@ -341,6 +353,11 @@ TraceStore::enforceBudgetLocked()
         }
         stats_.bytesCached -= found->second.bytes;
         ++stats_.evictions;
+        {
+            static obs::Counter &evictions =
+                obs::counter("trace_store.evictions");
+            evictions.add();
+        }
         cursor = lru_.erase(cursor);
         entries_.erase(found);
     }

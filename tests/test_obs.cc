@@ -1,0 +1,324 @@
+/** @file Unit tests for the obs metrics registry and span layer. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
+#include "util/json.hh"
+
+namespace clap
+{
+namespace
+{
+
+/**
+ * The span layer reads CLAP_TRACE_EVENTS once at first use, so the
+ * variable must be set before any Span is constructed anywhere in
+ * this binary. A namespace-scope initializer runs before main() and
+ * therefore before any test body.
+ */
+std::string
+spanFilePath()
+{
+    static const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("clap_obs_test_spans_" + std::to_string(::getpid()) +
+          ".json"))
+            .string();
+    return path;
+}
+
+const bool spanEnvReady = [] {
+    ::setenv("CLAP_TRACE_EVENTS", spanFilePath().c_str(), 1);
+    return true;
+}();
+
+// --- Histogram bucket boundaries -------------------------------------
+
+TEST(ObsHistogram, BucketOfMatchesBitWidth)
+{
+    EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(obs::Histogram::bucketOf(~std::uint64_t{0}), 64u);
+}
+
+TEST(ObsHistogram, BucketBoundsAreConsistent)
+{
+    using Snap = obs::HistogramSnapshot;
+    EXPECT_EQ(Snap::lowerBound(0), 0u);
+    EXPECT_EQ(Snap::upperBound(0), 0u);
+    for (std::size_t b = 1; b < Snap::kBuckets; ++b) {
+        // Every value in [lowerBound, upperBound] must land in b.
+        EXPECT_EQ(obs::Histogram::bucketOf(Snap::lowerBound(b)), b)
+            << "bucket " << b;
+        EXPECT_EQ(obs::Histogram::bucketOf(Snap::upperBound(b)), b)
+            << "bucket " << b;
+        // And the ranges must tile without gaps.
+        EXPECT_EQ(Snap::lowerBound(b), Snap::upperBound(b - 1) + 1)
+            << "bucket " << b;
+    }
+    EXPECT_EQ(Snap::upperBound(64), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordAndSnapshot)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::Histogram hist;
+    hist.record(0);
+    hist.record(1);
+    hist.record(5); // bucket 3
+    hist.record(6); // bucket 3
+    const obs::HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 12u);
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 1u);
+    EXPECT_EQ(snap.buckets[3], 2u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 3.0);
+
+    hist.reset();
+    EXPECT_EQ(hist.snapshot().count, 0u);
+}
+
+// --- Counter / gauge basics ------------------------------------------
+
+TEST(ObsCounter, AddAndMerge)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::Counter c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndAdd)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::Gauge g;
+    g.set(7);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 4);
+}
+
+TEST(ObsRegistry, SameNameSameInstrument)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::Counter &a = obs::counter("test.registry.same");
+    obs::Counter &b = obs::counter("test.registry.same");
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+// --- Concurrent record + snapshot merge ------------------------------
+
+TEST(ObsConcurrency, MultiThreadRecordMergesExactly)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::Counter &c = obs::counter("test.concurrent.counter");
+    obs::Histogram &h = obs::histogram("test.concurrent.hist");
+    c.reset();
+    h.reset();
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.record(t + 1);
+                // Snapshots taken mid-recording must not crash or
+                // tear (values are monotone while recording).
+                if (i % 4096 == 0) {
+                    const auto snap = h.snapshot();
+                    EXPECT_LE(snap.count,
+                              std::uint64_t{kThreads} * kPerThread);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(c.value(), std::uint64_t{kThreads} * kPerThread);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, std::uint64_t{kThreads} * kPerThread);
+    std::uint64_t expected_sum = 0;
+    for (unsigned t = 0; t < kThreads; ++t)
+        expected_sum += std::uint64_t{t + 1} * kPerThread;
+    EXPECT_EQ(snap.sum, expected_sum);
+}
+
+// --- Snapshot rendering ----------------------------------------------
+
+TEST(ObsRegistry, JsonParsesAndContainsInstruments)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    obs::counter("test.json.counter").reset();
+    obs::counter("test.json.counter").add(5);
+    obs::gauge("test.json.gauge").set(-2);
+    obs::histogram("test.json.hist").record(9);
+
+    const std::string json = obs::metricsJson();
+    const auto parsed = parseJson(json);
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    ASSERT_EQ(parsed->kind, JsonValue::Kind::Object);
+
+    const JsonValue *counters = parsed->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *value = counters->find("test.json.counter");
+    ASSERT_NE(value, nullptr);
+    EXPECT_TRUE(value->isUint);
+    EXPECT_EQ(value->uintValue, 5u);
+
+    const JsonValue *gauges = parsed->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->find("test.json.gauge"), nullptr);
+
+    const JsonValue *hists = parsed->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    ASSERT_NE(hists->find("test.json.hist"), nullptr);
+
+    const std::string text = obs::metricsText();
+    EXPECT_NE(text.find("test.json.counter"), std::string::npos);
+}
+
+TEST(ObsRegistry, SnapshotIsNameOrdered)
+{
+    obs::counter("test.order.b").add();
+    obs::counter("test.order.a").add();
+    const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+}
+
+// --- Span file JSON validity -----------------------------------------
+
+TEST(ObsSpans, FlushedFileIsValidTraceEventJson)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    ASSERT_TRUE(spanEnvReady);
+    ASSERT_TRUE(obs::traceEventsEnabled());
+    ASSERT_EQ(obs::traceEventsPath(), spanFilePath());
+
+    {
+        obs::Span outer("test.outer", "test");
+        obs::Span inner("test.inner", "test");
+        obs::traceInstant("test.instant", "test");
+    }
+    std::thread([] {
+        obs::Span span("test.worker", "test");
+    }).join();
+
+    EXPECT_GE(obs::bufferedTraceEventCount(), 4u);
+    const auto flushed = obs::flushTraceEvents();
+    ASSERT_TRUE(flushed) << flushed.error().str();
+
+    std::ifstream in(spanFilePath(), std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    const auto parsed = parseJson(buffer.str());
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    ASSERT_EQ(parsed->kind, JsonValue::Kind::Object);
+    EXPECT_EQ(parsed->stringOr("displayTimeUnit", ""), "ns");
+
+    const JsonValue *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+    bool saw_outer = false;
+    bool saw_instant = false;
+    bool saw_worker = false;
+    double last_ts = -1.0;
+    for (const JsonValue &event : events->items) {
+        ASSERT_EQ(event.kind, JsonValue::Kind::Object);
+        const std::string name = event.stringOr("name", "");
+        const std::string ph = event.stringOr("ph", "");
+        ASSERT_FALSE(ph.empty());
+        if (ph == "M")
+            continue; // metadata events carry no ts ordering claim
+        const JsonValue *ts = event.find("ts");
+        ASSERT_NE(ts, nullptr);
+        ASSERT_EQ(ts->kind, JsonValue::Kind::Number);
+        EXPECT_GE(ts->number, last_ts); // sorted deterministically
+        last_ts = ts->number;
+        if (ph == "X") {
+            const JsonValue *dur = event.find("dur");
+            ASSERT_NE(dur, nullptr) << name;
+            EXPECT_EQ(dur->kind, JsonValue::Kind::Number);
+        }
+        if (name == "test.outer") {
+            saw_outer = true;
+            EXPECT_EQ(ph, "X");
+        }
+        if (name == "test.instant") {
+            saw_instant = true;
+            EXPECT_EQ(ph, "i");
+            EXPECT_EQ(event.stringOr("s", ""), "t");
+        }
+        if (name == "test.worker")
+            saw_worker = true;
+    }
+    EXPECT_TRUE(saw_outer);
+    EXPECT_TRUE(saw_instant);
+    EXPECT_TRUE(saw_worker);
+
+    // Flushing again is idempotent and cumulative.
+    const auto again = obs::flushTraceEvents();
+    ASSERT_TRUE(again);
+
+    std::remove(spanFilePath().c_str());
+}
+
+TEST(ObsSpans, EarlyFinishIsIdempotent)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    const std::size_t before = obs::bufferedTraceEventCount();
+    obs::Span span("test.early", "test");
+    span.finish();
+    span.finish(); // second call must not record again
+    EXPECT_EQ(obs::bufferedTraceEventCount(), before + 1);
+}
+
+} // namespace
+} // namespace clap

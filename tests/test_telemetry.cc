@@ -1,0 +1,205 @@
+/** @file Tests for predictor-state introspection snapshots. */
+
+#include <gtest/gtest.h>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "core/telemetry.hh"
+#include "sim/predictor_sim.hh"
+#include "test_util.hh"
+#include "util/json.hh"
+#include "workloads/composer.hh"
+
+namespace clap
+{
+namespace
+{
+
+Trace
+mixedTrace(std::size_t insts)
+{
+    TraceSpec spec;
+    spec.name = "telemetry_mix";
+    spec.suite = "X";
+    spec.seed = 71;
+    spec.kernels.push_back(
+        {LinkedListKernel::Params{.numNodes = 16, .numDataFields = 2},
+         2.0, 1});
+    spec.kernels.push_back(
+        {StrideArrayKernel::Params{
+             .numArrays = 2, .numElems = 128, .chunk = 16},
+         1.0, 1});
+    return generateTrace(spec, insts);
+}
+
+std::uint64_t
+sum(const std::vector<std::uint64_t> &hist)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : hist)
+        total += v;
+    return total;
+}
+
+TEST(Telemetry, FreshPredictorIsEmpty)
+{
+    HybridPredictor pred{HybridConfig{}};
+    const PredictorTelemetry t = pred.snapshotTelemetry();
+    EXPECT_EQ(t.predictor, pred.name());
+    EXPECT_TRUE(t.hasLoadBuffer);
+    EXPECT_GT(t.lbEntries, 0u);
+    EXPECT_EQ(t.lbValid, 0u);
+    EXPECT_EQ(t.capGates.formed, 0u);
+}
+
+TEST(Telemetry, HybridPopulatesEveryComponent)
+{
+    HybridPredictor pred{HybridConfig{}};
+    runPredictorSim(mixedTrace(30000), pred);
+    const PredictorTelemetry t = pred.snapshotTelemetry();
+
+    EXPECT_EQ(t.predictor, pred.name());
+    ASSERT_TRUE(t.hasLoadBuffer);
+    EXPECT_GT(t.lbValid, 0u);
+    EXPECT_LE(t.lbValid, t.lbEntries);
+    EXPECT_GE(t.lbAllocations, t.lbValid);
+
+    ASSERT_TRUE(t.hasLinkTable);
+    EXPECT_GT(t.ltEntries, 0u);
+    EXPECT_LE(t.ltValid, t.ltEntries);
+    EXPECT_GT(t.ltLinkWrites, 0u);
+    EXPECT_LE(t.ltLinkOverwrites, t.ltLinkWrites);
+
+    // Each valid LB entry contributes exactly one count to each
+    // per-entry distribution the hybrid carries.
+    EXPECT_TRUE(t.hasSelector);
+    EXPECT_EQ(sum(t.capConfHist), t.lbValid);
+    EXPECT_EQ(sum(t.strideConfHist), t.lbValid);
+    std::uint64_t selector_total = 0;
+    for (const std::uint64_t v : t.selectorHist)
+        selector_total += v;
+    EXPECT_EQ(selector_total, t.lbValid);
+
+    // Gate attribution: every formed prediction either speculated or
+    // was vetoed by exactly one (first-failing) gate.
+    ASSERT_TRUE(t.hasCapGates);
+    EXPECT_GT(t.capGates.formed, 0u);
+    EXPECT_EQ(t.capGates.formed,
+              t.capGates.speculated + t.capGates.confVetoes +
+                  t.capGates.tagVetoes + t.capGates.pathVetoes +
+                  t.capGates.pipeVetoes);
+    ASSERT_TRUE(t.hasStrideGates);
+    EXPECT_GT(t.strideGates.formed, 0u);
+    EXPECT_EQ(t.strideGates.formed,
+              t.strideGates.speculated + t.strideGates.confVetoes +
+                  t.strideGates.intervalVetoes +
+                  t.strideGates.pathVetoes + t.strideGates.pipeVetoes);
+}
+
+TEST(Telemetry, CapOnlyAndStrideOnlyScopeTheirFields)
+{
+    const Trace trace = mixedTrace(20000);
+
+    CapPredictor cap{CapPredictorConfig{}};
+    runPredictorSim(trace, cap);
+    const PredictorTelemetry ct = cap.snapshotTelemetry();
+    EXPECT_TRUE(ct.hasLinkTable);
+    EXPECT_TRUE(ct.hasCapGates);
+    EXPECT_FALSE(ct.hasStrideGates);
+    EXPECT_FALSE(ct.hasSelector);
+    EXPECT_EQ(sum(ct.capConfHist), ct.lbValid);
+    EXPECT_TRUE(ct.strideConfHist.empty());
+
+    StridePredictor stride{StridePredictorConfig{}};
+    runPredictorSim(trace, stride);
+    const PredictorTelemetry st = stride.snapshotTelemetry();
+    EXPECT_FALSE(st.hasLinkTable);
+    EXPECT_FALSE(st.hasCapGates);
+    EXPECT_TRUE(st.hasStrideGates);
+    EXPECT_EQ(sum(st.strideConfHist), st.lbValid);
+
+    LastAddressPredictor last{LastAddressConfig{}};
+    runPredictorSim(trace, last);
+    const PredictorTelemetry lt = last.snapshotTelemetry();
+    EXPECT_TRUE(lt.hasLoadBuffer);
+    EXPECT_GT(lt.lbValid, 0u);
+    EXPECT_FALSE(lt.hasCapGates);
+    EXPECT_FALSE(lt.hasStrideGates);
+}
+
+TEST(Telemetry, SnapshotIsDeterministic)
+{
+    const Trace trace = mixedTrace(20000);
+    HybridPredictor a{HybridConfig{}};
+    HybridPredictor b{HybridConfig{}};
+    runPredictorSim(trace, a);
+    runPredictorSim(trace, b);
+    EXPECT_EQ(telemetryJson(a.snapshotTelemetry()),
+              telemetryJson(b.snapshotTelemetry()));
+}
+
+TEST(Telemetry, JsonRendersAndParses)
+{
+    HybridPredictor pred{HybridConfig{}};
+    runPredictorSim(mixedTrace(20000), pred);
+    const PredictorTelemetry t = pred.snapshotTelemetry();
+
+    const std::string json = telemetryJson(t);
+    const auto parsed = parseJson(json);
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    ASSERT_EQ(parsed->kind, JsonValue::Kind::Object);
+    EXPECT_EQ(parsed->stringOr("predictor", ""), t.predictor);
+
+    const JsonValue *lb = parsed->find("lb");
+    ASSERT_NE(lb, nullptr);
+    EXPECT_EQ(lb->uintOr("valid", ~0ull), t.lbValid);
+    EXPECT_EQ(lb->uintOr("entries", ~0ull), t.lbEntries);
+
+    const JsonValue *lt = parsed->find("lt");
+    ASSERT_NE(lt, nullptr);
+    EXPECT_EQ(lt->uintOr("link_writes", ~0ull), t.ltLinkWrites);
+    EXPECT_EQ(lt->uintOr("pf_rejected", ~0ull), t.ltPfRejected);
+
+    const JsonValue *gates = parsed->find("cap_gates");
+    ASSERT_NE(gates, nullptr);
+    EXPECT_EQ(gates->uintOr("formed", ~0ull), t.capGates.formed);
+    EXPECT_EQ(gates->uintOr("speculated", ~0ull),
+              t.capGates.speculated);
+}
+
+TEST(Telemetry, TextRendersKeyFields)
+{
+    HybridPredictor pred{HybridConfig{}};
+    runPredictorSim(mixedTrace(20000), pred);
+    const std::string text = telemetryText(pred.snapshotTelemetry());
+    EXPECT_NE(text.find(pred.name()), std::string::npos);
+    EXPECT_NE(text.find("load buffer"), std::string::npos);
+    EXPECT_NE(text.find("link table"), std::string::npos);
+    EXPECT_NE(text.find("selector"), std::string::npos);
+}
+
+TEST(Telemetry, BasePredictorDefaultIsNameOnly)
+{
+    // A predictor that does not override snapshotTelemetry() still
+    // reports which predictor it is, with every feature flag off.
+    class Minimal : public AddressPredictor
+    {
+      public:
+        Prediction predict(const LoadInfo &) override { return {}; }
+        void update(const LoadInfo &, std::uint64_t,
+                    const Prediction &) override
+        {
+        }
+        std::string name() const override { return "minimal"; }
+    };
+    Minimal pred;
+    const PredictorTelemetry t = pred.snapshotTelemetry();
+    EXPECT_EQ(t.predictor, "minimal");
+    EXPECT_FALSE(t.hasLoadBuffer);
+    EXPECT_FALSE(t.hasLinkTable);
+}
+
+} // namespace
+} // namespace clap
