@@ -22,6 +22,16 @@
  *   CLAP_SERVE_CLIENTS  concurrent client threads (default 4)
  *   CLAP_TRACE_INSTS    per-trace instruction budget (suites.hh)
  *
+ * Chaos-under-load flags (default off; see serve/chaos.hh):
+ *   --fault-rate=N   expected predictor-state bit flips injected per
+ *                    second of load-phase wall clock (0 disables).
+ *                    Each flip quarantines its shard; a background
+ *                    ShardSupervisor snapshots and recovers while the
+ *                    other shards keep serving, and clients ride out
+ *                    the quarantine windows (requests shed with
+ *                    ShardUnavailable are counted, not fatal).
+ *   --chaos-seed=N   injection-sequence seed (default 0xc4a05)
+ *
  * Note on determinism: the throughput table contains wall-clock
  * measurements and is inherently run-dependent; the cross-check
  * table, stats, and failure list are deterministic. BENCH_serve.json
@@ -29,15 +39,20 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "serve/chaos.hh"
 #include "serve/crosscheck.hh"
 #include "serve/service.hh"
+#include "serve/supervisor.hh"
 #include "workloads/composer.hh"
 
 namespace
@@ -45,6 +60,9 @@ namespace
 
 using namespace clap;
 using namespace clap::bench;
+
+double faultRatePerSec = 0.0; ///< --fault-rate (0 = chaos off)
+std::uint64_t chaosSeed = 0xc4a05; ///< --chaos-seed
 
 unsigned
 envUnsigned(const char *name, unsigned fallback)
@@ -90,6 +108,14 @@ struct LoadPoint
     std::uint64_t batches = 0;
     std::uint64_t auditFailures = 0;
 
+    /// @name Chaos-under-load counters (all 0 with --fault-rate=0)
+    /// @{
+    std::uint64_t unavailable = 0; ///< requests shed ShardUnavailable
+    std::uint64_t faults = 0;      ///< bit flips injected
+    std::uint64_t recoveries = 0;  ///< shards recovered
+    std::uint64_t unrecovered = 0; ///< recovery attempts that failed
+    /// @}
+
     double
     predictionsPerSec() const
     {
@@ -118,15 +144,64 @@ LoadPoint
 runLoadPhase(unsigned shards, unsigned clients,
              const std::vector<std::shared_ptr<const Trace>> &traces)
 {
+    const bool chaos = faultRatePerSec > 0.0;
+
     ServiceConfig config;
     config.shards = shards;
     config.overload = OverloadPolicy::Block;
+    if (chaos)
+        config.journalCapacity = 32768;
     PredictionService service(config, hybridFactory());
+
+    // Chaos-under-load: a background supervisor snapshots and
+    // health-checks every 25 ms while a chaos thread injects seeded
+    // bit flips at --fault-rate; clients ride out the quarantine
+    // windows (replayTrace sheds ShardUnavailable).
+    std::unique_ptr<ShardSupervisor> supervisor;
+    std::unique_ptr<ChaosEngine> engine;
+    if (chaos) {
+        SupervisorConfig supConfig;
+        supConfig.filePrefix =
+            "serve_chaos-" + std::to_string(shards);
+        supConfig.snapshotIntervalMs = 25;
+        supervisor =
+            std::make_unique<ShardSupervisor>(service, supConfig);
+        ChaosConfig chaosConfig;
+        chaosConfig.seed = chaosSeed;
+        chaosConfig.killWorkers = false;
+        chaosConfig.damageSnapshots = false;
+        engine = std::make_unique<ChaosEngine>(service, *supervisor,
+                                               chaosConfig);
+        if (auto snapped = supervisor->snapshotAll(); !snapped) {
+            BenchState::instance().failures.push_back(
+                {"serve/load/shards" + std::to_string(shards) +
+                     "/chaos-setup",
+                 snapped.error().str()});
+        }
+        supervisor->start();
+    }
 
     std::vector<Expected<ReplayResult>> results;
     results.reserve(clients);
     for (unsigned c = 0; c < clients; ++c)
         results.emplace_back(ReplayResult{});
+
+    std::atomic<bool> loadDone{false};
+    std::thread chaosThread;
+    if (chaos) {
+        const auto interval = std::chrono::microseconds(
+            static_cast<std::int64_t>(1e6 / faultRatePerSec));
+        chaosThread = std::thread([&service, &engine, &loadDone,
+                                   interval] {
+            (void)service;
+            while (!loadDone.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(interval);
+                if (loadDone.load(std::memory_order_relaxed))
+                    break;
+                (void)engine->injectFault();
+            }
+        });
+    }
 
     const auto begin = std::chrono::steady_clock::now();
     {
@@ -142,6 +217,15 @@ runLoadPhase(unsigned shards, unsigned clients,
         }
         for (auto &thread : threads)
             thread.join();
+    }
+    loadDone.store(true, std::memory_order_relaxed);
+    if (chaosThread.joinable())
+        chaosThread.join();
+    if (supervisor) {
+        supervisor->stop();
+        // Recover anything that failed after the loop's last pass so
+        // the end-of-phase health assertion below is meaningful.
+        supervisor->checkAndRecover();
     }
     service.stop();
     const auto end = std::chrono::steady_clock::now();
@@ -163,6 +247,7 @@ runLoadPhase(unsigned shards, unsigned clients,
         }
         point.loads += results[c]->loads;
         point.overloaded += results[c]->overloaded;
+        point.unavailable += results[c]->unavailable;
         latencies.insert(latencies.end(),
                          results[c]->latenciesNs.begin(),
                          results[c]->latenciesNs.end());
@@ -171,10 +256,14 @@ runLoadPhase(unsigned shards, unsigned clients,
     point.p95Us = percentileUs(latencies, 0.95);
     point.p99Us = percentileUs(latencies, 0.99);
 
+    unsigned shard_index = 0;
     for (const ShardSnapshot &snap : service.snapshot()) {
         point.maxQueueDepth =
             std::max(point.maxQueueDepth, snap.maxQueueDepth);
         point.batches += snap.batches;
+        // With chaos on, induced audit/worker failures are recovered
+        // during the run; one still set here survived the final
+        // recovery pass and is a real failure.
         if (snap.auditFailed) {
             ++point.auditFailures;
             BenchState::instance().failures.push_back(
@@ -182,6 +271,29 @@ runLoadPhase(unsigned shards, unsigned clients,
                      "/audit",
                  snap.auditError.str()});
         }
+        if (snap.quarantined) {
+            BenchState::instance().failures.push_back(
+                {"serve/load/shards" + std::to_string(shards) +
+                     "/shard" + std::to_string(shard_index),
+                 "shard still quarantined after the final recovery "
+                 "pass"});
+        }
+        ++shard_index;
+    }
+    if (chaos) {
+        point.faults = engine->counts().total();
+        const SupervisorStats sup = supervisor->stats();
+        point.recoveries = sup.recoveries;
+        point.unrecovered = sup.unrecovered;
+        if (sup.unrecovered != 0) {
+            BenchState::instance().failures.push_back(
+                {"serve/load/shards" + std::to_string(shards) +
+                     "/recovery",
+                 std::to_string(sup.unrecovered) +
+                     " recovery attempts failed"});
+        }
+        for (unsigned s = 0; s < shards; ++s)
+            std::remove(supervisor->shardSnapshotPath(s).c_str());
     }
     return point;
 }
@@ -302,7 +414,7 @@ printResults()
     Table load;
     load.row({"shards", "clients", "loads", "preds/s", "p50_us",
               "p95_us", "p99_us", "qdepth_max", "batches",
-              "audit_fail"});
+              "audit_fail", "unavail", "faults", "recovered"});
     for (const LoadPoint &point : res.loadPoints) {
         load.newRow();
         load.cell(static_cast<std::uint64_t>(point.shards));
@@ -315,6 +427,9 @@ printResults()
         load.cell(static_cast<std::uint64_t>(point.maxQueueDepth));
         load.cell(point.batches);
         load.cell(point.auditFailures);
+        load.cell(point.unavailable);
+        load.cell(point.faults);
+        load.cell(point.recoveries);
     }
     printTable("Service load generation: throughput / latency vs "
                "shard count (wall-clock; run-dependent)",
@@ -356,10 +471,39 @@ printResults()
                 "semantics\n");
 }
 
+/** Strip the chaos flags before google-benchmark sees (and rejects)
+ *  them; the shared sweep flags are stripped by benchMain. */
+void
+parseChaosFlags(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&arg](const char *prefix) -> const char * {
+            const std::size_t len = std::strlen(prefix);
+            return arg.compare(0, len, prefix) == 0
+                       ? arg.c_str() + len
+                       : nullptr;
+        };
+        if (const char *value = valueOf("--fault-rate=")) {
+            faultRatePerSec = std::strtod(value, nullptr);
+            continue;
+        }
+        if (const char *value = valueOf("--chaos-seed=")) {
+            chaosSeed = std::strtoull(value, nullptr, 0);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    parseChaosFlags(argc, argv);
     return clap::bench::benchMain("serve", argc, argv, printResults);
 }

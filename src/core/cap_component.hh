@@ -74,6 +74,9 @@ class CapComponent
     /** Cumulative speculation-gate attribution (telemetry). */
     const CapGateStats &gateStats() const { return gates_; }
 
+    /** Overwrite the gate counters (core/state_io restore). */
+    void setGateStats(const CapGateStats &gates) { gates_ = gates; }
+
   private:
     /** Control-flow indication check (section 3.4). */
     bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;

@@ -39,7 +39,9 @@ class CapPredictor : public AddressPredictor
     PredictorTelemetry snapshotTelemetry() const override;
 
     LoadBuffer &loadBuffer() { return lb_; }
+    const LoadBuffer &loadBuffer() const { return lb_; }
     CapComponent &component() { return cap_; }
+    const CapComponent &component() const { return cap_; }
 
   private:
     LoadBuffer lb_;

@@ -53,8 +53,11 @@ class HybridPredictor : public AddressPredictor
     PredictorTelemetry snapshotTelemetry() const override;
 
     LoadBuffer &loadBuffer() { return lb_; }
+    const LoadBuffer &loadBuffer() const { return lb_; }
     CapComponent &capComponent() { return cap_; }
+    const CapComponent &capComponent() const { return cap_; }
     StrideComponent &strideComponent() { return stride_; }
+    const StrideComponent &strideComponent() const { return stride_; }
     const HybridConfig &config() const { return config_; }
 
   private:

@@ -33,6 +33,9 @@ class LastAddressPredictor : public AddressPredictor
     /** LB occupancy and confidence hist (stored in strideConf). */
     PredictorTelemetry snapshotTelemetry() const override;
 
+    LoadBuffer &loadBuffer() { return lb_; }
+    const LoadBuffer &loadBuffer() const { return lb_; }
+
   private:
     LastAddressConfig config_;
     LoadBuffer lb_;

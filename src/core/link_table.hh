@@ -167,6 +167,37 @@ class LinkTable
         std::fill(pfTableValid_.begin(), pfTableValid_.end(), false);
     }
 
+    /// @name State serialization support (core/state_io)
+    /// Raw access to the LRU clock, the update counters, and the
+    /// decoupled PF table so a restored link table reproduces
+    /// replacement and hysteresis decisions bit-for-bit.
+    /// @{
+    std::uint64_t lruClock() const { return stamp_; }
+    void setLruClock(std::uint64_t clock) { stamp_ = clock; }
+
+    void
+    setCounters(std::uint64_t writes, std::uint64_t overwrites,
+                std::uint64_t pf_filtered)
+    {
+        linkWrites_ = writes;
+        linkOverwrites_ = overwrites;
+        pfFiltered_ = pf_filtered;
+    }
+
+    std::size_t pfTableSize() const { return pfTable_.size(); }
+
+    /** @pre i < pfTableSize() */
+    std::uint8_t pfTableValueAt(std::size_t i) const { return pfTable_[i]; }
+    bool pfTableValidAt(std::size_t i) const { return pfTableValid_[i]; }
+
+    void
+    setPfTableAt(std::size_t i, std::uint8_t value, bool valid)
+    {
+        pfTable_[i] = value;
+        pfTableValid_[i] = valid;
+    }
+    /// @}
+
   private:
     std::size_t
     setIndex(std::uint64_t hist) const

@@ -190,6 +190,19 @@ class LoadBuffer
             ++gen;
     }
 
+    /// @name State serialization support (core/state_io)
+    /// Raw access to the LRU clock and allocation counter so a
+    /// restored buffer reproduces replacement decisions bit-for-bit.
+    /// Generations are intentionally NOT serialized: a restore bumps
+    /// them via clear(), which invalidates pre-snapshot handles, and a
+    /// stale handle is documented to degrade to lookup() — observably
+    /// identical.
+    /// @{
+    std::uint64_t lruClock() const { return stamp_; }
+    void setLruClock(std::uint64_t clock) { stamp_ = clock; }
+    void setAllocations(std::uint64_t count) { allocations_ = count; }
+    /// @}
+
   private:
     std::size_t
     setIndex(std::uint64_t pc) const

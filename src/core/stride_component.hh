@@ -53,6 +53,9 @@ class StrideComponent
     /** Cumulative speculation-gate attribution (telemetry). */
     const StrideGateStats &gateStats() const { return gates_; }
 
+    /** Overwrite the gate counters (core/state_io restore). */
+    void setGateStats(const StrideGateStats &gates) { gates_ = gates; }
+
   private:
     bool pathAllows(const LBEntry &entry, std::uint64_t ghr) const;
 

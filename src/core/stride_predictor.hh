@@ -39,7 +39,9 @@ class StridePredictor : public AddressPredictor
     PredictorTelemetry snapshotTelemetry() const override;
 
     LoadBuffer &loadBuffer() { return lb_; }
+    const LoadBuffer &loadBuffer() const { return lb_; }
     StrideComponent &component() { return stride_; }
+    const StrideComponent &component() const { return stride_; }
 
   private:
     LoadBuffer lb_;

@@ -1,0 +1,221 @@
+#include "serve/chaos.hh"
+
+#include "core/cap_predictor.hh"
+#include "core/config.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "obs/metrics.hh"
+#include "sim/fault_injector.hh"
+#include "util/atomic_file.hh"
+
+namespace clap
+{
+
+namespace
+{
+
+/// Attach whichever concrete predictor @p pred is to @p injector.
+/// @return false when the dynamic type is unknown (nothing attached).
+bool
+attachPredictor(FaultInjector &injector, AddressPredictor &pred)
+{
+    if (auto *hybrid = dynamic_cast<HybridPredictor *>(&pred)) {
+        injector.attach(*hybrid);
+        return true;
+    }
+    if (auto *cap = dynamic_cast<CapPredictor *>(&pred)) {
+        injector.attach(*cap);
+        return true;
+    }
+    if (auto *stride = dynamic_cast<StridePredictor *>(&pred)) {
+        injector.attach(*stride);
+        return true;
+    }
+    if (auto *last = dynamic_cast<LastAddressPredictor *>(&pred)) {
+        injector.attach(last->loadBuffer());
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+chaosFaultName(ChaosFault fault)
+{
+    switch (fault) {
+      case ChaosFault::LbBitFlip:        return "lb-bit-flip";
+      case ChaosFault::LtBitFlip:        return "lt-bit-flip";
+      case ChaosFault::WorkerKill:       return "worker-kill";
+      case ChaosFault::SnapshotTruncate: return "snapshot-truncate";
+      case ChaosFault::SnapshotCorrupt:  return "snapshot-corrupt";
+    }
+    return "unknown";
+}
+
+ChaosEngine::ChaosEngine(PredictionService &service,
+                         ShardSupervisor &supervisor,
+                         const ChaosConfig &config)
+    : service_(service), supervisor_(supervisor),
+      config_(validated(config)), rng_(config.seed)
+{
+}
+
+Expected<ChaosInjection>
+ChaosEngine::injectFault()
+{
+    ChaosFault enabled[5];
+    unsigned num_enabled = 0;
+    if (config_.flipLb)
+        enabled[num_enabled++] = ChaosFault::LbBitFlip;
+    if (config_.flipLt)
+        enabled[num_enabled++] = ChaosFault::LtBitFlip;
+    if (config_.killWorkers)
+        enabled[num_enabled++] = ChaosFault::WorkerKill;
+    if (config_.damageSnapshots) {
+        enabled[num_enabled++] = ChaosFault::SnapshotTruncate;
+        enabled[num_enabled++] = ChaosFault::SnapshotCorrupt;
+    }
+    // validate() guarantees num_enabled > 0.
+    const ChaosFault fault = enabled[rng_.below(num_enabled)];
+    const unsigned shard = static_cast<unsigned>(
+        rng_.below(service_.config().shards));
+    return injectFault(fault, shard);
+}
+
+Expected<ChaosInjection>
+ChaosEngine::injectFault(ChaosFault fault, unsigned shard)
+{
+    static obs::Counter &injections = obs::counter("chaos.injections");
+
+    Expected<ChaosInjection> injected = [&]() -> Expected<ChaosInjection> {
+        switch (fault) {
+          case ChaosFault::LbBitFlip:
+            return flipShardState(shard, /*lt=*/false);
+          case ChaosFault::LtBitFlip:
+            return flipShardState(shard, /*lt=*/true);
+          case ChaosFault::WorkerKill:
+            service_.injectWorkerFault(shard);
+            ++counts_.workerKills;
+            return ChaosInjection{fault, shard,
+                                  "armed next batch to throw"};
+          case ChaosFault::SnapshotTruncate:
+            return damageSnapshotFile(shard, /*corrupt=*/false);
+          case ChaosFault::SnapshotCorrupt:
+            return damageSnapshotFile(shard, /*corrupt=*/true);
+        }
+        return makeError(ErrorCode::InvalidArgument,
+                         "unknown chaos fault class");
+    }();
+    if (injected)
+        injections.add();
+    return injected;
+}
+
+Expected<ChaosInjection>
+ChaosEngine::flipShardState(unsigned shard, bool lt)
+{
+    // One injector per flip: it holds raw table pointers, and a shard
+    // predictor may have been replaced by recovery since the last
+    // flip. Rate 10^6 per million loads makes one onLoad() call one
+    // guaranteed flip; the seed evolves per injection so consecutive
+    // flips land on different bits while staying reproducible.
+    FaultInjectorConfig injection;
+    injection.faultsPerMillionLoads = 1e6;
+    injection.seed =
+        config_.seed ^ (0x9e3779b97f4a7c15ull * ++sequence_);
+    injection.targetLtLinks = lt;
+    injection.targetLtTags = lt;
+    injection.targetLtPf = lt;
+    injection.targetLbHistory = !lt;
+    injection.targetConfidence = !lt;
+
+    FaultInjector injector(injection);
+    bool attached = false;
+    std::uint64_t flips = 0;
+    service_.withShardPredictor(shard, [&](AddressPredictor &pred) {
+        attached = attachPredictor(injector, pred);
+        if (!attached)
+            return;
+        injector.onLoad();
+        flips = injector.counts().total();
+    });
+    if (!attached) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "shard predictor type is not fault-injectable")
+            .withContext("chaos flip on shard " + std::to_string(shard));
+    }
+    if (flips == 0) {
+        // E.g. an LT flip requested on a predictor with no link table,
+        // or a history flip on zero-width histories.
+        return makeError(ErrorCode::InvalidArgument,
+                         "no attached state matches the requested class")
+            .withContext("chaos flip on shard " + std::to_string(shard));
+    }
+
+    const char *what = lt ? "link-table" : "load-buffer";
+    // Report the corruption as an external detector would, so the
+    // supervisor's recovery protocol has something to act on.
+    service_.failShard(shard,
+                       makeError(ErrorCode::CorruptedState,
+                                 std::string("chaos bit flip in ") +
+                                     what + " state"));
+    if (lt)
+        ++counts_.ltFlips;
+    else
+        ++counts_.lbFlips;
+    return ChaosInjection{lt ? ChaosFault::LtBitFlip
+                             : ChaosFault::LbBitFlip,
+                          shard,
+                          std::string("flipped one ") + what + " bit"};
+}
+
+Expected<ChaosInjection>
+ChaosEngine::damageSnapshotFile(unsigned shard, bool corrupt)
+{
+    const std::string path = supervisor_.shardSnapshotPath(shard);
+    auto bytes = readFileBytes(path);
+    if (!bytes) {
+        return std::move(bytes.error())
+            .withContext("damaging snapshot of shard " +
+                         std::to_string(shard));
+    }
+    if (bytes->empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "snapshot file is already empty")
+            .withContext(path);
+    }
+
+    std::string damaged = *bytes;
+    std::string detail;
+    if (corrupt) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng_.below(damaged.size()));
+        const unsigned bit = static_cast<unsigned>(rng_.below(8));
+        damaged[pos] = static_cast<char>(
+            static_cast<unsigned char>(damaged[pos]) ^ (1u << bit));
+        detail = "flipped bit " + std::to_string(bit) + " of byte " +
+                 std::to_string(pos);
+    } else {
+        const std::size_t keep =
+            static_cast<std::size_t>(rng_.below(damaged.size()));
+        damaged.resize(keep);
+        detail = "truncated " + std::to_string(bytes->size()) +
+                 " bytes to " + std::to_string(keep);
+    }
+    if (auto written = writeFileAtomic(path, damaged); !written) {
+        return std::move(written.error())
+            .withContext("damaging snapshot of shard " +
+                         std::to_string(shard));
+    }
+    if (corrupt)
+        ++counts_.snapshotCorruptions;
+    else
+        ++counts_.snapshotTruncations;
+    return ChaosInjection{corrupt ? ChaosFault::SnapshotCorrupt
+                                  : ChaosFault::SnapshotTruncate,
+                          shard, detail};
+}
+
+} // namespace clap

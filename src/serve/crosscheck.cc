@@ -28,6 +28,11 @@ replayTrace(ClientSession &session, const Trace &trace,
                     ++result.overloaded;
                     continue; // shed: skip the matching train
                 }
+                if (pred.error().code() ==
+                    ErrorCode::ShardUnavailable) {
+                    ++result.unavailable;
+                    continue; // quarantined: skip the matching train
+                }
                 return std::move(pred.error())
                     .withContext("replaying load at pc " +
                                  std::to_string(rec.pc));
@@ -47,6 +52,11 @@ replayTrace(ClientSession &session, const Trace &trace,
             if (!trained) {
                 if (trained.error().code() == ErrorCode::Overloaded) {
                     ++result.overloaded;
+                    continue;
+                }
+                if (trained.error().code() ==
+                    ErrorCode::ShardUnavailable) {
+                    ++result.unavailable;
                     continue;
                 }
                 return std::move(trained.error())

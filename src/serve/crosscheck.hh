@@ -34,6 +34,7 @@ struct ReplayResult
     std::uint64_t predicts = 0;   ///< predict requests completed
     std::uint64_t trains = 0;     ///< train requests accepted
     std::uint64_t overloaded = 0; ///< requests shed under Reject
+    std::uint64_t unavailable = 0;///< requests shed while quarantined
 
     /// predict() round-trip latencies in nanoseconds, when requested
     /// (enqueue to response; the client-visible service latency).
@@ -44,9 +45,11 @@ struct ReplayResult
  * Replay @p trace through @p session in the immediate-update model:
  * every load is predicted and then trained with its actual address;
  * branches and calls update the session history exactly as
- * runPredictorSim maintains its globals. Overloaded requests are
- * counted and shed (their train is skipped); any other failure aborts
- * the replay. @p collect_latencies enables per-predict timing.
+ * runPredictorSim maintains its globals. Overloaded and
+ * ShardUnavailable requests are counted and shed (their train is
+ * skipped) — both are transient backpressure/recovery outcomes a
+ * client rides out; any other failure aborts the replay.
+ * @p collect_latencies enables per-predict timing.
  */
 Expected<ReplayResult> replayTrace(ClientSession &session,
                                    const Trace &trace,

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -49,6 +50,97 @@ struct ResponseSlot
     }
 };
 
+/// @name Serve-counter section (piggybacked on the state snapshot)
+/// Little-endian u64 stream: every PredictionStats counter followed by
+/// the shard's predicts/trains/batches/audits, so a restore rolls the
+/// serve-side tallies back to the capture point before journal replay
+/// rolls them forward again.
+/// @{
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+bool
+getU64(std::string_view bytes, std::size_t &pos, std::uint64_t &v)
+{
+    if (bytes.size() - pos < 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(bytes[pos++]))
+            << (8 * i);
+    return true;
+}
+
+struct ServeCounters
+{
+    PredictionStats stats;
+    std::uint64_t predicts = 0;
+    std::uint64_t trains = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t audits = 0;
+};
+
+std::string
+encodeServeCounters(const ServeCounters &c)
+{
+    std::string out;
+    putU64(out, c.stats.loads);
+    putU64(out, c.stats.lbHits);
+    putU64(out, c.stats.formed);
+    putU64(out, c.stats.formedCorrect);
+    putU64(out, c.stats.spec);
+    putU64(out, c.stats.specCorrect);
+    for (const std::uint64_t v : c.stats.specBy)
+        putU64(out, v);
+    for (const std::uint64_t v : c.stats.specCorrectBy)
+        putU64(out, v);
+    putU64(out, c.stats.bothSpec);
+    for (const std::uint64_t v : c.stats.selectorState)
+        putU64(out, v);
+    putU64(out, c.stats.missSelections);
+    putU64(out, c.predicts);
+    putU64(out, c.trains);
+    putU64(out, c.batches);
+    putU64(out, c.audits);
+    return out;
+}
+
+bool
+decodeServeCounters(std::string_view bytes, ServeCounters &c)
+{
+    std::size_t pos = 0;
+    bool good = getU64(bytes, pos, c.stats.loads) &&
+                getU64(bytes, pos, c.stats.lbHits) &&
+                getU64(bytes, pos, c.stats.formed) &&
+                getU64(bytes, pos, c.stats.formedCorrect) &&
+                getU64(bytes, pos, c.stats.spec) &&
+                getU64(bytes, pos, c.stats.specCorrect);
+    for (std::uint64_t &v : c.stats.specBy)
+        good = good && getU64(bytes, pos, v);
+    for (std::uint64_t &v : c.stats.specCorrectBy)
+        good = good && getU64(bytes, pos, v);
+    good = good && getU64(bytes, pos, c.stats.bothSpec);
+    for (std::uint64_t &v : c.stats.selectorState)
+        good = good && getU64(bytes, pos, v);
+    good = good && getU64(bytes, pos, c.stats.missSelections) &&
+           getU64(bytes, pos, c.predicts) &&
+           getU64(bytes, pos, c.trains) &&
+           getU64(bytes, pos, c.batches) &&
+           getU64(bytes, pos, c.audits);
+    return good && pos == bytes.size();
+}
+
+/** Caller-section id for the serve counters. */
+constexpr std::uint32_t serveCountersSection = firstCallerSection;
+
+/// @}
+
 } // namespace
 
 /** One queued request; isTrain selects the active fields. */
@@ -75,6 +167,13 @@ struct PredictionService::Shard
     BoundedQueue<Request> queue;
     std::atomic<std::uint64_t> rejected{0}; ///< producer-side counter
 
+    /// @name Lifecycle flags (checked lock-free on the submit path)
+    /// @{
+    std::atomic<bool> quarantined{false};
+    std::atomic<std::uint64_t> unavailable{0};
+    std::atomic<bool> killNextBatch{false}; ///< chaos: injected throw
+    /// @}
+
     mutable std::mutex mutex;
     std::unique_ptr<AddressPredictor> predictor;
     PredictionStats stats;
@@ -85,18 +184,29 @@ struct PredictionService::Shard
     bool auditFailed = false;
     Error auditError;
 
+    /// @name Snapshot/restore bookkeeping (under mutex)
+    /// @{
+    std::vector<Request> journal; ///< requests since last capture
+    bool journalOverflowed = false;
+    std::uint64_t captures = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t quarantines = 0;
+    bool workerFailed = false;
+    Error workerError;
+    /// @}
+
     std::thread worker;
 };
 
 PredictionService::PredictionService(const ServiceConfig &config,
                                      PredictorFactory factory)
-    : config_(validated(config))
+    : config_(validated(config)), factory_(std::move(factory))
 {
-    assert(factory != nullptr);
+    assert(factory_ != nullptr);
     shards_.reserve(config_.shards);
     for (unsigned s = 0; s < config_.shards; ++s) {
         auto shard = std::make_unique<Shard>(config_.queueCapacity);
-        shard->predictor = factory();
+        shard->predictor = factory_();
         assert(shard->predictor != nullptr);
         shards_.push_back(std::move(shard));
     }
@@ -146,6 +256,15 @@ Expected<void>
 PredictionService::submit(Request request, unsigned shard_index)
 {
     Shard &shard = *shards_[shard_index];
+    if (shard.quarantined.load(std::memory_order_acquire)) {
+        shard.unavailable.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter &unavailable =
+            obs::counter("serve.unavailable");
+        unavailable.add();
+        return makeError(ErrorCode::ShardUnavailable,
+                         "shard quarantined pending recovery")
+            .withContext("shard " + std::to_string(shard_index));
+    }
     const bool block = config_.overload == OverloadPolicy::Block &&
                        !config_.deterministic;
     switch (shard.queue.push(std::move(request), block)) {
@@ -227,6 +346,23 @@ PredictionService::workerLoop(Shard &shard)
 }
 
 void
+PredictionService::journalRequest(Shard &shard, const Request &request)
+{
+    if (config_.journalCapacity == 0 || shard.journalOverflowed)
+        return;
+    if (shard.journal.size() >= config_.journalCapacity) {
+        // The bounded window closed: drop the journal and mark it, so
+        // a later restore knows exact replay is no longer possible.
+        shard.journal.clear();
+        shard.journalOverflowed = true;
+        return;
+    }
+    Request copy = request;
+    copy.slot = nullptr; // rendezvous is stack-bound to the original
+    shard.journal.push_back(std::move(copy));
+}
+
+void
 PredictionService::processBatch(Shard &shard,
                                 std::vector<Request> &batch)
 {
@@ -250,33 +386,70 @@ PredictionService::processBatch(Shard &shard,
     responses.reserve(batch.size());
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        for (Request &request : batch) {
-            if (request.isTrain) {
-                shard.predictor->update(request.info,
-                                        request.actualAddr,
-                                        request.pred);
-                tallyPrediction(shard.stats, request.pred,
-                                request.actualAddr);
-                ++shard.trains;
-                ++batch_trains;
-            } else {
-                responses.emplace_back(
-                    request.slot,
-                    shard.predictor->predict(request.info));
-                ++shard.predicts;
-                ++batch_predicts;
+        try {
+            if (shard.killNextBatch.exchange(false))
+                throw std::runtime_error("injected worker fault");
+            for (Request &request : batch) {
+                if (shard.quarantined.load(std::memory_order_acquire)) {
+                    // Quarantine drain: never touch the (suspect)
+                    // predictor. Predicts answer unspeculated; trains
+                    // are journaled so the post-restore replay still
+                    // applies them.
+                    if (request.isTrain) {
+                        journalRequest(shard, request);
+                    } else {
+                        responses.emplace_back(request.slot,
+                                               Prediction{});
+                        request.slot = nullptr;
+                    }
+                    continue;
+                }
+                journalRequest(shard, request);
+                if (request.isTrain) {
+                    shard.predictor->update(request.info,
+                                            request.actualAddr,
+                                            request.pred);
+                    tallyPrediction(shard.stats, request.pred,
+                                    request.actualAddr);
+                    ++shard.trains;
+                    ++batch_trains;
+                } else {
+                    responses.emplace_back(
+                        request.slot,
+                        shard.predictor->predict(request.info));
+                    request.slot = nullptr;
+                    ++shard.predicts;
+                    ++batch_predicts;
+                }
             }
-        }
-        ++shard.batches;
-        if (config_.auditEveryBatches != 0 &&
-            shard.batches % config_.auditEveryBatches == 0) {
-            ++shard.audits;
-            if (auto audit = shard.predictor->audit();
-                !audit && !shard.auditFailed) {
-                shard.auditFailed = true;
-                shard.auditError = std::move(audit.error())
-                                       .withContext("per-batch audit");
+            ++shard.batches;
+            if (config_.auditEveryBatches != 0 &&
+                shard.batches % config_.auditEveryBatches == 0) {
+                ++shard.audits;
+                if (auto audit = shard.predictor->audit();
+                    !audit && !shard.auditFailed) {
+                    shard.auditFailed = true;
+                    shard.auditError =
+                        std::move(audit.error())
+                            .withContext("per-batch audit");
+                }
             }
+        } catch (const std::exception &e) {
+            // A throwing batch may have half-applied a request; treat
+            // the shard as corrupt and quarantine it so the supervisor
+            // restores from the last good snapshot.
+            if (!shard.workerFailed) {
+                shard.workerFailed = true;
+                shard.workerError =
+                    makeError(ErrorCode::CorruptedState, e.what())
+                        .withContext("shard worker batch");
+            }
+            if (!shard.quarantined.exchange(true,
+                                            std::memory_order_acq_rel))
+                ++shard.quarantines;
+            static obs::Counter &failures =
+                obs::counter("serve.worker_failures");
+            failures.add();
         }
     }
     predicts.add(batch_predicts);
@@ -286,6 +459,14 @@ PredictionService::processBatch(Shard &shard,
     queueDepth.record(shard.queue.depth());
     for (auto &[slot, pred] : responses)
         slot->complete(pred);
+    // Requests the throwing batch never reached: complete their
+    // rendezvous unspeculated so no client hangs on a failed shard.
+    for (Request &request : batch) {
+        if (!request.isTrain && request.slot != nullptr) {
+            request.slot->complete(Prediction{});
+            request.slot = nullptr;
+        }
+    }
 }
 
 PredictionStats
@@ -315,8 +496,19 @@ PredictionService::snapshot() const
             snap.audits = shard->audits;
             snap.auditFailed = shard->auditFailed;
             snap.auditError = shard->auditError;
+            snap.captures = shard->captures;
+            snap.restores = shard->restores;
+            snap.quarantines = shard->quarantines;
+            snap.journalDepth = shard->journal.size();
+            snap.journalOverflowed = shard->journalOverflowed;
+            snap.workerFailed = shard->workerFailed;
+            snap.workerError = shard->workerError;
             snap.telemetry = shard->predictor->snapshotTelemetry();
         }
+        snap.quarantined =
+            shard->quarantined.load(std::memory_order_relaxed);
+        snap.unavailable =
+            shard->unavailable.load(std::memory_order_relaxed);
         snap.rejected =
             shard->rejected.load(std::memory_order_relaxed);
         snap.queueDepth = shard->queue.depth();
@@ -330,15 +522,210 @@ Expected<void>
 PredictionService::health() const
 {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-        const auto &shard = shards_[s];
-        std::lock_guard<std::mutex> lock(shard->mutex);
-        if (shard->auditFailed) {
-            Error error = shard->auditError;
-            return std::move(error).withContext(
-                "shard " + std::to_string(s));
-        }
+        if (auto status = shardHealth(static_cast<unsigned>(s)); !status)
+            return status;
     }
     return ok();
+}
+
+Expected<void>
+PredictionService::shardHealth(unsigned shard_index) const
+{
+    const Shard &shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.workerFailed) {
+        Error error = shard.workerError;
+        return std::move(error).withContext(
+            "shard " + std::to_string(shard_index));
+    }
+    if (shard.auditFailed) {
+        Error error = shard.auditError;
+        return std::move(error).withContext(
+            "shard " + std::to_string(shard_index));
+    }
+    return ok();
+}
+
+Expected<std::string>
+PredictionService::captureShardState(unsigned shard_index)
+{
+    static obs::Counter &captures = obs::counter("serve.captures");
+    Shard &shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ServeCounters counters;
+    counters.stats = shard.stats;
+    counters.predicts = shard.predicts;
+    counters.trains = shard.trains;
+    counters.batches = shard.batches;
+    counters.audits = shard.audits;
+    std::vector<StateExtraSection> extras;
+    extras.push_back(StateExtraSection{serveCountersSection,
+                                       encodeServeCounters(counters)});
+    auto encoded = encodePredictorState(*shard.predictor, extras);
+    if (!encoded) {
+        return std::move(encoded.error())
+            .withContext("capturing shard " +
+                         std::to_string(shard_index));
+    }
+    // The capture is the new journal epoch: replay starts here.
+    shard.journal.clear();
+    shard.journalOverflowed = false;
+    ++shard.captures;
+    captures.add();
+    return encoded;
+}
+
+Expected<StateReadResult>
+PredictionService::restoreShardState(unsigned shard_index,
+                                     std::string_view bytes,
+                                     bool salvage)
+{
+    static obs::Counter &restores = obs::counter("serve.restores");
+    Shard &shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+
+    StateReadOptions options;
+    options.salvage = salvage;
+    std::vector<StateExtraSection> extras;
+    auto result =
+        decodePredictorState(bytes, *shard.predictor, options, &extras);
+    if (!result) {
+        return std::move(result.error())
+            .withContext("restoring shard " +
+                         std::to_string(shard_index));
+    }
+
+    // Roll the serve counters back to the capture point; a damaged or
+    // absent counter section cold-starts them (salvage only — strict
+    // mode would have failed above on any section damage).
+    ServeCounters counters;
+    bool have_counters = false;
+    for (const StateExtraSection &extra : extras) {
+        if (extra.id == serveCountersSection &&
+            decodeServeCounters(extra.payload, counters)) {
+            have_counters = true;
+        }
+    }
+    if (!have_counters && !salvage) {
+        return makeError(ErrorCode::BadRecord,
+                         "snapshot is missing the serve counter section")
+            .withContext("restoring shard " +
+                         std::to_string(shard_index));
+    }
+    shard.stats = counters.stats;
+    shard.predicts = counters.predicts;
+    shard.trains = counters.trains;
+    shard.batches = counters.batches;
+    shard.audits = counters.audits;
+
+    // Replay the since-capture journal through the restored predictor,
+    // re-applying exactly what the failed incarnation served. Predict
+    // replays repeat the original state mutation (LRU touch,
+    // speculative bookkeeping); their results have already been
+    // delivered and are discarded here. The journal is deliberately
+    // NOT cleared: its epoch is the on-disk snapshot, which this
+    // restore did not advance — only the next captureShardState()
+    // resets it. Replaying from the snapshot is idempotent, so a
+    // second restore before the next capture stays exact.
+    if (!shard.journalOverflowed) {
+        for (const Request &request : shard.journal) {
+            if (request.isTrain) {
+                shard.predictor->update(request.info, request.actualAddr,
+                                        request.pred);
+                tallyPrediction(shard.stats, request.pred,
+                                request.actualAddr);
+                ++shard.trains;
+            } else {
+                (void)shard.predictor->predict(request.info);
+                ++shard.predicts;
+            }
+        }
+    }
+
+    shard.auditFailed = false;
+    shard.auditError = Error{};
+    shard.workerFailed = false;
+    shard.workerError = Error{};
+    ++shard.restores;
+    restores.add();
+    return result;
+}
+
+void
+PredictionService::quarantineShard(unsigned shard_index)
+{
+    static obs::Counter &quarantines =
+        obs::counter("serve.quarantines");
+    Shard &shard = *shards_[shard_index];
+    if (!shard.quarantined.exchange(true, std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.quarantines;
+        quarantines.add();
+    }
+}
+
+void
+PredictionService::rejoinShard(unsigned shard_index)
+{
+    shards_[shard_index]->quarantined.store(false,
+                                            std::memory_order_release);
+}
+
+bool
+PredictionService::shardQuarantined(unsigned shard_index) const
+{
+    return shards_[shard_index]->quarantined.load(
+        std::memory_order_acquire);
+}
+
+void
+PredictionService::failShard(unsigned shard_index, Error error)
+{
+    Shard &shard = *shards_[shard_index];
+    quarantineShard(shard_index);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.workerFailed) {
+        shard.workerFailed = true;
+        shard.workerError = std::move(error).withContext(
+            "failShard(" + std::to_string(shard_index) + ")");
+    }
+}
+
+void
+PredictionService::resetShard(unsigned shard_index)
+{
+    Shard &shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.predictor = factory_();
+    assert(shard.predictor != nullptr);
+    shard.stats = PredictionStats{};
+    shard.predicts = 0;
+    shard.trains = 0;
+    shard.batches = 0;
+    shard.audits = 0;
+    shard.journal.clear();
+    shard.journalOverflowed = false;
+    shard.auditFailed = false;
+    shard.auditError = Error{};
+    shard.workerFailed = false;
+    shard.workerError = Error{};
+}
+
+void
+PredictionService::withShardPredictor(
+    unsigned shard_index,
+    const std::function<void(AddressPredictor &)> &fn)
+{
+    Shard &shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    fn(*shard.predictor);
+}
+
+void
+PredictionService::injectWorkerFault(unsigned shard_index)
+{
+    shards_[shard_index]->killNextBatch.store(true,
+                                              std::memory_order_release);
 }
 
 } // namespace clap

@@ -38,6 +38,7 @@
 
 #include "core/config.hh"
 #include "core/predictor.hh"
+#include "core/state_io.hh"
 #include "sim/metrics.hh"
 #include "util/bits.hh"
 #include "util/error.hh"
@@ -81,6 +82,14 @@ struct ServiceConfig
     /// N-th processed batch (0 disables). Audit failures are recorded
     /// per shard and surfaced via PredictionService::health().
     unsigned auditEveryBatches = 1;
+
+    /// Bounded per-shard journal of requests applied since the last
+    /// captureShardState() call (0 disables journaling). The journal
+    /// is what restoreShardState() replays to roll a shard forward
+    /// from its last snapshot; on overflow the journal is discarded
+    /// and marked, voiding the exact-replay guarantee until the next
+    /// capture.
+    std::size_t journalCapacity = 0;
 
     /** Structural sanity checks; call before building a service. */
     Expected<void>
@@ -132,6 +141,19 @@ struct ShardSnapshot
     std::size_t maxQueueDepth = 0;///< mailbox high-water mark
     bool auditFailed = false;
     Error auditError;             ///< valid when auditFailed
+
+    /// @name Lifecycle state (snapshot/restore, quarantine)
+    /// @{
+    bool quarantined = false;     ///< new requests fail ShardUnavailable
+    std::uint64_t unavailable = 0;///< requests refused while quarantined
+    std::uint64_t captures = 0;   ///< state captures taken
+    std::uint64_t restores = 0;   ///< state restores applied
+    std::uint64_t quarantines = 0;///< quarantine episodes entered
+    std::size_t journalDepth = 0; ///< requests journaled since capture
+    bool journalOverflowed = false;
+    bool workerFailed = false;    ///< worker batch threw / injected kill
+    Error workerError;            ///< valid when workerFailed
+    /// @}
 
     /// Predictor-state introspection (core/telemetry.hh), taken under
     /// the shard lock so it is consistent with stats. Diagnostic only
@@ -208,6 +230,79 @@ class PredictionService
      */
     Expected<void> health() const;
 
+    /// @name Shard lifecycle (serve/supervisor.hh drives these)
+    /// @{
+
+    /**
+     * Serialize shard @p shard_index — predictor state (core/state_io)
+     * plus the serve-side counters as a caller section — under the
+     * shard lock, and reset the journal epoch: requests applied after
+     * this capture are journaled for restoreShardState() to replay.
+     */
+    Expected<std::string> captureShardState(unsigned shard_index);
+
+    /**
+     * Restore shard @p shard_index from captureShardState() bytes,
+     * then replay the since-capture journal through the restored
+     * predictor, bringing it bit-for-bit to the pre-failure state
+     * (provided the journal never overflowed). The journal is kept,
+     * not cleared: its epoch stays the capture the bytes came from,
+     * so restoring the same bytes again later remains exact. Clears
+     * the shard's audit/worker failure flags on success; does NOT
+     * lift quarantine — rejoinShard() does. With @p salvage, intact
+     * sections of a damaged snapshot restore and the rest cold-start.
+     */
+    Expected<StateReadResult> restoreShardState(unsigned shard_index,
+                                                std::string_view bytes,
+                                                bool salvage = false);
+
+    /**
+     * Quarantine shard @p shard_index: new requests fail with a
+     * structured ShardUnavailable error (other shards keep serving);
+     * already-queued predicts complete unspeculated and queued trains
+     * are journaled for post-restore replay instead of being applied.
+     */
+    void quarantineShard(unsigned shard_index);
+
+    /** Lift quarantine; the shard serves normally again. */
+    void rejoinShard(unsigned shard_index);
+
+    bool shardQuarantined(unsigned shard_index) const;
+
+    /**
+     * Record a failure detected outside the per-batch audit (injected
+     * fault, dead worker) and quarantine the shard.
+     */
+    void failShard(unsigned shard_index, Error error);
+
+    /** First recorded audit/worker failure of one shard. */
+    Expected<void> shardHealth(unsigned shard_index) const;
+
+    /**
+     * Last-resort recovery: replace the shard's predictor with a
+     * fresh factory instance and zero its statistics, counters, and
+     * journal. Clears failure flags; quarantine is unaffected.
+     */
+    void resetShard(unsigned shard_index);
+
+    /**
+     * Run @p fn over the shard's predictor under the shard lock
+     * (fault injection, inspection). @p fn must not re-enter the
+     * service.
+     */
+    void withShardPredictor(
+        unsigned shard_index,
+        const std::function<void(AddressPredictor &)> &fn);
+
+    /**
+     * Chaos hook: the next batch the shard processes throws from
+     * inside the worker, exercising the worker-failure detection and
+     * recovery path. Requests in that batch complete unspeculated.
+     */
+    void injectWorkerFault(unsigned shard_index);
+
+    /// @}
+
   private:
     friend class ClientSession;
 
@@ -218,8 +313,10 @@ class PredictionService
     void drainShard(Shard &shard);
     void processBatch(Shard &shard, std::vector<Request> &batch);
     void workerLoop(Shard &shard);
+    void journalRequest(Shard &shard, const Request &request);
 
     ServiceConfig config_;
+    PredictorFactory factory_; ///< kept for resetShard()
     std::vector<std::unique_ptr<Shard>> shards_;
     bool stopped_ = false;
     mutable std::mutex stopMutex_;

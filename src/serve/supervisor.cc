@@ -1,0 +1,254 @@
+#include "serve/supervisor.hh"
+
+#include <chrono>
+
+#include "core/config.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_events.hh"
+#include "util/atomic_file.hh"
+
+namespace clap
+{
+
+ShardSupervisor::ShardSupervisor(PredictionService &service,
+                                 const SupervisorConfig &config)
+    : service_(service), config_(validated(config))
+{
+}
+
+ShardSupervisor::~ShardSupervisor()
+{
+    stop();
+}
+
+std::string
+ShardSupervisor::shardSnapshotPath(unsigned shard_index) const
+{
+    return config_.snapshotDir + "/" + config_.filePrefix + "-" +
+           std::to_string(shard_index) + ".state";
+}
+
+Expected<void>
+ShardSupervisor::snapshotShard(unsigned shard_index)
+{
+    static obs::Counter &snapshots =
+        obs::counter("supervisor.snapshots");
+    // Never persist a shard known to be bad: the on-disk snapshot is
+    // the recovery source and must stay last-known-good.
+    if (auto healthy = service_.shardHealth(shard_index); !healthy) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshotFailures;
+        return std::move(healthy.error())
+            .withContext("snapshot of unhealthy shard refused");
+    }
+    if (service_.shardQuarantined(shard_index)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshotFailures;
+        return makeError(ErrorCode::ShardUnavailable,
+                         "snapshot of quarantined shard refused")
+            .withContext("shard " + std::to_string(shard_index));
+    }
+    auto captured = service_.captureShardState(shard_index);
+    if (!captured) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshotFailures;
+        return std::move(captured.error())
+            .withContext("supervisor snapshot");
+    }
+    if (auto written =
+            writeFileAtomic(shardSnapshotPath(shard_index), *captured);
+        !written) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshotFailures;
+        return std::move(written.error())
+            .withContext("supervisor snapshot");
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshots;
+    }
+    snapshots.add();
+    return ok();
+}
+
+Expected<void>
+ShardSupervisor::snapshotAll()
+{
+    Expected<void> first = ok();
+    for (unsigned s = 0; s < service_.config().shards; ++s) {
+        if (auto status = snapshotShard(s); !status && first)
+            first = std::move(status.error());
+    }
+    return first;
+}
+
+Expected<void>
+ShardSupervisor::recoverShard(unsigned shard_index)
+{
+    static obs::Counter &recoveries =
+        obs::counter("supervisor.recoveries");
+    static obs::Counter &freshRestarts =
+        obs::counter("supervisor.fresh_restarts");
+    static obs::Histogram &recoveryMs =
+        obs::histogram("supervisor.recovery_ms");
+
+    obs::Span span("supervisor.recover", "serve");
+    const auto started = std::chrono::steady_clock::now();
+
+    service_.quarantineShard(shard_index);
+
+    // Restore ladder: intact snapshot, salvaged snapshot, fresh
+    // predictor. Each rung clears the failure flags and replays the
+    // journal (state restores) or discards it (fresh restart).
+    enum class Outcome
+    {
+        Strict,
+        Salvaged,
+        Fresh,
+        Failed,
+    };
+    Outcome outcome = Outcome::Failed;
+    Error failure;
+
+    const std::string path = shardSnapshotPath(shard_index);
+    auto bytes = readFileBytes(path);
+    if (bytes) {
+        if (auto restored =
+                service_.restoreShardState(shard_index, *bytes);
+            restored) {
+            outcome = Outcome::Strict;
+        } else if (config_.salvageRestores) {
+            failure = std::move(restored.error());
+            if (auto salvaged = service_.restoreShardState(
+                    shard_index, *bytes, /*salvage=*/true);
+                salvaged) {
+                outcome = Outcome::Salvaged;
+            } else {
+                failure = std::move(salvaged.error());
+            }
+        } else {
+            failure = std::move(restored.error());
+        }
+    } else {
+        failure = std::move(bytes.error());
+    }
+
+    if (outcome == Outcome::Failed && config_.freshRestartFallback) {
+        service_.resetShard(shard_index);
+        outcome = Outcome::Fresh;
+    }
+
+    if (outcome == Outcome::Failed) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.unrecovered;
+        return std::move(failure).withContext(
+            "recovering shard " + std::to_string(shard_index) +
+            " (left quarantined)");
+    }
+
+    service_.rejoinShard(shard_index);
+
+    if (config_.snapshotAfterRecovery) {
+        // Advance the on-disk snapshot (and with it the journal
+        // epoch) to the recovered state, so the next failure replays
+        // a short window. Best-effort: a failure is counted in
+        // snapshotFailures and the old snapshot + full journal still
+        // recover exactly.
+        (void)snapshotShard(shard_index);
+    }
+
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started);
+    recoveryMs.record(static_cast<std::uint64_t>(elapsed.count()));
+    recoveries.add();
+    if (outcome == Outcome::Fresh)
+        freshRestarts.add();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.recoveries;
+        switch (outcome) {
+          case Outcome::Strict:   ++stats_.strictRestores; break;
+          case Outcome::Salvaged: ++stats_.salvagedRestores; break;
+          case Outcome::Fresh:    ++stats_.freshRestarts; break;
+          case Outcome::Failed:   break; // unreachable
+        }
+    }
+    return ok();
+}
+
+unsigned
+ShardSupervisor::checkAndRecover()
+{
+    unsigned recovered = 0;
+    for (unsigned s = 0; s < service_.config().shards; ++s) {
+        const bool unhealthy =
+            !service_.shardHealth(s) || service_.shardQuarantined(s);
+        if (!unhealthy)
+            continue;
+        if (recoverShard(s))
+            ++recovered;
+    }
+    return recovered;
+}
+
+SupervisorStats
+ShardSupervisor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ShardSupervisor::start()
+{
+    if (config_.snapshotIntervalMs == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(loopMutex_);
+        if (running_)
+            return;
+        running_ = true;
+        quit_ = false;
+    }
+    thread_ = std::thread([this] { supervisorLoop(); });
+}
+
+void
+ShardSupervisor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(loopMutex_);
+        if (!running_)
+            return;
+        quit_ = true;
+    }
+    loopCv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(loopMutex_);
+        running_ = false;
+    }
+}
+
+void
+ShardSupervisor::supervisorLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(config_.snapshotIntervalMs);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(loopMutex_);
+            loopCv_.wait_for(lock, interval, [this] { return quit_; });
+            if (quit_)
+                return;
+        }
+        checkAndRecover();
+        // Best-effort periodic snapshots; failures are counted and
+        // the previous snapshot file stays in place (atomic writes).
+        (void)snapshotAll();
+    }
+}
+
+} // namespace clap

@@ -5,8 +5,11 @@
  * and renamed over the destination only after a successful close. An
  * interrupted writer therefore never leaves a truncated destination
  * file — readers see either the old content or the new content,
- * nothing in between. Used for BENCH_*.json experiment output and
- * anywhere else a partial file would masquerade as a complete one.
+ * nothing in between. On POSIX the temporary file is fsynced before
+ * the rename and the containing directory is fsynced after it, so a
+ * committed file also survives power loss — required for predictor
+ * snapshots and recovery journals, not just convenient for
+ * BENCH_*.json experiment output.
  */
 
 #ifndef CLAP_UTIL_ATOMIC_FILE_HH
@@ -14,16 +17,72 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CLAP_HAVE_FSYNC 1
+#endif
 
 #include "util/error.hh"
 
 namespace clap
 {
 
+namespace detail
+{
+
+#ifdef CLAP_HAVE_FSYNC
+/** fsync a path (file or directory); Error on open/fsync failure. */
+inline Expected<void>
+fsyncPath(const std::string &path, bool directory)
+{
+    int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+    if (directory)
+        flags |= O_DIRECTORY;
+#endif
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) {
+        return makeError(ErrorCode::IoError,
+                         std::string("cannot open ") +
+                             (directory ? "directory " : "file ") + path +
+                             " for fsync");
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        return makeError(ErrorCode::IoError, "fsync of " + path + " failed");
+    }
+    return ok();
+}
+#endif // CLAP_HAVE_FSYNC
+
+/** Containing directory of @p path ("." when there is no separator). */
+inline std::string
+containingDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace detail
+
 /**
- * Write @p content to @p path atomically (temp file + rename).
- * On failure the temporary file is removed and @p path is untouched.
+ * Write @p content to @p path atomically (temp file + rename). On
+ * POSIX the data is fsynced before the rename and the containing
+ * directory is fsynced after it; a failure at any point — including
+ * the fsyncs — surfaces as a structured Error rather than a silent
+ * success. On failure the temporary file is removed and @p path is
+ * untouched (the directory-fsync step runs after the rename has
+ * already committed, so its failure leaves the new content visible
+ * but possibly not yet durable — still reported as an Error).
  */
 inline Expected<void>
 writeFileAtomic(const std::string &path, const std::string &content)
@@ -46,13 +105,49 @@ writeFileAtomic(const std::string &path, const std::string &content)
                 .withContext("writing " + path);
         }
     }
+#ifdef CLAP_HAVE_FSYNC
+    if (auto synced = detail::fsyncPath(tmp, /*directory=*/false);
+        !synced) {
+        std::remove(tmp.c_str());
+        return std::move(synced.error()).withContext("writing " + path);
+    }
+#endif
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return makeError(ErrorCode::IoError,
                          "rename " + tmp + " -> " + path + " failed")
             .withContext("writing " + path);
     }
+#ifdef CLAP_HAVE_FSYNC
+    if (auto synced =
+            detail::fsyncPath(detail::containingDir(path),
+                              /*directory=*/true);
+        !synced) {
+        return std::move(synced.error()).withContext("writing " + path);
+    }
+#endif
     return ok();
+}
+
+/**
+ * Read the full contents of @p path as raw bytes. The counterpart to
+ * writeFileAtomic for snapshot/journal loading: a missing or
+ * unreadable file is an input condition, so it reports an IoError
+ * rather than asserting.
+ */
+inline Expected<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return makeError(ErrorCode::IoError, "cannot open " + path);
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (is.bad()) {
+        return makeError(ErrorCode::IoError, "read of " + path + " failed");
+    }
+    return buffer.str();
 }
 
 } // namespace clap

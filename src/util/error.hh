@@ -42,6 +42,7 @@ enum class ErrorCode : std::uint8_t
     Timeout,        ///< job exceeded its wall-clock budget (watchdog)
     CorruptedState, ///< structural invariant violated (audit failure)
     Overloaded,     ///< bounded queue full under the Reject policy
+    ShardUnavailable,///< shard quarantined while recovery is in flight
 };
 
 /** Printable name of an ErrorCode. */
@@ -62,6 +63,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Timeout:         return "Timeout";
       case ErrorCode::CorruptedState:  return "CorruptedState";
       case ErrorCode::Overloaded:      return "Overloaded";
+      case ErrorCode::ShardUnavailable:return "ShardUnavailable";
     }
     return "Unknown";
 }
@@ -70,7 +72,7 @@ errorCodeName(ErrorCode code)
 inline ErrorCode
 errorCodeFromName(const std::string &name)
 {
-    for (int i = 0; i <= static_cast<int>(ErrorCode::Overloaded);
+    for (int i = 0; i <= static_cast<int>(ErrorCode::ShardUnavailable);
          ++i) {
         const auto code = static_cast<ErrorCode>(i);
         if (name == errorCodeName(code))
@@ -82,15 +84,17 @@ errorCodeFromName(const std::string &name)
 /**
  * True for failure kinds worth retrying: transient conditions that a
  * fresh attempt can clear (e.g. predictor state corrupted by an
- * injected fault, or a service shard queue momentarily full). Timeouts
- * and input/config errors are deterministic and retrying them only
- * burns the sweep's wall-clock budget.
+ * injected fault, a service shard queue momentarily full, or a shard
+ * quarantined mid-recovery). Timeouts and input/config errors are
+ * deterministic and retrying them only burns the sweep's wall-clock
+ * budget.
  */
 inline bool
 isRetryable(ErrorCode code)
 {
     return code == ErrorCode::CorruptedState ||
-           code == ErrorCode::Overloaded;
+           code == ErrorCode::Overloaded ||
+           code == ErrorCode::ShardUnavailable;
 }
 
 /** A structured error: code + message + context chain. */

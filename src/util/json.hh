@@ -8,9 +8,10 @@
  * throwing, consistent with the repo-wide error convention.
  *
  * This is deliberately not a general-purpose JSON library: no
- * streaming, no \uXXXX surrogate pairs (escapes decode to '?'), and
- * numbers keep both a double and (when integral and in range) a
- * uint64 reading, which is what the journal counters need.
+ * streaming, and numbers keep both a double and (when integral and in
+ * range) a uint64 reading, which is what the journal counters need.
+ * \uXXXX escapes decode to UTF-8, including surrogate pairs; a lone
+ * surrogate decodes to U+FFFD rather than failing the document.
  */
 
 #ifndef CLAP_UTIL_JSON_HH
@@ -264,6 +265,49 @@ class JsonParser
         }
     }
 
+    /** Parse exactly 4 hex digits at pos_ (the XXXX of \uXXXX). */
+    Expected<std::uint32_t>
+    parseHex4()
+    {
+        if (text_.size() - pos_ < 4)
+            return fail("truncated \\u escape");
+        std::uint32_t out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            out <<= 4;
+            if (h >= '0' && h <= '9')
+                out |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                out |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                out |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return out;
+    }
+
+    /** Append @p cp (a scalar value, <= 0x10ffff) to @p out as UTF-8. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
     Expected<JsonValue>
     parseString()
     {
@@ -291,13 +335,37 @@ class JsonParser
               case 't':  value.str += '\t'; break;
               case 'b':  value.str += '\b'; break;
               case 'f':  value.str += '\f'; break;
-              case 'u':
-                // No surrogate decoding; skip the 4 hex digits.
-                if (text_.size() - pos_ < 4)
-                    return fail("truncated \\u escape");
-                pos_ += 4;
-                value.str += '?';
+              case 'u': {
+                auto unit = parseHex4();
+                if (!unit)
+                    return unit.error();
+                std::uint32_t cp = *unit;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: must be followed by \uDC00..DFFF.
+                    if (text_.substr(pos_, 2) == "\\u") {
+                        const std::size_t mark = pos_;
+                        pos_ += 2;
+                        auto low = parseHex4();
+                        if (!low)
+                            return low.error();
+                        if (*low >= 0xdc00 && *low <= 0xdfff) {
+                            cp = 0x10000 +
+                                 ((cp - 0xd800) << 10) + (*low - 0xdc00);
+                        } else {
+                            // Not a low surrogate: re-parse it as its
+                            // own escape and emit U+FFFD for the high.
+                            pos_ = mark;
+                            cp = 0xfffd;
+                        }
+                    } else {
+                        cp = 0xfffd; // lone high surrogate
+                    }
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    cp = 0xfffd; // lone low surrogate
+                }
+                appendUtf8(value.str, cp);
                 break;
+              }
               default:
                 return fail("bad escape in string");
             }

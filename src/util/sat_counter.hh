@@ -65,6 +65,9 @@ class SatCounter
     /** Maximum representable value. */
     std::uint8_t max() const { return maxValue_; }
 
+    /** Configured initial (and post-reset) value. */
+    std::uint8_t initialValue() const { return initial_; }
+
     /** True when the counter has reached @p threshold. */
     bool atLeast(std::uint8_t threshold) const { return count_ >= threshold; }
 

@@ -21,19 +21,61 @@ TEST(JsonParser, DecodesSimpleEscapes)
     EXPECT_EQ(value->str, "a\n\t\r\b\f\"\\/z");
 }
 
-TEST(JsonParser, UnicodeEscapeDecodesToPlaceholder)
+TEST(JsonParser, UnicodeEscapeDecodesToUtf8)
 {
-    // Documented non-goal: \uXXXX escapes decode to '?' (the hex
-    // digits are skipped, not validated).
-    auto value = parseJson(R"("A\u0042C")");
+    auto ascii = parseJson(R"("A\u0042C")");
+    ASSERT_TRUE(ascii) << ascii.error().str();
+    EXPECT_EQ(ascii->str, "ABC");
+
+    auto twoByte = parseJson(R"("\u00e9")"); // U+00E9
+    ASSERT_TRUE(twoByte) << twoByte.error().str();
+    EXPECT_EQ(twoByte->str, "\xc3\xa9");
+
+    auto threeByte = parseJson(R"("\u20ac")"); // U+20AC
+    ASSERT_TRUE(threeByte) << threeByte.error().str();
+    EXPECT_EQ(threeByte->str, "\xe2\x82\xac");
+
+    auto upper = parseJson(R"("\u20AC")"); // case-insensitive hex
+    ASSERT_TRUE(upper) << upper.error().str();
+    EXPECT_EQ(upper->str, "\xe2\x82\xac");
+
+    auto nul = parseJson(R"("a\u0000b")"); // embedded NUL survives
+    ASSERT_TRUE(nul) << nul.error().str();
+    EXPECT_EQ(nul->str, std::string("a\0b", 3));
+}
+
+TEST(JsonParser, SurrogatePairDecodesToFourByteUtf8)
+{
+    // U+1F600 as the surrogate pair D83D DE00.
+    auto value = parseJson(R"("\ud83d\ude00")");
     ASSERT_TRUE(value) << value.error().str();
-    EXPECT_EQ(value->str, "A?C");
+    EXPECT_EQ(value->str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, LoneSurrogatesDecodeToReplacementCharacter)
+{
+    // A high surrogate with no low half, and a bare low surrogate,
+    // both become U+FFFD instead of failing the document.
+    auto high = parseJson(R"("a\ud83db")");
+    ASSERT_TRUE(high) << high.error().str();
+    EXPECT_EQ(high->str, "a\xef\xbf\xbd" "b");
+
+    auto low = parseJson(R"("a\ude00b")");
+    ASSERT_TRUE(low) << low.error().str();
+    EXPECT_EQ(low->str, "a\xef\xbf\xbd" "b");
+
+    // High surrogate followed by a non-surrogate escape: the second
+    // escape decodes on its own, not as a pair half.
+    auto mixed = parseJson(R"("\ud83d\u0041")");
+    ASSERT_TRUE(mixed) << mixed.error().str();
+    EXPECT_EQ(mixed->str, "\xef\xbf\xbd" "A");
 }
 
 TEST(JsonParser, RejectsTruncatedUnicodeEscape)
 {
     EXPECT_FALSE(parseJson(R"("\u00)"));
     EXPECT_FALSE(parseJson("\"\\u0"));
+    EXPECT_FALSE(parseJson(R"("\u00gz")")); // bad hex digit
 }
 
 TEST(JsonParser, RejectsBadEscapeAndUnterminatedString)
@@ -53,11 +95,11 @@ TEST(JsonParser, EscapeRoundTripsThroughJsonEscape)
 
 TEST(JsonParser, ControlCharacterEscapesRoundTrip)
 {
-    // jsonEscape emits \u00XX for C0 controls; the parser maps those
-    // to '?' (documented lossy placeholder), not to garbage.
+    // jsonEscape emits \u00XX for C0 controls; the parser decodes
+    // them back losslessly.
     auto value = parseJson('"' + jsonEscape(std::string("a\x01z")) + '"');
     ASSERT_TRUE(value) << value.error().str();
-    EXPECT_EQ(value->str, "a?z");
+    EXPECT_EQ(value->str, "a\x01z");
 }
 
 // --- Numbers -------------------------------------------------------

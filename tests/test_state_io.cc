@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests for versioned predictor state serialization
+ * (core/state_io.hh): bit-for-bit capture/restore round trips for
+ * every predictor kind, caller sections, and the salvage ladder over
+ * damaged snapshots (truncation, body corruption, header damage,
+ * versions from the future).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/cap_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_address_predictor.hh"
+#include "core/state_io.hh"
+#include "core/stride_predictor.hh"
+#include "sim/predictor_sim.hh"
+#include "test_util.hh"
+#include "util/atomic_file.hh"
+#include "workloads/composer.hh"
+#include "workloads/suites.hh"
+
+namespace clap
+{
+namespace
+{
+
+constexpr std::size_t testTraceInsts = 20000;
+
+Trace
+warmupTrace(const char *suite = "INT")
+{
+    return generateTrace(buildSuite(suite).front(), testTraceInsts);
+}
+
+Trace
+continuationTrace()
+{
+    return generateTrace(buildSuite("MM").front(), testTraceInsts);
+}
+
+/** Warm @p pred on a mixed trace so every table holds live state. */
+void
+warm(AddressPredictor &pred)
+{
+    const Trace trace = warmupTrace();
+    runPredictorSim(trace, pred, {});
+}
+
+/**
+ * The round-trip contract: encode @p original, decode into @p fresh,
+ * and require audit-clean state plus bit-for-bit identical stats on a
+ * continuation trace neither has seen.
+ */
+void
+expectRoundTrip(AddressPredictor &original, AddressPredictor &fresh)
+{
+    auto encoded = encodePredictorState(original);
+    ASSERT_TRUE(encoded) << encoded.error().str();
+
+    auto decoded = decodePredictorState(*encoded, fresh);
+    ASSERT_TRUE(decoded) << decoded.error().str();
+    EXPECT_EQ(decoded->restored, decoded->sections);
+    EXPECT_FALSE(decoded->salvaged);
+    EXPECT_TRUE(fresh.audit());
+
+    const Trace cont = continuationTrace();
+    const PredictionStats a = runPredictorSim(cont, original, {});
+    const PredictionStats b = runPredictorSim(cont, fresh, {});
+    EXPECT_EQ(a, b) << "restored predictor diverged on continuation";
+
+    // Re-encoding the restored predictor reproduces the same bytes:
+    // the serialization covers all of the state it claims to.
+    auto reencoded = encodePredictorState(fresh);
+    ASSERT_TRUE(reencoded);
+    auto original2 = encodePredictorState(original);
+    ASSERT_TRUE(original2);
+    EXPECT_EQ(*reencoded, *original2);
+}
+
+// --- Round trips per predictor kind -------------------------------
+
+TEST(StateIoRoundTrip, Hybrid)
+{
+    HybridPredictor original{HybridConfig{}};
+    HybridPredictor fresh{HybridConfig{}};
+    warm(original);
+    expectRoundTrip(original, fresh);
+}
+
+TEST(StateIoRoundTrip, Cap)
+{
+    CapPredictor original{CapPredictorConfig{}};
+    CapPredictor fresh{CapPredictorConfig{}};
+    warm(original);
+    expectRoundTrip(original, fresh);
+}
+
+TEST(StateIoRoundTrip, Stride)
+{
+    StridePredictor original{StridePredictorConfig{}};
+    StridePredictor fresh{StridePredictorConfig{}};
+    warm(original);
+    expectRoundTrip(original, fresh);
+}
+
+TEST(StateIoRoundTrip, LastAddress)
+{
+    LastAddressPredictor original{LastAddressConfig{}};
+    LastAddressPredictor fresh{LastAddressConfig{}};
+    warm(original);
+    expectRoundTrip(original, fresh);
+}
+
+TEST(StateIoRoundTrip, DecoupledPfTable)
+{
+    HybridConfig config;
+    config.cap.pfTableBits = 10;
+    HybridPredictor original{config};
+    HybridPredictor fresh{config};
+    warm(original);
+    expectRoundTrip(original, fresh);
+}
+
+TEST(StateIoRoundTrip, EmptyPredictorRoundTrips)
+{
+    HybridPredictor original{HybridConfig{}};
+    HybridPredictor fresh{HybridConfig{}};
+    expectRoundTrip(original, fresh);
+}
+
+// --- Caller sections ----------------------------------------------
+
+TEST(StateIo, CallerSectionsTravelWithTheSnapshot)
+{
+    HybridPredictor original{HybridConfig{}};
+    warm(original);
+
+    std::vector<StateExtraSection> extras;
+    extras.push_back({firstCallerSection, "serve-counters"});
+    extras.push_back({firstCallerSection + 1, std::string(1000, 'x')});
+    auto encoded = encodePredictorState(original, extras);
+    ASSERT_TRUE(encoded);
+
+    HybridPredictor fresh{HybridConfig{}};
+    std::vector<StateExtraSection> got;
+    auto decoded = decodePredictorState(*encoded, fresh, {}, &got);
+    ASSERT_TRUE(decoded) << decoded.error().str();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].id, firstCallerSection);
+    EXPECT_EQ(got[0].payload, "serve-counters");
+    EXPECT_EQ(got[1].id, firstCallerSection + 1);
+    EXPECT_EQ(got[1].payload.size(), 1000u);
+}
+
+// --- Target mismatches --------------------------------------------
+
+TEST(StateIo, NameMismatchIsInvalidArgument)
+{
+    StridePredictor original{StridePredictorConfig{}};
+    auto encoded = encodePredictorState(original);
+    ASSERT_TRUE(encoded);
+
+    HybridPredictor other{HybridConfig{}};
+    auto decoded = decodePredictorState(*encoded, other);
+    ASSERT_FALSE(decoded);
+    EXPECT_EQ(decoded.error().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(StateIo, GeometryMismatchIsInvalidArgumentEvenWithSalvage)
+{
+    HybridPredictor original{HybridConfig{}};
+    warm(original);
+    auto encoded = encodePredictorState(original);
+    ASSERT_TRUE(encoded);
+
+    HybridConfig smaller;
+    smaller.lb.entries = 1024;
+    HybridPredictor other{smaller};
+    for (const bool salvage : {false, true}) {
+        StateReadOptions options;
+        options.salvage = salvage;
+        auto decoded = decodePredictorState(*encoded, other, options);
+        ASSERT_FALSE(decoded) << "salvage=" << salvage;
+        EXPECT_EQ(decoded.error().code(), ErrorCode::InvalidArgument);
+    }
+}
+
+// --- Damage: the salvage ladder -----------------------------------
+
+std::string
+encodedHybrid(HybridPredictor &pred)
+{
+    warm(pred);
+    auto encoded = encodePredictorState(pred);
+    EXPECT_TRUE(encoded);
+    return *encoded;
+}
+
+TEST(StateIoDamage, ZeroLengthBytesFailEvenWithSalvage)
+{
+    HybridPredictor pred{HybridConfig{}};
+    for (const bool salvage : {false, true}) {
+        StateReadOptions options;
+        options.salvage = salvage;
+        auto decoded = decodePredictorState("", pred, options);
+        ASSERT_FALSE(decoded) << "salvage=" << salvage;
+        // Too short to even hold the magic: reported as BadMagic.
+        EXPECT_EQ(decoded.error().code(), ErrorCode::BadMagic);
+    }
+}
+
+TEST(StateIoDamage, BadMagicFailsEvenWithSalvage)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+    bytes[0] = 'X';
+    for (const bool salvage : {false, true}) {
+        StateReadOptions options;
+        options.salvage = salvage;
+        auto decoded = decodePredictorState(bytes, pred, options);
+        ASSERT_FALSE(decoded);
+        EXPECT_EQ(decoded.error().code(), ErrorCode::BadMagic);
+    }
+}
+
+TEST(StateIoDamage, FutureVersionIsRejectedWithAClearError)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+    const std::uint32_t future = stateFormatVersion + 7;
+    std::memcpy(bytes.data() + sizeof(stateMagic), &future,
+                sizeof future);
+    for (const bool salvage : {false, true}) {
+        StateReadOptions options;
+        options.salvage = salvage;
+        auto decoded = decodePredictorState(bytes, pred, options);
+        ASSERT_FALSE(decoded);
+        EXPECT_EQ(decoded.error().code(), ErrorCode::BadVersion);
+        EXPECT_NE(decoded.error().str().find("newer"),
+                  std::string::npos)
+            << decoded.error().str();
+    }
+}
+
+TEST(StateIoDamage, HeaderOnlySalvagesToanEmptyRestore)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+    auto info = inspectStateBytes(bytes);
+    ASSERT_TRUE(info);
+
+    // Keep magic + version + name + section count only.
+    const std::size_t headerLen = sizeof(stateMagic) + 4 + 4 +
+        info->predictor.size() + 4;
+    bytes.resize(headerLen);
+
+    HybridPredictor target{HybridConfig{}};
+    auto strict = decodePredictorState(bytes, target);
+    ASSERT_FALSE(strict);
+    EXPECT_EQ(strict.error().code(), ErrorCode::Truncated);
+
+    StateReadOptions options;
+    options.salvage = true;
+    auto salvaged = decodePredictorState(bytes, target, options);
+    ASSERT_TRUE(salvaged) << salvaged.error().str();
+    EXPECT_TRUE(salvaged->salvaged);
+    EXPECT_EQ(salvaged->restored, 0u);
+    EXPECT_EQ(salvaged->droppedSections.size(), salvaged->sections);
+    EXPECT_TRUE(target.audit());
+}
+
+TEST(StateIoDamage, TruncationDropsTheLoadBufferFirst)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+
+    // Cut inside the last (LoadBuffer) section.
+    bytes.resize(bytes.size() - 100);
+
+    HybridPredictor target{HybridConfig{}};
+    auto strict = decodePredictorState(bytes, target);
+    ASSERT_FALSE(strict);
+    EXPECT_EQ(strict.error().code(), ErrorCode::Truncated);
+
+    StateReadOptions options;
+    options.salvage = true;
+    auto salvaged = decodePredictorState(bytes, target, options);
+    ASSERT_TRUE(salvaged) << salvaged.error().str();
+    EXPECT_TRUE(salvaged->salvaged);
+    EXPECT_EQ(salvaged->restored, salvaged->sections - 1);
+    ASSERT_EQ(salvaged->droppedSections.size(), 1u);
+    EXPECT_EQ(salvaged->droppedSections[0],
+              static_cast<std::uint32_t>(StateSection::LoadBuffer));
+    EXPECT_TRUE(target.audit());
+}
+
+TEST(StateIoDamage, CorruptBodyWithIntactHeaderSalvagesTheRest)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+    auto info = inspectStateBytes(bytes);
+    ASSERT_TRUE(info);
+    ASSERT_TRUE(info->complete);
+
+    // Flip one byte in the middle of the link-table payload (section
+    // 3 of 4; the header and the other sections stay CRC-valid).
+    std::size_t offset = sizeof(stateMagic) + 4 + 4 +
+        info->predictor.size() + 4;
+    std::size_t ltMid = 0;
+    for (const StateSectionInfo &section : info->sectionInfo) {
+        const std::size_t payload = offset + 4 + 8;
+        if (section.id ==
+            static_cast<std::uint32_t>(StateSection::LinkTable)) {
+            ltMid = payload + static_cast<std::size_t>(section.length) / 2;
+        }
+        offset = payload + static_cast<std::size_t>(section.length) + 4;
+    }
+    ASSERT_NE(ltMid, 0u);
+    bytes[ltMid] = static_cast<char>(bytes[ltMid] ^ 0x40);
+
+    HybridPredictor target{HybridConfig{}};
+    auto strict = decodePredictorState(bytes, target);
+    ASSERT_FALSE(strict);
+    EXPECT_EQ(strict.error().code(), ErrorCode::BadChecksum);
+
+    StateReadOptions options;
+    options.salvage = true;
+    auto salvaged = decodePredictorState(bytes, target, options);
+    ASSERT_TRUE(salvaged) << salvaged.error().str();
+    EXPECT_TRUE(salvaged->salvaged);
+    EXPECT_EQ(salvaged->restored, salvaged->sections - 1);
+    ASSERT_EQ(salvaged->droppedSections.size(), 1u);
+    EXPECT_EQ(salvaged->droppedSections[0],
+              static_cast<std::uint32_t>(StateSection::LinkTable));
+    EXPECT_TRUE(target.audit());
+}
+
+// --- Inspection ---------------------------------------------------
+
+TEST(StateIoInspect, CompleteFileWalksAllSections)
+{
+    HybridPredictor pred{HybridConfig{}};
+    const std::string bytes = encodedHybrid(pred);
+    auto info = inspectStateBytes(bytes);
+    ASSERT_TRUE(info) << info.error().str();
+    EXPECT_EQ(info->version, stateFormatVersion);
+    EXPECT_EQ(info->predictor, "hybrid");
+    EXPECT_TRUE(info->footerOk);
+    EXPECT_TRUE(info->complete);
+    ASSERT_EQ(info->sectionInfo.size(), info->sections);
+    for (const StateSectionInfo &section : info->sectionInfo)
+        EXPECT_TRUE(section.intact);
+    // The LoadBuffer rides last so truncation takes it first.
+    EXPECT_EQ(info->sectionInfo.back().id,
+              static_cast<std::uint32_t>(StateSection::LoadBuffer));
+}
+
+TEST(StateIoInspect, TruncatedFileIsWalkedAsFarAsPossible)
+{
+    HybridPredictor pred{HybridConfig{}};
+    std::string bytes = encodedHybrid(pred);
+    bytes.resize(bytes.size() - 100);
+    auto info = inspectStateBytes(bytes);
+    ASSERT_TRUE(info);
+    EXPECT_FALSE(info->complete);
+    EXPECT_FALSE(info->footerOk);
+    EXPECT_LT(info->sectionInfo.size(), info->sections);
+}
+
+// --- File round trip ----------------------------------------------
+
+TEST(StateIoFile, WriteReadRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "state_io_roundtrip.state";
+    HybridPredictor original{HybridConfig{}};
+    warm(original);
+    ASSERT_TRUE(writePredictorState(original, path));
+
+    HybridPredictor fresh{HybridConfig{}};
+    auto read = readPredictorState(path, fresh);
+    ASSERT_TRUE(read) << read.error().str();
+    EXPECT_FALSE(read->salvaged);
+
+    auto a = encodePredictorState(original);
+    auto b = encodePredictorState(fresh);
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*a, *b);
+    std::remove(path.c_str());
+}
+
+TEST(StateIoFile, MissingFileIsIoError)
+{
+    HybridPredictor pred{HybridConfig{}};
+    auto read = readPredictorState(
+        testing::TempDir() + "no_such_snapshot.state", pred);
+    ASSERT_FALSE(read);
+    EXPECT_EQ(read.error().code(), ErrorCode::IoError);
+}
+
+} // namespace
+} // namespace clap
