@@ -1,0 +1,313 @@
+/**
+ * @file
+ * clapd — the prediction service as a standalone daemon. Builds a
+ * sharded PredictionService (hybrid CAP/stride predictors), optionally
+ * puts a ShardSupervisor over it, and fronts it with the net/ gateway
+ * on a UDS or TCP endpoint. Runs until a client's Shutdown frame or
+ * SIGINT/SIGTERM, then drains and exits 0.
+ *
+ * This is also the shard-migration child: bench_netchaos starts two
+ * clapd processes, streams shard snapshots from the first into the
+ * second over the wire (SnapshotFetch -> SnapshotInstall), and proves
+ * the second resumes serving bit for bit.
+ *
+ * Usage:
+ *   clapd [--endpoint=unix:/tmp/clapd.sock | --endpoint=tcp:127.0.0.1:0]
+ *         [--shards=N] [--queue-capacity=N] [--max-batch=N]
+ *         [--deterministic] [--journal-capacity=N]
+ *         [--supervise] [--snapshot-dir=DIR] [--snapshot-interval-ms=N]
+ *         [--max-connections=N] [--max-inflight=N]
+ *         [--read-deadline-ms=N] [--write-deadline-ms=N]
+ *         [--shed-fraction=F] [--reject-fraction=F]
+ *         [--ready-fd=N] [--quiet]
+ *
+ * --ready-fd=N writes one byte to descriptor N (then closes it) once
+ * the listener is bound — the no-poll readiness handshake a parent
+ * process (the migration driver) waits on. --deterministic runs the
+ * service without worker threads, which makes a single-connection
+ * request stream a pure function of its order — the mode the
+ * migration equality check requires.
+ *
+ * clapd --probe=SPEC [--shutdown] turns the binary into a one-shot
+ * client instead: connect, ping, one predict/train round trip, and
+ * (with --shutdown) a Shutdown request. Exit 0 only if every exchange
+ * succeeded — the CI smoke that a separately started daemon actually
+ * speaks the protocol end to end.
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/hybrid_predictor.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "serve/service.hh"
+#include "serve/supervisor.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::net;
+
+std::atomic<bool> signalled{false};
+
+void
+onSignal(int)
+{
+    signalled.store(true, std::memory_order_relaxed);
+}
+
+struct Options
+{
+    ServerConfig server;
+    ServiceConfig service;
+    bool supervise = false;
+    SupervisorConfig supervisor;
+    int readyFd = -1;
+    bool quiet = false;
+    std::string probe;    ///< non-empty: run as a one-shot client
+    bool probeShutdown = false;
+};
+
+/**
+ * One-shot client probe against a running daemon: handshake, ping,
+ * predict, train, stats, and optionally a Shutdown request. Every
+ * failure is structured and fatal — this is the CI assertion that a
+ * separately started clapd serves real clients.
+ */
+int
+runProbe(const Options &opts)
+{
+    ClientConfig config;
+    config.endpoint = opts.probe;
+    config.clientName = "clapd-probe";
+    NetClient client(config);
+
+    if (auto pinged = client.ping(); !pinged) {
+        std::fprintf(stderr, "clapd-probe: ping: %s\n",
+                     pinged.error().str().c_str());
+        return 1;
+    }
+    const LoadInfo info = client.makeInfo(0x1000, 8);
+    auto pred = client.predict(info);
+    if (!pred) {
+        std::fprintf(stderr, "clapd-probe: predict: %s\n",
+                     pred.error().str().c_str());
+        return 1;
+    }
+    if (auto trained = client.train(info, 0x2000, *pred); !trained) {
+        std::fprintf(stderr, "clapd-probe: train: %s\n",
+                     trained.error().str().c_str());
+        return 1;
+    }
+    auto stats = client.stats();
+    if (!stats) {
+        std::fprintf(stderr, "clapd-probe: stats: %s\n",
+                     stats.error().str().c_str());
+        return 1;
+    }
+    if (opts.probeShutdown) {
+        if (auto down = client.requestShutdown(); !down) {
+            std::fprintf(stderr, "clapd-probe: shutdown: %s\n",
+                         down.error().str().c_str());
+            return 1;
+        }
+    }
+    if (!opts.quiet) {
+        std::printf("clapd-probe: ok (%zu shard(s), %llu load(s) "
+                    "trained)%s\n",
+                    stats->shards.size(),
+                    static_cast<unsigned long long>(
+                        stats->aggregate.loads),
+                    opts.probeShutdown ? ", shutdown requested" : "");
+    }
+    return 0;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--endpoint=SPEC] [--shards=N] "
+                 "[--queue-capacity=N] [--max-batch=N]\n"
+                 "          [--deterministic] [--journal-capacity=N] "
+                 "[--supervise]\n"
+                 "          [--snapshot-dir=DIR] "
+                 "[--snapshot-interval-ms=N]\n"
+                 "          [--max-connections=N] [--max-inflight=N]\n"
+                 "          [--read-deadline-ms=N] "
+                 "[--write-deadline-ms=N]\n"
+                 "          [--shed-fraction=F] [--reject-fraction=F]\n"
+                 "          [--ready-fd=N] [--quiet]\n"
+                 "       %s --probe=SPEC [--shutdown] [--quiet]\n",
+                 argv0, argv0);
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opts)
+{
+    opts.service.shards = 4;
+    opts.supervisor.filePrefix = "clapd";
+    opts.supervisor.snapshotIntervalMs = 100;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&arg](const char *prefix) -> const char * {
+            const std::size_t len = std::strlen(prefix);
+            return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len
+                                                    : nullptr;
+        };
+        if (const char *v = valueOf("--endpoint=")) {
+            opts.server.endpoint = v;
+        } else if (const char *v = valueOf("--shards=")) {
+            opts.service.shards = static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--queue-capacity=")) {
+            opts.service.queueCapacity =
+                static_cast<std::size_t>(std::atol(v));
+        } else if (const char *v = valueOf("--max-batch=")) {
+            opts.service.maxBatch = static_cast<std::size_t>(std::atol(v));
+        } else if (arg == "--deterministic") {
+            opts.service.deterministic = true;
+        } else if (const char *v = valueOf("--journal-capacity=")) {
+            opts.service.journalCapacity =
+                static_cast<std::size_t>(std::atol(v));
+        } else if (arg == "--supervise") {
+            opts.supervise = true;
+        } else if (const char *v = valueOf("--snapshot-dir=")) {
+            opts.supervisor.snapshotDir = v;
+        } else if (const char *v = valueOf("--snapshot-interval-ms=")) {
+            opts.supervisor.snapshotIntervalMs =
+                static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--max-connections=")) {
+            opts.server.maxConnections =
+                static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--max-inflight=")) {
+            opts.server.maxInFlight = static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--read-deadline-ms=")) {
+            opts.server.readDeadlineMs = std::atoi(v);
+        } else if (const char *v = valueOf("--write-deadline-ms=")) {
+            opts.server.writeDeadlineMs = std::atoi(v);
+        } else if (const char *v = valueOf("--shed-fraction=")) {
+            opts.server.shedFraction = std::atof(v);
+        } else if (const char *v = valueOf("--reject-fraction=")) {
+            opts.server.rejectFraction = std::atof(v);
+        } else if (const char *v = valueOf("--ready-fd=")) {
+            opts.readyFd = std::atoi(v);
+        } else if (const char *v = valueOf("--probe=")) {
+            opts.probe = v;
+        } else if (arg == "--shutdown") {
+            opts.probeShutdown = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "clapd: unknown flag '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseOptions(argc, argv, opts))
+        return 2;
+    if (!opts.probe.empty())
+        return runProbe(opts);
+    if (auto valid = opts.service.validate(); !valid) {
+        std::fprintf(stderr, "clapd: %s\n", valid.error().str().c_str());
+        return 2;
+    }
+    if (auto valid = opts.server.validate(); !valid) {
+        std::fprintf(stderr, "clapd: %s\n", valid.error().str().c_str());
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    PredictionService service(opts.service, [] {
+        return std::make_unique<HybridPredictor>(HybridConfig{});
+    });
+
+    std::unique_ptr<ShardSupervisor> supervisor;
+    if (opts.supervise) {
+        if (auto valid = opts.supervisor.validate(); !valid) {
+            std::fprintf(stderr, "clapd: %s\n",
+                         valid.error().str().c_str());
+            return 2;
+        }
+        supervisor =
+            std::make_unique<ShardSupervisor>(service, opts.supervisor);
+        if (auto snapped = supervisor->snapshotAll(); !snapped) {
+            std::fprintf(stderr, "clapd: initial snapshot: %s\n",
+                         snapped.error().str().c_str());
+            return 1;
+        }
+        supervisor->start();
+    }
+
+    NetServer server(service, supervisor.get(), opts.server);
+    if (auto started = server.start(); !started) {
+        std::fprintf(stderr, "clapd: %s\n",
+                     started.error().str().c_str());
+        return 1;
+    }
+    if (!opts.quiet) {
+        std::printf("clapd: serving %u shard(s) on %s\n",
+                    opts.service.shards,
+                    server.boundEndpoint().str().c_str());
+        std::fflush(stdout);
+    }
+    if (opts.readyFd >= 0) {
+        // Readiness handshake: one byte once the listener is live.
+        const char byte = 'R';
+        (void)!write(opts.readyFd, &byte, 1);
+        close(opts.readyFd);
+    }
+
+    while (!server.shutdownRequested() &&
+           !signalled.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    server.stop();
+    if (supervisor)
+        supervisor->stop();
+    service.stop();
+
+    if (!opts.quiet) {
+        const ServerCounters counters = server.counters();
+        const PredictionStats stats = service.aggregateStats();
+        std::printf("clapd: %llu connection(s), %llu request(s), "
+                    "%llu shed, %llu rejected, %llu corrupt frame(s); "
+                    "%llu loads trained\n",
+                    static_cast<unsigned long long>(counters.accepted),
+                    static_cast<unsigned long long>(counters.requests),
+                    static_cast<unsigned long long>(counters.admitShed),
+                    static_cast<unsigned long long>(
+                        counters.admitRejected),
+                    static_cast<unsigned long long>(
+                        counters.corruptFrames),
+                    static_cast<unsigned long long>(stats.loads));
+    }
+    return 0;
+}

@@ -1,0 +1,480 @@
+#include "net/server.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hh"
+
+namespace clap::net
+{
+
+namespace
+{
+
+/// Accept-loop poll slice: how often a blocked accept rechecks the
+/// stop flag. Also the receive poll slice inside connections.
+constexpr int pollSliceMs = 50;
+
+} // namespace
+
+NetServer::NetServer(PredictionService &service,
+                     ShardSupervisor *supervisor,
+                     const ServerConfig &config)
+    : service_(service), supervisor_(supervisor), config_(config)
+{
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+Expected<void>
+NetServer::start()
+{
+    if (auto valid = config_.validate(); !valid)
+        return valid;
+    auto endpoint = parseEndpoint(config_.endpoint);
+    if (!endpoint)
+        return std::move(endpoint.error())
+            .withContext("starting gateway");
+    if (auto listening = listener_.listen(*endpoint); !listening)
+        return std::move(listening.error())
+            .withContext("starting gateway");
+    stopping_.store(false, std::memory_order_release);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return ok();
+}
+
+void
+NetServer::stop()
+{
+    // Raise the flag unconditionally; even a second stop() still runs
+    // the join path below (stop is idempotent, joins are guarded).
+    stopping_.store(true, std::memory_order_release);
+    listener_.close();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    std::vector<std::unique_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(connections_);
+    }
+    for (auto &conn : conns) {
+        if (conn->stream)
+            conn->stream->shutdownBoth(); // wake a blocked recv
+    }
+    for (auto &conn : conns) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+}
+
+const Endpoint &
+NetServer::boundEndpoint() const
+{
+    return listener_.boundEndpoint();
+}
+
+ServerCounters
+NetServer::counters() const
+{
+    ServerCounters out;
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.turnedAway = turnedAway_.load(std::memory_order_relaxed);
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.admitShed = admitShed_.load(std::memory_order_relaxed);
+    out.admitRejected = admitRejected_.load(std::memory_order_relaxed);
+    out.inflightRejected =
+        inflightRejected_.load(std::memory_order_relaxed);
+    out.corruptFrames = corruptFrames_.load(std::memory_order_relaxed);
+    out.deadlineDrops = deadlineDrops_.load(std::memory_order_relaxed);
+    out.errorReplies = errorReplies_.load(std::memory_order_relaxed);
+    return out;
+}
+
+Admission
+NetServer::admissionDecision() const
+{
+    const auto capacity =
+        static_cast<double>(service_.totalQueueCapacity());
+    const auto depth = static_cast<double>(service_.totalQueueDepth());
+    if (depth >= config_.rejectFraction * capacity)
+        return Admission::Reject;
+    if (depth >= config_.shedFraction * capacity)
+        return Admission::Shed;
+    return Admission::Accept;
+}
+
+void
+NetServer::reapFinished()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+NetServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        auto conn = listener_.accept(pollSliceMs);
+        if (!conn) {
+            if (conn.error().code() == ErrorCode::Shutdown)
+                return;
+            reapFinished();
+            continue; // deadline slice or transient accept error
+        }
+        reapFinished();
+
+        std::size_t open;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            open = connections_.size();
+        }
+        if (open >= config_.maxConnections) {
+            // Over the connection budget: an explicit GoAway (best
+            // effort) beats a silent close — the client learns this
+            // was policy, not a crash, and backs off.
+            turnedAway_.fetch_add(1, std::memory_order_relaxed);
+            static obs::Counter &turned =
+                obs::counter("net.conn_turned_away");
+            turned.add();
+            Frame goaway;
+            goaway.type = FrameType::GoAway;
+            goaway.payload = encodeErrorPayload(
+                makeError(ErrorCode::Overloaded,
+                          "gateway connection budget exhausted"));
+            const std::string bytes = encodeFrame(goaway);
+            (void)(*conn)->sendAll(bytes.data(), bytes.size(),
+                                   config_.writeDeadlineMs);
+            continue; // stream destructor closes the socket
+        }
+
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter &acceptedConns =
+            obs::counter("net.connections");
+        acceptedConns.add();
+
+        auto connection = std::make_unique<Connection>();
+        connection->stream = std::move(*conn);
+        Connection *raw = connection.get();
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            connections_.push_back(std::move(connection));
+        }
+        raw->thread = std::thread([this, raw] {
+            serveConnection(*raw);
+            raw->done.store(true, std::memory_order_release);
+        });
+    }
+}
+
+void
+NetServer::serveConnection(Connection &conn)
+{
+    using Clock = std::chrono::steady_clock;
+    Stream &stream = *conn.stream;
+    FrameReader reader;
+    char buf[16 * 1024];
+    bool midFrame = false;
+    Clock::time_point midFrameSince{};
+
+    while (!stopping_.load(std::memory_order_acquire)) {
+        auto received = stream.recvSome(buf, sizeof(buf), pollSliceMs);
+        if (!received) {
+            if (received.error().code() == ErrorCode::DeadlineExceeded) {
+                // Idle is fine; a *partial frame* that stalls past the
+                // read deadline is a slow (or chaos-stalled) sender.
+                if (midFrame &&
+                    Clock::now() - midFrameSince >
+                        std::chrono::milliseconds(
+                            config_.readDeadlineMs)) {
+                    deadlineDrops_.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    static obs::Counter &drops =
+                        obs::counter("net.deadline_drops");
+                    drops.add();
+                    return;
+                }
+                continue;
+            }
+            return; // ConnectionLost / IoError: nothing to salvage
+        }
+        if (*received == 0)
+            return; // orderly EOF
+        reader.feed(buf, *received);
+
+        Frame frame;
+        Error error;
+        for (;;) {
+            const auto status = reader.next(frame, error);
+            if (status == FrameReader::Status::NeedMore)
+                break;
+            if (status == FrameReader::Status::Corrupt) {
+                corruptFrames_.fetch_add(1, std::memory_order_relaxed);
+                static obs::Counter &corrupt =
+                    obs::counter("net.corrupt_frames");
+                corrupt.add();
+                // The stream is unsynchronized; a GoAway naming the
+                // damage is the only honest reply left.
+                Frame goaway;
+                goaway.type = FrameType::GoAway;
+                goaway.payload = encodeErrorPayload(
+                    makeError(ErrorCode::ProtocolError,
+                              "dropping connection: " + error.str()));
+                const std::string bytes = encodeFrame(goaway);
+                (void)stream.sendAll(bytes.data(), bytes.size(),
+                                     config_.writeDeadlineMs);
+                return;
+            }
+            if (!handleFrame(stream, frame))
+                return;
+        }
+        if (reader.buffered() > 0) {
+            if (!midFrame) {
+                midFrame = true;
+                midFrameSince = Clock::now();
+            }
+        } else {
+            midFrame = false;
+        }
+    }
+}
+
+bool
+NetServer::sendFrame(Stream &stream, FrameType type, std::uint64_t id,
+                     std::string payload)
+{
+    Frame frame;
+    frame.type = type;
+    frame.id = id;
+    frame.payload = std::move(payload);
+    const std::string bytes = encodeFrame(frame);
+    return static_cast<bool>(
+        stream.sendAll(bytes.data(), bytes.size(),
+                       config_.writeDeadlineMs));
+}
+
+bool
+NetServer::sendError(Stream &stream, std::uint64_t id,
+                     const Error &error)
+{
+    errorReplies_.fetch_add(1, std::memory_order_relaxed);
+    return sendFrame(stream, FrameType::ErrorReply, id,
+                     encodeErrorPayload(error));
+}
+
+bool
+NetServer::handleFrame(Stream &stream, const Frame &frame)
+{
+    static obs::Counter &served = obs::counter("net.requests");
+    static obs::Counter &admitAccepted =
+        obs::counter("net.admit.accepted");
+    static obs::Counter &admitShed = obs::counter("net.admit.shed");
+    static obs::Counter &admitRejected =
+        obs::counter("net.admit.rejected");
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    served.add();
+
+    switch (frame.type) {
+      case FrameType::Hello: {
+        std::uint16_t version = 0;
+        std::string name;
+        if (!decodeHello(frame.payload, version, name)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed Hello payload"));
+        }
+        if (version != wireVersion) {
+            return sendError(
+                stream, frame.id,
+                makeError(ErrorCode::BadVersion,
+                          "client speaks wire version " +
+                              std::to_string(version) + ", server " +
+                              std::to_string(wireVersion)));
+        }
+        return sendFrame(stream, FrameType::HelloOk, frame.id,
+                         encodeHello("clapd"));
+      }
+
+      case FrameType::Ping:
+        return sendFrame(stream, FrameType::Pong, frame.id, {});
+
+      case FrameType::Predict: {
+        LoadInfo info;
+        if (!decodePredictRequest(frame.payload, info)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed Predict payload"));
+        }
+        const Admission admission = admissionDecision();
+        if (admission != Admission::Accept) {
+            if (admission == Admission::Shed) {
+                admitShed_.fetch_add(1, std::memory_order_relaxed);
+                admitShed.add();
+            } else {
+                admitRejected_.fetch_add(1, std::memory_order_relaxed);
+                admitRejected.add();
+            }
+            return sendError(
+                stream, frame.id,
+                makeError(ErrorCode::Overloaded,
+                          admission == Admission::Shed
+                              ? "gateway shedding predicts"
+                              : "gateway rejecting requests"));
+        }
+        admitAccepted.add();
+        const unsigned inflight =
+            inFlight_.fetch_add(1, std::memory_order_acq_rel);
+        if (inflight >= config_.maxInFlight) {
+            inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+            inflightRejected_.fetch_add(1, std::memory_order_relaxed);
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::Overloaded,
+                                       "gateway in-flight budget "
+                                       "exhausted"));
+        }
+        auto pred = service_.predict(info);
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!pred)
+            return sendError(stream, frame.id, pred.error());
+        return sendFrame(stream, FrameType::PredictOk, frame.id,
+                         encodePredictResponse(info.pc, *pred));
+      }
+
+      case FrameType::Train: {
+        LoadInfo info;
+        std::uint64_t actual = 0;
+        Prediction pred;
+        if (!decodeTrainRequest(frame.payload, info, actual, pred)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed Train payload"));
+        }
+        // Shed mode still trains: a dropped train silently forks the
+        // predictor state; only full Reject refuses it.
+        if (admissionDecision() == Admission::Reject) {
+            admitRejected_.fetch_add(1, std::memory_order_relaxed);
+            admitRejected.add();
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::Overloaded,
+                                       "gateway rejecting requests"));
+        }
+        admitAccepted.add();
+        const unsigned inflight =
+            inFlight_.fetch_add(1, std::memory_order_acq_rel);
+        if (inflight >= config_.maxInFlight) {
+            inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+            inflightRejected_.fetch_add(1, std::memory_order_relaxed);
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::Overloaded,
+                                       "gateway in-flight budget "
+                                       "exhausted"));
+        }
+        auto trained = service_.train(info, actual, pred);
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!trained)
+            return sendError(stream, frame.id, trained.error());
+        return sendFrame(stream, FrameType::TrainOk, frame.id, {});
+      }
+
+      case FrameType::Stats: {
+        ServiceWireStats stats;
+        stats.aggregate = service_.aggregateStats();
+        for (const ShardSnapshot &snap : service_.snapshot()) {
+            ShardWireStats shard;
+            shard.predicts = snap.predicts;
+            shard.trains = snap.trains;
+            shard.rejected = snap.rejected;
+            shard.unavailable = snap.unavailable;
+            shard.queueDepth = snap.queueDepth;
+            shard.quarantined = snap.quarantined ? 1 : 0;
+            stats.shards.push_back(shard);
+        }
+        if (supervisor_ != nullptr) {
+            const SupervisorStats sup = supervisor_->stats();
+            stats.supervisor.snapshots = sup.snapshots;
+            stats.supervisor.snapshotFailures = sup.snapshotFailures;
+            stats.supervisor.recoveries = sup.recoveries;
+            stats.supervisor.strictRestores = sup.strictRestores;
+            stats.supervisor.salvagedRestores = sup.salvagedRestores;
+            stats.supervisor.freshRestarts = sup.freshRestarts;
+            stats.supervisor.unrecovered = sup.unrecovered;
+        }
+        return sendFrame(stream, FrameType::StatsOk, frame.id,
+                         encodeServiceStats(stats));
+      }
+
+      case FrameType::SnapshotFetch: {
+        std::uint32_t shard = 0;
+        if (!decodeSnapshotRequest(frame.payload, shard)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed SnapshotFetch"));
+        }
+        if (shard >= service_.config().shards) {
+            return sendError(
+                stream, frame.id,
+                makeError(ErrorCode::InvalidArgument,
+                          "shard " + std::to_string(shard) +
+                              " out of range"));
+        }
+        auto captured = service_.captureShardState(shard);
+        if (!captured)
+            return sendError(stream, frame.id, captured.error());
+        return sendFrame(stream, FrameType::SnapshotData, frame.id,
+                         encodeSnapshotData(shard, *captured));
+      }
+
+      case FrameType::SnapshotInstall: {
+        std::uint32_t shard = 0;
+        std::string bytes;
+        if (!decodeSnapshotData(frame.payload, shard, bytes)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed SnapshotInstall"));
+        }
+        if (shard >= service_.config().shards) {
+            return sendError(
+                stream, frame.id,
+                makeError(ErrorCode::InvalidArgument,
+                          "shard " + std::to_string(shard) +
+                              " out of range"));
+        }
+        auto restored = service_.restoreShardState(shard, bytes);
+        if (!restored)
+            return sendError(stream, frame.id, restored.error());
+        return sendFrame(
+            stream, FrameType::SnapshotInstallOk, frame.id,
+            encodeSnapshotInstallOk(restored->restored,
+                                    restored->salvaged));
+      }
+
+      case FrameType::Shutdown: {
+        shutdownRequested_.store(true, std::memory_order_release);
+        return sendFrame(stream, FrameType::ShutdownOk, frame.id, {});
+      }
+
+      default: {
+        // A response-typed or unknown-but-valid frame from a client is
+        // a protocol violation serious enough to drop the connection:
+        // the peer is confused about its own role.
+        (void)sendError(stream, frame.id,
+                        makeError(ErrorCode::ProtocolError,
+                                  std::string("unexpected frame ") +
+                                      frameTypeName(frame.type)));
+        return false;
+      }
+    }
+}
+
+} // namespace clap::net

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Network gateway over PredictionService: accepts UDS/TCP connections
+ * (net/socket.hh), speaks the CRC-framed wire protocol (net/wire.hh),
+ * and assumes failure as the common case — every connection has read
+ * and write deadlines (a stalled or dead peer costs one deadline,
+ * never a wedged thread), connection and in-flight budgets are
+ * bounded, and corrupt frames drop the connection with a best-effort
+ * GoAway instead of ever reaching the predictor.
+ *
+ * Admission control maps the service's live queue depth — the same
+ * signal `src/obs/` exports as serve.queue_depth — onto three
+ * decisions:
+ *
+ *   Accept  depth <  shedFraction   · capacity   serve everything
+ *   Shed    depth >= shedFraction   · capacity   predicts fail
+ *           Overloaded (a skipped *speculation* is harmless and the
+ *           error is retryable); trains still apply, because a
+ *           silently dropped train would fork the predictor state
+ *           away from every replica's
+ *   Reject  depth >= rejectFraction · capacity   everything fails
+ *           Overloaded; the service is protected above all
+ *
+ * Decisions are counted in the metrics registry (net.admit.*) so a
+ * shedding gateway is visible in `obs_tool stats`-style output.
+ *
+ * Threading: one acceptor thread plus one thread per connection
+ * (connections are bounded and cheap relative to predictor shards;
+ * a per-connection thread keeps the deadline logic synchronous and
+ * obviously hang-free). stop() closes the listener, shuts every
+ * connection's socket (waking blocked reads), and joins.
+ */
+
+#ifndef CLAP_NET_SERVER_HH
+#define CLAP_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "serve/service.hh"
+#include "serve/supervisor.hh"
+#include "util/error.hh"
+
+namespace clap::net
+{
+
+/** Gateway knobs. */
+struct ServerConfig
+{
+    /// Endpoint spec ("unix:/tmp/clapd.sock" or "tcp:127.0.0.1:0").
+    std::string endpoint = "unix:/tmp/clapd.sock";
+
+    /// Concurrent connections; one over budget is greeted with GoAway
+    /// and closed before any request is read.
+    unsigned maxConnections = 32;
+
+    /// Requests being processed across all connections; one over
+    /// budget fails Overloaded (retryable) without touching a shard.
+    unsigned maxInFlight = 256;
+
+    /// A connection mid-frame for longer than this is dropped
+    /// (slow-sender protection); idle connections are not affected.
+    int readDeadlineMs = 2000;
+
+    /// A response write blocked on the peer's receive window for
+    /// longer than this drops the connection (slow-reader protection).
+    int writeDeadlineMs = 2000;
+
+    /// Admission thresholds as fractions of totalQueueCapacity().
+    double shedFraction = 0.75;
+    double rejectFraction = 0.95;
+
+    /** Structural sanity checks; call before building a server. */
+    Expected<void>
+    validate() const
+    {
+        if (endpoint.empty())
+            return makeError(ErrorCode::InvalidConfig,
+                             "ServerConfig: endpoint must be non-empty");
+        if (maxConnections == 0)
+            return makeError(ErrorCode::InvalidConfig,
+                             "ServerConfig: maxConnections must be >= 1");
+        if (maxInFlight == 0)
+            return makeError(ErrorCode::InvalidConfig,
+                             "ServerConfig: maxInFlight must be >= 1");
+        if (!(shedFraction > 0.0) || !(rejectFraction >= shedFraction) ||
+            !(rejectFraction <= 1.0)) {
+            return makeError(
+                ErrorCode::InvalidConfig,
+                "ServerConfig: need 0 < shedFraction <= rejectFraction "
+                "<= 1");
+        }
+        return ok();
+    }
+};
+
+/** What admission control decided for one request. */
+enum class Admission : std::uint8_t
+{
+    Accept,
+    Shed,
+    Reject,
+};
+
+/** Cumulative gateway counters (atomic; readable while serving). */
+struct ServerCounters
+{
+    std::uint64_t accepted = 0;      ///< connections accepted
+    std::uint64_t turnedAway = 0;    ///< connections over budget
+    std::uint64_t requests = 0;      ///< request frames served
+    std::uint64_t admitShed = 0;     ///< predicts shed by admission
+    std::uint64_t admitRejected = 0; ///< requests rejected by admission
+    std::uint64_t inflightRejected = 0; ///< over the in-flight budget
+    std::uint64_t corruptFrames = 0; ///< connections dropped on Corrupt
+    std::uint64_t deadlineDrops = 0; ///< connections dropped on stall
+    std::uint64_t errorReplies = 0;  ///< ErrorReply frames sent
+};
+
+class NetServer
+{
+  public:
+    /**
+     * @p supervisor may be null; when present its stats ride along in
+     * StatsOk frames and snapshot requests go through the service
+     * directly either way.
+     */
+    NetServer(PredictionService &service, ShardSupervisor *supervisor,
+              const ServerConfig &config);
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** Bind, listen, and start the acceptor thread. */
+    Expected<void> start();
+
+    /** Close the listener and every connection; join all threads.
+     *  Idempotent; also run by the destructor. */
+    void stop();
+
+    /** Actual bound endpoint (resolves tcp port 0). @pre start() ok */
+    const Endpoint &boundEndpoint() const;
+
+    /** True once a client's Shutdown frame was honored. The owner
+     *  (clapd's main loop, the migration driver) polls this and calls
+     *  stop() — the connection thread cannot join itself. */
+    bool shutdownRequested() const
+    {
+        return shutdownRequested_.load(std::memory_order_acquire);
+    }
+
+    ServerCounters counters() const;
+
+    /** The admission decision the gateway would make right now. */
+    Admission admissionDecision() const;
+
+  private:
+    struct Connection
+    {
+        std::unique_ptr<SocketStream> stream;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection &conn);
+    /** One request frame -> one response frame (or GoAway=false). */
+    bool handleFrame(Stream &stream, const Frame &frame);
+    bool sendFrame(Stream &stream, FrameType type, std::uint64_t id,
+                   std::string payload);
+    bool sendError(Stream &stream, std::uint64_t id, const Error &error);
+    void reapFinished();
+
+    PredictionService &service_;
+    ShardSupervisor *supervisor_;
+    ServerConfig config_;
+    Listener listener_;
+    std::thread acceptor_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownRequested_{false};
+    std::atomic<unsigned> inFlight_{0};
+
+    std::mutex connMutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    /// @name Counter cells (relaxed; snapshotted by counters())
+    /// @{
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> turnedAway_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> admitShed_{0};
+    std::atomic<std::uint64_t> admitRejected_{0};
+    std::atomic<std::uint64_t> inflightRejected_{0};
+    std::atomic<std::uint64_t> corruptFrames_{0};
+    std::atomic<std::uint64_t> deadlineDrops_{0};
+    std::atomic<std::uint64_t> errorReplies_{0};
+    /// @}
+};
+
+} // namespace clap::net
+
+#endif // CLAP_NET_SERVER_HH

@@ -1,0 +1,587 @@
+#include "net/wire.hh"
+
+#include <cstring>
+
+#include "util/crc32.hh"
+
+namespace clap::net
+{
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello:             return "Hello";
+      case FrameType::HelloOk:           return "HelloOk";
+      case FrameType::Predict:           return "Predict";
+      case FrameType::PredictOk:         return "PredictOk";
+      case FrameType::Train:             return "Train";
+      case FrameType::TrainOk:           return "TrainOk";
+      case FrameType::Ping:              return "Ping";
+      case FrameType::Pong:              return "Pong";
+      case FrameType::Stats:             return "Stats";
+      case FrameType::StatsOk:           return "StatsOk";
+      case FrameType::SnapshotFetch:     return "SnapshotFetch";
+      case FrameType::SnapshotData:      return "SnapshotData";
+      case FrameType::SnapshotInstall:   return "SnapshotInstall";
+      case FrameType::SnapshotInstallOk: return "SnapshotInstallOk";
+      case FrameType::Shutdown:          return "Shutdown";
+      case FrameType::ShutdownOk:        return "ShutdownOk";
+      case FrameType::ErrorReply:        return "ErrorReply";
+      case FrameType::GoAway:            return "GoAway";
+    }
+    return "Unknown";
+}
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putString(std::string &out, std::string_view s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s.data(), s.size());
+}
+
+bool
+getU8(std::string_view in, std::size_t &pos, std::uint8_t &v)
+{
+    if (pos + 1 > in.size())
+        return false;
+    v = static_cast<std::uint8_t>(in[pos++]);
+    return true;
+}
+
+bool
+getU16(std::string_view in, std::size_t &pos, std::uint16_t &v)
+{
+    if (pos + 2 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 2; ++i)
+        v |= static_cast<std::uint16_t>(
+            static_cast<std::uint8_t>(in[pos + i])) << (8 * i);
+    pos += 2;
+    return true;
+}
+
+bool
+getU32(std::string_view in, std::size_t &pos, std::uint32_t &v)
+{
+    if (pos + 4 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+            static_cast<std::uint8_t>(in[pos + i])) << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+getU64(std::string_view in, std::size_t &pos, std::uint64_t &v)
+{
+    if (pos + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+            static_cast<std::uint8_t>(in[pos + i])) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+bool
+getString(std::string_view in, std::size_t &pos, std::string &s)
+{
+    std::uint32_t len = 0;
+    if (!getU32(in, pos, len))
+        return false;
+    if (pos + len > in.size())
+        return false;
+    s.assign(in.data() + pos, len);
+    pos += len;
+    return true;
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(frameHeaderBytes + frame.payload.size() +
+                frameTrailerBytes);
+    putU32(out, wireMagic);
+    putU16(out, wireVersion);
+    putU16(out, static_cast<std::uint16_t>(frame.type));
+    putU64(out, frame.id);
+    putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    putU32(out, crc32(out.data(), out.size()));
+    out += frame.payload;
+    putU32(out, crc32(frame.payload.data(), frame.payload.size()));
+    return out;
+}
+
+void
+FrameReader::feed(const void *data, std::size_t len)
+{
+    // Compact lazily: only once the consumed prefix dominates, so
+    // steady-state feeds are amortized O(len).
+    if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(static_cast<const char *>(data), len);
+}
+
+FrameReader::Status
+FrameReader::next(Frame &out, Error &error)
+{
+    if (poisoned_) {
+        error = makeError(ErrorCode::ProtocolError,
+                          "frame stream already unsynchronized");
+        return Status::Corrupt;
+    }
+
+    const std::string_view view{buffer_.data() + consumed_,
+                                buffer_.size() - consumed_};
+    if (view.size() < frameHeaderBytes)
+        return Status::NeedMore;
+
+    std::size_t pos = 0;
+    std::uint32_t magic = 0, length = 0, hcrc = 0;
+    std::uint16_t version = 0, rawType = 0;
+    std::uint64_t id = 0;
+    getU32(view, pos, magic);
+    getU16(view, pos, version);
+    getU16(view, pos, rawType);
+    getU64(view, pos, id);
+    getU32(view, pos, length);
+    const std::uint32_t want_hcrc = crc32(view.data(), pos);
+    getU32(view, pos, hcrc);
+
+    // Validate the header CRC before *any* header field: with a bad
+    // CRC every field (including length) is untrustworthy.
+    if (hcrc != want_hcrc) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadChecksum,
+                          "frame header CRC mismatch");
+        return Status::Corrupt;
+    }
+    if (magic != wireMagic) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadMagic,
+                          "frame magic mismatch");
+        return Status::Corrupt;
+    }
+    if (version != wireVersion) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadVersion,
+                          "unsupported wire version " +
+                              std::to_string(version));
+        return Status::Corrupt;
+    }
+    if (rawType < static_cast<std::uint16_t>(FrameType::Hello) ||
+        rawType > static_cast<std::uint16_t>(FrameType::GoAway)) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadHeader,
+                          "unknown frame type " +
+                              std::to_string(rawType));
+        return Status::Corrupt;
+    }
+    if (length > maxFramePayload) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadHeader,
+                          "frame payload length " +
+                              std::to_string(length) +
+                              " exceeds limit");
+        return Status::Corrupt;
+    }
+
+    const std::size_t total =
+        frameHeaderBytes + length + frameTrailerBytes;
+    if (view.size() < total)
+        return Status::NeedMore;
+
+    const std::string_view payload = view.substr(frameHeaderBytes,
+                                                 length);
+    std::size_t tpos = frameHeaderBytes + length;
+    std::uint32_t pcrc = 0;
+    getU32(view, tpos, pcrc);
+    if (pcrc != crc32(payload.data(), payload.size())) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadChecksum,
+                          "frame payload CRC mismatch");
+        return Status::Corrupt;
+    }
+
+    out.type = static_cast<FrameType>(rawType);
+    out.id = id;
+    out.payload.assign(payload.data(), payload.size());
+    consumed_ += total;
+    return Status::Ok;
+}
+
+void
+putLoadInfo(std::string &out, const LoadInfo &info)
+{
+    putU64(out, info.pc);
+    putU32(out, static_cast<std::uint32_t>(info.immOffset));
+    putU64(out, info.ghr);
+    putU64(out, info.pathHist);
+}
+
+bool
+getLoadInfo(std::string_view in, std::size_t &pos, LoadInfo &info)
+{
+    std::uint32_t imm = 0;
+    if (!getU64(in, pos, info.pc) || !getU32(in, pos, imm) ||
+        !getU64(in, pos, info.ghr) || !getU64(in, pos, info.pathHist))
+        return false;
+    info.immOffset = static_cast<std::int32_t>(imm);
+    return true;
+}
+
+void
+putPrediction(std::string &out, const Prediction &pred)
+{
+    // Pack the seven booleans into one flags byte; every other field
+    // at full width. A predictor's update() reads all of these, so a
+    // lossy encoding here would silently change training behavior.
+    std::uint8_t flags = 0;
+    flags |= pred.lbHit ? 1u << 0 : 0;
+    flags |= pred.hasAddress ? 1u << 1 : 0;
+    flags |= pred.speculate ? 1u << 2 : 0;
+    flags |= pred.capHasAddr ? 1u << 3 : 0;
+    flags |= pred.capSpec ? 1u << 4 : 0;
+    flags |= pred.strideHasAddr ? 1u << 5 : 0;
+    flags |= pred.strideSpec ? 1u << 6 : 0;
+    flags |= pred.lbHandle.valid ? 1u << 7 : 0;
+    putU8(out, flags);
+    putU8(out, static_cast<std::uint8_t>(pred.component));
+    putU8(out, pred.selectorState);
+    putU64(out, pred.addr);
+    putU64(out, pred.capAddr);
+    putU64(out, pred.strideAddr);
+    putU32(out, pred.lbHandle.slot);
+    putU32(out, pred.lbHandle.gen);
+}
+
+bool
+getPrediction(std::string_view in, std::size_t &pos, Prediction &pred)
+{
+    std::uint8_t flags = 0, component = 0;
+    if (!getU8(in, pos, flags) || !getU8(in, pos, component) ||
+        !getU8(in, pos, pred.selectorState) ||
+        !getU64(in, pos, pred.addr) || !getU64(in, pos, pred.capAddr) ||
+        !getU64(in, pos, pred.strideAddr) ||
+        !getU32(in, pos, pred.lbHandle.slot) ||
+        !getU32(in, pos, pred.lbHandle.gen))
+        return false;
+    if (component > static_cast<std::uint8_t>(Component::Cap))
+        return false;
+    pred.lbHit = flags & (1u << 0);
+    pred.hasAddress = flags & (1u << 1);
+    pred.speculate = flags & (1u << 2);
+    pred.capHasAddr = flags & (1u << 3);
+    pred.capSpec = flags & (1u << 4);
+    pred.strideHasAddr = flags & (1u << 5);
+    pred.strideSpec = flags & (1u << 6);
+    pred.lbHandle.valid = flags & (1u << 7);
+    pred.component = static_cast<Component>(component);
+    return true;
+}
+
+void
+putPredictionStats(std::string &out, const PredictionStats &stats)
+{
+    putU64(out, stats.loads);
+    putU64(out, stats.lbHits);
+    putU64(out, stats.formed);
+    putU64(out, stats.formedCorrect);
+    putU64(out, stats.spec);
+    putU64(out, stats.specCorrect);
+    for (std::size_t i = 0; i < stats.specBy.size(); ++i)
+        putU64(out, stats.specBy[i]);
+    for (std::size_t i = 0; i < stats.specCorrectBy.size(); ++i)
+        putU64(out, stats.specCorrectBy[i]);
+    putU64(out, stats.bothSpec);
+    for (std::size_t i = 0; i < stats.selectorState.size(); ++i)
+        putU64(out, stats.selectorState[i]);
+    putU64(out, stats.missSelections);
+}
+
+bool
+getPredictionStats(std::string_view in, std::size_t &pos,
+                   PredictionStats &stats)
+{
+    if (!getU64(in, pos, stats.loads) ||
+        !getU64(in, pos, stats.lbHits) ||
+        !getU64(in, pos, stats.formed) ||
+        !getU64(in, pos, stats.formedCorrect) ||
+        !getU64(in, pos, stats.spec) ||
+        !getU64(in, pos, stats.specCorrect))
+        return false;
+    for (std::size_t i = 0; i < stats.specBy.size(); ++i)
+        if (!getU64(in, pos, stats.specBy[i]))
+            return false;
+    for (std::size_t i = 0; i < stats.specCorrectBy.size(); ++i)
+        if (!getU64(in, pos, stats.specCorrectBy[i]))
+            return false;
+    if (!getU64(in, pos, stats.bothSpec))
+        return false;
+    for (std::size_t i = 0; i < stats.selectorState.size(); ++i)
+        if (!getU64(in, pos, stats.selectorState[i]))
+            return false;
+    return getU64(in, pos, stats.missSelections);
+}
+
+void
+putError(std::string &out, const Error &error)
+{
+    putU8(out, static_cast<std::uint8_t>(error.code()));
+    putU8(out, isRetryable(error.code()) ? 1 : 0);
+    putString(out, error.str());
+}
+
+bool
+getError(std::string_view in, std::size_t &pos, Error &error)
+{
+    std::uint8_t raw_code = 0, retryable = 0;
+    std::string message;
+    if (!getU8(in, pos, raw_code) || !getU8(in, pos, retryable) ||
+        !getString(in, pos, message))
+        return false;
+    if (raw_code > static_cast<std::uint8_t>(ErrorCode::DeadlineExceeded))
+        return false;
+    error = makeError(static_cast<ErrorCode>(raw_code),
+                      std::move(message));
+    return true;
+}
+
+std::string
+encodeHello(std::string_view client_name)
+{
+    std::string out;
+    putU16(out, wireVersion);
+    putString(out, client_name);
+    return out;
+}
+
+bool
+decodeHello(std::string_view payload, std::uint16_t &version,
+            std::string &client_name)
+{
+    std::size_t pos = 0;
+    return getU16(payload, pos, version) &&
+        getString(payload, pos, client_name) && pos == payload.size();
+}
+
+std::string
+encodePredictRequest(const LoadInfo &info)
+{
+    std::string out;
+    putLoadInfo(out, info);
+    return out;
+}
+
+bool
+decodePredictRequest(std::string_view payload, LoadInfo &info)
+{
+    std::size_t pos = 0;
+    return getLoadInfo(payload, pos, info) && pos == payload.size();
+}
+
+std::string
+encodePredictResponse(std::uint64_t pc, const Prediction &pred)
+{
+    std::string out;
+    putU64(out, pc);
+    putPrediction(out, pred);
+    return out;
+}
+
+bool
+decodePredictResponse(std::string_view payload, std::uint64_t &pc,
+                      Prediction &pred)
+{
+    std::size_t pos = 0;
+    return getU64(payload, pos, pc) &&
+        getPrediction(payload, pos, pred) && pos == payload.size();
+}
+
+std::string
+encodeTrainRequest(const LoadInfo &info, std::uint64_t actual_addr,
+                   const Prediction &pred)
+{
+    std::string out;
+    putLoadInfo(out, info);
+    putU64(out, actual_addr);
+    putPrediction(out, pred);
+    return out;
+}
+
+bool
+decodeTrainRequest(std::string_view payload, LoadInfo &info,
+                   std::uint64_t &actual_addr, Prediction &pred)
+{
+    std::size_t pos = 0;
+    return getLoadInfo(payload, pos, info) &&
+        getU64(payload, pos, actual_addr) &&
+        getPrediction(payload, pos, pred) && pos == payload.size();
+}
+
+std::string
+encodeErrorPayload(const Error &error)
+{
+    std::string out;
+    putError(out, error);
+    return out;
+}
+
+bool
+decodeErrorPayload(std::string_view payload, Error &error)
+{
+    std::size_t pos = 0;
+    return getError(payload, pos, error) && pos == payload.size();
+}
+
+std::string
+encodeServiceStats(const ServiceWireStats &stats)
+{
+    std::string out;
+    putPredictionStats(out, stats.aggregate);
+    putU32(out, static_cast<std::uint32_t>(stats.shards.size()));
+    for (const auto &shard : stats.shards) {
+        putU64(out, shard.predicts);
+        putU64(out, shard.trains);
+        putU64(out, shard.rejected);
+        putU64(out, shard.unavailable);
+        putU64(out, shard.queueDepth);
+        putU8(out, shard.quarantined);
+    }
+    const auto &sup = stats.supervisor;
+    putU64(out, sup.snapshots);
+    putU64(out, sup.snapshotFailures);
+    putU64(out, sup.recoveries);
+    putU64(out, sup.strictRestores);
+    putU64(out, sup.salvagedRestores);
+    putU64(out, sup.freshRestarts);
+    putU64(out, sup.unrecovered);
+    return out;
+}
+
+bool
+decodeServiceStats(std::string_view payload, ServiceWireStats &stats)
+{
+    std::size_t pos = 0;
+    if (!getPredictionStats(payload, pos, stats.aggregate))
+        return false;
+    std::uint32_t shards = 0;
+    if (!getU32(payload, pos, shards))
+        return false;
+    // 41 bytes per shard entry; bound before reserving.
+    if (shards > payload.size() / 41 + 1)
+        return false;
+    stats.shards.clear();
+    stats.shards.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        ShardWireStats shard;
+        if (!getU64(payload, pos, shard.predicts) ||
+            !getU64(payload, pos, shard.trains) ||
+            !getU64(payload, pos, shard.rejected) ||
+            !getU64(payload, pos, shard.unavailable) ||
+            !getU64(payload, pos, shard.queueDepth) ||
+            !getU8(payload, pos, shard.quarantined))
+            return false;
+        stats.shards.push_back(shard);
+    }
+    auto &sup = stats.supervisor;
+    return getU64(payload, pos, sup.snapshots) &&
+        getU64(payload, pos, sup.snapshotFailures) &&
+        getU64(payload, pos, sup.recoveries) &&
+        getU64(payload, pos, sup.strictRestores) &&
+        getU64(payload, pos, sup.salvagedRestores) &&
+        getU64(payload, pos, sup.freshRestarts) &&
+        getU64(payload, pos, sup.unrecovered) && pos == payload.size();
+}
+
+std::string
+encodeSnapshotRequest(std::uint32_t shard)
+{
+    std::string out;
+    putU32(out, shard);
+    return out;
+}
+
+bool
+decodeSnapshotRequest(std::string_view payload, std::uint32_t &shard)
+{
+    std::size_t pos = 0;
+    return getU32(payload, pos, shard) && pos == payload.size();
+}
+
+std::string
+encodeSnapshotData(std::uint32_t shard, std::string_view bytes)
+{
+    std::string out;
+    putU32(out, shard);
+    putString(out, bytes);
+    return out;
+}
+
+bool
+decodeSnapshotData(std::string_view payload, std::uint32_t &shard,
+                   std::string &bytes)
+{
+    std::size_t pos = 0;
+    return getU32(payload, pos, shard) &&
+        getString(payload, pos, bytes) && pos == payload.size();
+}
+
+std::string
+encodeSnapshotInstallOk(std::uint32_t restored, bool salvaged)
+{
+    std::string out;
+    putU32(out, restored);
+    putU8(out, salvaged ? 1 : 0);
+    return out;
+}
+
+bool
+decodeSnapshotInstallOk(std::string_view payload,
+                        std::uint32_t &restored, bool &salvaged)
+{
+    std::size_t pos = 0;
+    std::uint8_t flag = 0;
+    if (!getU32(payload, pos, restored) || !getU8(payload, pos, flag) ||
+        pos != payload.size())
+        return false;
+    salvaged = flag != 0;
+    return true;
+}
+
+} // namespace clap::net

@@ -282,7 +282,11 @@ PredictionService::submit(Request request, unsigned shard_index)
                              std::to_string(config_.queueCapacity) + ")")
             .withContext("shard " + std::to_string(shard_index));
       case QueuePush::Closed:
-        return makeError(ErrorCode::InvalidArgument,
+        // Structured Shutdown, not InvalidArgument: a producer that
+        // was blocked in push() when stop() closed the queue must
+        // wake with an error its caller can branch on (terminal, not
+        // retryable — see util/error.hh).
+        return makeError(ErrorCode::Shutdown,
                          "prediction service is stopped")
             .withContext("shard " + std::to_string(shard_index));
     }
@@ -467,6 +471,21 @@ PredictionService::processBatch(Shard &shard,
             request.slot = nullptr;
         }
     }
+}
+
+std::size_t
+PredictionService::queueDepth(unsigned shard_index) const
+{
+    return shards_[shard_index]->queue.depth();
+}
+
+std::size_t
+PredictionService::totalQueueDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto &shard : shards_)
+        depth += shard->queue.depth();
+    return depth;
 }
 
 PredictionStats

@@ -193,8 +193,9 @@ class PredictionService
     /**
      * Form a prediction for @p info, synchronously: enqueue on the
      * PC's shard and wait for the shard worker's response. Fails with
-     * Overloaded (Reject policy, full queue) or InvalidArgument
-     * (service stopped).
+     * Overloaded (Reject policy, full queue) or Shutdown (service
+     * stopped — including producers that were blocked in push() when
+     * stop() closed the queue).
      */
     Expected<Prediction> predict(const LoadInfo &info);
 
@@ -219,6 +220,25 @@ class PredictionService
 
     /** Sum of the per-shard statistics (train-resolved tallies). */
     PredictionStats aggregateStats() const;
+
+    /** Current depth of one shard's mailbox (admission control). */
+    std::size_t queueDepth(unsigned shard_index) const;
+
+    /**
+     * Sum of all shard mailbox depths — the load signal the network
+     * gateway's admission control maps to Accept/Shed/Reject. Cheap
+     * (one mutex-guarded size read per shard, no predictor locks), so
+     * it can run per-request.
+     */
+    std::size_t totalQueueDepth() const;
+
+    /** Sum of per-shard queue capacities (admission denominator). */
+    std::size_t
+    totalQueueCapacity() const
+    {
+        return static_cast<std::size_t>(config_.shards) *
+               config_.queueCapacity;
+    }
 
     /** Per-shard monitoring snapshot, in shard order. */
     std::vector<ShardSnapshot> snapshot() const;

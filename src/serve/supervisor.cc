@@ -33,17 +33,21 @@ ShardSupervisor::snapshotShard(unsigned shard_index)
 {
     static obs::Counter &snapshots =
         obs::counter("supervisor.snapshots");
+    static obs::Counter &snapshotFailures =
+        obs::counter("supervisor.snapshot_failures");
     // Never persist a shard known to be bad: the on-disk snapshot is
     // the recovery source and must stay last-known-good.
     if (auto healthy = service_.shardHealth(shard_index); !healthy) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.snapshotFailures;
+        snapshotFailures.add();
         return std::move(healthy.error())
             .withContext("snapshot of unhealthy shard refused");
     }
     if (service_.shardQuarantined(shard_index)) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.snapshotFailures;
+        snapshotFailures.add();
         return makeError(ErrorCode::ShardUnavailable,
                          "snapshot of quarantined shard refused")
             .withContext("shard " + std::to_string(shard_index));
@@ -52,6 +56,7 @@ ShardSupervisor::snapshotShard(unsigned shard_index)
     if (!captured) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.snapshotFailures;
+        snapshotFailures.add();
         return std::move(captured.error())
             .withContext("supervisor snapshot");
     }
@@ -60,6 +65,7 @@ ShardSupervisor::snapshotShard(unsigned shard_index)
         !written) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.snapshotFailures;
+        snapshotFailures.add();
         return std::move(written.error())
             .withContext("supervisor snapshot");
     }
@@ -85,10 +91,19 @@ ShardSupervisor::snapshotAll()
 Expected<void>
 ShardSupervisor::recoverShard(unsigned shard_index)
 {
+    // Every rung of the restore ladder gets its own registry counter
+    // so recovery *behavior* — not just recovery *counts* — is visible
+    // in `obs_tool stats --metrics` and serve snapshots.
     static obs::Counter &recoveries =
         obs::counter("supervisor.recoveries");
+    static obs::Counter &strictRestores =
+        obs::counter("supervisor.strict_restores");
+    static obs::Counter &salvagedRestores =
+        obs::counter("supervisor.salvaged_restores");
     static obs::Counter &freshRestarts =
         obs::counter("supervisor.fresh_restarts");
+    static obs::Counter &unrecoveredShards =
+        obs::counter("supervisor.unrecovered");
     static obs::Histogram &recoveryMs =
         obs::histogram("supervisor.recovery_ms");
 
@@ -139,6 +154,7 @@ ShardSupervisor::recoverShard(unsigned shard_index)
     }
 
     if (outcome == Outcome::Failed) {
+        unrecoveredShards.add();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.unrecovered;
         return std::move(failure).withContext(
@@ -162,8 +178,12 @@ ShardSupervisor::recoverShard(unsigned shard_index)
             std::chrono::steady_clock::now() - started);
     recoveryMs.record(static_cast<std::uint64_t>(elapsed.count()));
     recoveries.add();
-    if (outcome == Outcome::Fresh)
-        freshRestarts.add();
+    switch (outcome) {
+      case Outcome::Strict:   strictRestores.add(); break;
+      case Outcome::Salvaged: salvagedRestores.add(); break;
+      case Outcome::Fresh:    freshRestarts.add(); break;
+      case Outcome::Failed:   break; // unreachable
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.recoveries;

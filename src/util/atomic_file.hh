@@ -15,6 +15,7 @@
 #ifndef CLAP_UTIL_ATOMIC_FILE_HH
 #define CLAP_UTIL_ATOMIC_FILE_HH
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -30,6 +31,54 @@
 
 namespace clap
 {
+
+/**
+ * Test-only fault injection for writeFileAtomic: arm failNextX with a
+ * count N and the next N corresponding operations fail as if the
+ * syscall had. Lets tests prove the commit protocol's cleanup
+ * guarantees (no temp file left behind, destination never clobbered
+ * by a failed commit) without needing a full-disk or a yanked power
+ * cord. Counters are atomics so a supervisor thread and a test thread
+ * can touch them without a data race; production builds pay one
+ * relaxed load per armed check, zero branches taken.
+ */
+struct AtomicFileFaults
+{
+    std::atomic<int> failWrites{0};    ///< fail the temp-file write
+    std::atomic<int> failFsyncs{0};    ///< fail the temp-file fsync
+    std::atomic<int> failRenames{0};   ///< fail the commit rename
+    std::atomic<int> failDirFsyncs{0}; ///< fail the directory fsync
+
+    static AtomicFileFaults &
+    instance()
+    {
+        static AtomicFileFaults faults;
+        return faults;
+    }
+
+    /** Consume one armed fault from @p counter; true = inject now. */
+    static bool
+    consume(std::atomic<int> &counter)
+    {
+        int n = counter.load(std::memory_order_relaxed);
+        while (n > 0) {
+            if (counter.compare_exchange_weak(n, n - 1,
+                                              std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    }
+
+    /** Disarm everything (test teardown). */
+    void
+    reset()
+    {
+        failWrites.store(0, std::memory_order_relaxed);
+        failFsyncs.store(0, std::memory_order_relaxed);
+        failRenames.store(0, std::memory_order_relaxed);
+        failDirFsyncs.store(0, std::memory_order_relaxed);
+    }
+};
 
 namespace detail
 {
@@ -98,7 +147,10 @@ writeFileAtomic(const std::string &path, const std::string &content)
         os.write(content.data(),
                  static_cast<std::streamsize>(content.size()));
         os.flush();
-        if (!os) {
+        const bool injected_write_fault =
+            AtomicFileFaults::consume(
+                AtomicFileFaults::instance().failWrites);
+        if (!os || injected_write_fault) {
             std::remove(tmp.c_str());
             return makeError(ErrorCode::IoError,
                              "short write to temporary file " + tmp)
@@ -106,12 +158,27 @@ writeFileAtomic(const std::string &path, const std::string &content)
         }
     }
 #ifdef CLAP_HAVE_FSYNC
+    if (AtomicFileFaults::consume(
+            AtomicFileFaults::instance().failFsyncs)) {
+        std::remove(tmp.c_str());
+        return makeError(ErrorCode::IoError,
+                         "fsync of " + tmp + " failed (injected)")
+            .withContext("writing " + path);
+    }
     if (auto synced = detail::fsyncPath(tmp, /*directory=*/false);
         !synced) {
         std::remove(tmp.c_str());
         return std::move(synced.error()).withContext("writing " + path);
     }
 #endif
+    if (AtomicFileFaults::consume(
+            AtomicFileFaults::instance().failRenames)) {
+        std::remove(tmp.c_str());
+        return makeError(ErrorCode::IoError,
+                         "rename " + tmp + " -> " + path +
+                             " failed (injected)")
+            .withContext("writing " + path);
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return makeError(ErrorCode::IoError,
@@ -119,6 +186,13 @@ writeFileAtomic(const std::string &path, const std::string &content)
             .withContext("writing " + path);
     }
 #ifdef CLAP_HAVE_FSYNC
+    if (AtomicFileFaults::consume(
+            AtomicFileFaults::instance().failDirFsyncs)) {
+        return makeError(ErrorCode::IoError,
+                         "fsync of " + detail::containingDir(path) +
+                             " failed (injected)")
+            .withContext("writing " + path);
+    }
     if (auto synced =
             detail::fsyncPath(detail::containingDir(path),
                               /*directory=*/true);

@@ -43,6 +43,10 @@ enum class ErrorCode : std::uint8_t
     CorruptedState, ///< structural invariant violated (audit failure)
     Overloaded,     ///< bounded queue full under the Reject policy
     ShardUnavailable,///< shard quarantined while recovery is in flight
+    Shutdown,       ///< service/queue closed while the request waited
+    ProtocolError,  ///< wire frame malformed, unexpected, or corrupt
+    ConnectionLost, ///< peer closed or reset the connection mid-request
+    DeadlineExceeded,///< per-request network deadline expired
 };
 
 /** Printable name of an ErrorCode. */
@@ -64,6 +68,10 @@ errorCodeName(ErrorCode code)
       case ErrorCode::CorruptedState:  return "CorruptedState";
       case ErrorCode::Overloaded:      return "Overloaded";
       case ErrorCode::ShardUnavailable:return "ShardUnavailable";
+      case ErrorCode::Shutdown:        return "Shutdown";
+      case ErrorCode::ProtocolError:   return "ProtocolError";
+      case ErrorCode::ConnectionLost:  return "ConnectionLost";
+      case ErrorCode::DeadlineExceeded:return "DeadlineExceeded";
     }
     return "Unknown";
 }
@@ -72,7 +80,7 @@ errorCodeName(ErrorCode code)
 inline ErrorCode
 errorCodeFromName(const std::string &name)
 {
-    for (int i = 0; i <= static_cast<int>(ErrorCode::ShardUnavailable);
+    for (int i = 0; i <= static_cast<int>(ErrorCode::DeadlineExceeded);
          ++i) {
         const auto code = static_cast<ErrorCode>(i);
         if (name == errorCodeName(code))
@@ -84,17 +92,22 @@ errorCodeFromName(const std::string &name)
 /**
  * True for failure kinds worth retrying: transient conditions that a
  * fresh attempt can clear (e.g. predictor state corrupted by an
- * injected fault, a service shard queue momentarily full, or a shard
- * quarantined mid-recovery). Timeouts and input/config errors are
+ * injected fault, a service shard queue momentarily full, a shard
+ * quarantined mid-recovery, or a network request that lost its
+ * connection or deadline). Timeouts and input/config errors are
  * deterministic and retrying them only burns the sweep's wall-clock
- * budget.
+ * budget; Shutdown is terminal by definition and ProtocolError means
+ * the byte stream itself is unsynchronized (the caller must reconnect
+ * before any retry can make sense).
  */
 inline bool
 isRetryable(ErrorCode code)
 {
     return code == ErrorCode::CorruptedState ||
            code == ErrorCode::Overloaded ||
-           code == ErrorCode::ShardUnavailable;
+           code == ErrorCode::ShardUnavailable ||
+           code == ErrorCode::ConnectionLost ||
+           code == ErrorCode::DeadlineExceeded;
 }
 
 /** A structured error: code + message + context chain. */

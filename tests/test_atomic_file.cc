@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the atomic file commit protocol (util/atomic_file.hh)
+ * under injected fsync/write/rename faults: a failed commit must
+ * leave no temporary file behind and must never clobber (or
+ * truncate) the previous snapshot — the guarantee the supervisor's
+ * snapshot/recovery cycle and BENCH_*.json writers stand on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+
+namespace clap
+{
+namespace
+{
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** Temp path in the test's working directory, removed on teardown. */
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "test_atomic_file_" +
+                std::to_string(static_cast<long>(::getpid())) + ".bin";
+        tmp_ = path_ + ".tmp";
+        std::remove(path_.c_str());
+        std::remove(tmp_.c_str());
+        AtomicFileFaults::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        AtomicFileFaults::instance().reset();
+        std::remove(path_.c_str());
+        std::remove(tmp_.c_str());
+    }
+
+    /** Assert the failed commit's cleanup contract: no temp file,
+     *  destination bytes untouched. */
+    void
+    expectCleanFailure(const Expected<void> &result,
+                       const std::string &expect_content)
+    {
+        ASSERT_FALSE(result);
+        EXPECT_EQ(result.error().code(), ErrorCode::IoError);
+        EXPECT_FALSE(fileExists(tmp_)) << "temp file left behind";
+        auto bytes = readFileBytes(path_);
+        ASSERT_TRUE(bytes);
+        EXPECT_EQ(*bytes, expect_content) << "old snapshot clobbered";
+    }
+
+    std::string path_;
+    std::string tmp_;
+};
+
+TEST_F(AtomicFileTest, CommitWritesContentAndRemovesTemp)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, "hello"));
+    EXPECT_FALSE(fileExists(tmp_));
+    auto bytes = readFileBytes(path_);
+    ASSERT_TRUE(bytes);
+    EXPECT_EQ(*bytes, "hello");
+
+    // Overwrite commits too — readers only ever see old or new.
+    ASSERT_TRUE(writeFileAtomic(path_, "world"));
+    bytes = readFileBytes(path_);
+    ASSERT_TRUE(bytes);
+    EXPECT_EQ(*bytes, "world");
+}
+
+TEST_F(AtomicFileTest, FailedWriteLeavesNoTempAndKeepsOldContent)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, "v1-snapshot"));
+    AtomicFileFaults::instance().failWrites.store(1);
+    expectCleanFailure(writeFileAtomic(path_, "v2-torn"), "v1-snapshot");
+}
+
+TEST_F(AtomicFileTest, FailedFsyncLeavesNoTempAndKeepsOldContent)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, "v1-snapshot"));
+    AtomicFileFaults::instance().failFsyncs.store(1);
+    expectCleanFailure(writeFileAtomic(path_, "v2-unsynced"),
+                       "v1-snapshot");
+}
+
+TEST_F(AtomicFileTest, FailedRenameLeavesNoTempAndKeepsOldContent)
+{
+    ASSERT_TRUE(writeFileAtomic(path_, "v1-snapshot"));
+    AtomicFileFaults::instance().failRenames.store(1);
+    expectCleanFailure(writeFileAtomic(path_, "v2-uncommitted"),
+                       "v1-snapshot");
+}
+
+TEST_F(AtomicFileTest, FailedCommitOntoEmptyDirLeavesNothing)
+{
+    // First-ever snapshot: a failed commit must not leave a partial
+    // destination file either — there was nothing before, there is
+    // nothing after.
+    AtomicFileFaults::instance().failRenames.store(1);
+    auto result = writeFileAtomic(path_, "first");
+    ASSERT_FALSE(result);
+    EXPECT_FALSE(fileExists(tmp_));
+    EXPECT_FALSE(fileExists(path_));
+}
+
+TEST_F(AtomicFileTest, FailedDirFsyncReportsErrorButContentIsVisible)
+{
+    // The directory fsync runs after the rename already committed:
+    // the new content is visible (possibly not yet durable) and the
+    // caller still gets a structured error to act on.
+    ASSERT_TRUE(writeFileAtomic(path_, "v1"));
+    AtomicFileFaults::instance().failDirFsyncs.store(1);
+    auto result = writeFileAtomic(path_, "v2-visible");
+    ASSERT_FALSE(result);
+    EXPECT_EQ(result.error().code(), ErrorCode::IoError);
+    EXPECT_FALSE(fileExists(tmp_));
+    auto bytes = readFileBytes(path_);
+    ASSERT_TRUE(bytes);
+    EXPECT_EQ(*bytes, "v2-visible");
+}
+
+TEST_F(AtomicFileTest, ArmedFaultsAreConsumedOnce)
+{
+    AtomicFileFaults::instance().failFsyncs.store(1);
+    EXPECT_FALSE(writeFileAtomic(path_, "fails"));
+    // The armed count is spent: the retry commits cleanly.
+    ASSERT_TRUE(writeFileAtomic(path_, "retry-succeeds"));
+    auto bytes = readFileBytes(path_);
+    ASSERT_TRUE(bytes);
+    EXPECT_EQ(*bytes, "retry-succeeds");
+}
+
+TEST_F(AtomicFileTest, ResetDisarmsEveryFault)
+{
+    auto &faults = AtomicFileFaults::instance();
+    faults.failWrites.store(3);
+    faults.failFsyncs.store(3);
+    faults.failRenames.store(3);
+    faults.failDirFsyncs.store(3);
+    faults.reset();
+    ASSERT_TRUE(writeFileAtomic(path_, "clean"));
+    auto bytes = readFileBytes(path_);
+    ASSERT_TRUE(bytes);
+    EXPECT_EQ(*bytes, "clean");
+}
+
+TEST_F(AtomicFileTest, ReadFileBytesReportsMissingFileAsIoError)
+{
+    auto bytes = readFileBytes("test_atomic_file_does_not_exist.bin");
+    ASSERT_FALSE(bytes);
+    EXPECT_EQ(bytes.error().code(), ErrorCode::IoError);
+}
+
+} // namespace
+} // namespace clap

@@ -1,0 +1,730 @@
+/**
+ * @file
+ * Tests for the network gateway (src/net/): endpoint parsing, socket
+ * deadlines, server/client round trips over UDS and TCP, corrupt
+ * frames answered with GoAway, admission control under a wedged
+ * shard, client retry policy (idempotent requests retried, trains
+ * never), snapshot fetch/install across services, and determinism of
+ * the seeded chaos schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/hybrid_predictor.hh"
+#include "net/chaos.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "serve/service.hh"
+#include "util/error.hh"
+
+namespace clap::net
+{
+namespace
+{
+
+std::string
+udsEndpoint(const char *tag)
+{
+    return "unix:/tmp/clap_test_net_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" + tag +
+           ".sock";
+}
+
+PredictorFactory
+testHybridFactory()
+{
+    return [] { return std::make_unique<HybridPredictor>(HybridConfig{}); };
+}
+
+/** Service + gateway with deterministic shards, torn down in order. */
+struct TestGateway
+{
+    explicit TestGateway(const std::string &endpoint, unsigned shards = 2)
+        : service(makeConfig(shards), testHybridFactory()),
+          server(service, nullptr, makeServerConfig(endpoint))
+    {
+        auto started = server.start();
+        EXPECT_TRUE(started) << started.error().str();
+    }
+
+    ~TestGateway()
+    {
+        server.stop();
+        service.stop();
+    }
+
+    static ServiceConfig
+    makeConfig(unsigned shards)
+    {
+        ServiceConfig config;
+        config.shards = shards;
+        config.deterministic = true;
+        return config;
+    }
+
+    static ServerConfig
+    makeServerConfig(const std::string &endpoint)
+    {
+        ServerConfig config;
+        config.endpoint = endpoint;
+        return config;
+    }
+
+    PredictionService service;
+    NetServer server;
+};
+
+/** Read frames from a raw stream until one decodes (or deadline). */
+Expected<Frame>
+readFrame(Stream &stream, int deadline_ms)
+{
+    FrameReader reader;
+    char buf[4096];
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms);
+    for (;;) {
+        Frame frame;
+        Error error;
+        const auto status = reader.next(frame, error);
+        if (status == FrameReader::Status::Ok)
+            return frame;
+        if (status == FrameReader::Status::Corrupt)
+            return error;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                until - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0)
+            return makeError(ErrorCode::DeadlineExceeded,
+                             "no frame within the deadline");
+        auto received =
+            stream.recvSome(buf, sizeof(buf), static_cast<int>(left));
+        if (!received)
+            return received.error();
+        if (*received == 0)
+            return makeError(ErrorCode::ConnectionLost,
+                             "EOF before a complete frame");
+        reader.feed(buf, *received);
+    }
+}
+
+// --- Endpoint parsing ---------------------------------------------
+
+TEST(NetEndpoint, ParsesUnixAndTcpSpecs)
+{
+    auto unix_ep = parseEndpoint("unix:/tmp/x.sock");
+    ASSERT_TRUE(unix_ep);
+    EXPECT_EQ(unix_ep->kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(unix_ep->path, "/tmp/x.sock");
+    EXPECT_EQ(unix_ep->str(), "unix:/tmp/x.sock");
+
+    auto tcp_ep = parseEndpoint("tcp:127.0.0.1:9000");
+    ASSERT_TRUE(tcp_ep);
+    EXPECT_EQ(tcp_ep->kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(tcp_ep->host, "127.0.0.1");
+    EXPECT_EQ(tcp_ep->port, 9000);
+}
+
+TEST(NetEndpoint, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(parseEndpoint(""));
+    EXPECT_FALSE(parseEndpoint("http:host:80"));
+    EXPECT_FALSE(parseEndpoint("unix:"));
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1"));
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:notaport"));
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:70000"));
+}
+
+// --- Socket streams -----------------------------------------------
+
+TEST(NetSocket, StreamPairCarriesBytesBothWays)
+{
+    auto pair = streamPair();
+    ASSERT_TRUE(pair);
+    auto &[a, b] = *pair;
+
+    ASSERT_TRUE(a->sendAll("ping", 4, 1000));
+    char buf[16] = {};
+    auto received = b->recvSome(buf, sizeof(buf), 1000);
+    ASSERT_TRUE(received);
+    EXPECT_EQ(std::string(buf, *received), "ping");
+
+    ASSERT_TRUE(b->sendAll("pong", 4, 1000));
+    received = a->recvSome(buf, sizeof(buf), 1000);
+    ASSERT_TRUE(received);
+    EXPECT_EQ(std::string(buf, *received), "pong");
+}
+
+TEST(NetSocket, RecvDeadlineExpiresInsteadOfHanging)
+{
+    auto pair = streamPair();
+    ASSERT_TRUE(pair);
+    char buf[8];
+    auto received = pair->first->recvSome(buf, sizeof(buf), 50);
+    ASSERT_FALSE(received);
+    EXPECT_EQ(received.error().code(), ErrorCode::DeadlineExceeded);
+}
+
+TEST(NetSocket, ShutdownWakesPeerWithEof)
+{
+    auto pair = streamPair();
+    ASSERT_TRUE(pair);
+    pair->second->shutdownBoth();
+    char buf[8];
+    auto received = pair->first->recvSome(buf, sizeof(buf), 1000);
+    ASSERT_TRUE(received);
+    EXPECT_EQ(*received, 0u); // orderly EOF, not an error
+}
+
+TEST(NetSocket, ConnectToAbsentServerIsStructured)
+{
+    auto endpoint = parseEndpoint("unix:/tmp/clap_test_net_absent.sock");
+    ASSERT_TRUE(endpoint);
+    auto stream = connectEndpoint(*endpoint, 200);
+    ASSERT_FALSE(stream);
+    EXPECT_EQ(stream.error().code(), ErrorCode::ConnectionLost);
+}
+
+// --- Server/client round trips ------------------------------------
+
+TEST(NetServerClient, RoundTripsOverUds)
+{
+    const std::string endpoint = udsEndpoint("roundtrip");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+
+    ASSERT_TRUE(client.ping());
+
+    const LoadInfo info = client.makeInfo(0x1000, 8);
+    auto pred = client.predict(info);
+    ASSERT_TRUE(pred) << pred.error().str();
+    ASSERT_TRUE(client.train(info, 0x2000, *pred));
+
+    // Train twice more so the stats move, then read them back.
+    for (int i = 1; i <= 2; ++i) {
+        const LoadInfo again = client.makeInfo(0x1000, 8);
+        auto p = client.predict(again);
+        ASSERT_TRUE(p);
+        ASSERT_TRUE(client.train(again, 0x2000 + 8ull * i, *p));
+    }
+    auto stats = client.stats();
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->aggregate.loads, 3u);
+    EXPECT_EQ(stats->aggregate, gateway.service.aggregateStats());
+    ASSERT_EQ(stats->shards.size(), 2u);
+
+    EXPECT_EQ(client.counters().connects, 1u);
+    EXPECT_EQ(client.counters().predictsOk, 3u);
+    EXPECT_EQ(client.counters().trainsOk, 3u);
+    EXPECT_EQ(client.counters().wrongReplies, 0u);
+    EXPECT_EQ(client.counters().transportErrors, 0u);
+
+    const auto counters = gateway.server.counters();
+    EXPECT_EQ(counters.accepted, 1u);
+    EXPECT_GE(counters.requests, 7u);
+}
+
+TEST(NetServerClient, PipelinedBatchAnswersEveryItemInOrder)
+{
+    const std::string endpoint = udsEndpoint("batch");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+
+    std::vector<LoadInfo> infos;
+    for (int i = 0; i < 32; ++i)
+        infos.push_back(client.makeInfo(0x4000 + 16ull * i, 0));
+    auto results = client.predictBatch(infos);
+    ASSERT_EQ(results.size(), infos.size());
+    for (const auto &result : results)
+        EXPECT_TRUE(result);
+    EXPECT_EQ(client.counters().predictsOk, infos.size());
+    EXPECT_EQ(client.counters().wrongReplies, 0u);
+}
+
+TEST(NetServerClient, TcpEphemeralPortIsDiscoverable)
+{
+    TestGateway gateway("tcp:127.0.0.1:0");
+    const Endpoint &bound = gateway.server.boundEndpoint();
+    ASSERT_NE(bound.port, 0);
+
+    ClientConfig config;
+    config.endpoint = bound.str();
+    NetClient client(config);
+    EXPECT_TRUE(client.ping());
+    EXPECT_TRUE(client.predict(client.makeInfo(0x1000, 0)));
+}
+
+TEST(NetServerClient, ShutdownRequestFlagsTheServer)
+{
+    const std::string endpoint = udsEndpoint("shutdown");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    EXPECT_FALSE(gateway.server.shutdownRequested());
+    ASSERT_TRUE(client.requestShutdown());
+    EXPECT_TRUE(gateway.server.shutdownRequested());
+}
+
+// --- Protocol failure handling ------------------------------------
+
+TEST(NetServerClient, GarbageBytesDrawGoAwayAndDisconnect)
+{
+    const std::string endpoint = udsEndpoint("garbage");
+    TestGateway gateway(endpoint);
+
+    auto parsed = parseEndpoint(endpoint);
+    ASSERT_TRUE(parsed);
+    auto raw = connectEndpoint(*parsed, 1000);
+    ASSERT_TRUE(raw);
+
+    // 32 bytes that cannot be a frame prefix: the server's reader
+    // fails the header CRC and must answer GoAway, then close.
+    const std::string garbage(32, 'X');
+    ASSERT_TRUE((*raw)->sendAll(garbage.data(), garbage.size(), 1000));
+
+    auto reply = readFrame(**raw, 2000);
+    ASSERT_TRUE(reply) << reply.error().str();
+    EXPECT_EQ(reply->type, FrameType::GoAway);
+    Error remote;
+    ASSERT_TRUE(decodeErrorPayload(reply->payload, remote));
+    EXPECT_EQ(remote.code(), ErrorCode::ProtocolError);
+
+    // After GoAway the connection is gone: EOF, not silence.
+    char buf[64];
+    auto received = (*raw)->recvSome(buf, sizeof(buf), 2000);
+    ASSERT_TRUE(received);
+    EXPECT_EQ(*received, 0u);
+
+    EXPECT_EQ(gateway.server.counters().corruptFrames, 1u);
+}
+
+TEST(NetServerClient, HelloVersionMismatchIsARefusedHandshake)
+{
+    const std::string endpoint = udsEndpoint("version");
+    TestGateway gateway(endpoint);
+
+    auto parsed = parseEndpoint(endpoint);
+    ASSERT_TRUE(parsed);
+    auto raw = connectEndpoint(*parsed, 1000);
+    ASSERT_TRUE(raw);
+
+    // A well-formed Hello claiming a future wire version.
+    std::string payload;
+    putU16(payload, wireVersion + 7);
+    putString(payload, "time-traveller");
+    Frame hello;
+    hello.type = FrameType::Hello;
+    hello.id = 1;
+    hello.payload = payload;
+    const std::string bytes = encodeFrame(hello);
+    ASSERT_TRUE((*raw)->sendAll(bytes.data(), bytes.size(), 1000));
+
+    auto reply = readFrame(**raw, 2000);
+    ASSERT_TRUE(reply) << reply.error().str();
+    EXPECT_EQ(reply->type, FrameType::ErrorReply);
+    EXPECT_EQ(reply->id, 1u);
+    Error remote;
+    ASSERT_TRUE(decodeErrorPayload(reply->payload, remote));
+    EXPECT_EQ(remote.code(), ErrorCode::BadVersion);
+}
+
+// --- Client retry policy ------------------------------------------
+
+/** Decorator that fails sendAll() once when armed (shared flag), so a
+ *  test can cut the connection at an exact protocol moment. */
+struct FailNextSend
+{
+    std::atomic<bool> armed{false};
+
+    struct Stream : net::Stream
+    {
+        Stream(std::unique_ptr<net::Stream> inner, FailNextSend &owner)
+            : inner(std::move(inner)), owner(owner)
+        {
+        }
+        Expected<std::size_t>
+        recvSome(void *buf, std::size_t len, int deadline_ms) override
+        {
+            return inner->recvSome(buf, len, deadline_ms);
+        }
+        Expected<void>
+        sendAll(const void *buf, std::size_t len,
+                int deadline_ms) override
+        {
+            bool expected = true;
+            if (owner.armed.compare_exchange_strong(expected, false)) {
+                inner->shutdownBoth();
+                return makeError(ErrorCode::ConnectionLost,
+                                 "test: send cut");
+            }
+            return inner->sendAll(buf, len, deadline_ms);
+        }
+        void shutdownBoth() override { inner->shutdownBoth(); }
+
+        std::unique_ptr<net::Stream> inner;
+        FailNextSend &owner;
+    };
+
+    std::unique_ptr<net::Stream>
+    wrap(std::unique_ptr<net::Stream> inner)
+    {
+        return std::make_unique<Stream>(std::move(inner), *this);
+    }
+};
+
+TEST(NetClientRetry, IdempotentPredictRetriesAfterTransportLoss)
+{
+    const std::string endpoint = udsEndpoint("retry");
+    TestGateway gateway(endpoint);
+
+    FailNextSend fault;
+    ClientConfig config;
+    config.endpoint = endpoint;
+    config.backoffBaseMs = 1;
+    config.backoffMaxMs = 2;
+    config.decorate = [&fault](std::unique_ptr<Stream> inner) {
+        return fault.wrap(std::move(inner));
+    };
+    NetClient client(config);
+    ASSERT_TRUE(client.ping()); // connection 1 established
+
+    fault.armed.store(true);
+    auto pred = client.predict(client.makeInfo(0x1000, 0));
+    ASSERT_TRUE(pred) << pred.error().str();
+    EXPECT_EQ(client.counters().retries, 1u);
+    EXPECT_EQ(client.counters().connects, 2u);
+    EXPECT_EQ(client.counters().predictsOk, 1u);
+    EXPECT_EQ(client.counters().transportErrors, 0u);
+}
+
+TEST(NetClientRetry, TrainIsNeverRetriedAfterTransportLoss)
+{
+    const std::string endpoint = udsEndpoint("noretry");
+    TestGateway gateway(endpoint);
+
+    FailNextSend fault;
+    ClientConfig config;
+    config.endpoint = endpoint;
+    config.backoffBaseMs = 1;
+    config.backoffMaxMs = 2;
+    config.decorate = [&fault](std::unique_ptr<Stream> inner) {
+        return fault.wrap(std::move(inner));
+    };
+    NetClient client(config);
+    ASSERT_TRUE(client.ping());
+
+    // Cut the wire under the train: its outcome is unknown, so the
+    // client must report a structured error and NOT resend it.
+    fault.armed.store(true);
+    Prediction dummy;
+    auto trained =
+        client.train(client.makeInfo(0x1000, 0), 0x2000, dummy);
+    ASSERT_FALSE(trained);
+    EXPECT_EQ(trained.error().code(), ErrorCode::ConnectionLost);
+    EXPECT_EQ(client.counters().trainsOk, 0u);
+    EXPECT_EQ(client.counters().transportErrors, 1u);
+
+    // The service never saw a train: no double-train, no single one.
+    auto stats = client.stats();
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->aggregate.loads, 0u);
+}
+
+// --- Admission control --------------------------------------------
+
+/// Predictor stub whose predict() blocks until released (same idiom
+/// as test_serve.cc): wedges a shard worker so queue depth builds.
+class BlockingPredictor : public AddressPredictor
+{
+  public:
+    Prediction
+    predict(const LoadInfo &) override
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        entered_ = true;
+        ready_.notify_all();
+        ready_.wait(lock, [this] { return released_; });
+        return Prediction{};
+    }
+
+    void
+    update(const LoadInfo &, std::uint64_t, const Prediction &) override
+    {
+    }
+
+    std::string name() const override { return "blocking-stub"; }
+
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            released_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    void
+    awaitEntered()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return entered_; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    bool entered_ = false;
+    bool released_ = false;
+};
+
+TEST(NetAdmission, ShedFailsPredictsButStillTrains)
+{
+    auto blocking = std::make_shared<BlockingPredictor>();
+
+    ServiceConfig service_config;
+    service_config.shards = 1;
+    service_config.queueCapacity = 8;
+    service_config.maxBatch = 1;
+    service_config.overload = OverloadPolicy::Reject;
+    service_config.auditEveryBatches = 0;
+    PredictionService service(
+        service_config,
+        [blocking]() -> std::unique_ptr<AddressPredictor> {
+            struct Shim : AddressPredictor
+            {
+                explicit Shim(std::shared_ptr<BlockingPredictor> inner)
+                    : inner(std::move(inner))
+                {
+                }
+                Prediction
+                predict(const LoadInfo &info) override
+                {
+                    return inner->predict(info);
+                }
+                void
+                update(const LoadInfo &info, std::uint64_t addr,
+                       const Prediction &pred) override
+                {
+                    inner->update(info, addr, pred);
+                }
+                std::string name() const override { return inner->name(); }
+                std::shared_ptr<BlockingPredictor> inner;
+            };
+            return std::make_unique<Shim>(blocking);
+        });
+
+    const std::string endpoint = udsEndpoint("admission");
+    ServerConfig server_config;
+    server_config.endpoint = endpoint;
+    // Queue capacity is 8: shed once 3 requests wait, reject at 6.
+    server_config.shedFraction = 0.374;
+    server_config.rejectFraction = 0.75;
+    NetServer server(service, nullptr, server_config);
+    ASSERT_TRUE(server.start());
+    EXPECT_EQ(server.admissionDecision(), Admission::Accept);
+
+    // Wedge the only worker through the wire, then stack three more
+    // predicts behind it so the queue depth crosses the shed line.
+    auto asyncPredict = [&endpoint]() {
+        ClientConfig config;
+        config.endpoint = endpoint;
+        config.requestDeadlineMs = 20000;
+        config.maxAttempts = 1;
+        NetClient client(config);
+        auto pred = client.predict(client.makeInfo(0x1000, 0));
+        EXPECT_TRUE(pred);
+    };
+    std::vector<std::thread> waiters;
+    waiters.emplace_back(asyncPredict);
+    blocking->awaitEntered();
+    for (int i = 0; i < 3; ++i)
+        waiters.emplace_back(asyncPredict);
+
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(10);
+    while (server.admissionDecision() != Admission::Shed &&
+           std::chrono::steady_clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_EQ(server.admissionDecision(), Admission::Shed);
+
+    // A shed gateway fails predicts with a retryable Overloaded...
+    ClientConfig probe_config;
+    probe_config.endpoint = endpoint;
+    probe_config.maxAttempts = 1;
+    NetClient probe(probe_config);
+    auto shed = probe.predict(probe.makeInfo(0x2000, 0));
+    ASSERT_FALSE(shed);
+    EXPECT_EQ(shed.error().code(), ErrorCode::Overloaded);
+    EXPECT_TRUE(isRetryable(shed.error().code()));
+    EXPECT_EQ(probe.counters().errorReplies, 1u);
+
+    // ...but still applies trains: dropping one silently would fork
+    // this replica's predictor state away from its peers'.
+    Prediction dummy;
+    EXPECT_TRUE(probe.train(probe.makeInfo(0x2000, 0), 0x3000, dummy));
+
+    blocking->release();
+    for (auto &waiter : waiters)
+        waiter.join();
+    EXPECT_GE(server.counters().admitShed, 1u);
+
+    server.stop();
+    service.stop();
+}
+
+// --- Snapshot migration over the wire -----------------------------
+
+TEST(NetSnapshot, FetchInstallMovesShardStateBitForBit)
+{
+    const std::string endpoint_a = udsEndpoint("snap_a");
+    const std::string endpoint_b = udsEndpoint("snap_b");
+    TestGateway gateway_a(endpoint_a, /*shards=*/1);
+    TestGateway gateway_b(endpoint_b, /*shards=*/1);
+
+    ClientConfig config_a;
+    config_a.endpoint = endpoint_a;
+    NetClient client_a(config_a);
+
+    // Warm A's predictor with a strided load so it carries real
+    // table state, then move that state to B over the wire.
+    for (int i = 0; i < 64; ++i) {
+        const LoadInfo info = client_a.makeInfo(0x1000, 0);
+        auto pred = client_a.predict(info);
+        ASSERT_TRUE(pred);
+        ASSERT_TRUE(client_a.train(info, 0x10000 + 64ull * i, *pred));
+        client_a.observeBranch(i % 3 == 0);
+    }
+    auto snapshot = client_a.fetchSnapshot(0);
+    ASSERT_TRUE(snapshot) << snapshot.error().str();
+    EXPECT_FALSE(snapshot->empty());
+
+    ClientConfig config_b;
+    config_b.endpoint = endpoint_b;
+    NetClient client_b(config_b);
+    auto installed = client_b.installSnapshot(0, *snapshot);
+    ASSERT_TRUE(installed) << installed.error().str();
+    EXPECT_GT(installed->first, 0u);
+    EXPECT_FALSE(installed->second); // clean restore, no salvage
+
+    // The wire stats (including the restored PredictionStats) must
+    // agree bit for bit — the migration acceptance criterion.
+    auto stats_a = client_a.stats();
+    auto stats_b = client_b.stats();
+    ASSERT_TRUE(stats_a);
+    ASSERT_TRUE(stats_b);
+    EXPECT_EQ(stats_a->aggregate, stats_b->aggregate);
+
+    // And the migrated predictor behaves identically: same load,
+    // same prediction on both sides.
+    client_b.adoptHistory(client_a.ghr(), client_a.pathHist());
+    const LoadInfo next_a = client_a.makeInfo(0x1000, 0);
+    const LoadInfo next_b = client_b.makeInfo(0x1000, 0);
+    auto pred_a = client_a.predict(next_a);
+    auto pred_b = client_b.predict(next_b);
+    ASSERT_TRUE(pred_a);
+    ASSERT_TRUE(pred_b);
+    EXPECT_EQ(pred_a->hasAddress, pred_b->hasAddress);
+    EXPECT_EQ(pred_a->speculate, pred_b->speculate);
+    EXPECT_EQ(pred_a->addr, pred_b->addr);
+}
+
+// --- Chaos determinism --------------------------------------------
+
+struct ChaosRunResult
+{
+    ClientCounters client;
+    NetChaosStats chaos;
+};
+
+ChaosRunResult
+runSeededChaosReplay(const char *tag, std::uint64_t seed)
+{
+    const std::string endpoint = udsEndpoint(tag);
+    TestGateway gateway(endpoint);
+
+    NetChaosConfig chaos_config;
+    chaos_config.seed = seed;
+    chaos_config.disconnectRate = 0.01;
+    chaos_config.tearRate = 0.01;
+    chaos_config.stallRate = 0.005;
+    chaos_config.flipSendRate = 0.01;
+    chaos_config.replyDisconnectRate = 0.005;
+    chaos_config.replyStallRate = 0.005;
+    chaos_config.flipRecvRate = 0.005;
+    NetChaos chaos(chaos_config);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    config.maxAttempts = 8;
+    config.backoffBaseMs = 1;
+    config.backoffMaxMs = 4;
+    config.decorate = [&chaos](std::unique_ptr<Stream> inner) {
+        return chaos.wrap(std::move(inner));
+    };
+    NetClient client(config);
+
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t pc = 0x1000 + 16ull * (i % 8);
+        const LoadInfo info = client.makeInfo(pc, 0);
+        auto pred = client.predict(info);
+        if (pred)
+            (void)client.train(info, pc * 8 + 64ull * i, *pred);
+        client.observeBranch(i % 2 == 0);
+    }
+    return ChaosRunResult{client.counters(), chaos.stats()};
+}
+
+TEST(NetChaosDeterminism, SameSeedSameFaultScheduleSameCounters)
+{
+    const auto run1 = runSeededChaosReplay("chaos1", 0xfeedface);
+    const auto run2 = runSeededChaosReplay("chaos2", 0xfeedface);
+
+    // The whole point of the seeded schedule: two runs, two fresh
+    // servers, identical fault sequence and identical outcomes.
+    EXPECT_EQ(run1.chaos.disconnects, run2.chaos.disconnects);
+    EXPECT_EQ(run1.chaos.tears, run2.chaos.tears);
+    EXPECT_EQ(run1.chaos.stalls, run2.chaos.stalls);
+    EXPECT_EQ(run1.chaos.sendFlips, run2.chaos.sendFlips);
+    EXPECT_EQ(run1.chaos.replyDisconnects, run2.chaos.replyDisconnects);
+    EXPECT_EQ(run1.chaos.replyStalls, run2.chaos.replyStalls);
+    EXPECT_EQ(run1.chaos.recvFlips, run2.chaos.recvFlips);
+    EXPECT_GT(run1.chaos.total(), 0u);
+
+    EXPECT_EQ(run1.client.connects, run2.client.connects);
+    EXPECT_EQ(run1.client.retries, run2.client.retries);
+    EXPECT_EQ(run1.client.predictsOk, run2.client.predictsOk);
+    EXPECT_EQ(run1.client.trainsOk, run2.client.trainsOk);
+    EXPECT_EQ(run1.client.transportErrors, run2.client.transportErrors);
+    EXPECT_EQ(run1.client.corruptReplies, run2.client.corruptReplies);
+    EXPECT_EQ(run1.client.goAways, run2.client.goAways);
+
+    // The invariant every chaos harness asserts: never a wrong reply.
+    EXPECT_EQ(run1.client.wrongReplies, 0u);
+    EXPECT_EQ(run2.client.wrongReplies, 0u);
+}
+
+} // namespace
+} // namespace clap::net

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <set>
@@ -357,12 +358,12 @@ TEST(ServeThreaded, RequestsAfterStopFailStructured)
 
     auto pred = session.predict(0x1000, 0);
     ASSERT_FALSE(pred);
-    EXPECT_EQ(pred.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(pred.error().code(), ErrorCode::Shutdown);
 
     Prediction dummy;
     auto trained = session.train(0x1000, 0, 0x2000, dummy);
     ASSERT_FALSE(trained);
-    EXPECT_EQ(trained.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(trained.error().code(), ErrorCode::Shutdown);
 }
 
 /// Predictor stub whose predict() blocks until released: lets a test
@@ -483,6 +484,122 @@ TEST(ServeThreaded, RejectPolicyReturnsOverloadedWhenQueueFull)
     const auto snaps = service.snapshot();
     ASSERT_EQ(snaps.size(), 1u);
     EXPECT_GE(snaps[0].rejected, 1u);
+}
+
+// --- close()/shutdown vs blocked producers ------------------------
+
+TEST(BoundedQueue, CloseWakesBlockedProducers)
+{
+    BoundedQueue<int> queue(1);
+    ASSERT_EQ(queue.push(0, false), QueuePush::Ok);
+
+    // Three producers block in push(block=true) on the full queue.
+    std::atomic<int> woken{0};
+    std::vector<std::thread> producers;
+    for (int i = 0; i < 3; ++i) {
+        producers.emplace_back([&queue, &woken, i] {
+            EXPECT_EQ(queue.push(i + 1, true), QueuePush::Closed);
+            woken.fetch_add(1);
+        });
+    }
+
+    // Give the producers a moment to reach the wait; close() must
+    // then wake every one of them with Closed — not leave them
+    // sleeping on a condition that will never signal again.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    for (auto &producer : producers)
+        producer.join();
+    EXPECT_EQ(woken.load(), 3);
+
+    // The item enqueued before close still drains.
+    std::vector<int> out;
+    EXPECT_EQ(queue.popBatch(out, 4, false), 1u);
+    EXPECT_EQ(out.front(), 0);
+}
+
+TEST(ServeThreaded, StopWakesProducersBlockedInPush)
+{
+    auto blocking = std::make_shared<BlockingPredictor>();
+
+    ServiceConfig config;
+    config.shards = 1;
+    config.queueCapacity = 2;
+    config.maxBatch = 1;
+    config.overload = OverloadPolicy::Block;
+    config.auditEveryBatches = 0;
+    PredictionService service(
+        config, [blocking]() -> std::unique_ptr<AddressPredictor> {
+            struct Shim : AddressPredictor
+            {
+                explicit Shim(std::shared_ptr<BlockingPredictor> inner)
+                    : inner(std::move(inner))
+                {
+                }
+                Prediction
+                predict(const LoadInfo &info) override
+                {
+                    return inner->predict(info);
+                }
+                void
+                update(const LoadInfo &info, std::uint64_t addr,
+                       const Prediction &pred) override
+                {
+                    inner->update(info, addr, pred);
+                }
+                std::string name() const override { return inner->name(); }
+                std::shared_ptr<BlockingPredictor> inner;
+            };
+            return std::make_unique<Shim>(blocking);
+        });
+
+    // Wedge the worker inside the stub's predict(), then fill the
+    // idle queue to capacity with fire-and-forget trains.
+    std::thread wedged([&service] {
+        LoadInfo info;
+        info.pc = 0x1000;
+        EXPECT_TRUE(service.predict(info));
+    });
+    blocking->awaitEntered();
+
+    LoadInfo info;
+    info.pc = 0x1000;
+    Prediction dummy;
+    EXPECT_TRUE(service.train(info, 0x2000, dummy));
+    EXPECT_TRUE(service.train(info, 0x2000, dummy));
+
+    // These producers block inside push(block=true): the queue is
+    // full and the only worker is wedged, so nothing can drain it.
+    std::vector<std::thread> producers;
+    std::vector<Expected<void>> results(3, ok());
+    for (int i = 0; i < 3; ++i) {
+        producers.emplace_back([&service, &results, i] {
+            LoadInfo blocked_info;
+            blocked_info.pc = 0x1000;
+            Prediction blocked_dummy;
+            results[static_cast<std::size_t>(i)] =
+                service.train(blocked_info, 0x2000, blocked_dummy);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // stop() closes the queues first and only then joins the workers,
+    // so the blocked producers must wake with a structured Shutdown
+    // error *before* the wedged worker is released — a hang here is
+    // exactly the close()/shutdown race this test pins down.
+    std::thread stopper([&service] { service.stop(); });
+    for (auto &producer : producers)
+        producer.join();
+    for (const auto &result : results) {
+        ASSERT_FALSE(result);
+        EXPECT_EQ(result.error().code(), ErrorCode::Shutdown);
+    }
+
+    // Release the worker so stop() can drain and join.
+    blocking->release();
+    stopper.join();
+    wedged.join();
+    EXPECT_TRUE(service.stopped());
 }
 
 } // namespace

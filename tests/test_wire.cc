@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the CRC-framed wire protocol (net/wire.hh): frame
+ * encode/decode round trips, incremental feeding, corruption
+ * detection (every single-bit flip over a whole frame must be
+ * caught), reader poisoning, length sanity bounds, and the typed
+ * payload codecs the client and server exchange.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/wire.hh"
+#include "util/crc32.hh"
+#include "util/error.hh"
+
+namespace clap::net
+{
+namespace
+{
+
+Frame
+sampleFrame()
+{
+    Frame frame;
+    frame.type = FrameType::Predict;
+    frame.id = 0x1122334455667788ull;
+    frame.payload = "sample-payload-bytes";
+    return frame;
+}
+
+LoadInfo
+sampleInfo()
+{
+    LoadInfo info;
+    info.pc = 0xdeadbeefcafe;
+    info.immOffset = -48;
+    info.ghr = 0xa5a5a5a5ull;
+    info.pathHist = 0x123456789abcull;
+    return info;
+}
+
+Prediction
+samplePrediction()
+{
+    Prediction pred;
+    pred.lbHit = true;
+    pred.hasAddress = true;
+    pred.speculate = true;
+    pred.addr = 0x7fff12345678ull;
+    pred.component = Component::Cap;
+    pred.lbHandle.slot = 17;
+    pred.lbHandle.gen = 93;
+    pred.lbHandle.valid = true;
+    pred.capHasAddr = true;
+    pred.capSpec = true;
+    pred.capAddr = 0x7fff12345678ull;
+    pred.strideHasAddr = true;
+    pred.strideSpec = false;
+    pred.strideAddr = 0x7fff00000008ull;
+    pred.selectorState = 2;
+    return pred;
+}
+
+void
+expectPredictionEq(const Prediction &a, const Prediction &b)
+{
+    EXPECT_EQ(a.lbHit, b.lbHit);
+    EXPECT_EQ(a.hasAddress, b.hasAddress);
+    EXPECT_EQ(a.speculate, b.speculate);
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.component, b.component);
+    EXPECT_EQ(a.lbHandle.slot, b.lbHandle.slot);
+    EXPECT_EQ(a.lbHandle.gen, b.lbHandle.gen);
+    EXPECT_EQ(a.lbHandle.valid, b.lbHandle.valid);
+    EXPECT_EQ(a.capHasAddr, b.capHasAddr);
+    EXPECT_EQ(a.capSpec, b.capSpec);
+    EXPECT_EQ(a.capAddr, b.capAddr);
+    EXPECT_EQ(a.strideHasAddr, b.strideHasAddr);
+    EXPECT_EQ(a.strideSpec, b.strideSpec);
+    EXPECT_EQ(a.strideAddr, b.strideAddr);
+    EXPECT_EQ(a.selectorState, b.selectorState);
+}
+
+// --- Frame round trips --------------------------------------------
+
+TEST(Wire, FrameRoundTrips)
+{
+    const Frame frame = sampleFrame();
+    const std::string wire = encodeFrame(frame);
+    EXPECT_EQ(wire.size(), frameHeaderBytes + frame.payload.size() +
+                               frameTrailerBytes);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.type, frame.type);
+    EXPECT_EQ(out.id, frame.id);
+    EXPECT_EQ(out.payload, frame.payload);
+    EXPECT_EQ(reader.buffered(), 0u);
+    EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(Wire, EmptyPayloadFrameRoundTrips)
+{
+    Frame frame;
+    frame.type = FrameType::Ping;
+    frame.id = 42;
+
+    FrameReader reader;
+    const std::string wire = encodeFrame(frame);
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.type, FrameType::Ping);
+    EXPECT_EQ(out.id, 42u);
+    EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Wire, IncrementalFeedNeedsMoreUntilComplete)
+{
+    const std::string wire = encodeFrame(sampleFrame());
+    FrameReader reader;
+    Frame out;
+    Error error;
+    // Feed one byte at a time: every prefix must report NeedMore and
+    // the final byte must complete the frame — no prefix may ever be
+    // misread as corrupt.
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        reader.feed(wire.data() + i, 1);
+        ASSERT_EQ(reader.next(out, error), FrameReader::Status::NeedMore)
+            << "after byte " << i;
+    }
+    reader.feed(wire.data() + wire.size() - 1, 1);
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.payload, sampleFrame().payload);
+}
+
+TEST(Wire, BackToBackFramesDecodeInOrder)
+{
+    Frame first = sampleFrame();
+    Frame second;
+    second.type = FrameType::Train;
+    second.id = first.id + 1;
+    second.payload = "second";
+
+    std::string wire = encodeFrame(first) + encodeFrame(second);
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+
+    Frame out;
+    Error error;
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.id, first.id);
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.id, second.id);
+    EXPECT_EQ(out.payload, "second");
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::NeedMore);
+}
+
+// --- Corruption detection -----------------------------------------
+
+TEST(Wire, EverySingleBitFlipIsCaught)
+{
+    // The whole point of the framing: no single-bit flip anywhere in
+    // the frame may decode as a clean frame. (A flip in the payload
+    // must fail the payload CRC; a flip in the header must fail the
+    // header CRC, magic, or version check.)
+    const std::string wire = encodeFrame(sampleFrame());
+    for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+        std::string flipped = wire;
+        flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+
+        FrameReader reader;
+        reader.feed(flipped.data(), flipped.size());
+        Frame out;
+        Error error;
+        const auto status = reader.next(out, error);
+        // A flip in the length field can also turn the frame into a
+        // longer one the reader still waits for — NeedMore is an
+        // acceptable outcome (the connection deadline handles it);
+        // silently decoding Ok with the original content is not,
+        // unless the flip was caught... so: never a clean Ok.
+        EXPECT_NE(status, FrameReader::Status::Ok)
+            << "bit " << bit << " flipped undetected";
+        if (status == FrameReader::Status::Corrupt) {
+            EXPECT_TRUE(reader.poisoned());
+        }
+    }
+}
+
+TEST(Wire, CorruptionPoisonsReaderPermanently)
+{
+    std::string wire = encodeFrame(sampleFrame());
+    wire[1] ^= 0x10; // damage the magic
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_TRUE(reader.poisoned());
+
+    // Feeding a perfectly valid frame afterwards must NOT resurrect
+    // the stream: the reader lost sync and can never trust it again.
+    const std::string good = encodeFrame(sampleFrame());
+    reader.feed(good.data(), good.size());
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(Wire, BadVersionIsRejected)
+{
+    std::string wire = encodeFrame(sampleFrame());
+    // Patch the version field (offset 4, u16 LE) and fix up the
+    // header CRC so only the version check can catch it.
+    wire[4] = 0x7f;
+    Crc32 crc;
+    crc.update(wire.data(), 20);
+    const std::uint32_t hcrc = crc.value();
+    std::memcpy(&wire[20], &hcrc, 4);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_EQ(error.code(), ErrorCode::BadVersion);
+}
+
+TEST(Wire, OversizedLengthIsRejectedBeforeBuffering)
+{
+    std::string wire = encodeFrame(sampleFrame());
+    // Patch length (offset 16, u32 LE) to an absurd value with a
+    // *valid* header CRC: the sanity bound, not the checksum, must
+    // refuse to size a buffer from it.
+    const std::uint32_t huge = maxFramePayload + 1;
+    std::memcpy(&wire[16], &huge, 4);
+    Crc32 crc;
+    crc.update(wire.data(), 20);
+    const std::uint32_t hcrc = crc.value();
+    std::memcpy(&wire[20], &hcrc, 4);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_EQ(error.code(), ErrorCode::BadHeader);
+}
+
+// --- Payload codecs ------------------------------------------------
+
+TEST(WireCodec, PrimitivesRoundTripAndBoundsCheck)
+{
+    std::string out;
+    putU8(out, 0xab);
+    putU16(out, 0xcdef);
+    putU32(out, 0xdeadbeef);
+    putU64(out, 0x0123456789abcdefull);
+    putString(out, "hello");
+
+    std::size_t pos = 0;
+    std::uint8_t u8 = 0;
+    std::uint16_t u16 = 0;
+    std::uint32_t u32 = 0;
+    std::uint64_t u64 = 0;
+    std::string s;
+    EXPECT_TRUE(getU8(out, pos, u8));
+    EXPECT_TRUE(getU16(out, pos, u16));
+    EXPECT_TRUE(getU32(out, pos, u32));
+    EXPECT_TRUE(getU64(out, pos, u64));
+    EXPECT_TRUE(getString(out, pos, s));
+    EXPECT_EQ(u8, 0xab);
+    EXPECT_EQ(u16, 0xcdef);
+    EXPECT_EQ(u32, 0xdeadbeefu);
+    EXPECT_EQ(u64, 0x0123456789abcdefull);
+    EXPECT_EQ(s, "hello");
+    EXPECT_EQ(pos, out.size());
+
+    // Reading past the end fails instead of fabricating bytes.
+    EXPECT_FALSE(getU8(out, pos, u8));
+    pos = out.size() - 2;
+    EXPECT_FALSE(getU64(out, pos, u64));
+}
+
+TEST(WireCodec, TruncatedStringLengthIsRejected)
+{
+    std::string out;
+    putString(out, "payload");
+    out.resize(out.size() - 3); // cut the tail of the bytes
+
+    std::size_t pos = 0;
+    std::string s;
+    EXPECT_FALSE(getString(out, pos, s));
+}
+
+TEST(WireCodec, PredictRequestRoundTrips)
+{
+    const LoadInfo info = sampleInfo();
+    const std::string payload = encodePredictRequest(info);
+    LoadInfo out;
+    ASSERT_TRUE(decodePredictRequest(payload, out));
+    EXPECT_EQ(out.pc, info.pc);
+    EXPECT_EQ(out.immOffset, info.immOffset);
+    EXPECT_EQ(out.ghr, info.ghr);
+    EXPECT_EQ(out.pathHist, info.pathHist);
+
+    // Any truncation fails the decode.
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        LoadInfo ignored;
+        EXPECT_FALSE(
+            decodePredictRequest(payload.substr(0, cut), ignored))
+            << "cut at " << cut;
+    }
+}
+
+TEST(WireCodec, PredictResponseEchoesPcAndPrediction)
+{
+    const Prediction pred = samplePrediction();
+    const std::string payload = encodePredictResponse(0x4000, pred);
+    std::uint64_t pc = 0;
+    Prediction out;
+    ASSERT_TRUE(decodePredictResponse(payload, pc, out));
+    EXPECT_EQ(pc, 0x4000u);
+    expectPredictionEq(out, pred);
+}
+
+TEST(WireCodec, TrainRequestRoundTrips)
+{
+    const LoadInfo info = sampleInfo();
+    const Prediction pred = samplePrediction();
+    const std::string payload =
+        encodeTrainRequest(info, 0xfeed0000, pred);
+    LoadInfo info_out;
+    std::uint64_t actual = 0;
+    Prediction pred_out;
+    ASSERT_TRUE(decodeTrainRequest(payload, info_out, actual, pred_out));
+    EXPECT_EQ(info_out.pc, info.pc);
+    EXPECT_EQ(actual, 0xfeed0000u);
+    expectPredictionEq(pred_out, pred);
+}
+
+TEST(WireCodec, HelloCarriesVersionAndName)
+{
+    const std::string payload = encodeHello("migration-driver");
+    std::uint16_t version = 0;
+    std::string name;
+    ASSERT_TRUE(decodeHello(payload, version, name));
+    EXPECT_EQ(version, wireVersion);
+    EXPECT_EQ(name, "migration-driver");
+}
+
+TEST(WireCodec, ErrorPayloadPreservesCodeAndRetryability)
+{
+    const Error overloaded =
+        makeError(ErrorCode::Overloaded, "queue depth 96/128")
+            .withContext("shard 3");
+    const std::string payload = encodeErrorPayload(overloaded);
+    Error out;
+    ASSERT_TRUE(decodeErrorPayload(payload, out));
+    EXPECT_EQ(out.code(), ErrorCode::Overloaded);
+    EXPECT_TRUE(isRetryable(out.code()));
+    // The context chain rides along inside the message text.
+    EXPECT_NE(out.message().find("queue depth"), std::string::npos);
+}
+
+TEST(WireCodec, ServiceStatsRoundTripBitForBit)
+{
+    ServiceWireStats stats;
+    stats.aggregate.loads = 123456;
+    stats.aggregate.lbHits = 65432;
+    stats.aggregate.formed = 54321;
+    stats.aggregate.formedCorrect = 43210;
+    stats.aggregate.spec = 32109;
+    stats.aggregate.specCorrect = 21098;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        ShardWireStats shard;
+        shard.predicts = 100 + i;
+        shard.trains = 200 + i;
+        shard.rejected = i;
+        shard.unavailable = 3 * i;
+        shard.queueDepth = 7 + i;
+        shard.quarantined = i == 1 ? 1 : 0;
+        stats.shards.push_back(shard);
+    }
+    stats.supervisor.snapshots = 9;
+    stats.supervisor.recoveries = 2;
+    stats.supervisor.salvagedRestores = 1;
+
+    const std::string payload = encodeServiceStats(stats);
+    ServiceWireStats out;
+    ASSERT_TRUE(decodeServiceStats(payload, out));
+    EXPECT_EQ(out.aggregate, stats.aggregate);
+    ASSERT_EQ(out.shards.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(out.shards[i].predicts, stats.shards[i].predicts);
+        EXPECT_EQ(out.shards[i].trains, stats.shards[i].trains);
+        EXPECT_EQ(out.shards[i].rejected, stats.shards[i].rejected);
+        EXPECT_EQ(out.shards[i].unavailable,
+                  stats.shards[i].unavailable);
+        EXPECT_EQ(out.shards[i].queueDepth, stats.shards[i].queueDepth);
+        EXPECT_EQ(out.shards[i].quarantined,
+                  stats.shards[i].quarantined);
+    }
+    EXPECT_EQ(out.supervisor.snapshots, 9u);
+    EXPECT_EQ(out.supervisor.recoveries, 2u);
+    EXPECT_EQ(out.supervisor.salvagedRestores, 1u);
+}
+
+TEST(WireCodec, SnapshotPayloadsRoundTrip)
+{
+    std::uint32_t shard = 0;
+    ASSERT_TRUE(decodeSnapshotRequest(encodeSnapshotRequest(5), shard));
+    EXPECT_EQ(shard, 5u);
+
+    // Snapshot bytes are opaque binary — embedded NULs included.
+    std::string bytes("\x00\x01\x02snapshot\xff", 12);
+    std::string bytes_out;
+    ASSERT_TRUE(decodeSnapshotData(encodeSnapshotData(2, bytes), shard,
+                                   bytes_out));
+    EXPECT_EQ(shard, 2u);
+    EXPECT_EQ(bytes_out, bytes);
+
+    std::uint32_t restored = 0;
+    bool salvaged = false;
+    ASSERT_TRUE(decodeSnapshotInstallOk(encodeSnapshotInstallOk(6, true),
+                                        restored, salvaged));
+    EXPECT_EQ(restored, 6u);
+    EXPECT_TRUE(salvaged);
+}
+
+TEST(WireCodec, FrameTypeNamesAreStable)
+{
+    EXPECT_STREQ(frameTypeName(FrameType::Predict), "Predict");
+    EXPECT_STREQ(frameTypeName(FrameType::ErrorReply), "ErrorReply");
+    EXPECT_STREQ(frameTypeName(FrameType::GoAway), "GoAway");
+}
+
+} // namespace
+} // namespace clap::net
