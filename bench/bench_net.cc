@@ -167,6 +167,8 @@ struct NetLoadResult
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
+    double meanUs = 0.0;
     ClientCounters clientTotals;
     NetChaosStats chaosTotals;
     ServerCounters server;
@@ -283,6 +285,14 @@ results()
         out.p50Us = percentileUs(latencies, 0.50);
         out.p95Us = percentileUs(latencies, 0.95);
         out.p99Us = percentileUs(latencies, 0.99);
+        out.p999Us = percentileUs(latencies, 0.999);
+        if (!latencies.empty()) {
+            double sumNs = 0.0;
+            for (std::uint32_t ns : latencies)
+                sumNs += static_cast<double>(ns);
+            out.meanUs =
+                sumNs / static_cast<double>(latencies.size()) / 1000.0;
+        }
         out.server = server.counters();
 
         // The invariant the gateway stack exists for: a faulty wire
@@ -318,8 +328,9 @@ printResults()
     const NetLoadResult &res = results();
 
     Table load;
-    load.row({"clients", "shards", "loads", "preds/s", "p50_us",
-              "p95_us", "p99_us", "pred_err", "train_err"});
+    load.row({"clients", "shards", "loads", "preds/s", "mean_us",
+              "p50_us", "p95_us", "p99_us", "p999_us", "pred_err",
+              "train_err"});
     load.newRow();
     load.cell(static_cast<std::uint64_t>(res.clients));
     load.cell(static_cast<std::uint64_t>(res.shards));
@@ -329,9 +340,11 @@ printResults()
                         res.elapsedSec
                   : 0.0,
               0);
+    load.cell(res.meanUs, 2);
     load.cell(res.p50Us, 2);
     load.cell(res.p95Us, 2);
     load.cell(res.p99Us, 2);
+    load.cell(res.p999Us, 2);
     load.cell(res.predictErrors);
     load.cell(res.trainErrors);
     printTable("Wire throughput / latency over UDS (wall-clock; "

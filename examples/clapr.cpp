@@ -1,0 +1,243 @@
+/**
+ * @file
+ * clapr — the replication gateway as a standalone daemon: one CLNP
+ * endpoint in front of N clapd replicas. Trains fan out to every
+ * healthy replica, predicts load-balance across them, a periodic
+ * health pass drives the Healthy/Suspect/Down/Joining state machine,
+ * and a restarted replica is bootstrapped back into rotation from a
+ * serving donor (SnapshotFetch -> SnapshotInstall -> journal replay).
+ *
+ * Clients need no changes: clapr speaks exactly the clapd wire
+ * protocol, so `clapd --probe=<clapr endpoint>` works unchanged —
+ * that is the CI smoke: probe the gateway, SIGKILL a replica, probe
+ * again.
+ *
+ * Usage:
+ *   clapr --replica=SPEC [--replica=SPEC ...]
+ *         [--endpoint=unix:/tmp/clapr.sock | tcp:127.0.0.1:0]
+ *         [--shards=N] [--balance=seeded|least-inflight]
+ *         [--balance-seed=N] [--strikes=K] [--journal-capacity=N]
+ *         [--health-interval-ms=N]
+ *         [--max-connections=N] [--max-inflight=N]
+ *         [--read-deadline-ms=N] [--write-deadline-ms=N]
+ *         [--ready-fd=N] [--quiet]
+ *
+ * --shards must match the replicas' shard count (bootstrap fetches
+ * every shard). --ready-fd writes one byte once the listener is
+ * bound, the same readiness handshake clapd offers. Shutdown frames
+ * stop clapr itself; the replicas are separate processes and keep
+ * running.
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hh"
+#include "replica/gateway.hh"
+#include "replica/health.hh"
+
+namespace
+{
+
+using namespace clap;
+using namespace clap::replica;
+
+std::atomic<bool> signalled{false};
+
+void
+onSignal(int)
+{
+    signalled.store(true, std::memory_order_relaxed);
+}
+
+struct Options
+{
+    net::ServerConfig server;
+    ReplicaGatewayConfig gateway;
+    unsigned healthIntervalMs = 200;
+    int readyFd = -1;
+    bool quiet = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --replica=SPEC [--replica=SPEC ...]\n"
+                 "          [--endpoint=SPEC] [--shards=N]\n"
+                 "          [--balance=seeded|least-inflight] "
+                 "[--balance-seed=N]\n"
+                 "          [--strikes=K] [--journal-capacity=N]\n"
+                 "          [--health-interval-ms=N]\n"
+                 "          [--max-connections=N] [--max-inflight=N]\n"
+                 "          [--read-deadline-ms=N] "
+                 "[--write-deadline-ms=N]\n"
+                 "          [--ready-fd=N] [--quiet]\n",
+                 argv0);
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opts)
+{
+    opts.server.endpoint = "unix:/tmp/clapr.sock";
+    opts.server.serverName = "clapr";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&arg](const char *prefix) -> const char * {
+            const std::size_t len = std::strlen(prefix);
+            return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len
+                                                    : nullptr;
+        };
+        if (const char *v = valueOf("--replica=")) {
+            opts.gateway.replicas.push_back(v);
+        } else if (const char *v = valueOf("--endpoint=")) {
+            opts.server.endpoint = v;
+        } else if (const char *v = valueOf("--shards=")) {
+            opts.gateway.shards = static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--balance=")) {
+            if (std::strcmp(v, "seeded") == 0) {
+                opts.gateway.balance =
+                    ReplicaGatewayConfig::Balance::Seeded;
+            } else if (std::strcmp(v, "least-inflight") == 0) {
+                opts.gateway.balance =
+                    ReplicaGatewayConfig::Balance::LeastInFlight;
+            } else {
+                std::fprintf(stderr, "clapr: unknown balance '%s'\n", v);
+                return false;
+            }
+        } else if (const char *v = valueOf("--balance-seed=")) {
+            opts.gateway.balanceSeed =
+                static_cast<std::uint64_t>(std::strtoull(v, nullptr, 0));
+        } else if (const char *v = valueOf("--strikes=")) {
+            opts.gateway.maxStrikes =
+                static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--journal-capacity=")) {
+            opts.gateway.journalCapacity =
+                static_cast<std::size_t>(std::atol(v));
+        } else if (const char *v = valueOf("--health-interval-ms=")) {
+            opts.healthIntervalMs = static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--max-connections=")) {
+            opts.server.maxConnections =
+                static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--max-inflight=")) {
+            opts.server.maxInFlight = static_cast<unsigned>(std::atol(v));
+        } else if (const char *v = valueOf("--read-deadline-ms=")) {
+            opts.server.readDeadlineMs = std::atoi(v);
+        } else if (const char *v = valueOf("--write-deadline-ms=")) {
+            opts.server.writeDeadlineMs = std::atoi(v);
+        } else if (const char *v = valueOf("--ready-fd=")) {
+            opts.readyFd = std::atoi(v);
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "clapr: unknown flag '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseOptions(argc, argv, opts))
+        return 2;
+    if (auto valid = opts.gateway.validate(); !valid) {
+        std::fprintf(stderr, "clapr: %s\n", valid.error().str().c_str());
+        return 2;
+    }
+    if (auto valid = opts.server.validate(); !valid) {
+        std::fprintf(stderr, "clapr: %s\n", valid.error().str().c_str());
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    ReplicaGateway gateway(opts.gateway);
+    if (auto started = gateway.start(); !started) {
+        std::fprintf(stderr, "clapr: %s\n",
+                     started.error().str().c_str());
+        return 1;
+    }
+
+    net::NetServer server(gateway, opts.server);
+    if (auto started = server.start(); !started) {
+        std::fprintf(stderr, "clapr: %s\n",
+                     started.error().str().c_str());
+        return 1;
+    }
+
+    // First pass runs synchronously inside start(): replicas that are
+    // already up have joined before the first client request lands.
+    HealthMonitor monitor(gateway, opts.healthIntervalMs);
+    monitor.start();
+
+    if (!opts.quiet) {
+        std::printf("clapr: gateway on %s over %zu replica(s), "
+                    "%u shard(s)\n",
+                    server.boundEndpoint().str().c_str(),
+                    opts.gateway.replicas.size(), opts.gateway.shards);
+        std::fflush(stdout);
+    }
+    if (opts.readyFd >= 0) {
+        const char byte = 'R';
+        (void)!write(opts.readyFd, &byte, 1);
+        close(opts.readyFd);
+    }
+
+    while (!server.shutdownRequested() &&
+           !signalled.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    monitor.stop();
+    server.stop();
+    gateway.stop();
+
+    if (!opts.quiet) {
+        const GatewayCounters counters = gateway.counters();
+        std::printf("clapr: %llu predict(s) (%llu failover(s), %llu "
+                    "failed), %llu train(s) over %llu send(s), "
+                    "%llu join(s)\n",
+                    static_cast<unsigned long long>(counters.predicts),
+                    static_cast<unsigned long long>(
+                        counters.predictFailovers),
+                    static_cast<unsigned long long>(
+                        counters.predictsFailed),
+                    static_cast<unsigned long long>(counters.trains),
+                    static_cast<unsigned long long>(counters.trainSends),
+                    static_cast<unsigned long long>(counters.joins));
+        for (const ReplicaSnapshot &snap : gateway.replicaSnapshots()) {
+            std::printf("clapr:   %s %s: %llu predict(s), %llu "
+                        "train(s), %llu bootstrap(s)\n",
+                        snap.endpoint.c_str(),
+                        replicaStateName(snap.state),
+                        static_cast<unsigned long long>(
+                            snap.counters.predictsServed),
+                        static_cast<unsigned long long>(
+                            snap.counters.trainsApplied),
+                        static_cast<unsigned long long>(
+                            snap.counters.bootstraps));
+        }
+    }
+    return 0;
+}

@@ -17,11 +17,192 @@ constexpr int pollSliceMs = 50;
 
 } // namespace
 
+ServiceFrameHandler::ServiceFrameHandler(PredictionService &service,
+                                         ShardSupervisor *supervisor,
+                                         const ServerConfig &config)
+    : service_(service), supervisor_(supervisor), config_(config)
+{
+}
+
+Admission
+ServiceFrameHandler::admissionDecision() const
+{
+    const auto capacity =
+        static_cast<double>(service_.totalQueueCapacity());
+    const auto depth = static_cast<double>(service_.totalQueueDepth());
+    if (depth >= config_.rejectFraction * capacity)
+        return Admission::Reject;
+    if (depth >= config_.shedFraction * capacity)
+        return Admission::Shed;
+    return Admission::Accept;
+}
+
+HandlerReply
+ServiceFrameHandler::handle(const Frame &frame)
+{
+    static obs::Counter &admitAccepted =
+        obs::counter("net.admit.accepted");
+    static obs::Counter &admitShed = obs::counter("net.admit.shed");
+    static obs::Counter &admitRejected =
+        obs::counter("net.admit.rejected");
+
+    switch (frame.type) {
+      case FrameType::Ping:
+        return HandlerReply::make(FrameType::Pong);
+
+      case FrameType::Predict: {
+        LoadInfo info;
+        if (!decodePredictRequest(frame.payload, info)) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::ProtocolError,
+                          "malformed Predict payload"));
+        }
+        const Admission admission = admissionDecision();
+        if (admission != Admission::Accept) {
+            if (admission == Admission::Shed) {
+                admitShed_.fetch_add(1, std::memory_order_relaxed);
+                admitShed.add();
+            } else {
+                admitRejected_.fetch_add(1, std::memory_order_relaxed);
+                admitRejected.add();
+            }
+            return HandlerReply::fail(
+                makeError(ErrorCode::Overloaded,
+                          admission == Admission::Shed
+                              ? "gateway shedding predicts"
+                              : "gateway rejecting requests"));
+        }
+        admitAccepted.add();
+        auto pred = service_.predict(info);
+        if (!pred)
+            return HandlerReply::fail(pred.error());
+        return HandlerReply::make(
+            FrameType::PredictOk,
+            encodePredictResponse(info.pc, *pred));
+      }
+
+      case FrameType::Train: {
+        LoadInfo info;
+        std::uint64_t actual = 0;
+        Prediction pred;
+        if (!decodeTrainRequest(frame.payload, info, actual, pred)) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::ProtocolError,
+                          "malformed Train payload"));
+        }
+        // Shed mode still trains: a dropped train silently forks the
+        // predictor state; only full Reject refuses it.
+        if (admissionDecision() == Admission::Reject) {
+            admitRejected_.fetch_add(1, std::memory_order_relaxed);
+            admitRejected.add();
+            return HandlerReply::fail(
+                makeError(ErrorCode::Overloaded,
+                          "gateway rejecting requests"));
+        }
+        admitAccepted.add();
+        auto trained = service_.train(info, actual, pred);
+        if (!trained)
+            return HandlerReply::fail(trained.error());
+        return HandlerReply::make(FrameType::TrainOk);
+      }
+
+      case FrameType::Stats: {
+        ServiceWireStats stats;
+        stats.aggregate = service_.aggregateStats();
+        for (const ShardSnapshot &snap : service_.snapshot()) {
+            ShardWireStats shard;
+            shard.predicts = snap.predicts;
+            shard.trains = snap.trains;
+            shard.rejected = snap.rejected;
+            shard.unavailable = snap.unavailable;
+            shard.queueDepth = snap.queueDepth;
+            shard.quarantined = snap.quarantined ? 1 : 0;
+            shard.stats = snap.stats;
+            stats.shards.push_back(shard);
+        }
+        if (supervisor_ != nullptr) {
+            const SupervisorStats sup = supervisor_->stats();
+            stats.supervisor.snapshots = sup.snapshots;
+            stats.supervisor.snapshotFailures = sup.snapshotFailures;
+            stats.supervisor.recoveries = sup.recoveries;
+            stats.supervisor.strictRestores = sup.strictRestores;
+            stats.supervisor.salvagedRestores = sup.salvagedRestores;
+            stats.supervisor.freshRestarts = sup.freshRestarts;
+            stats.supervisor.unrecovered = sup.unrecovered;
+        }
+        return HandlerReply::make(FrameType::StatsOk,
+                                  encodeServiceStats(stats));
+      }
+
+      case FrameType::SnapshotFetch: {
+        std::uint32_t shard = 0;
+        if (!decodeSnapshotRequest(frame.payload, shard)) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::ProtocolError,
+                          "malformed SnapshotFetch"));
+        }
+        if (shard >= service_.config().shards) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::InvalidArgument,
+                          "shard " + std::to_string(shard) +
+                              " out of range"));
+        }
+        auto captured = service_.captureShardState(shard);
+        if (!captured)
+            return HandlerReply::fail(captured.error());
+        return HandlerReply::make(FrameType::SnapshotData,
+                                  encodeSnapshotData(shard, *captured));
+      }
+
+      case FrameType::SnapshotInstall: {
+        std::uint32_t shard = 0;
+        std::string bytes;
+        if (!decodeSnapshotData(frame.payload, shard, bytes)) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::ProtocolError,
+                          "malformed SnapshotInstall"));
+        }
+        if (shard >= service_.config().shards) {
+            return HandlerReply::fail(
+                makeError(ErrorCode::InvalidArgument,
+                          "shard " + std::to_string(shard) +
+                              " out of range"));
+        }
+        auto restored = service_.restoreShardState(shard, bytes);
+        if (!restored)
+            return HandlerReply::fail(restored.error());
+        return HandlerReply::make(
+            FrameType::SnapshotInstallOk,
+            encodeSnapshotInstallOk(restored->restored,
+                                    restored->salvaged));
+      }
+
+      default: {
+        // A response-typed or unknown-but-valid frame from a client is
+        // a protocol violation serious enough to drop the connection:
+        // the peer is confused about its own role.
+        return HandlerReply::fail(
+            makeError(ErrorCode::ProtocolError,
+                      std::string("unexpected frame ") +
+                          frameTypeName(frame.type)),
+            /*drop=*/true);
+      }
+    }
+}
+
+NetServer::NetServer(FrameHandler &handler, const ServerConfig &config)
+    : handler_(&handler), config_(config)
+{
+}
+
 NetServer::NetServer(PredictionService &service,
                      ShardSupervisor *supervisor,
                      const ServerConfig &config)
-    : service_(service), supervisor_(supervisor), config_(config)
+    : handler_(nullptr), config_(config)
 {
+    ownedHandler_ = std::make_unique<ServiceFrameHandler>(
+        service, supervisor, config);
+    handler_ = ownedHandler_.get();
 }
 
 NetServer::~NetServer()
@@ -83,8 +264,10 @@ NetServer::counters() const
     out.accepted = accepted_.load(std::memory_order_relaxed);
     out.turnedAway = turnedAway_.load(std::memory_order_relaxed);
     out.requests = requests_.load(std::memory_order_relaxed);
-    out.admitShed = admitShed_.load(std::memory_order_relaxed);
-    out.admitRejected = admitRejected_.load(std::memory_order_relaxed);
+    if (ownedHandler_) {
+        out.admitShed = ownedHandler_->shedCount();
+        out.admitRejected = ownedHandler_->rejectedCount();
+    }
     out.inflightRejected =
         inflightRejected_.load(std::memory_order_relaxed);
     out.corruptFrames = corruptFrames_.load(std::memory_order_relaxed);
@@ -96,14 +279,8 @@ NetServer::counters() const
 Admission
 NetServer::admissionDecision() const
 {
-    const auto capacity =
-        static_cast<double>(service_.totalQueueCapacity());
-    const auto depth = static_cast<double>(service_.totalQueueDepth());
-    if (depth >= config_.rejectFraction * capacity)
-        return Admission::Reject;
-    if (depth >= config_.shedFraction * capacity)
-        return Admission::Shed;
-    return Admission::Accept;
+    return ownedHandler_ ? ownedHandler_->admissionDecision()
+                         : Admission::Accept;
 }
 
 void
@@ -276,17 +453,14 @@ bool
 NetServer::handleFrame(Stream &stream, const Frame &frame)
 {
     static obs::Counter &served = obs::counter("net.requests");
-    static obs::Counter &admitAccepted =
-        obs::counter("net.admit.accepted");
-    static obs::Counter &admitShed = obs::counter("net.admit.shed");
-    static obs::Counter &admitRejected =
-        obs::counter("net.admit.rejected");
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     served.add();
 
     switch (frame.type) {
       case FrameType::Hello: {
+        // The handshake is transport policy, not request semantics:
+        // every handler behind this server speaks the same version.
         std::uint16_t version = 0;
         std::string name;
         if (!decodeHello(frame.payload, version, name)) {
@@ -303,160 +477,7 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
                               std::to_string(wireVersion)));
         }
         return sendFrame(stream, FrameType::HelloOk, frame.id,
-                         encodeHello("clapd"));
-      }
-
-      case FrameType::Ping:
-        return sendFrame(stream, FrameType::Pong, frame.id, {});
-
-      case FrameType::Predict: {
-        LoadInfo info;
-        if (!decodePredictRequest(frame.payload, info)) {
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::ProtocolError,
-                                       "malformed Predict payload"));
-        }
-        const Admission admission = admissionDecision();
-        if (admission != Admission::Accept) {
-            if (admission == Admission::Shed) {
-                admitShed_.fetch_add(1, std::memory_order_relaxed);
-                admitShed.add();
-            } else {
-                admitRejected_.fetch_add(1, std::memory_order_relaxed);
-                admitRejected.add();
-            }
-            return sendError(
-                stream, frame.id,
-                makeError(ErrorCode::Overloaded,
-                          admission == Admission::Shed
-                              ? "gateway shedding predicts"
-                              : "gateway rejecting requests"));
-        }
-        admitAccepted.add();
-        const unsigned inflight =
-            inFlight_.fetch_add(1, std::memory_order_acq_rel);
-        if (inflight >= config_.maxInFlight) {
-            inFlight_.fetch_sub(1, std::memory_order_acq_rel);
-            inflightRejected_.fetch_add(1, std::memory_order_relaxed);
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::Overloaded,
-                                       "gateway in-flight budget "
-                                       "exhausted"));
-        }
-        auto pred = service_.predict(info);
-        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
-        if (!pred)
-            return sendError(stream, frame.id, pred.error());
-        return sendFrame(stream, FrameType::PredictOk, frame.id,
-                         encodePredictResponse(info.pc, *pred));
-      }
-
-      case FrameType::Train: {
-        LoadInfo info;
-        std::uint64_t actual = 0;
-        Prediction pred;
-        if (!decodeTrainRequest(frame.payload, info, actual, pred)) {
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::ProtocolError,
-                                       "malformed Train payload"));
-        }
-        // Shed mode still trains: a dropped train silently forks the
-        // predictor state; only full Reject refuses it.
-        if (admissionDecision() == Admission::Reject) {
-            admitRejected_.fetch_add(1, std::memory_order_relaxed);
-            admitRejected.add();
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::Overloaded,
-                                       "gateway rejecting requests"));
-        }
-        admitAccepted.add();
-        const unsigned inflight =
-            inFlight_.fetch_add(1, std::memory_order_acq_rel);
-        if (inflight >= config_.maxInFlight) {
-            inFlight_.fetch_sub(1, std::memory_order_acq_rel);
-            inflightRejected_.fetch_add(1, std::memory_order_relaxed);
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::Overloaded,
-                                       "gateway in-flight budget "
-                                       "exhausted"));
-        }
-        auto trained = service_.train(info, actual, pred);
-        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
-        if (!trained)
-            return sendError(stream, frame.id, trained.error());
-        return sendFrame(stream, FrameType::TrainOk, frame.id, {});
-      }
-
-      case FrameType::Stats: {
-        ServiceWireStats stats;
-        stats.aggregate = service_.aggregateStats();
-        for (const ShardSnapshot &snap : service_.snapshot()) {
-            ShardWireStats shard;
-            shard.predicts = snap.predicts;
-            shard.trains = snap.trains;
-            shard.rejected = snap.rejected;
-            shard.unavailable = snap.unavailable;
-            shard.queueDepth = snap.queueDepth;
-            shard.quarantined = snap.quarantined ? 1 : 0;
-            stats.shards.push_back(shard);
-        }
-        if (supervisor_ != nullptr) {
-            const SupervisorStats sup = supervisor_->stats();
-            stats.supervisor.snapshots = sup.snapshots;
-            stats.supervisor.snapshotFailures = sup.snapshotFailures;
-            stats.supervisor.recoveries = sup.recoveries;
-            stats.supervisor.strictRestores = sup.strictRestores;
-            stats.supervisor.salvagedRestores = sup.salvagedRestores;
-            stats.supervisor.freshRestarts = sup.freshRestarts;
-            stats.supervisor.unrecovered = sup.unrecovered;
-        }
-        return sendFrame(stream, FrameType::StatsOk, frame.id,
-                         encodeServiceStats(stats));
-      }
-
-      case FrameType::SnapshotFetch: {
-        std::uint32_t shard = 0;
-        if (!decodeSnapshotRequest(frame.payload, shard)) {
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::ProtocolError,
-                                       "malformed SnapshotFetch"));
-        }
-        if (shard >= service_.config().shards) {
-            return sendError(
-                stream, frame.id,
-                makeError(ErrorCode::InvalidArgument,
-                          "shard " + std::to_string(shard) +
-                              " out of range"));
-        }
-        auto captured = service_.captureShardState(shard);
-        if (!captured)
-            return sendError(stream, frame.id, captured.error());
-        return sendFrame(stream, FrameType::SnapshotData, frame.id,
-                         encodeSnapshotData(shard, *captured));
-      }
-
-      case FrameType::SnapshotInstall: {
-        std::uint32_t shard = 0;
-        std::string bytes;
-        if (!decodeSnapshotData(frame.payload, shard, bytes)) {
-            return sendError(stream, frame.id,
-                             makeError(ErrorCode::ProtocolError,
-                                       "malformed SnapshotInstall"));
-        }
-        if (shard >= service_.config().shards) {
-            return sendError(
-                stream, frame.id,
-                makeError(ErrorCode::InvalidArgument,
-                          "shard " + std::to_string(shard) +
-                              " out of range"));
-        }
-        auto restored = service_.restoreShardState(shard, bytes);
-        if (!restored)
-            return sendError(stream, frame.id, restored.error());
-        return sendFrame(
-            stream, FrameType::SnapshotInstallOk, frame.id,
-            encodeSnapshotInstallOk(restored->restored,
-                                    restored->salvaged));
+                         encodeHello(config_.serverName));
       }
 
       case FrameType::Shutdown: {
@@ -465,14 +486,25 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
       }
 
       default: {
-        // A response-typed or unknown-but-valid frame from a client is
-        // a protocol violation serious enough to drop the connection:
-        // the peer is confused about its own role.
-        (void)sendError(stream, frame.id,
-                        makeError(ErrorCode::ProtocolError,
-                                  std::string("unexpected frame ") +
-                                      frameTypeName(frame.type)));
-        return false;
+        const unsigned inflight =
+            inFlight_.fetch_add(1, std::memory_order_acq_rel);
+        if (inflight >= config_.maxInFlight) {
+            inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+            inflightRejected_.fetch_add(1, std::memory_order_relaxed);
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::Overloaded,
+                                       "gateway in-flight budget "
+                                       "exhausted"));
+        }
+        const HandlerReply reply = handler_->handle(frame);
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        bool sent;
+        if (reply.isError)
+            sent = sendError(stream, frame.id, reply.error);
+        else
+            sent = sendFrame(stream, reply.type, frame.id,
+                             reply.payload);
+        return sent && !reply.drop;
       }
     }
 }

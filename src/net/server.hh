@@ -57,6 +57,9 @@ struct ServerConfig
     /// Endpoint spec ("unix:/tmp/clapd.sock" or "tcp:127.0.0.1:0").
     std::string endpoint = "unix:/tmp/clapd.sock";
 
+    /// Name sent in HelloOk frames (clapd, clapr, ...).
+    std::string serverName = "clapd";
+
     /// Concurrent connections; one over budget is greeted with GoAway
     /// and closed before any request is read.
     unsigned maxConnections = 32;
@@ -123,13 +126,108 @@ struct ServerCounters
     std::uint64_t errorReplies = 0;  ///< ErrorReply frames sent
 };
 
+/**
+ * One request frame's outcome, as decided by a FrameHandler. Either a
+ * typed reply payload or a structured error (sent as ErrorReply);
+ * @c drop additionally closes the connection after the send — the
+ * handler's verdict that the peer is not worth keeping.
+ */
+struct HandlerReply
+{
+    FrameType type = FrameType::ErrorReply;
+    std::string payload;
+    bool isError = false;
+    Error error;
+    bool drop = false;
+
+    static HandlerReply
+    make(FrameType type, std::string payload = {})
+    {
+        HandlerReply reply;
+        reply.type = type;
+        reply.payload = std::move(payload);
+        return reply;
+    }
+
+    static HandlerReply
+    fail(Error error, bool drop = false)
+    {
+        HandlerReply reply;
+        reply.isError = true;
+        reply.error = std::move(error);
+        reply.drop = drop;
+        return reply;
+    }
+};
+
+/**
+ * What NetServer's transport layer delegates request frames to. The
+ * transport owns everything failure-shaped about the byte stream —
+ * accept budgets, deadlines, CRC poisoning, GoAway, the Hello
+ * handshake, Shutdown — and hands every other request frame here.
+ * Implementations: ServiceFrameHandler (one local PredictionService,
+ * the clapd shape) and replica::ReplicaGateway (N remote replicas,
+ * the clapr shape).
+ *
+ * handle() is called concurrently from per-connection threads and
+ * must be thread-safe.
+ */
+class FrameHandler
+{
+  public:
+    virtual ~FrameHandler() = default;
+    virtual HandlerReply handle(const Frame &frame) = 0;
+};
+
+/**
+ * The classic clapd request handler: one local PredictionService
+ * behind queue-depth admission control (see the file comment).
+ * @p supervisor may be null; when present its stats ride along in
+ * StatsOk frames.
+ */
+class ServiceFrameHandler : public FrameHandler
+{
+  public:
+    ServiceFrameHandler(PredictionService &service,
+                        ShardSupervisor *supervisor,
+                        const ServerConfig &config);
+
+    HandlerReply handle(const Frame &frame) override;
+
+    /** The admission decision the handler would make right now. */
+    Admission admissionDecision() const;
+
+    std::uint64_t
+    shedCount() const
+    {
+        return admitShed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    rejectedCount() const
+    {
+        return admitRejected_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    PredictionService &service_;
+    ShardSupervisor *supervisor_;
+    ServerConfig config_;
+    std::atomic<std::uint64_t> admitShed_{0};
+    std::atomic<std::uint64_t> admitRejected_{0};
+};
+
 class NetServer
 {
   public:
     /**
-     * @p supervisor may be null; when present its stats ride along in
-     * StatsOk frames and snapshot requests go through the service
-     * directly either way.
+     * Front an arbitrary FrameHandler (the replica gateway path).
+     * @p handler must outlive the server.
+     */
+    NetServer(FrameHandler &handler, const ServerConfig &config);
+
+    /**
+     * Convenience: front a local PredictionService through an owned
+     * ServiceFrameHandler. @p supervisor may be null.
      */
     NetServer(PredictionService &service, ShardSupervisor *supervisor,
               const ServerConfig &config);
@@ -158,7 +256,8 @@ class NetServer
 
     ServerCounters counters() const;
 
-    /** The admission decision the gateway would make right now. */
+    /** The admission decision the gateway would make right now
+     *  (Accept unless a service-backed handler says otherwise). */
     Admission admissionDecision() const;
 
   private:
@@ -178,8 +277,10 @@ class NetServer
     bool sendError(Stream &stream, std::uint64_t id, const Error &error);
     void reapFinished();
 
-    PredictionService &service_;
-    ShardSupervisor *supervisor_;
+    FrameHandler *handler_;
+    /// Set by the PredictionService convenience constructor; also the
+    /// source of the admission counters merged into counters().
+    std::unique_ptr<ServiceFrameHandler> ownedHandler_;
     ServerConfig config_;
     Listener listener_;
     std::thread acceptor_;
@@ -195,8 +296,6 @@ class NetServer
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> turnedAway_{0};
     std::atomic<std::uint64_t> requests_{0};
-    std::atomic<std::uint64_t> admitShed_{0};
-    std::atomic<std::uint64_t> admitRejected_{0};
     std::atomic<std::uint64_t> inflightRejected_{0};
     std::atomic<std::uint64_t> corruptFrames_{0};
     std::atomic<std::uint64_t> deadlineDrops_{0};

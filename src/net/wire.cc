@@ -364,7 +364,14 @@ putError(std::string &out, const Error &error)
 {
     putU8(out, static_cast<std::uint8_t>(error.code()));
     putU8(out, isRetryable(error.code()) ? 1 : 0);
-    putString(out, error.str());
+    // Message and contexts travel separately: str() prepends the code
+    // name, and wrapping str() as the message would make the receiver
+    // render "Code: Code: ..." — the name must appear exactly once.
+    putString(out, error.message());
+    const auto &contexts = error.contexts();
+    putU32(out, static_cast<std::uint32_t>(contexts.size()));
+    for (const std::string &context : contexts)
+        putString(out, context);
 }
 
 bool
@@ -372,13 +379,25 @@ getError(std::string_view in, std::size_t &pos, Error &error)
 {
     std::uint8_t raw_code = 0, retryable = 0;
     std::string message;
+    std::uint32_t contexts = 0;
     if (!getU8(in, pos, raw_code) || !getU8(in, pos, retryable) ||
-        !getString(in, pos, message))
+        !getString(in, pos, message) || !getU32(in, pos, contexts))
         return false;
     if (raw_code > static_cast<std::uint8_t>(ErrorCode::DeadlineExceeded))
         return false;
-    error = makeError(static_cast<ErrorCode>(raw_code),
-                      std::move(message));
+    // Each context costs at least its 4-byte length prefix.
+    if (pos > in.size() || contexts > (in.size() - pos) / 4 + 1)
+        return false;
+    Error decoded = makeError(static_cast<ErrorCode>(raw_code),
+                              std::move(message));
+    for (std::uint32_t i = 0; i < contexts; ++i) {
+        std::string context;
+        if (!getString(in, pos, context))
+            return false;
+        // withContext appends in place; order round-trips exactly.
+        (void)std::move(decoded).withContext(std::move(context));
+    }
+    error = std::move(decoded);
     return true;
 }
 
@@ -482,6 +501,7 @@ encodeServiceStats(const ServiceWireStats &stats)
         putU64(out, shard.unavailable);
         putU64(out, shard.queueDepth);
         putU8(out, shard.quarantined);
+        putPredictionStats(out, shard.stats);
     }
     const auto &sup = stats.supervisor;
     putU64(out, sup.snapshots);
@@ -503,8 +523,9 @@ decodeServiceStats(std::string_view payload, ServiceWireStats &stats)
     std::uint32_t shards = 0;
     if (!getU32(payload, pos, shards))
         return false;
-    // 41 bytes per shard entry; bound before reserving.
-    if (shards > payload.size() / 41 + 1)
+    // 41 bytes of counters + 160 bytes of PredictionStats per shard
+    // entry; bound before reserving.
+    if (shards > payload.size() / 201 + 1)
         return false;
     stats.shards.clear();
     stats.shards.reserve(shards);
@@ -515,7 +536,8 @@ decodeServiceStats(std::string_view payload, ServiceWireStats &stats)
             !getU64(payload, pos, shard.rejected) ||
             !getU64(payload, pos, shard.unavailable) ||
             !getU64(payload, pos, shard.queueDepth) ||
-            !getU8(payload, pos, shard.quarantined))
+            !getU8(payload, pos, shard.quarantined) ||
+            !getPredictionStats(payload, pos, shard.stats))
             return false;
         stats.shards.push_back(shard);
     }

@@ -10,7 +10,7 @@
  * Frame layout (little-endian):
  *
  *   magic    u32   "CLNP"
- *   version  u16   wireVersion (1 = current)
+ *   version  u16   wireVersion (2 = current)
  *   type     u16   FrameType
  *   id       u64   request id (echoed by the matching response)
  *   length   u32   payload bytes (<= maxFramePayload)
@@ -50,8 +50,10 @@ namespace clap::net
 /** Frame magic: "CLNP" in little-endian byte order. */
 constexpr std::uint32_t wireMagic = 0x504e4c43u;
 
-/** Current wire protocol version. */
-constexpr std::uint16_t wireVersion = 1;
+/** Current wire protocol version. v2 added per-shard PredictionStats
+ *  to StatsOk (replica divergence audits) and split the error payload
+ *  into message + context chain (no re-rendered prefix). */
+constexpr std::uint16_t wireVersion = 2;
 
 /** Bytes in the fixed frame header (magic..hcrc). */
 constexpr std::size_t frameHeaderBytes = 24;
@@ -203,12 +205,17 @@ std::string encodeTrainRequest(const LoadInfo &info,
 bool decodeTrainRequest(std::string_view payload, LoadInfo &info,
                         std::uint64_t &actual_addr, Prediction &pred);
 
-/** Error payload: structured code + retryable bit + message text
- *  (context chain flattened into the message). */
+/** Error payload: structured code + retryable bit + message text +
+ *  the context chain, each field separate. Keeping the code out of
+ *  the message means a round-tripped error renders its code name
+ *  (util/errorCodeName) exactly once — `grep ConnectionLost` finds
+ *  the same line whether the error was local or remote. */
 std::string encodeErrorPayload(const Error &error);
 bool decodeErrorPayload(std::string_view payload, Error &error);
 
-/** Per-shard serve counters inside ServiceWireStats. */
+/** Per-shard serve counters inside ServiceWireStats. Carries the
+ *  shard's full PredictionStats so a replication auditor can compare
+ *  shard state across replicas bit for bit over the wire. */
 struct ShardWireStats
 {
     std::uint64_t predicts = 0;
@@ -217,6 +224,7 @@ struct ShardWireStats
     std::uint64_t unavailable = 0;
     std::uint64_t queueDepth = 0;
     std::uint8_t quarantined = 0;
+    PredictionStats stats; ///< tallied at train resolution
 };
 
 /** Supervisor recovery counters (mirrors serve/SupervisorStats). */

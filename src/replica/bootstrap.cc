@@ -1,0 +1,50 @@
+#include "replica/bootstrap.hh"
+
+#include <utility>
+
+namespace clap::replica
+{
+
+Expected<BootstrapStats>
+fetchAllShards(net::NetClient &donor, unsigned shards,
+               std::vector<std::string> &out)
+{
+    BootstrapStats stats;
+    out.clear();
+    out.resize(shards);
+    for (unsigned shard = 0; shard < shards; ++shard) {
+        auto fetched = donor.fetchSnapshot(shard);
+        if (!fetched) {
+            return std::move(fetched.error())
+                .withContext("fetching shard " + std::to_string(shard) +
+                             " from donor");
+        }
+        stats.bytes += fetched->size();
+        stats.shards++;
+        out[shard] = std::move(*fetched);
+    }
+    return stats;
+}
+
+Expected<BootstrapStats>
+installAllShards(net::NetClient &joiner,
+                 const std::vector<std::string> &snapshots)
+{
+    BootstrapStats stats;
+    for (unsigned shard = 0; shard < snapshots.size(); ++shard) {
+        auto installed =
+            joiner.installSnapshot(shard, snapshots[shard]);
+        if (!installed) {
+            return std::move(installed.error())
+                .withContext("installing shard " +
+                             std::to_string(shard) + " into joiner");
+        }
+        stats.bytes += snapshots[shard].size();
+        stats.shards++;
+        if (installed->second)
+            stats.salvaged++;
+    }
+    return stats;
+}
+
+} // namespace clap::replica

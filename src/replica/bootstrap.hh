@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Replica bootstrap: move every shard of a serving donor into a
+ * joining replica over the existing SnapshotFetch / SnapshotInstall
+ * wire path. The gateway calls fetchAllShards() *inside* its train
+ * quiescent section (so the N per-shard snapshots form one consistent
+ * cut) and installAllShards() outside it (the joiner is not serving
+ * yet; concurrent trains are journaled and replayed afterwards).
+ */
+
+#ifndef CLAP_REPLICA_BOOTSTRAP_HH
+#define CLAP_REPLICA_BOOTSTRAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+#include "util/error.hh"
+
+namespace clap::replica
+{
+
+/** What a bootstrap moved, for counters and bench tables. */
+struct BootstrapStats
+{
+    unsigned shards = 0;
+    std::uint64_t bytes = 0;    ///< snapshot bytes transferred
+    unsigned salvaged = 0;      ///< shards installed via salvage
+};
+
+/** Fetch shards [0, shards) from @p donor into @p out (resized).
+ *  Fails on the first shard the donor cannot capture. */
+Expected<BootstrapStats> fetchAllShards(net::NetClient &donor,
+                                        unsigned shards,
+                                        std::vector<std::string> &out);
+
+/** Install previously fetched shard snapshots into @p joiner, in
+ *  shard order. Fails on the first refused install. */
+Expected<BootstrapStats>
+installAllShards(net::NetClient &joiner,
+                 const std::vector<std::string> &snapshots);
+
+} // namespace clap::replica
+
+#endif // CLAP_REPLICA_BOOTSTRAP_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seeded chaos planning for replica failover harnesses. A KillPlan
+ * turns (seed, replica count) into a deterministic victim sequence,
+ * so bench_replica's SIGKILL schedule — and therefore every counter
+ * it prints — is a pure function of its seed, byte-identical across
+ * same-seed runs. All draws happen up front at construction; asking
+ * for round k never perturbs round k+1.
+ */
+
+#ifndef CLAP_REPLICA_CHAOS_HH
+#define CLAP_REPLICA_CHAOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace clap::replica
+{
+
+class KillPlan
+{
+  public:
+    KillPlan(std::uint64_t seed, unsigned replicas, unsigned rounds)
+    {
+        Rng rng(seed);
+        victims_.reserve(rounds);
+        for (unsigned round = 0; round < rounds; ++round)
+            victims_.push_back(
+                static_cast<unsigned>(rng.below(replicas)));
+    }
+
+    /** Which replica dies in round @p round. */
+    unsigned
+    victim(unsigned round) const
+    {
+        return victims_.at(round);
+    }
+
+    unsigned
+    rounds() const
+    {
+        return static_cast<unsigned>(victims_.size());
+    }
+
+  private:
+    std::vector<unsigned> victims_;
+};
+
+} // namespace clap::replica
+
+#endif // CLAP_REPLICA_CHAOS_HH

@@ -1,0 +1,641 @@
+#include "replica/gateway.hh"
+
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "replica/bootstrap.hh"
+
+namespace clap::replica
+{
+
+using net::Frame;
+using net::FrameType;
+using net::HandlerReply;
+
+namespace
+{
+
+/** Transport-class failures earn the replica a liveness strike; a
+ *  structured server refusal (Overloaded, quarantined shard) does
+ *  not — the process is alive and answering. */
+bool
+isTransportClass(ErrorCode code)
+{
+    return code == ErrorCode::ConnectionLost ||
+        code == ErrorCode::DeadlineExceeded ||
+        code == ErrorCode::Timeout || code == ErrorCode::IoError ||
+        code == ErrorCode::ProtocolError;
+}
+
+} // namespace
+
+Expected<void>
+ReplicaGatewayConfig::validate() const
+{
+    if (replicas.empty())
+        return makeError(ErrorCode::InvalidConfig,
+                         "ReplicaGatewayConfig: need >= 1 replica");
+    if (shards == 0)
+        return makeError(ErrorCode::InvalidConfig,
+                         "ReplicaGatewayConfig: shards must be >= 1");
+    if (maxStrikes == 0)
+        return makeError(ErrorCode::InvalidConfig,
+                         "ReplicaGatewayConfig: maxStrikes must be >= 1");
+    if (journalCapacity == 0)
+        return makeError(
+            ErrorCode::InvalidConfig,
+            "ReplicaGatewayConfig: journalCapacity must be >= 1");
+    return ok();
+}
+
+ReplicaGateway::ReplicaGateway(const ReplicaGatewayConfig &config)
+    : config_(config), rng_(config.balanceSeed)
+{
+}
+
+ReplicaGateway::~ReplicaGateway()
+{
+    stop();
+}
+
+Expected<void>
+ReplicaGateway::start()
+{
+    if (auto valid = config_.validate(); !valid)
+        return valid;
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    if (!links_.empty())
+        return ok(); // idempotent
+    staged_.resize(config_.replicas.size());
+    for (const std::string &endpoint : config_.replicas) {
+        table_.addReplica(endpoint);
+        net::ClientConfig client = config_.client;
+        client.endpoint = endpoint;
+        client.clientName = "clapr-gateway";
+        auto link = std::make_unique<Link>();
+        link->client = std::make_unique<net::NetClient>(client);
+        links_.push_back(std::move(link));
+    }
+    return ok();
+}
+
+void
+ReplicaGateway::stop()
+{
+    for (auto &link : links_) {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        if (link->client)
+            link->client->disconnect();
+    }
+}
+
+HandlerReply
+ReplicaGateway::handle(const Frame &frame)
+{
+    switch (frame.type) {
+      case FrameType::Ping:
+        // Gateway liveness, answered locally: a probe's ping asks
+        // "is the front door up", not "is every replica up".
+        return HandlerReply::make(FrameType::Pong);
+      case FrameType::Predict:
+        return handlePredict(frame);
+      case FrameType::Train:
+        return handleTrain(frame);
+      case FrameType::Stats:
+        return handleStats();
+      case FrameType::SnapshotFetch:
+        return handleSnapshotFetch(frame);
+      case FrameType::SnapshotInstall:
+        return handleSnapshotInstall(frame);
+      default:
+        return HandlerReply::fail(
+            makeError(ErrorCode::ProtocolError,
+                      std::string("unexpected frame ") +
+                          net::frameTypeName(frame.type)),
+            /*drop=*/true);
+    }
+}
+
+std::vector<unsigned>
+ReplicaGateway::predictAttemptOrder()
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    std::vector<unsigned> order = table_.predictOrder();
+    if (order.empty())
+        return order;
+
+    Expected<unsigned> first =
+        config_.balance == ReplicaGatewayConfig::Balance::Seeded
+            ? table_.pickSeeded(rng_)
+            : [&] {
+                  std::vector<unsigned> gauges;
+                  gauges.reserve(links_.size());
+                  for (const auto &link : links_)
+                      gauges.push_back(link->inFlight.load(
+                          std::memory_order_relaxed));
+                  return table_.pickLeastInFlight(gauges);
+              }();
+    if (!first)
+        return order;
+    // The pick leads; the rest of predictOrder() is the failover tail.
+    std::vector<unsigned> attempts{*first};
+    for (unsigned i : order)
+        if (i != *first)
+            attempts.push_back(i);
+    return attempts;
+}
+
+HandlerReply
+ReplicaGateway::handlePredict(const Frame &frame)
+{
+    static obs::Counter &forwarded =
+        obs::counter("replica.predicts_forwarded");
+    LoadInfo info;
+    if (!net::decodePredictRequest(frame.payload, info)) {
+        return HandlerReply::fail(makeError(
+            ErrorCode::ProtocolError, "malformed Predict payload"));
+    }
+    predicts_.fetch_add(1, std::memory_order_relaxed);
+    forwarded.add();
+
+    const std::vector<unsigned> attempts = predictAttemptOrder();
+    Error last = makeError(ErrorCode::ShardUnavailable,
+                           "no serving replica");
+    for (std::size_t attempt = 0; attempt < attempts.size();
+         ++attempt) {
+        const unsigned idx = attempts[attempt];
+        if (attempt > 0)
+            predictFailovers_.fetch_add(1, std::memory_order_relaxed);
+        Link &link = *links_[idx];
+        link.inFlight.fetch_add(1, std::memory_order_relaxed);
+        Expected<Prediction> pred = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->predict(info);
+        }();
+        link.inFlight.fetch_sub(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (pred) {
+            table_.counters(idx).predictsServed++;
+            return HandlerReply::make(
+                FrameType::PredictOk,
+                net::encodePredictResponse(info.pc, *pred));
+        }
+        table_.counters(idx).predictFailures++;
+        if (isTransportClass(pred.error().code()))
+            table_.strike(idx, config_.maxStrikes);
+        last = std::move(pred.error())
+                   .withContext("replica " + std::to_string(idx));
+    }
+    predictsFailed_.fetch_add(1, std::memory_order_relaxed);
+    return HandlerReply::fail(std::move(last));
+}
+
+HandlerReply
+ReplicaGateway::handleTrain(const Frame &frame)
+{
+    static obs::Counter &fanned =
+        obs::counter("replica.trains_fanned");
+    LoadInfo info;
+    std::uint64_t actual = 0;
+    Prediction pred;
+    if (!net::decodeTrainRequest(frame.payload, info, actual, pred)) {
+        return HandlerReply::fail(makeError(
+            ErrorCode::ProtocolError, "malformed Train payload"));
+    }
+    trains_.fetch_add(1, std::memory_order_relaxed);
+
+    // One global fan-out order: every replica applies the same train
+    // stream in the same sequence, the invariant convergence rests on.
+    std::lock_guard<std::mutex> trainLock(trainMutex_);
+
+    std::vector<unsigned> targets;
+    unsigned journaled = 0;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        targets = table_.trainTargets();
+        for (unsigned i = 0; i < table_.size(); ++i) {
+            if (table_.state(i) != ReplicaState::Joining ||
+                !table_.journaling(i))
+                continue;
+            TrainRecord record{info, actual, pred};
+            if (table_.journalTrain(i, std::move(record),
+                                    config_.journalCapacity)) {
+                journaled++;
+            } else {
+                // The joiner fell journalCapacity trains behind; it
+                // restarts the join from a fresh snapshot instead.
+                table_.abortJoin(i);
+            }
+        }
+    }
+
+    unsigned applied = 0;
+    for (unsigned idx : targets) {
+        Link &link = *links_[idx];
+        trainSends_.fetch_add(1, std::memory_order_relaxed);
+        fanned.add();
+        Expected<void> trained = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->train(info, actual, pred);
+        }();
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (trained) {
+            table_.counters(idx).trainsApplied++;
+            applied++;
+        } else {
+            // Outcome unknown (or refused): this replica's state may
+            // have forked from the fan-out. Never retried — Down now,
+            // snapshot bootstrap later.
+            table_.counters(idx).trainFailures++;
+            table_.markDown(idx);
+        }
+    }
+
+    if (applied == 0 && journaled == 0) {
+        trainsUnplaced_.fetch_add(1, std::memory_order_relaxed);
+        return HandlerReply::fail(
+            makeError(ErrorCode::ShardUnavailable,
+                      "train reached no replica"));
+    }
+    return HandlerReply::make(FrameType::TrainOk);
+}
+
+Expected<unsigned>
+ReplicaGateway::designatedReplica() const
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    const std::vector<unsigned> order = table_.predictOrder();
+    if (order.empty())
+        return makeError(ErrorCode::ShardUnavailable,
+                         "no serving replica");
+    return order.front();
+}
+
+HandlerReply
+ReplicaGateway::handleStats()
+{
+    // Any converged replica's stats ARE the service's stats (they are
+    // a pure function of the shared train stream), so Stats proxies
+    // the designated replica instead of inventing a new frame.
+    auto designated = designatedReplica();
+    if (!designated)
+        return HandlerReply::fail(std::move(designated.error()));
+    Link &link = *links_[*designated];
+    Expected<net::ServiceWireStats> stats = [&] {
+        std::lock_guard<std::mutex> lock(link.mutex);
+        return link.client->stats();
+    }();
+    if (!stats) {
+        return HandlerReply::fail(
+            std::move(stats.error())
+                .withContext("proxying stats from replica " +
+                             std::to_string(*designated)));
+    }
+    statsProxied_.fetch_add(1, std::memory_order_relaxed);
+    return HandlerReply::make(FrameType::StatsOk,
+                              net::encodeServiceStats(*stats));
+}
+
+HandlerReply
+ReplicaGateway::handleSnapshotFetch(const Frame &frame)
+{
+    std::uint32_t shard = 0;
+    if (!net::decodeSnapshotRequest(frame.payload, shard)) {
+        return HandlerReply::fail(makeError(ErrorCode::ProtocolError,
+                                            "malformed SnapshotFetch"));
+    }
+    auto designated = designatedReplica();
+    if (!designated)
+        return HandlerReply::fail(std::move(designated.error()));
+    Link &link = *links_[*designated];
+    Expected<std::string> bytes = [&] {
+        std::lock_guard<std::mutex> lock(link.mutex);
+        return link.client->fetchSnapshot(shard);
+    }();
+    if (!bytes)
+        return HandlerReply::fail(std::move(bytes.error()));
+    return HandlerReply::make(FrameType::SnapshotData,
+                              net::encodeSnapshotData(shard, *bytes));
+}
+
+HandlerReply
+ReplicaGateway::handleSnapshotInstall(const Frame &frame)
+{
+    std::uint32_t shard = 0;
+    std::string bytes;
+    if (!net::decodeSnapshotData(frame.payload, shard, bytes)) {
+        return HandlerReply::fail(makeError(
+            ErrorCode::ProtocolError, "malformed SnapshotInstall"));
+    }
+    // An install rewrites shard state; like a train, it must land on
+    // every converged replica or that replica forks.
+    std::lock_guard<std::mutex> trainLock(trainMutex_);
+    std::vector<unsigned> targets;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        targets = table_.trainTargets();
+    }
+    Expected<std::pair<std::uint32_t, bool>> first =
+        makeError(ErrorCode::ShardUnavailable, "no serving replica");
+    for (unsigned idx : targets) {
+        Link &link = *links_[idx];
+        Expected<std::pair<std::uint32_t, bool>> installed = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->installSnapshot(shard, bytes);
+        }();
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (installed) {
+            if (!first)
+                first = installed;
+        } else {
+            table_.markDown(idx);
+        }
+    }
+    if (!first)
+        return HandlerReply::fail(std::move(first.error()));
+    return HandlerReply::make(
+        FrameType::SnapshotInstallOk,
+        net::encodeSnapshotInstallOk(first->first, first->second));
+}
+
+void
+ReplicaGateway::coldJoin(unsigned replica)
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    table_.beginJoin(replica);
+    table_.completeJoin(replica);
+    table_.counters(replica).coldJoins++;
+    joins_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Expected<void>
+ReplicaGateway::beginJoin(unsigned replica)
+{
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (replica >= table_.size())
+            return makeError(ErrorCode::InvalidArgument,
+                             "replica index out of range");
+        if (table_.state(replica) != ReplicaState::Down)
+            return makeError(
+                ErrorCode::InvalidArgument,
+                std::string("beginJoin on a ") +
+                    replicaStateName(table_.state(replica)) +
+                    " replica");
+        table_.beginJoin(replica);
+    }
+
+    // Quiesce trains: the per-shard snapshots below form one
+    // consistent cut, and journaling starts before the first train
+    // after that cut can flow.
+    std::lock_guard<std::mutex> trainLock(trainMutex_);
+    unsigned donor = 0;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        const std::vector<unsigned> order = table_.predictOrder();
+        if (order.empty()) {
+            table_.abortJoin(replica);
+            return makeError(ErrorCode::ShardUnavailable,
+                             "no donor replica for bootstrap");
+        }
+        donor = order.front();
+    }
+    Link &donorLink = *links_[donor];
+    Expected<BootstrapStats> fetched = [&] {
+        std::lock_guard<std::mutex> lock(donorLink.mutex);
+        return fetchAllShards(*donorLink.client, config_.shards,
+                              staged_[replica]);
+    }();
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    if (!fetched) {
+        table_.abortJoin(replica);
+        joinFailures_.fetch_add(1, std::memory_order_relaxed);
+        return std::move(fetched.error())
+            .withContext("bootstrap cut for replica " +
+                         std::to_string(replica));
+    }
+    table_.counters(replica).bootstrapBytes += fetched->bytes;
+    table_.startJournal(replica);
+    return ok();
+}
+
+Expected<void>
+ReplicaGateway::finishJoin(unsigned replica)
+{
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (replica >= table_.size() ||
+            table_.state(replica) != ReplicaState::Joining)
+            return makeError(ErrorCode::InvalidArgument,
+                             "finishJoin without beginJoin");
+    }
+
+    // Install outside the train lock: the joiner is not serving, and
+    // concurrent fan-out trains keep landing in its journal.
+    Link &link = *links_[replica];
+    Expected<BootstrapStats> installed = [&] {
+        std::lock_guard<std::mutex> lock(link.mutex);
+        return installAllShards(*link.client, staged_[replica]);
+    }();
+    if (!installed) {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        table_.abortJoin(replica);
+        staged_[replica].clear();
+        joinFailures_.fetch_add(1, std::memory_order_relaxed);
+        return std::move(installed.error())
+            .withContext("bootstrap install for replica " +
+                         std::to_string(replica));
+    }
+
+    // Replay under the train lock: nothing new can arrive, so when
+    // the journal drains the replica is exactly caught up.
+    std::lock_guard<std::mutex> trainLock(trainMutex_);
+    std::deque<TrainRecord> pending;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        pending = table_.takePending(replica);
+    }
+    for (const TrainRecord &record : pending) {
+        Expected<void> trained = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->train(record.info, record.actualAddr,
+                                      record.pred);
+        }();
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (!trained) {
+            table_.abortJoin(replica);
+            staged_[replica].clear();
+            joinFailures_.fetch_add(1, std::memory_order_relaxed);
+            return std::move(trained.error())
+                .withContext("journal replay for replica " +
+                             std::to_string(replica));
+        }
+        table_.counters(replica).trainsReplayed++;
+    }
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    table_.completeJoin(replica);
+    staged_[replica].clear();
+    joins_.fetch_add(1, std::memory_order_relaxed);
+    return ok();
+}
+
+unsigned
+ReplicaGateway::healthPass()
+{
+    static obs::Counter &passes = obs::counter("replica.health_passes");
+    passes.add();
+
+    const unsigned n = [&] {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        return table_.size();
+    }();
+
+    std::vector<unsigned> joinNeeded;
+    for (unsigned i = 0; i < n; ++i) {
+        ReplicaState state;
+        {
+            std::lock_guard<std::mutex> lock(tableMutex_);
+            state = table_.state(i);
+        }
+        if (state == ReplicaState::Joining)
+            continue; // a join is already in flight
+        Link &link = *links_[i];
+        Expected<void> pinged = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->ping();
+        }();
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        if (pinged) {
+            if (table_.state(i) == ReplicaState::Down)
+                joinNeeded.push_back(i); // restarted process
+            else
+                table_.recordPingOk(i);
+        } else if (table_.state(i) == ReplicaState::Healthy ||
+                   table_.state(i) == ReplicaState::Suspect) {
+            table_.counters(i).pingFailures++;
+            table_.strike(i, config_.maxStrikes);
+        }
+    }
+
+    unsigned joined = 0;
+    for (unsigned i : joinNeeded) {
+        const bool coldStart = [&] {
+            std::lock_guard<std::mutex> lock(tableMutex_);
+            return table_.allDown();
+        }();
+        if (coldStart) {
+            // Total cold start: every replica is equally blank, so
+            // the first one up needs no donor — it becomes one.
+            coldJoin(i);
+            joined++;
+            continue;
+        }
+        if (auto begun = beginJoin(i); !begun)
+            continue; // counted in joinFailures_; retried next pass
+        if (auto finished = finishJoin(i); !finished)
+            continue;
+        joined++;
+    }
+    return joined;
+}
+
+Expected<DivergenceReport>
+ReplicaGateway::auditReplicas()
+{
+    // Trains quiesced: every converged replica has resolved the same
+    // train stream when its stats are read.
+    std::lock_guard<std::mutex> trainLock(trainMutex_);
+    audits_.fetch_add(1, std::memory_order_relaxed);
+
+    DivergenceReport report;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        report.replicasAudited = table_.trainTargets();
+    }
+    report.shardsCompared = config_.shards;
+
+    std::vector<net::ServiceWireStats> all;
+    for (unsigned idx : report.replicasAudited) {
+        Link &link = *links_[idx];
+        Expected<net::ServiceWireStats> stats = [&] {
+            std::lock_guard<std::mutex> lock(link.mutex);
+            return link.client->stats();
+        }();
+        if (!stats) {
+            return std::move(stats.error())
+                .withContext("auditing replica " + std::to_string(idx));
+        }
+        if (stats->shards.size() != config_.shards) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "replica " + std::to_string(idx) +
+                                 " reports " +
+                                 std::to_string(stats->shards.size()) +
+                                 " shard(s), expected " +
+                                 std::to_string(config_.shards));
+        }
+        all.push_back(std::move(*stats));
+    }
+    for (unsigned shard = 0; shard < config_.shards; ++shard) {
+        for (std::size_t r = 1; r < all.size(); ++r) {
+            if (!(all[r].shards[shard].stats ==
+                  all[0].shards[shard].stats)) {
+                report.equal = false;
+                report.divergedShards.push_back(shard);
+                break;
+            }
+        }
+    }
+    if (!report.equal)
+        auditDivergences_.fetch_add(1, std::memory_order_relaxed);
+    return report;
+}
+
+void
+ReplicaGateway::forceDown(unsigned replica)
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    if (replica < table_.size())
+        table_.markDown(replica);
+}
+
+std::vector<ReplicaSnapshot>
+ReplicaGateway::replicaSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    std::vector<ReplicaSnapshot> out;
+    out.reserve(table_.size());
+    for (unsigned i = 0; i < table_.size(); ++i) {
+        ReplicaSnapshot snap;
+        snap.endpoint = table_.endpoint(i);
+        snap.state = table_.state(i);
+        snap.strikes = table_.strikes(i);
+        snap.pendingTrains = table_.pendingTrains(i);
+        snap.counters = table_.counters(i);
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+GatewayCounters
+ReplicaGateway::counters() const
+{
+    GatewayCounters out;
+    out.predicts = predicts_.load(std::memory_order_relaxed);
+    out.predictFailovers =
+        predictFailovers_.load(std::memory_order_relaxed);
+    out.predictsFailed =
+        predictsFailed_.load(std::memory_order_relaxed);
+    out.trains = trains_.load(std::memory_order_relaxed);
+    out.trainSends = trainSends_.load(std::memory_order_relaxed);
+    out.trainsUnplaced =
+        trainsUnplaced_.load(std::memory_order_relaxed);
+    out.statsProxied = statsProxied_.load(std::memory_order_relaxed);
+    out.joins = joins_.load(std::memory_order_relaxed);
+    out.joinFailures = joinFailures_.load(std::memory_order_relaxed);
+    out.audits = audits_.load(std::memory_order_relaxed);
+    out.auditDivergences =
+        auditDivergences_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace clap::replica

@@ -1,0 +1,47 @@
+#include "replica/health.hh"
+
+#include <chrono>
+
+namespace clap::replica
+{
+
+namespace
+{
+/// Sleep slice between stop-flag checks; bounds stop() latency
+/// without making the pass cadence depend on it.
+constexpr unsigned sliceMs = 20;
+} // namespace
+
+void
+HealthMonitor::start()
+{
+    if (thread_.joinable())
+        return;
+    gateway_.healthPass();
+    stopping_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+HealthMonitor::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+HealthMonitor::loop()
+{
+    unsigned sleptMs = 0;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sliceMs));
+        sleptMs += sliceMs;
+        if (sleptMs < intervalMs_)
+            continue;
+        sleptMs = 0;
+        gateway_.healthPass();
+    }
+}
+
+} // namespace clap::replica

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Background health cadence for a ReplicaGateway: one thread calling
+ * healthPass() every intervalMs. Kept out of the gateway itself so
+ * the deterministic callers (bench_replica, tests) can drive passes
+ * at exact points in a request schedule instead — timing-driven state
+ * transitions are the enemy of byte-identical bench JSON.
+ */
+
+#ifndef CLAP_REPLICA_HEALTH_HH
+#define CLAP_REPLICA_HEALTH_HH
+
+#include <atomic>
+#include <thread>
+
+#include "replica/gateway.hh"
+
+namespace clap::replica
+{
+
+class HealthMonitor
+{
+  public:
+    HealthMonitor(ReplicaGateway &gateway, unsigned interval_ms)
+        : gateway_(gateway), intervalMs_(interval_ms)
+    {
+    }
+
+    ~HealthMonitor() { stop(); }
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /** Run the first pass synchronously (so replicas that are already
+     *  up join before the caller starts serving), then start the
+     *  periodic thread. Idempotent. */
+    void start();
+
+    /** Stop and join. Idempotent; also run by the destructor. */
+    void stop();
+
+  private:
+    void loop();
+
+    ReplicaGateway &gateway_;
+    unsigned intervalMs_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace clap::replica
+
+#endif // CLAP_REPLICA_HEALTH_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared vocabulary of the replication layer: the per-replica health
+ * state machine, the counters each replica accumulates, and the train
+ * record journaled for a replica that is catching up.
+ *
+ * The state machine (DESIGN.md section 13):
+ *
+ *   Healthy --ping timeout--> Suspect --K strikes--> Down
+ *   Healthy/Suspect --train failure--> Down        (diverged: a train
+ *                                                   with unknown
+ *                                                   outcome forks the
+ *                                                   replica's state)
+ *   Down --ping answered--> Joining --bootstrap--> Healthy
+ *
+ * Healthy and Suspect replicas stay in the train fan-out (Suspect is
+ * a liveness doubt, not a divergence); only Healthy replicas serve
+ * predicts. A Down replica gets nothing and can only re-enter through
+ * a full per-shard snapshot bootstrap plus journal replay, because
+ * every train it missed is a permanent fork of its predictor state.
+ */
+
+#ifndef CLAP_REPLICA_REPLICA_HH
+#define CLAP_REPLICA_REPLICA_HH
+
+#include <cstdint>
+
+#include "core/predictor.hh"
+
+namespace clap::replica
+{
+
+/** Health of one backend replica, as seen by the gateway. */
+enum class ReplicaState : std::uint8_t
+{
+    Down,    ///< unreachable or diverged; needs a bootstrap to rejoin
+    Joining, ///< bootstrap in progress; trains are journaled
+    Healthy, ///< serving predicts, receiving every train
+    Suspect, ///< missed ping(s); still trained, not serving predicts
+};
+
+const char *replicaStateName(ReplicaState state);
+
+/** One train, as journaled for a Joining replica. Replayed in order
+ *  after the snapshot install, it closes the gap between the donor's
+ *  snapshot cut and the replica entering the live fan-out. */
+struct TrainRecord
+{
+    LoadInfo info;
+    std::uint64_t actualAddr = 0;
+    Prediction pred;
+};
+
+/** Cumulative per-replica tallies (mutated under the gateway's table
+ *  lock; every event that feeds them is deterministic under a seeded
+ *  schedule, so bench_replica can print them). */
+struct ReplicaCounters
+{
+    std::uint64_t predictsServed = 0;
+    std::uint64_t predictFailures = 0; ///< transport-failed forwards
+    std::uint64_t trainsApplied = 0;
+    std::uint64_t trainFailures = 0;   ///< outcome unknown -> Down
+    std::uint64_t trainsJournaled = 0;
+    std::uint64_t trainsReplayed = 0;
+    std::uint64_t pingFailures = 0;
+    std::uint64_t strikes = 0;         ///< cumulative, never reset
+    std::uint64_t bootstraps = 0;      ///< completed joins
+    std::uint64_t bootstrapBytes = 0;  ///< snapshot bytes received
+    std::uint64_t coldJoins = 0;       ///< joins without a donor
+};
+
+} // namespace clap::replica
+
+#endif // CLAP_REPLICA_REPLICA_HH

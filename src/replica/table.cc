@@ -1,0 +1,247 @@
+#include "replica/table.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace clap::replica
+{
+
+const char *
+replicaStateName(ReplicaState state)
+{
+    switch (state) {
+      case ReplicaState::Down:    return "Down";
+      case ReplicaState::Joining: return "Joining";
+      case ReplicaState::Healthy: return "Healthy";
+      case ReplicaState::Suspect: return "Suspect";
+    }
+    return "?";
+}
+
+unsigned
+ReplicaTable::addReplica(std::string endpoint)
+{
+    Entry entry;
+    entry.endpoint = std::move(endpoint);
+    entries_.push_back(std::move(entry));
+    return static_cast<unsigned>(entries_.size() - 1);
+}
+
+const std::string &
+ReplicaTable::endpoint(unsigned i) const
+{
+    return entries_.at(i).endpoint;
+}
+
+ReplicaState
+ReplicaTable::state(unsigned i) const
+{
+    return entries_.at(i).state;
+}
+
+unsigned
+ReplicaTable::strikes(unsigned i) const
+{
+    return entries_.at(i).strikes;
+}
+
+bool
+ReplicaTable::journaling(unsigned i) const
+{
+    return entries_.at(i).journaling;
+}
+
+std::size_t
+ReplicaTable::pendingTrains(unsigned i) const
+{
+    return entries_.at(i).pending.size();
+}
+
+ReplicaCounters &
+ReplicaTable::counters(unsigned i)
+{
+    return entries_.at(i).counters;
+}
+
+const ReplicaCounters &
+ReplicaTable::counters(unsigned i) const
+{
+    return entries_.at(i).counters;
+}
+
+void
+ReplicaTable::recordPingOk(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    if (entry.state == ReplicaState::Healthy ||
+        entry.state == ReplicaState::Suspect) {
+        entry.state = ReplicaState::Healthy;
+        entry.strikes = 0;
+    }
+}
+
+ReplicaState
+ReplicaTable::strike(unsigned i, unsigned max_strikes)
+{
+    Entry &entry = entries_.at(i);
+    if (entry.state != ReplicaState::Healthy &&
+        entry.state != ReplicaState::Suspect)
+        return entry.state;
+    entry.strikes++;
+    entry.counters.strikes++;
+    entry.state = entry.strikes >= max_strikes ? ReplicaState::Down
+                                               : ReplicaState::Suspect;
+    if (entry.state == ReplicaState::Down) {
+        entry.journaling = false;
+        entry.pending.clear();
+    }
+    return entry.state;
+}
+
+void
+ReplicaTable::markDown(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    entry.state = ReplicaState::Down;
+    entry.journaling = false;
+    entry.pending.clear();
+}
+
+void
+ReplicaTable::beginJoin(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    assert(entry.state == ReplicaState::Down);
+    entry.state = ReplicaState::Joining;
+    entry.strikes = 0;
+    entry.journaling = false;
+    entry.pending.clear();
+}
+
+void
+ReplicaTable::startJournal(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    assert(entry.state == ReplicaState::Joining);
+    entry.journaling = true;
+}
+
+bool
+ReplicaTable::journalTrain(unsigned i, TrainRecord record,
+                          std::size_t capacity)
+{
+    Entry &entry = entries_.at(i);
+    if (entry.pending.size() >= capacity)
+        return false;
+    entry.pending.push_back(std::move(record));
+    entry.counters.trainsJournaled++;
+    return true;
+}
+
+std::deque<TrainRecord>
+ReplicaTable::takePending(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    std::deque<TrainRecord> out;
+    out.swap(entry.pending);
+    return out;
+}
+
+void
+ReplicaTable::completeJoin(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    assert(entry.state == ReplicaState::Joining);
+    entry.state = ReplicaState::Healthy;
+    entry.strikes = 0;
+    entry.journaling = false;
+    entry.pending.clear();
+    entry.counters.bootstraps++;
+}
+
+void
+ReplicaTable::abortJoin(unsigned i)
+{
+    Entry &entry = entries_.at(i);
+    entry.state = ReplicaState::Down;
+    entry.journaling = false;
+    entry.pending.clear();
+}
+
+std::vector<unsigned>
+ReplicaTable::trainTargets() const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 0; i < size(); ++i) {
+        if (entries_[i].state == ReplicaState::Healthy ||
+            entries_[i].state == ReplicaState::Suspect)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<unsigned>
+ReplicaTable::healthyIndices() const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 0; i < size(); ++i)
+        if (entries_[i].state == ReplicaState::Healthy)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<unsigned>
+ReplicaTable::predictOrder() const
+{
+    std::vector<unsigned> out = healthyIndices();
+    for (unsigned i = 0; i < size(); ++i)
+        if (entries_[i].state == ReplicaState::Suspect)
+            out.push_back(i);
+    return out;
+}
+
+bool
+ReplicaTable::allDown() const
+{
+    for (const Entry &entry : entries_)
+        if (entry.state != ReplicaState::Down)
+            return false;
+    return true;
+}
+
+Expected<unsigned>
+ReplicaTable::pickSeeded(Rng &rng) const
+{
+    const std::vector<unsigned> healthy = healthyIndices();
+    if (!healthy.empty())
+        return healthy[rng.below(healthy.size())];
+    // Keep the draw-per-predict cadence even when falling back, so a
+    // kill window does not shift every later pick in the schedule.
+    const std::vector<unsigned> order = predictOrder();
+    (void)rng.below(1);
+    if (order.empty())
+        return makeError(ErrorCode::ShardUnavailable,
+                         "no serving replica");
+    return order.front();
+}
+
+Expected<unsigned>
+ReplicaTable::pickLeastInFlight(
+    const std::vector<unsigned> &in_flight) const
+{
+    std::vector<unsigned> pool = healthyIndices();
+    if (pool.empty())
+        pool = predictOrder(); // Suspect fallback
+    if (pool.empty())
+        return makeError(ErrorCode::ShardUnavailable,
+                         "no serving replica");
+    unsigned best = pool.front();
+    for (unsigned i : pool) {
+        if (i < in_flight.size() && best < in_flight.size() &&
+            in_flight[i] < in_flight[best])
+            best = i;
+    }
+    return best;
+}
+
+} // namespace clap::replica

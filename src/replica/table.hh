@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The replica table: pure bookkeeping for N replicas — health states,
+ * strike counts, the per-replica train journal, and the predict pick
+ * policies. No sockets and no locks live here; the gateway serializes
+ * access and performs the I/O, which keeps every transition unit-
+ * testable without a network.
+ */
+
+#ifndef CLAP_REPLICA_TABLE_HH
+#define CLAP_REPLICA_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "replica/replica.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace clap::replica
+{
+
+class ReplicaTable
+{
+  public:
+    /** Register a replica (initially Down: nothing is trusted until a
+     *  ping answers). Returns its index. */
+    unsigned addReplica(std::string endpoint);
+
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+    const std::string &endpoint(unsigned i) const;
+    ReplicaState state(unsigned i) const;
+    unsigned strikes(unsigned i) const;
+    bool journaling(unsigned i) const;
+    std::size_t pendingTrains(unsigned i) const;
+
+    /** Mutable per-replica counters (the gateway tallies events). */
+    ReplicaCounters &counters(unsigned i);
+    const ReplicaCounters &counters(unsigned i) const;
+
+    /// @name State transitions
+    /// @{
+
+    /** Ping answered: Suspect heals to Healthy, strikes clear.
+     *  Down/Joining are not changed — a Down replica that answers is
+     *  a *restarted* process and must go through beginJoin(). */
+    void recordPingOk(unsigned i);
+
+    /** One liveness strike (failed ping or failed predict forward):
+     *  Healthy -> Suspect; Suspect -> Down once strikes reach
+     *  @p max_strikes. Returns the new state. The caller tallies the
+     *  event-specific counter (pingFailures / predictFailures). */
+    ReplicaState strike(unsigned i, unsigned max_strikes);
+
+    /** Train outcome unknown (or refused): the replica's state has
+     *  forked from the fan-out — straight to Down, journal dropped. */
+    void markDown(unsigned i);
+
+    /** Down -> Joining. Journaling starts separately at the snapshot
+     *  cut (startJournal), not here. */
+    void beginJoin(unsigned i);
+
+    /** The snapshot cut: from now on fan-out trains are journaled for
+     *  replica @p i. @pre state == Joining */
+    void startJournal(unsigned i);
+
+    /** Append a fan-out train to the journal. Returns false when the
+     *  journal would exceed @p capacity — the joiner fell too far
+     *  behind and the caller must abortJoin(). */
+    bool journalTrain(unsigned i, TrainRecord record,
+                      std::size_t capacity);
+
+    /** Drain the journal for replay (in arrival order). */
+    std::deque<TrainRecord> takePending(unsigned i);
+
+    /** Joining -> Healthy: snapshots installed, journal replayed. */
+    void completeJoin(unsigned i);
+
+    /** Joining -> Down: bootstrap failed; journal dropped. */
+    void abortJoin(unsigned i);
+    /// @}
+
+    /// @name Membership views and pick policies
+    /// @{
+
+    /** Replicas that must receive every train: Healthy + Suspect. */
+    std::vector<unsigned> trainTargets() const;
+
+    /** Replicas eligible to serve predicts, Healthy first and Suspect
+     *  (stale liveness, converged state) only as fallback — the order
+     *  a forwarding loop should attempt. */
+    std::vector<unsigned> predictOrder() const;
+
+    /** True when no replica is Healthy, Suspect, or Joining — the
+     *  total-cold-start condition under which a join without a donor
+     *  is sound (every peer is equally blank). */
+    bool allDown() const;
+
+    /** Seeded-deterministic pick among the Healthy replicas (test
+     *  mode): one rng draw per call, so the assignment sequence is a
+     *  pure function of the seed and the request order. Falls back to
+     *  predictOrder()'s front when none are Healthy. */
+    Expected<unsigned> pickSeeded(Rng &rng) const;
+
+    /** Least-in-flight pick among the Healthy replicas (production
+     *  mode); @p in_flight holds one live gauge per replica. Lowest
+     *  index breaks ties. */
+    Expected<unsigned>
+    pickLeastInFlight(const std::vector<unsigned> &in_flight) const;
+    /// @}
+
+  private:
+    struct Entry
+    {
+        std::string endpoint;
+        ReplicaState state = ReplicaState::Down;
+        unsigned strikes = 0;
+        bool journaling = false;
+        std::deque<TrainRecord> pending;
+        ReplicaCounters counters;
+    };
+
+    std::vector<unsigned> healthyIndices() const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace clap::replica
+
+#endif // CLAP_REPLICA_TABLE_HH

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "core/hybrid_predictor.hh"
@@ -147,6 +148,53 @@ TEST(NetEndpoint, RejectsMalformedSpecs)
     EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1"));
     EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:notaport"));
     EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:70000"));
+}
+
+TEST(NetEndpoint, PortEdgeCasesAreExact)
+{
+    // Port 0 is load-bearing: it requests an ephemeral port, the
+    // pattern every test and bench uses (tcp:127.0.0.1:0 + the
+    // discoverable boundEndpoint). It must parse, not error.
+    auto ephemeral = parseEndpoint("tcp:127.0.0.1:0");
+    ASSERT_TRUE(ephemeral);
+    EXPECT_EQ(ephemeral->port, 0);
+
+    // 65535 is the last representable port; 65536 must be refused
+    // rather than truncated to 0 (a silent wrap would turn a typo
+    // into an ephemeral bind).
+    auto last = parseEndpoint("tcp:127.0.0.1:65535");
+    ASSERT_TRUE(last);
+    EXPECT_EQ(last->port, 65535);
+    auto wrapped = parseEndpoint("tcp:127.0.0.1:65536");
+    ASSERT_FALSE(wrapped);
+    EXPECT_EQ(wrapped.error().code(), ErrorCode::InvalidArgument);
+
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:-1"));
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:80x"));   // trailing junk
+    EXPECT_FALSE(parseEndpoint("tcp:127.0.0.1:"));      // empty port
+    EXPECT_FALSE(parseEndpoint("tcp::9000"));           // empty host
+    EXPECT_FALSE(parseEndpoint("tcp:"));                // nothing at all
+}
+
+TEST(NetEndpoint, UnixPathLengthStopsAtSunPathCapacity)
+{
+    // sockaddr_un.sun_path is a fixed array; the parser must refuse
+    // exactly where bind() would otherwise silently truncate. The
+    // longest representable path is sizeof(sun_path)-1 bytes (the
+    // terminating NUL needs its slot).
+    const std::size_t capacity = sizeof(sockaddr_un{}.sun_path);
+    const std::string fits(capacity - 1, 'p');
+    auto ok_ep = parseEndpoint("unix:" + fits);
+    ASSERT_TRUE(ok_ep);
+    EXPECT_EQ(ok_ep->path.size(), capacity - 1);
+
+    const std::string overflow(capacity, 'p');
+    auto too_long = parseEndpoint("unix:" + overflow);
+    ASSERT_FALSE(too_long);
+    EXPECT_EQ(too_long.error().code(), ErrorCode::InvalidArgument);
+    // The refusal names the size so the operator sees the limit.
+    EXPECT_NE(too_long.error().str().find(std::to_string(capacity)),
+              std::string::npos);
 }
 
 // --- Socket streams -----------------------------------------------

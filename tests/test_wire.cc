@@ -11,10 +11,12 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "net/wire.hh"
 #include "util/crc32.hh"
 #include "util/error.hh"
+#include "util/rng.hh"
 
 namespace clap::net
 {
@@ -161,6 +163,153 @@ TEST(Wire, BackToBackFramesDecodeInOrder)
     EXPECT_EQ(out.id, second.id);
     EXPECT_EQ(out.payload, "second");
     EXPECT_EQ(reader.next(out, error), FrameReader::Status::NeedMore);
+}
+
+// --- Adversarial segmentation -------------------------------------
+
+/** Three frames of assorted shapes (empty, short, multi-KB payload)
+ *  concatenated to wire bytes — the stream every chunking must
+ *  reassemble identically. */
+std::pair<std::vector<Frame>, std::string>
+segmentationStream()
+{
+    std::vector<Frame> frames;
+    Frame empty;
+    empty.type = FrameType::Ping;
+    empty.id = 1;
+    frames.push_back(empty);
+    frames.push_back(sampleFrame());
+    Frame big;
+    big.type = FrameType::SnapshotData;
+    big.id = 3;
+    big.payload.assign(4096, '\0');
+    for (std::size_t i = 0; i < big.payload.size(); ++i)
+        big.payload[i] = static_cast<char>(i * 131 % 251);
+    frames.push_back(big);
+
+    std::string wire;
+    for (const Frame &frame : frames)
+        wire += encodeFrame(frame);
+    return {frames, wire};
+}
+
+/** Feed @p wire to a reader in the given chunk sizes (cycled) and
+ *  require exactly @p expected frames, unchanged, and a clean reader
+ *  at EOF. */
+void
+expectReassembly(const std::vector<Frame> &expected,
+                 const std::string &wire,
+                 const std::vector<std::size_t> &chunks,
+                 const std::string &label)
+{
+    FrameReader reader;
+    std::vector<Frame> decoded;
+    std::size_t fed = 0, chunk = 0;
+    while (fed < wire.size()) {
+        const std::size_t len =
+            std::min(chunks[chunk % chunks.size()], wire.size() - fed);
+        chunk++;
+        if (len == 0)
+            continue;
+        reader.feed(wire.data() + fed, len);
+        fed += len;
+        Frame out;
+        Error error;
+        for (;;) {
+            const auto status = reader.next(out, error);
+            if (status == FrameReader::Status::NeedMore)
+                break;
+            ASSERT_EQ(status, FrameReader::Status::Ok)
+                << label << ": " << error.str();
+            decoded.push_back(out);
+        }
+    }
+    ASSERT_EQ(decoded.size(), expected.size()) << label;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(decoded[i].type, expected[i].type) << label;
+        EXPECT_EQ(decoded[i].id, expected[i].id) << label;
+        EXPECT_EQ(decoded[i].payload, expected[i].payload) << label;
+    }
+    EXPECT_EQ(reader.buffered(), 0u) << label;
+    EXPECT_FALSE(reader.poisoned()) << label;
+}
+
+TEST(WireSegmentation, EveryFixedChunkingReassembles)
+{
+    // TCP owes the reader nothing about boundaries: byte-at-a-time
+    // through 7-byte chunks all cut the 24-byte header and both CRCs
+    // at every offset.
+    const auto [frames, wire] = segmentationStream();
+    for (std::size_t size = 1; size <= 7; ++size) {
+        expectReassembly(frames, wire, {size},
+                         "chunk size " + std::to_string(size));
+    }
+}
+
+TEST(WireSegmentation, SeededRandomSplitsReassemble)
+{
+    const auto [frames, wire] = segmentationStream();
+    Rng rng(0x5e9);
+    for (int round = 0; round < 32; ++round) {
+        std::vector<std::size_t> chunks;
+        for (int i = 0; i < 64; ++i)
+            chunks.push_back(rng.below(97)); // 0..96, zeros included
+        chunks.push_back(1); // guarantee forward progress
+        expectReassembly(frames, wire, chunks,
+                         "random round " + std::to_string(round));
+    }
+}
+
+TEST(WireSegmentation, CorruptTailPoisonsAfterCleanPrefix)
+{
+    // A stream that goes bad mid-flight: every frame before the
+    // corruption decodes, the corrupt frame reports Corrupt, and the
+    // reader stays poisoned no matter how the tail was chunked.
+    const auto [frames, wire] = segmentationStream();
+    std::string tail = encodeFrame(sampleFrame());
+    tail[frameHeaderBytes + 3] ^= 0x40; // payload byte: pcrc must trip
+    const std::string stream = wire + tail;
+
+    for (std::size_t size : {std::size_t{1}, std::size_t{3},
+                             std::size_t{5}, stream.size()}) {
+        FrameReader reader;
+        std::size_t fed = 0;
+        std::size_t okFrames = 0;
+        bool corrupted = false;
+        while (fed < stream.size()) {
+            const std::size_t len =
+                std::min(size, stream.size() - fed);
+            reader.feed(stream.data() + fed, len);
+            fed += len;
+            Frame out;
+            Error error;
+            for (;;) {
+                const auto status = reader.next(out, error);
+                if (status == FrameReader::Status::NeedMore)
+                    break;
+                if (status == FrameReader::Status::Corrupt) {
+                    corrupted = true;
+                    break;
+                }
+                ASSERT_FALSE(corrupted)
+                    << "frame decoded after corruption";
+                okFrames++;
+            }
+            if (corrupted)
+                break;
+        }
+        EXPECT_TRUE(corrupted) << "chunk size " << size;
+        EXPECT_EQ(okFrames, frames.size()) << "chunk size " << size;
+        EXPECT_TRUE(reader.poisoned()) << "chunk size " << size;
+
+        // Still dead after more clean bytes arrive.
+        const std::string good = encodeFrame(sampleFrame());
+        reader.feed(good.data(), good.size());
+        Frame out;
+        Error error;
+        EXPECT_EQ(reader.next(out, error),
+                  FrameReader::Status::Corrupt);
+    }
 }
 
 // --- Corruption detection -----------------------------------------
@@ -366,8 +515,40 @@ TEST(WireCodec, ErrorPayloadPreservesCodeAndRetryability)
     ASSERT_TRUE(decodeErrorPayload(payload, out));
     EXPECT_EQ(out.code(), ErrorCode::Overloaded);
     EXPECT_TRUE(isRetryable(out.code()));
-    // The context chain rides along inside the message text.
-    EXPECT_NE(out.message().find("queue depth"), std::string::npos);
+    // Message and contexts travel as separate fields, so the decoded
+    // error renders exactly as the original did.
+    EXPECT_EQ(out.message(), "queue depth 96/128");
+    ASSERT_EQ(out.contexts().size(), 1u);
+    EXPECT_EQ(out.contexts()[0], "shard 3");
+    EXPECT_EQ(out.str(), overloaded.str());
+}
+
+TEST(WireCodec, RoundTrippedErrorRendersItsCodeNameExactlyOnce)
+{
+    // The greppability contract: `grep ConnectionLost` in a log must
+    // match a remote error's rendering exactly as it would a local
+    // one — one code-name prefix, not "ConnectionLost:
+    // ConnectionLost: ..." accreting per hop.
+    Error wire = makeError(ErrorCode::ConnectionLost, "peer reset")
+                     .withContext("replica 2")
+                     .withContext("predict pc=0x400");
+    for (int hop = 0; hop < 3; ++hop) {
+        Error decoded;
+        ASSERT_TRUE(
+            decodeErrorPayload(encodeErrorPayload(wire), decoded));
+        wire = std::move(decoded);
+    }
+    const std::string rendered = wire.str();
+    const char *name = errorCodeName(ErrorCode::ConnectionLost);
+    std::size_t occurrences = 0;
+    for (std::size_t at = rendered.find(name);
+         at != std::string::npos;
+         at = rendered.find(name, at + 1))
+        occurrences++;
+    EXPECT_EQ(occurrences, 1u) << rendered;
+    EXPECT_EQ(rendered,
+              "ConnectionLost: peer reset (replica 2; "
+              "predict pc=0x400)");
 }
 
 TEST(WireCodec, ServiceStatsRoundTripBitForBit)
@@ -387,6 +568,17 @@ TEST(WireCodec, ServiceStatsRoundTripBitForBit)
         shard.unavailable = 3 * i;
         shard.queueDepth = 7 + i;
         shard.quarantined = i == 1 ? 1 : 0;
+        // Per-shard resolution stats (wire v2): what the replication
+        // auditor compares across replicas, so they must survive the
+        // wire bit for bit.
+        shard.stats.loads = 1000 + i;
+        shard.stats.lbHits = 900 + i;
+        shard.stats.formed = 800 + i;
+        shard.stats.formedCorrect = 700 + i;
+        shard.stats.spec = 600 + i;
+        shard.stats.specCorrect = 500 + i;
+        shard.stats.bothSpec = 50 + i;
+        shard.stats.missSelections = 5 + i;
         stats.shards.push_back(shard);
     }
     stats.supervisor.snapshots = 9;
@@ -407,6 +599,7 @@ TEST(WireCodec, ServiceStatsRoundTripBitForBit)
         EXPECT_EQ(out.shards[i].queueDepth, stats.shards[i].queueDepth);
         EXPECT_EQ(out.shards[i].quarantined,
                   stats.shards[i].quarantined);
+        EXPECT_EQ(out.shards[i].stats, stats.shards[i].stats);
     }
     EXPECT_EQ(out.supervisor.snapshots, 9u);
     EXPECT_EQ(out.supervisor.recoveries, 2u);
