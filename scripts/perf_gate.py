@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Hot-path perf regression gate.
+
+Compares the median ns/load of a bench_hotpath perf JSON (written via
+--perf-out, default BENCH_hotpath.perf.json) against the committed
+baseline (BENCH_hotpath.baseline.json) and fails when any gated
+predictor regressed by more than the threshold.
+
+Usage:
+    perf_gate.py BASELINE CURRENT [--threshold=0.15]
+                 [--predictors=cap,hybrid,...]
+
+Exit codes:
+    0  every gated predictor within threshold
+    1  regression above threshold (or predictor missing from CURRENT)
+    2  bad invocation / unreadable or malformed input
+
+The gate runs on every PR (ci.yml perf-smoke). When a PR makes an
+accepted throughput trade-off, apply the `perf-gate-override` label to
+skip the gating step, and refresh the baseline in the same PR:
+
+    CLAP_TRACE_INSTS=200000 ./build-release/bench/bench_hotpath \
+        --reps=7 --warmup=1 --perf-out=BENCH_hotpath.baseline.json
+
+(see EXPERIMENTS.md, "Hot-path baseline workflow").
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return {
+            p["name"]: float(p["ns_per_load"]["median"])
+            for p in doc["predictors"]
+        }
+    except (KeyError, TypeError) as err:
+        print(f"perf_gate: malformed perf JSON {path}: missing {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    threshold = 0.15
+    gated = None  # None = every predictor present in the baseline
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--predictors="):
+            gated = [p for p in arg.split("=", 1)[1].split(",") if p]
+        elif arg.startswith("--"):
+            print(f"perf_gate: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline = load(paths[0])
+    current = load(paths[1])
+    names = gated if gated is not None else sorted(baseline)
+
+    failed = []
+    print(f"perf gate: median ns/load, threshold +{threshold:.0%} "
+          f"vs {paths[0]}")
+    print(f"{'predictor':<12} {'baseline':>10} {'current':>10} "
+          f"{'delta':>8}")
+    for name in names:
+        if name not in baseline:
+            print(f"perf_gate: {name} not in baseline {paths[0]}",
+                  file=sys.stderr)
+            return 2
+        base = baseline[name]
+        if name not in current:
+            print(f"{name:<12} {base:>10.1f} {'missing':>10} {'':>8}")
+            failed.append(name)
+            continue
+        cur = current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        verdict = "FAIL" if delta > threshold else "ok"
+        print(f"{name:<12} {base:>10.1f} {cur:>10.1f} "
+              f"{delta:>+7.1%} {verdict}")
+        if delta > threshold:
+            failed.append(name)
+
+    if failed:
+        print(f"perf_gate: regression above {threshold:.0%} in: "
+              f"{', '.join(failed)} (label a PR perf-gate-override to "
+              f"accept, and refresh the baseline)", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

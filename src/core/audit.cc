@@ -35,7 +35,15 @@ auditLoadBuffer(const LoadBuffer &lb)
 {
     const unsigned assoc = lb.config().assoc;
     for (std::size_t i = 0; i < lb.numEntries(); ++i) {
-        const LBEntry &entry = lb.entryAt(i);
+        // Probe-lane coherence: a valid way's control byte must be
+        // the fingerprint of its full tag, or lookup() could miss a
+        // resident entry.
+        if (!lb.lanesCoherentAt(i)) {
+            return corrupt("control byte disagrees with tag lane",
+                           "LB", i);
+        }
+
+        const LBEntryImage entry = lb.imageAt(i);
         if (!entry.valid)
             continue;
 
@@ -43,7 +51,7 @@ auditLoadBuffer(const LoadBuffer &lb)
         // lookup() results depend on way order.
         const std::size_t set = i / assoc;
         for (std::size_t j = set * assoc; j < i; ++j) {
-            const LBEntry &other = lb.entryAt(j);
+            const LBEntryImage other = lb.imageAt(j);
             if (other.valid && other.tag == entry.tag) {
                 return corrupt("duplicate LB tag 0x" +
                                    std::to_string(entry.tag) +
@@ -80,7 +88,13 @@ auditLinkTable(const LinkTable &lt)
     const CapConfig &config = lt.config();
     const unsigned assoc = lt.assoc();
     for (std::size_t i = 0; i < lt.numEntries(); ++i) {
-        const LTEntry &entry = lt.entryAt(i);
+        // Packed probe word must agree with the full-tag lane.
+        if (!lt.lanesCoherentAt(i)) {
+            return corrupt("probe word disagrees with tag lane", "LT",
+                           i);
+        }
+
+        const LTEntry entry = lt.imageAt(i);
 
         // PF bits live in bits [0, pfBits); anything above means a
         // raw write landed outside the mechanism's field.
@@ -99,7 +113,7 @@ auditLinkTable(const LinkTable &lt)
         const std::size_t set = i / assoc;
         if (config.ltTagBits > 0) {
             for (std::size_t j = set * assoc; j < i; ++j) {
-                const LTEntry &other = lt.entryAt(j);
+                const LTEntry other = lt.imageAt(j);
                 if (other.valid && other.tag == entry.tag) {
                     return corrupt("duplicate LT tag 0x" +
                                        std::to_string(entry.tag) +

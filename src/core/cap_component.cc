@@ -3,8 +3,9 @@
 namespace clap
 {
 
-CapComponent::CapComponent(const CapConfig &config, bool pipelined)
-    : config_(config), pipelined_(pipelined), lt_(config)
+CapComponent::CapComponent(const CapConfig &config, bool pipelined,
+                           LaneArena *arena)
+    : config_(config), pipelined_(pipelined), lt_(config, arena)
 {
 }
 

@@ -41,8 +41,12 @@ class CapComponent
      * @param config    Component configuration.
      * @param pipelined True to maintain speculative state for the
      *                  delayed-update model of section 5.
+     * @param arena     Arena for the link-table lanes (the owning
+     *                  predictor's shared block); nullptr lets the
+     *                  table carry its own.
      */
-    CapComponent(const CapConfig &config, bool pipelined);
+    CapComponent(const CapConfig &config, bool pipelined,
+                 LaneArena *arena = nullptr);
 
     /** Form a CAP prediction for @p info using LB entry @p entry. */
     CapResult predict(LBEntry &entry, const LoadInfo &info);

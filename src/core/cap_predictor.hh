@@ -23,7 +23,10 @@ class CapPredictor : public AddressPredictor
   public:
     /** @throws std::invalid_argument when @p config fails validate(). */
     explicit CapPredictor(const CapPredictorConfig &config)
-        : lb_(validated(config).lb), cap_(config.cap, config.pipelined)
+        : arena_(LoadBuffer::laneBytes(validated(config).lb) +
+                 LinkTable::laneBytes(config.cap)),
+          lb_(config.lb, &arena_),
+          cap_(config.cap, config.pipelined, &arena_)
     {
     }
 
@@ -44,6 +47,7 @@ class CapPredictor : public AddressPredictor
     const CapComponent &component() const { return cap_; }
 
   private:
+    LaneArena arena_; ///< one contiguous block for the LB + LT lanes
     LoadBuffer lb_;
     CapComponent cap_;
 };

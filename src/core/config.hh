@@ -59,6 +59,18 @@ struct LoadBufferConfig
                     std::to_string(entries) + ", assoc=" +
                     std::to_string(assoc) + ")");
         }
+        // The table indexes sets with a mask, so both the
+        // associativity and the set count must be powers of two
+        // (implied by the checks above, asserted explicitly so a
+        // relaxation of either check cannot silently break indexing).
+        if (!isPowerOf2(assoc) || !isPowerOf2(sets())) {
+            return detail::configError(
+                "LoadBufferConfig",
+                "assoc and entries/assoc must be powers of two "
+                "(mask-based set indexing), got assoc=" +
+                    std::to_string(assoc) + ", sets=" +
+                    std::to_string(sets()));
+        }
         return ok();
     }
 };
@@ -142,6 +154,17 @@ struct CapConfig
             return detail::configError(
                 "CapConfig",
                 "ltAssoc > 1 requires ltTagBits > 0 to match ways");
+        }
+        // Mask-based set indexing (see LoadBufferConfig): keep the
+        // power-of-two requirement explicit.
+        if (!isPowerOf2(ltAssoc) ||
+            !isPowerOf2(ltEntries / ltAssoc)) {
+            return detail::configError(
+                "CapConfig",
+                "ltAssoc and ltEntries/ltAssoc must be powers of two "
+                "(mask-based set indexing), got ltAssoc=" +
+                    std::to_string(ltAssoc) + ", sets=" +
+                    std::to_string(ltEntries / ltAssoc));
         }
         if (historyLength == 0) {
             return detail::configError("CapConfig",

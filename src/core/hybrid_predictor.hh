@@ -25,8 +25,10 @@ class HybridPredictor : public AddressPredictor
     /** @throws std::invalid_argument when @p config fails validate(). */
     explicit HybridPredictor(const HybridConfig &config)
         : config_(validated(config)),
-          lb_(config.lb),
-          cap_(config.cap, config.pipelined),
+          arena_(LoadBuffer::laneBytes(config.lb) +
+                 LinkTable::laneBytes(config.cap)),
+          lb_(config.lb, &arena_),
+          cap_(config.cap, config.pipelined, &arena_),
           stride_(config.stride, config.pipelined)
     {
     }
@@ -62,6 +64,7 @@ class HybridPredictor : public AddressPredictor
 
   private:
     HybridConfig config_;
+    LaneArena arena_; ///< one contiguous block for the LB + LT lanes
     LoadBuffer lb_;
     CapComponent cap_;
     StrideComponent stride_;

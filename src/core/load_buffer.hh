@@ -2,33 +2,50 @@
  * @file
  * The Load Buffer (LB): the per-static-load first-level table shared
  * by the CAP and stride components of the hybrid predictor (sections
- * 3.1 and 3.7). Set-associative, PC-tagged, LRU-replaced. Each entry
- * carries the CAP fields (history, confidence, offset LSBs), the
- * stride fields (last address, stride, state), the hybrid selector,
- * and the speculative state needed in the pipelined model.
+ * 3.1 and 3.7). Set-associative, PC-tagged, LRU-replaced.
+ *
+ * The table is laid out struct-of-arrays (DESIGN.md section 8): the
+ * probe state lives in dense lanes — a packed control word per set
+ * (one valid+fingerprint byte per way, probed with the multi-tag
+ * compare of core/probe_lanes.hh), a full-tag lane, and an LRU-stamp
+ * lane — while the bulk per-entry state (the CAP fields, the stride
+ * fields, the hybrid selector) stays in an array-of-structs cold lane
+ * touched only on hit. All hot lanes come from one LaneArena, shared
+ * with the link table when the owning predictor provides one.
+ *
+ * Every observable behavior — lookup/acquire/allocate semantics, LRU
+ * stamps, generation handles, entry images — is bit-for-bit identical
+ * to the scalar array-of-structs implementation; the differential
+ * fuzz tests in tests/test_probe_lanes.cc hold the two to equality.
  */
 
 #ifndef CLAP_CORE_LOAD_BUFFER_HH
 #define CLAP_CORE_LOAD_BUFFER_HH
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/history.hh"
 #include "core/predictor.hh"
+#include "core/probe_lanes.hh"
+#include "util/bits.hh"
 #include "util/sat_counter.hh"
 
 namespace clap
 {
 
-/** One load-buffer entry. */
+/**
+ * The cold bulk state of one load-buffer entry: everything the
+ * components read or write after the probe has resolved. The probe
+ * state (valid, tag, LRU stamp) lives in the LoadBuffer's lanes; use
+ * LBEntryImage / LoadBuffer::imageAt() when a full flat view is
+ * needed (serialization, audit, fault injection).
+ */
 struct LBEntry
 {
-    bool valid = false;
-    std::uint64_t tag = 0;
-    std::uint64_t lruStamp = 0;
-
     /// @name Shared fields
     /// @{
     std::uint8_t offsetLsb = 0; ///< 8 LSBs of the immediate offset
@@ -73,17 +90,63 @@ struct LBEntry
 };
 
 /**
+ * Flat per-slot view joining the lane-resident probe state with the
+ * cold fields: what entryAt() used to return by reference. Used by
+ * state serialization, the auditor, telemetry, and fault injection.
+ */
+struct LBEntryImage : LBEntry
+{
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lruStamp = 0;
+};
+
+/**
  * Set-associative, LRU-replaced table of LBEntry indexed by load PC.
  */
 class LoadBuffer
 {
   public:
-    explicit LoadBuffer(const LoadBufferConfig &config)
+    /**
+     * @param config Table geometry (validated by the owning
+     *               predictor; sets() is a power of two because
+     *               entries is and assoc divides it).
+     * @param arena  Arena to carve the probe lanes from (the owning
+     *               predictor's shared block); nullptr = private
+     *               arena sized by laneBytes(config).
+     */
+    explicit LoadBuffer(const LoadBufferConfig &config,
+                        LaneArena *arena = nullptr)
         : config_(config),
           sets_(config.sets()),
-          entries_(config.entries),
+          setMask_(sets_ - 1),
+          assoc_(config.assoc),
+          assocShift_(floorLog2(config.assoc)),
+          ctrlWordsPerSet_((config.assoc + 7) / 8),
+          cold_(config.entries),
           gens_(config.entries, 0)
     {
+        assert(isPowerOf2(sets_) && isPowerOf2(assoc_));
+        if (arena == nullptr) {
+            ownArena_ = std::make_unique<LaneArena>(laneBytes(config));
+            arena = ownArena_.get();
+        }
+        ctrl_ = arena->alloc<std::uint64_t>(sets_ * ctrlWordsPerSet_);
+        tags_ = arena->alloc<std::uint64_t>(config.entries);
+        lru_ = arena->alloc<std::uint64_t>(config.entries);
+    }
+
+    LoadBuffer(const LoadBuffer &) = delete;
+    LoadBuffer &operator=(const LoadBuffer &) = delete;
+
+    /** Arena bytes the probe lanes of @p config consume. */
+    static std::size_t
+    laneBytes(const LoadBufferConfig &config)
+    {
+        const std::size_t ctrl_words =
+            config.sets() * ((config.assoc + 7) / 8);
+        return LaneArena::laneBytes<std::uint64_t>(ctrl_words) +
+               2 * LaneArena::laneBytes<std::uint64_t>(config.entries);
     }
 
     /** Find the entry for @p pc, or nullptr on miss. Touches LRU. */
@@ -92,11 +155,23 @@ class LoadBuffer
     {
         const std::size_t set = setIndex(pc);
         const std::uint64_t tag = pcTag(pc);
-        for (unsigned w = 0; w < config_.assoc; ++w) {
-            LBEntry &entry = entries_[set * config_.assoc + w];
-            if (entry.valid && entry.tag == tag) {
-                entry.lruStamp = ++stamp_;
-                return &entry;
+        const std::size_t base = set << assocShift_;
+        prefetchRead(&cold_[base]);
+        const std::uint8_t target = probe::ctrlByte(tag);
+        const std::uint64_t *ctrl = &ctrl_[set * ctrlWordsPerSet_];
+        for (std::size_t word = 0; word < ctrlWordsPerSet_; ++word) {
+            std::uint32_t ways = probe::candidateWays(ctrl[word], target);
+            const std::size_t word_base = base + word * 8;
+            while (ways != 0) {
+                // Ascending way order + full-tag confirmation keeps
+                // the scalar first-match semantics exactly.
+                const std::size_t slot =
+                    word_base + std::countr_zero(ways);
+                if (tags_[slot] == tag) {
+                    lru_[slot] = ++stamp_;
+                    return &cold_[slot];
+                }
+                ways &= ways - 1;
             }
         }
         return nullptr;
@@ -108,7 +183,7 @@ class LoadBuffer
     handleOf(const LBEntry &entry) const
     {
         LBHandle handle;
-        handle.slot = static_cast<std::uint32_t>(&entry - entries_.data());
+        handle.slot = static_cast<std::uint32_t>(&entry - cold_.data());
         handle.gen = gens_[handle.slot];
         handle.valid = true;
         return handle;
@@ -126,12 +201,13 @@ class LoadBuffer
     LBEntry *
     acquire(std::uint64_t pc, const LBHandle &handle)
     {
-        if (handle.valid && handle.slot < entries_.size() &&
+        if (handle.valid && handle.slot < cold_.size() &&
             gens_[handle.slot] == handle.gen) {
-            LBEntry &entry = entries_[handle.slot];
-            if (entry.valid && entry.tag == pcTag(pc)) {
-                entry.lruStamp = ++stamp_;
-                return &entry;
+            const std::size_t slot = handle.slot;
+            prefetchRead(&cold_[slot]);
+            if (validAt(slot) && tags_[slot] == pcTag(pc)) {
+                lru_[slot] = ++stamp_;
+                return &cold_[slot];
             }
         }
         return lookup(pc);
@@ -140,29 +216,30 @@ class LoadBuffer
     /**
      * Allocate (or re-initialize) the entry for @p pc, evicting the
      * LRU way of its set. The returned entry is reset to defaults
-     * with the tag set.
+     * with the (lane-resident) tag set and valid raised.
      */
     LBEntry &
     allocate(std::uint64_t pc)
     {
-        const std::size_t set = setIndex(pc);
-        LBEntry *victim = &entries_[set * config_.assoc];
-        for (unsigned w = 1; w < config_.assoc; ++w) {
-            LBEntry &entry = entries_[set * config_.assoc + w];
-            if (!victim->valid)
+        const std::size_t base = setIndex(pc) << assocShift_;
+        std::size_t victim = base;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (!validAt(victim))
                 break;
-            if (!entry.valid || entry.lruStamp < victim->lruStamp)
-                victim = &entry;
+            const std::size_t slot = base + w;
+            if (!validAt(slot) || lru_[slot] < lru_[victim])
+                victim = slot;
         }
         // Reusing the slot invalidates any handle captured against
         // its previous occupant.
-        ++gens_[static_cast<std::size_t>(victim - entries_.data())];
-        *victim = LBEntry{};
-        victim->valid = true;
-        victim->tag = pcTag(pc);
-        victim->lruStamp = ++stamp_;
+        ++gens_[victim];
+        cold_[victim] = LBEntry{};
+        const std::uint64_t tag = pcTag(pc);
+        tags_[victim] = tag;
+        lru_[victim] = ++stamp_;
+        setCtrlByteAt(victim, probe::ctrlByte(tag));
         ++allocations_;
-        return *victim;
+        return cold_[victim];
     }
 
     /** Number of allocations performed (eviction pressure metric). */
@@ -171,21 +248,69 @@ class LoadBuffer
     const LoadBufferConfig &config() const { return config_; }
 
     /** Total entry slots (valid or not). */
-    std::size_t numEntries() const { return entries_.size(); }
+    std::size_t numEntries() const { return cold_.size(); }
 
-    /**
-     * Raw access to entry slot @p i (fault injection / state dumps).
-     * Does not touch LRU. @pre i < numEntries()
-     */
-    LBEntry &entryAt(std::size_t i) { return entries_[i]; }
-    const LBEntry &entryAt(std::size_t i) const { return entries_[i]; }
+    /// @name Flat slot access (state dumps, audit, fault injection)
+    /// None of these touch LRU. @pre i < numEntries()
+    /// @{
+
+    /** Flat snapshot of slot @p i (probe lanes + cold fields). */
+    LBEntryImage
+    imageAt(std::size_t i) const
+    {
+        LBEntryImage image;
+        static_cast<LBEntry &>(image) = cold_[i];
+        image.valid = validAt(i);
+        image.tag = tags_[i];
+        image.lruStamp = lru_[i];
+        return image;
+    }
+
+    /** Overwrite slot @p i from a flat image, recomputing the probe
+     *  lanes so the control byte always matches the stored tag. */
+    void
+    setImageAt(std::size_t i, const LBEntryImage &image)
+    {
+        cold_[i] = image; // slices to the cold fields
+        tags_[i] = image.tag;
+        lru_[i] = image.lruStamp;
+        setCtrlByteAt(i, image.valid ? probe::ctrlByte(image.tag)
+                                     : std::uint8_t{0});
+    }
+
+    /** Mutable cold fields of slot @p i (fault injection targets the
+     *  histories and counters; the probe lanes are unaffected). */
+    LBEntry &coldAt(std::size_t i) { return cold_[i]; }
+    const LBEntry &coldAt(std::size_t i) const { return cold_[i]; }
+
+    bool
+    validAt(std::size_t i) const
+    {
+        return (ctrlByteAt(i) & 0x80u) != 0;
+    }
+
+    /** Lane coherence of slot @p i: a valid way's control byte must
+     *  be the fingerprint of its full tag (core/audit.hh). */
+    bool
+    lanesCoherentAt(std::size_t i) const
+    {
+        const std::uint8_t ctrl = ctrlByteAt(i);
+        return ctrl == 0 || ctrl == probe::ctrlByte(tags_[i]);
+    }
+    /// @}
 
     /** Invalidate all entries (and any outstanding handles). */
     void
     clear()
     {
-        for (auto &entry : entries_)
+        for (auto &entry : cold_)
             entry = LBEntry{};
+        for (std::size_t i = 0; i < sets_ * ctrlWordsPerSet_; ++i)
+            ctrl_[i] = 0;
+        for (std::size_t i = 0; i < cold_.size(); ++i) {
+            tags_[i] = 0;
+            lru_[i] = 0;
+        }
         for (auto &gen : gens_)
             ++gen;
     }
@@ -207,7 +332,7 @@ class LoadBuffer
     std::size_t
     setIndex(std::uint64_t pc) const
     {
-        return (pc >> 2) % sets_;
+        return (pc >> 2) & setMask_;
     }
 
     std::uint64_t
@@ -216,9 +341,38 @@ class LoadBuffer
         return pc >> 2;
     }
 
+    std::uint8_t
+    ctrlByteAt(std::size_t slot) const
+    {
+        const std::size_t set = slot >> assocShift_;
+        const unsigned way = slot & (assoc_ - 1);
+        const std::uint64_t word =
+            ctrl_[set * ctrlWordsPerSet_ + way / 8];
+        return static_cast<std::uint8_t>(word >> (8 * (way % 8)));
+    }
+
+    void
+    setCtrlByteAt(std::size_t slot, std::uint8_t value)
+    {
+        const std::size_t set = slot >> assocShift_;
+        const unsigned way = slot & (assoc_ - 1);
+        std::uint64_t &word = ctrl_[set * ctrlWordsPerSet_ + way / 8];
+        const unsigned shift = 8 * (way % 8);
+        word = (word & ~(std::uint64_t{0xff} << shift)) |
+               (std::uint64_t{value} << shift);
+    }
+
     LoadBufferConfig config_;
     std::size_t sets_;
-    std::vector<LBEntry> entries_;
+    std::size_t setMask_;
+    unsigned assoc_;
+    unsigned assocShift_;
+    std::size_t ctrlWordsPerSet_;
+    std::unique_ptr<LaneArena> ownArena_; ///< when none was provided
+    std::uint64_t *ctrl_ = nullptr; ///< packed control bytes, per set
+    std::uint64_t *tags_ = nullptr; ///< full tags, per slot
+    std::uint64_t *lru_ = nullptr;  ///< LRU stamps, per slot
+    std::vector<LBEntry> cold_;
     std::vector<std::uint32_t> gens_; ///< per-slot allocation generation
     std::uint64_t stamp_ = 0;
     std::uint64_t allocations_ = 0;

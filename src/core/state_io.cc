@@ -191,7 +191,7 @@ getHistory(ByteReader &r, HistoryRegister &h)
 }
 
 void
-putLbEntry(ByteWriter &w, const LBEntry &e)
+putLbEntry(ByteWriter &w, const LBEntryImage &e)
 {
     w.b(e.valid);
     w.u64(e.tag);
@@ -224,7 +224,7 @@ putLbEntry(ByteWriter &w, const LBEntry &e)
 }
 
 bool
-getLbEntry(ByteReader &r, LBEntry &e)
+getLbEntry(ByteReader &r, LBEntryImage &e)
 {
     return r.b(e.valid) && r.u64(e.tag) && r.u64(e.lruStamp) &&
            r.u8(e.offsetLsb) && r.b(e.capInit) && getHistory(r, e.hist) &&
@@ -249,7 +249,7 @@ encodeLoadBuffer(const LoadBuffer &lb)
     w.u64(lb.lruClock());
     w.u64(lb.allocations());
     for (std::size_t i = 0; i < lb.numEntries(); ++i)
-        putLbEntry(w, lb.entryAt(i));
+        putLbEntry(w, lb.imageAt(i));
     return w.take();
 }
 
@@ -272,7 +272,7 @@ decodeLoadBuffer(std::string_view payload, LoadBuffer &lb,
                  std::to_string(lb.config().assoc) + ")";
         return false;
     }
-    std::vector<LBEntry> staged(entries);
+    std::vector<LBEntryImage> staged(entries);
     for (auto &entry : staged) {
         if (!getLbEntry(r, entry)) {
             reason = "corrupt load-buffer entry at offset " +
@@ -285,7 +285,7 @@ decodeLoadBuffer(std::string_view payload, LoadBuffer &lb,
         return false;
     }
     for (std::size_t i = 0; i < staged.size(); ++i)
-        lb.entryAt(i) = staged[i];
+        lb.setImageAt(i, staged[i]);
     lb.setLruClock(clock);
     lb.setAllocations(allocations);
     return true;
@@ -303,7 +303,7 @@ encodeLinkTable(const LinkTable &lt)
     w.u64(lt.linkOverwrites());
     w.u64(lt.pfFiltered());
     for (std::size_t i = 0; i < lt.numEntries(); ++i) {
-        const LTEntry &e = lt.entryAt(i);
+        const LTEntry e = lt.imageAt(i);
         w.b(e.valid);
         w.u64(e.tag);
         w.u64(e.link);
@@ -363,7 +363,7 @@ decodeLinkTable(std::string_view payload, LinkTable &lt,
         return false;
     }
     for (std::size_t i = 0; i < staged.size(); ++i)
-        lt.entryAt(i) = staged[i];
+        lt.setImageAt(i, staged[i]);
     for (std::size_t i = 0; i < staged_pf.size(); ++i)
         lt.setPfTableAt(i, staged_pf[i].first, staged_pf[i].second);
     lt.setLruClock(clock);

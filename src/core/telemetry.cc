@@ -76,9 +76,9 @@ fillLoadBufferTelemetry(const LoadBuffer &lb, PredictorTelemetry &t,
     t.lbAllocations = lb.allocations();
     t.hasSelector = withSelector;
     for (std::size_t i = 0; i < lb.numEntries(); ++i) {
-        const LBEntry &entry = lb.entryAt(i);
-        if (!entry.valid)
+        if (!lb.validAt(i))
             continue;
+        const LBEntry &entry = lb.coldAt(i);
         ++t.lbValid;
         if (withCap)
             bump(t.capConfHist, entry.capConf.value(),
@@ -100,7 +100,7 @@ fillLinkTableTelemetry(const LinkTable &lt, PredictorTelemetry &t)
     t.ltLinkOverwrites = lt.linkOverwrites();
     t.ltPfRejected = lt.pfFiltered();
     for (std::size_t i = 0; i < lt.numEntries(); ++i) {
-        if (lt.entryAt(i).valid)
+        if (lt.imageAt(i).valid)
             ++t.ltValid;
     }
 }

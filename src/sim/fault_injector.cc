@@ -107,8 +107,9 @@ void
 FaultInjector::flipLt(Kind kind)
 {
     LinkTable &lt = *lts_[rng_.below(lts_.size())];
-    LTEntry &entry = lt.entryAt(
-        static_cast<std::size_t>(rng_.below(lt.numEntries())));
+    const std::size_t index =
+        static_cast<std::size_t>(rng_.below(lt.numEntries()));
+    LTEntry entry = lt.imageAt(index);
     const CapConfig &cap = lt.config();
 
     switch (kind) {
@@ -128,13 +129,16 @@ FaultInjector::flipLt(Kind kind)
       default:
         break;
     }
+    lt.setImageAt(index, entry);
 }
 
 void
 FaultInjector::flipLb(Kind kind)
 {
     LoadBuffer &lb = *lbs_[rng_.below(lbs_.size())];
-    LBEntry &entry = lb.entryAt(
+    // The history and confidence fault classes only touch cold-lane
+    // state; the probe lanes (valid, tag, LRU) are left intact.
+    LBEntry &entry = lb.coldAt(
         static_cast<std::size_t>(rng_.below(lb.numEntries())));
 
     if (kind == Kind::LbHistory) {

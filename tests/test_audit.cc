@@ -61,9 +61,10 @@ TEST(Audit, LtTagOutOfRangeDetected)
     const unsigned tag_bits = lt.config().ltTagBits;
     ASSERT_GT(tag_bits, 0u);
 
-    LTEntry &entry = lt.entryAt(0);
+    LTEntry entry = lt.imageAt(0);
     entry.valid = true;
     entry.tag = mask(tag_bits) + 1; // one bit above the field
+    lt.setImageAt(0, entry);
 
     const auto result = cap.audit();
     ASSERT_FALSE(result.hasValue());
@@ -77,9 +78,10 @@ TEST(Audit, PfBitsOutOfRangeDetectedEvenOnInvalidEntry)
     LinkTable &lt = cap.component().linkTable();
     ASSERT_LT(lt.config().pfBits, 8u);
 
-    LTEntry &entry = lt.entryAt(3);
+    LTEntry entry = lt.imageAt(3);
     entry.valid = false; // pf storage is live even when invalid
     entry.pf = 0xff;
+    lt.setImageAt(3, entry);
 
     const auto result = cap.audit();
     ASSERT_FALSE(result.hasValue());
@@ -93,10 +95,11 @@ TEST(Audit, DuplicateLbTagsDetected)
     ASSERT_GE(lb.config().assoc, 2u);
 
     // Two ways of set 0 with the same tag.
-    lb.entryAt(0).valid = true;
-    lb.entryAt(0).tag = 0x123;
-    lb.entryAt(1).valid = true;
-    lb.entryAt(1).tag = 0x123;
+    LBEntryImage image;
+    image.valid = true;
+    image.tag = 0x123;
+    lb.setImageAt(0, image);
+    lb.setImageAt(1, image);
 
     const auto result = hybrid.audit();
     ASSERT_FALSE(result.hasValue());
@@ -107,10 +110,12 @@ TEST(Audit, DistinctLbTagsPass)
 {
     HybridPredictor hybrid{HybridConfig{}};
     LoadBuffer &lb = hybrid.loadBuffer();
-    lb.entryAt(0).valid = true;
-    lb.entryAt(0).tag = 0x123;
-    lb.entryAt(1).valid = true;
-    lb.entryAt(1).tag = 0x124;
+    LBEntryImage image;
+    image.valid = true;
+    image.tag = 0x123;
+    lb.setImageAt(0, image);
+    image.tag = 0x124;
+    lb.setImageAt(1, image);
     EXPECT_TRUE(hybrid.audit().hasValue());
 }
 
@@ -122,10 +127,11 @@ TEST(Audit, DuplicateLtTagsDetectedInAssociativeConfig)
     LinkTable &lt = cap.component().linkTable();
     ASSERT_EQ(lt.assoc(), 2u);
 
-    lt.entryAt(0).valid = true;
-    lt.entryAt(0).tag = 0x5;
-    lt.entryAt(1).valid = true;
-    lt.entryAt(1).tag = 0x5;
+    LTEntry entry;
+    entry.valid = true;
+    entry.tag = 0x5;
+    lt.setImageAt(0, entry);
+    lt.setImageAt(1, entry);
 
     const auto result = cap.audit();
     ASSERT_FALSE(result.hasValue());
@@ -136,8 +142,10 @@ TEST(Audit, ErrorCarriesStructureContext)
 {
     CapPredictor cap{CapPredictorConfig{}};
     LinkTable &lt = cap.component().linkTable();
-    lt.entryAt(7).valid = true;
-    lt.entryAt(7).tag = ~std::uint64_t{0};
+    LTEntry entry;
+    entry.valid = true;
+    entry.tag = ~std::uint64_t{0};
+    lt.setImageAt(7, entry);
 
     const auto result = cap.audit();
     ASSERT_FALSE(result.hasValue());

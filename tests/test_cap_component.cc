@@ -30,7 +30,6 @@ TEST(CapComponentState, PendingCountsBalance)
     CapConfig config;
     CapComponent cap(config, /*pipelined=*/true);
     LBEntry entry;
-    entry.valid = true;
 
     std::vector<CapResult> results;
     for (int i = 0; i < 5; ++i)
@@ -49,7 +48,6 @@ TEST(CapComponentState, UninitializedEntryMarksSpecStale)
     CapConfig config;
     CapComponent cap(config, /*pipelined=*/true);
     LBEntry entry;
-    entry.valid = true;
 
     const CapResult result = cap.predict(entry, info());
     EXPECT_FALSE(result.hasAddr);
@@ -68,7 +66,6 @@ TEST(CapComponentState, MispredictionBlocksUntilDrain)
     config.pathBits = 0;
     CapComponent cap(config, /*pipelined=*/true);
     LBEntry entry;
-    entry.valid = true;
 
     // Train a two-address alternation with immediate-style resolves.
     CapResult result = cap.predict(entry, info());
@@ -107,7 +104,6 @@ TEST(CapComponentState, SpeculativeHistoryLeadsArchitectural)
     CapConfig config;
     CapComponent cap(config, /*pipelined=*/true);
     LBEntry entry;
-    entry.valid = true;
 
     // Train a period-4 pattern so links exist.
     const std::vector<std::uint64_t> pattern = {0x1000, 0x2000, 0x4000,
@@ -133,7 +129,6 @@ TEST(CapComponentState, ImmediateModeKeepsNoPending)
     CapConfig config;
     CapComponent cap(config, /*pipelined=*/false);
     LBEntry entry;
-    entry.valid = true;
 
     for (int i = 0; i < 6; ++i) {
         const CapResult result = cap.predict(entry, info());
@@ -173,7 +168,6 @@ TEST(CapComponentState, PerPathConfidenceRecoversAfterCorrectRun)
     config.pathBits = 2;
     CapComponent cap(config, false);
     LBEntry entry;
-    entry.valid = true;
 
     LoadInfo load = info();
     load.ghr = 0b01;

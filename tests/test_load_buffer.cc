@@ -56,7 +56,7 @@ TEST(LoadBuffer, AllocateResetsEntry)
     EXPECT_FALSE(fresh.lastValid);
     EXPECT_EQ(fresh.lastAddr, 0u);
     EXPECT_EQ(fresh.capConf.value(), 0u);
-    EXPECT_TRUE(fresh.valid);
+    EXPECT_NE(lb.lookup(0x1000), nullptr); // resident after re-allocate
 }
 
 TEST(LoadBuffer, LruEvictionWithinSet)
