@@ -43,6 +43,7 @@
 
 #include "bench/bench_util.hh"
 #include "net/chaos.hh"
+#include "obs/metrics.hh"
 #include "net/client.hh"
 #include "net/server.hh"
 #include "serve/service.hh"
@@ -174,20 +175,6 @@ struct NetLoadResult
     ServerCounters server;
 };
 
-double
-percentileUs(std::vector<std::uint32_t> &latencies_ns, double fraction)
-{
-    if (latencies_ns.empty())
-        return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        fraction * static_cast<double>(latencies_ns.size() - 1));
-    std::nth_element(
-        latencies_ns.begin(),
-        latencies_ns.begin() + static_cast<std::ptrdiff_t>(rank),
-        latencies_ns.end());
-    return static_cast<double>(latencies_ns[rank]) / 1000.0;
-}
-
 const NetLoadResult &
 results()
 {
@@ -250,7 +237,11 @@ results()
         service.stop();
         std::remove(socketPath().c_str());
 
-        std::vector<std::uint32_t> latencies;
+        // Per-predict round-trip latencies aggregated through the
+        // obs histogram (interpolated log2-bucket quantiles) — the
+        // same estimator the live scrape and fleet watchdog report,
+        // so bench and scrape tails are directly comparable.
+        obs::HistogramSnapshot latency;
         for (unsigned c = 0; c < out.clients; ++c) {
             const ClientOutcome &res = outcomes[c];
             out.loads += res.loads;
@@ -269,8 +260,8 @@ results()
                 res.counters.corruptReplies;
             out.clientTotals.wrongReplies += res.counters.wrongReplies;
             out.clientTotals.goAways += res.counters.goAways;
-            latencies.insert(latencies.end(), res.latenciesNs.begin(),
-                             res.latenciesNs.end());
+            for (std::uint32_t ns : res.latenciesNs)
+                latency.addValue(ns);
             if (chaos[c]) {
                 const NetChaosStats cs = chaos[c]->stats();
                 out.chaosTotals.disconnects += cs.disconnects;
@@ -282,17 +273,11 @@ results()
                 out.chaosTotals.recvFlips += cs.recvFlips;
             }
         }
-        out.p50Us = percentileUs(latencies, 0.50);
-        out.p95Us = percentileUs(latencies, 0.95);
-        out.p99Us = percentileUs(latencies, 0.99);
-        out.p999Us = percentileUs(latencies, 0.999);
-        if (!latencies.empty()) {
-            double sumNs = 0.0;
-            for (std::uint32_t ns : latencies)
-                sumNs += static_cast<double>(ns);
-            out.meanUs =
-                sumNs / static_cast<double>(latencies.size()) / 1000.0;
-        }
+        out.p50Us = latency.p50() / 1000.0;
+        out.p95Us = latency.p95() / 1000.0;
+        out.p99Us = latency.p99() / 1000.0;
+        out.p999Us = latency.quantile(0.999) / 1000.0;
+        out.meanUs = latency.mean() / 1000.0;
         out.server = server.counters();
 
         // The invariant the gateway stack exists for: a faulty wire

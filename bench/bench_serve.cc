@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "obs/metrics.hh"
 #include "serve/chaos.hh"
 #include "serve/crosscheck.hh"
 #include "serve/service.hh"
@@ -124,19 +125,6 @@ struct LoadPoint
             : static_cast<double>(loads - overloaded) / elapsedSec;
     }
 };
-
-double
-percentileUs(std::vector<std::uint32_t> &latencies_ns, double fraction)
-{
-    if (latencies_ns.empty())
-        return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        fraction * static_cast<double>(latencies_ns.size() - 1));
-    std::nth_element(latencies_ns.begin(),
-                     latencies_ns.begin() + static_cast<std::ptrdiff_t>(rank),
-                     latencies_ns.end());
-    return static_cast<double>(latencies_ns[rank]) / 1000.0;
-}
 
 /** Run one load-generation configuration: @p clients threads replay
  *  pre-generated traces against a @p shards-shard service. */
@@ -236,7 +224,9 @@ runLoadPhase(unsigned shards, unsigned clients,
     point.elapsedSec =
         std::chrono::duration<double>(end - begin).count();
 
-    std::vector<std::uint32_t> latencies;
+    // Latencies aggregate through the obs histogram estimator —
+    // the same interpolated quantiles the live scrape reports.
+    obs::HistogramSnapshot latency;
     for (unsigned c = 0; c < clients; ++c) {
         if (!results[c]) {
             BenchState::instance().failures.push_back(
@@ -248,13 +238,12 @@ runLoadPhase(unsigned shards, unsigned clients,
         point.loads += results[c]->loads;
         point.overloaded += results[c]->overloaded;
         point.unavailable += results[c]->unavailable;
-        latencies.insert(latencies.end(),
-                         results[c]->latenciesNs.begin(),
-                         results[c]->latenciesNs.end());
+        for (std::uint32_t ns : results[c]->latenciesNs)
+            latency.addValue(ns);
     }
-    point.p50Us = percentileUs(latencies, 0.50);
-    point.p95Us = percentileUs(latencies, 0.95);
-    point.p99Us = percentileUs(latencies, 0.99);
+    point.p50Us = latency.p50() / 1000.0;
+    point.p95Us = latency.p95() / 1000.0;
+    point.p99Us = latency.p99() / 1000.0;
 
     unsigned shard_index = 0;
     for (const ShardSnapshot &snap : service.snapshot()) {

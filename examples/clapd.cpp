@@ -48,6 +48,7 @@
 #include <thread>
 
 #include "core/hybrid_predictor.hh"
+#include "obs/trace_events.hh"
 #include "net/client.hh"
 #include "net/server.hh"
 #include "serve/service.hh"
@@ -243,6 +244,9 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::signal(SIGPIPE, SIG_IGN);
+
+    // Names this process in merged Perfetto timelines (obs_tool merge).
+    obs::setTraceProcessName("clapd");
 
     PredictionService service(opts.service, [] {
         return std::make_unique<HybridPredictor>(HybridConfig{});

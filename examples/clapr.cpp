@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "net/server.hh"
+#include "obs/trace_events.hh"
 #include "replica/gateway.hh"
 #include "replica/health.hh"
 
@@ -172,6 +173,10 @@ main(int argc, char **argv)
     std::signal(SIGTERM, onSignal);
     std::signal(SIGPIPE, SIG_IGN);
 
+    // Span files from a clapr/clapd fleet are merged into one
+    // timeline (obs_tool merge); the process name tells them apart.
+    obs::setTraceProcessName("clapr");
+
     ReplicaGateway gateway(opts.gateway);
     if (auto started = gateway.start(); !started) {
         std::fprintf(stderr, "clapr: %s\n",
@@ -188,7 +193,11 @@ main(int argc, char **argv)
 
     // First pass runs synchronously inside start(): replicas that are
     // already up have joined before the first client request lands.
-    HealthMonitor monitor(gateway, opts.healthIntervalMs);
+    // fleet_watch makes the same cadence scrape every live replica's
+    // observability endpoint into the fleet view (ObsFetch on clapr
+    // returns it alongside the gateway's own registry).
+    HealthMonitor monitor(gateway, opts.healthIntervalMs,
+                          /*fleet_watch=*/true);
     monitor.start();
 
     if (!opts.quiet) {
@@ -237,6 +246,25 @@ main(int argc, char **argv)
                             snap.counters.trainsApplied),
                         static_cast<unsigned long long>(
                             snap.counters.bootstraps));
+        }
+        std::printf("clapr: fleet watchdog: %llu scrape(s), %llu "
+                    "failure(s)\n",
+                    static_cast<unsigned long long>(
+                        counters.fleetScrapes),
+                    static_cast<unsigned long long>(
+                        counters.fleetScrapeFailures));
+        for (const FleetReplicaView &view : gateway.fleetView()) {
+            std::printf("clapr:   %s handle p99 %.1fus total p99 "
+                        "%.1fus, %llu gate veto(s) (+%llu), %llu "
+                        "dropped span(s)\n",
+                        view.endpoint.c_str(), view.stageHandleP99Us,
+                        view.stageTotalP99Us,
+                        static_cast<unsigned long long>(
+                            view.gateVetoes),
+                        static_cast<unsigned long long>(
+                            view.gateVetoDelta),
+                        static_cast<unsigned long long>(
+                            view.droppedSpans));
         }
     }
     return 0;

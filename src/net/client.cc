@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace_context.hh"
+#include "obs/trace_events.hh"
+
 namespace clap::net
 {
 
@@ -56,6 +59,9 @@ NetClient::disconnect()
         stream_.reset();
     }
     reader_ = FrameReader{};
+    // serverClockOffsetNs_ survives as "last known" — a scrape-merge
+    // consumer wants the offset even after the connection closed.
+    negotiatedVersion_ = 0;
 }
 
 void
@@ -104,27 +110,56 @@ NetClient::ensureConnected()
     reader_ = FrameReader{};
 
     // Version handshake before any request; a mismatched server must
-    // reject us here, not corrupt a prediction later.
-    const std::uint64_t id = nextId_++;
-    if (auto sent = sendFrame(FrameType::Hello, id,
-                              encodeHello(config_.clientName));
-        !sent) {
-        disconnect();
-        ++counters_.connectFailures;
-        return std::move(sent.error()).withContext("hello handshake");
-    }
-    auto reply = awaitReply(id, FrameType::HelloOk,
-                            config_.requestDeadlineMs);
-    if (!reply) {
-        disconnect();
-        ++counters_.connectFailures;
-        return std::move(reply.error()).withContext("hello handshake");
-    }
-    if (reply->isError) {
-        disconnect();
-        ++counters_.connectFailures;
-        return std::move(reply->serverError)
-            .withContext("hello handshake");
+    // reject us here, not corrupt a prediction later. Negotiation:
+    // offer maxWireVersion; a pre-v3 server rejects that with a clean
+    // BadVersion (the Hello payload shape is version-invariant), and
+    // we re-Hello once at the base version on the same connection.
+    std::uint16_t offer = config_.maxWireVersion;
+    for (;;) {
+        const std::uint64_t id = nextId_++;
+        if (auto sent = sendFrame(FrameType::Hello, id,
+                                  encodeHello(config_.clientName, offer));
+            !sent) {
+            disconnect();
+            ++counters_.connectFailures;
+            return std::move(sent.error()).withContext("hello handshake");
+        }
+        auto reply = awaitReply(id, FrameType::HelloOk,
+                                config_.requestDeadlineMs);
+        if (!reply) {
+            disconnect();
+            ++counters_.connectFailures;
+            return std::move(reply.error()).withContext("hello handshake");
+        }
+        if (reply->isError) {
+            if (reply->serverError.code() == ErrorCode::BadVersion &&
+                offer > wireVersionBase) {
+                ++counters_.helloDowngrades;
+                offer = wireVersionBase;
+                continue;
+            }
+            disconnect();
+            ++counters_.connectFailures;
+            return std::move(reply->serverError)
+                .withContext("hello handshake");
+        }
+        std::uint16_t version = 0;
+        std::string serverName;
+        std::uint64_t epochNs = 0;
+        if (!decodeHelloOk(reply->frame.payload, version, serverName,
+                           epochNs) ||
+            version < wireVersionBase || version > offer) {
+            disconnect();
+            ++counters_.connectFailures;
+            return makeError(ErrorCode::ProtocolError,
+                             "malformed HelloOk payload");
+        }
+        negotiatedVersion_ = version;
+        if (epochNs != 0) {
+            serverClockOffsetNs_ = static_cast<std::int64_t>(epochNs) -
+                static_cast<std::int64_t>(obs::traceClockEpochUnixNs());
+        }
+        break;
     }
     ++counters_.connects;
     return ok();
@@ -138,6 +173,15 @@ NetClient::sendFrame(FrameType type, std::uint64_t id,
     frame.type = type;
     frame.id = id;
     frame.payload = std::move(payload);
+    // Propagate the ambient trace context once the peer speaks v3.
+    // Only sampled contexts travel: an unsampled request stays a
+    // byte-identical v2 frame, so tracing-off and tracing-on runs
+    // produce the same wire bytes (the netchaos determinism contract).
+    if (negotiatedVersion_ >= 3) {
+        const obs::TraceContext ctx = obs::currentTraceContext();
+        if (ctx.valid() && ctx.sampled)
+            frame.trace = ctx;
+    }
     const std::string bytes = encodeFrame(frame);
     auto sent = stream_->sendAll(bytes.data(), bytes.size(),
                                  config_.requestDeadlineMs);
@@ -529,6 +573,17 @@ NetClient::requestShutdown()
     if (!reply)
         return std::move(reply.error()).withContext("requestShutdown");
     return ok();
+}
+
+Expected<std::string>
+NetClient::fetchObs(bool include_timing)
+{
+    auto reply = roundTrip(FrameType::ObsFetch,
+                           encodeObsFetch(include_timing),
+                           FrameType::ObsOk);
+    if (!reply)
+        return std::move(reply.error()).withContext("fetchObs");
+    return std::move(reply->payload);
 }
 
 } // namespace clap::net

@@ -81,6 +81,12 @@ struct ClientConfig
     std::function<std::unique_ptr<Stream>(std::unique_ptr<Stream>)>
         decorate;
 
+    /// Highest wire version offered in the Hello handshake (lower it
+    /// to wireVersionBase to behave exactly like a pre-v3 client).
+    /// When a server rejects the offer with BadVersion, the client
+    /// re-Hellos once at wireVersionBase — new client, old server.
+    std::uint16_t maxWireVersion = wireVersion;
+
     /** Structural sanity checks. */
     Expected<void>
     validate() const
@@ -95,6 +101,12 @@ struct ClientConfig
             return makeError(
                 ErrorCode::InvalidConfig,
                 "ClientConfig: need 0 <= backoffBaseMs <= backoffMaxMs");
+        if (maxWireVersion < wireVersionBase ||
+            maxWireVersion > wireVersion)
+            return makeError(ErrorCode::InvalidConfig,
+                             "ClientConfig: maxWireVersion must be in [" +
+                                 std::to_string(wireVersionBase) + ", " +
+                                 std::to_string(wireVersion) + "]");
         return ok();
     }
 };
@@ -113,6 +125,7 @@ struct ClientCounters
     std::uint64_t corruptReplies = 0; ///< reply frames failing CRC/frame
     std::uint64_t wrongReplies = 0;   ///< PC echo mismatch (must stay 0)
     std::uint64_t goAways = 0;        ///< server-initiated drops seen
+    std::uint64_t helloDowngrades = 0;///< handshakes re-tried at v2
 };
 
 class NetClient
@@ -154,6 +167,12 @@ class NetClient
 
     /** Ask the server process to begin shutdown. */
     Expected<void> requestShutdown();
+
+    /** Fetch the server's observability scrape (FrameHandler::obsJson)
+     *  as a JSON document. @p include_timing false asks the server to
+     *  omit wall-clock sections, making the document byte-stable
+     *  across same-seed runs. */
+    Expected<std::string> fetchObs(bool include_timing = true);
     /// @}
 
     /// @name Client-held front-end history (mirrors ClientSession)
@@ -189,6 +208,13 @@ class NetClient
     void disconnect();
 
     bool connected() const { return stream_ != nullptr; }
+
+    /** Wire version agreed in the last handshake (0 before any). */
+    std::uint16_t negotiatedVersion() const { return negotiatedVersion_; }
+
+    /** Server trace-clock epoch minus ours, in ns — how far ahead the
+     *  server's span timestamps run. 0 until a >= v3 handshake. */
+    std::int64_t serverClockOffsetNs() const { return serverClockOffsetNs_; }
 
     const ClientCounters &counters() const { return counters_; }
 
@@ -229,6 +255,8 @@ class NetClient
     std::uint64_t nextId_ = 1;
     Rng jitter_;
     ClientCounters counters_;
+    std::uint16_t negotiatedVersion_ = 0;
+    std::int64_t serverClockOffsetNs_ = 0;
 
     std::uint64_t ghr_ = 0;
     std::uint64_t path_ = 0;

@@ -1,9 +1,15 @@
 #include "net/server.hh"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
+#include "core/telemetry.hh"
 #include "obs/metrics.hh"
+#include "obs/scrape.hh"
+#include "obs/stage_timer.hh"
+#include "obs/trace_events.hh"
+#include "util/json.hh"
 
 namespace clap::net
 {
@@ -15,7 +21,54 @@ namespace
 /// stop flag. Also the receive poll slice inside connections.
 constexpr int pollSliceMs = 50;
 
+/**
+ * Per-request stage decomposition (net.stage.*). The stages are
+ * constructed from consecutive stamps of one clock, with the
+ * not-otherwise-attributed gap recorded as an explicit residual, so
+ * the conservation identity
+ *
+ *   sum(total) == sum(decode) + sum(handle) + sum(encode)
+ *                 + sum(residual)
+ *
+ * holds *exactly* over any scrape (test_net asserts it).
+ */
+void
+recordRequestStages(std::uint64_t decode_ns, std::uint64_t entered_ns,
+                    std::uint64_t handle_start_ns,
+                    std::uint64_t handle_end_ns, std::uint64_t done_ns)
+{
+    static obs::Histogram &decode =
+        obs::histogram("net.stage.decode_ns");
+    static obs::Histogram &handle =
+        obs::histogram("net.stage.handle_ns");
+    static obs::Histogram &encode =
+        obs::histogram("net.stage.encode_ns");
+    static obs::Histogram &residual =
+        obs::histogram("net.stage.residual_ns");
+    static obs::Histogram &total = obs::histogram("net.stage.total_ns");
+
+    const std::uint64_t handleNs = handle_end_ns - handle_start_ns;
+    const std::uint64_t encodeNs = done_ns - handle_end_ns;
+    const std::uint64_t residualNs = handle_start_ns - entered_ns;
+    decode.record(decode_ns);
+    handle.record(handleNs);
+    encode.record(encodeNs);
+    residual.record(residualNs);
+    total.record(decode_ns + handleNs + encodeNs + residualNs);
+}
+
 } // namespace
+
+std::string
+FrameHandler::obsJson(bool include_timing, std::string_view server_name)
+{
+    std::string json = "{\n  \"server\": \"";
+    json += jsonEscape(std::string(server_name));
+    json += "\",\n  ";
+    json += obs::scrapeSectionsJson(include_timing);
+    json += "\n}\n";
+    return json;
+}
 
 ServiceFrameHandler::ServiceFrameHandler(PredictionService &service,
                                          ShardSupervisor *supervisor,
@@ -188,6 +241,27 @@ ServiceFrameHandler::handle(const Frame &frame)
             /*drop=*/true);
       }
     }
+}
+
+std::string
+ServiceFrameHandler::obsJson(bool include_timing,
+                             std::string_view server_name)
+{
+    std::string json = "{\n  \"server\": \"";
+    json += jsonEscape(std::string(server_name));
+    json += "\",\n  ";
+    json += obs::scrapeSectionsJson(include_timing);
+    // Per-predictor telemetry, one entry per shard, in shard order —
+    // the "per-predictor telemetry" half of the scrape contract.
+    json += ",\n  \"shards\": [";
+    bool first = true;
+    for (const ShardSnapshot &snap : service_.snapshot()) {
+        json += first ? "\n" : ",\n";
+        first = false;
+        json += telemetryJson(snap.telemetry);
+    }
+    json += "]\n}\n";
+    return json;
 }
 
 NetServer::NetServer(FrameHandler &handler, const ServerConfig &config)
@@ -392,7 +466,10 @@ NetServer::serveConnection(Connection &conn)
         Frame frame;
         Error error;
         for (;;) {
+            const std::uint64_t decodeStartNs = obs::stageNowNs();
             const auto status = reader.next(frame, error);
+            const std::uint64_t decodeNs =
+                obs::stageNowNs() - decodeStartNs;
             if (status == FrameReader::Status::NeedMore)
                 break;
             if (status == FrameReader::Status::Corrupt) {
@@ -412,7 +489,7 @@ NetServer::serveConnection(Connection &conn)
                                      config_.writeDeadlineMs);
                 return;
             }
-            if (!handleFrame(stream, frame))
+            if (!handleFrame(stream, frame, decodeNs))
                 return;
         }
         if (reader.buffered() > 0) {
@@ -450,7 +527,8 @@ NetServer::sendError(Stream &stream, std::uint64_t id,
 }
 
 bool
-NetServer::handleFrame(Stream &stream, const Frame &frame)
+NetServer::handleFrame(Stream &stream, const Frame &frame,
+                       std::uint64_t decode_ns)
 {
     static obs::Counter &served = obs::counter("net.requests");
 
@@ -460,7 +538,7 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
     switch (frame.type) {
       case FrameType::Hello: {
         // The handshake is transport policy, not request semantics:
-        // every handler behind this server speaks the same version.
+        // every handler behind this server speaks the same versions.
         std::uint16_t version = 0;
         std::string name;
         if (!decodeHello(frame.payload, version, name)) {
@@ -468,16 +546,23 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
                              makeError(ErrorCode::ProtocolError,
                                        "malformed Hello payload"));
         }
-        if (version != wireVersion) {
+        if (version < wireVersionBase ||
+            version > config_.maxWireVersion) {
             return sendError(
                 stream, frame.id,
                 makeError(ErrorCode::BadVersion,
                           "client speaks wire version " +
                               std::to_string(version) + ", server " +
-                              std::to_string(wireVersion)));
+                              std::to_string(config_.maxWireVersion)));
         }
-        return sendFrame(stream, FrameType::HelloOk, frame.id,
-                         encodeHello(config_.serverName));
+        // The client asked for a version we speak; that is the
+        // negotiated one. At >= 3 the reply carries our trace-clock
+        // epoch so the peer can align merged span timelines.
+        return sendFrame(
+            stream, FrameType::HelloOk, frame.id,
+            encodeHelloOk(config_.serverName, version,
+                          version >= 3 ? obs::traceClockEpochUnixNs()
+                                       : 0));
       }
 
       case FrameType::Shutdown: {
@@ -485,7 +570,22 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
         return sendFrame(stream, FrameType::ShutdownOk, frame.id, {});
       }
 
+      case FrameType::ObsFetch: {
+        // Scrapes are transport-level like the handshake: any handler
+        // behind this server is remotely observable the same way.
+        bool includeTiming = true;
+        if (!decodeObsFetch(frame.payload, includeTiming)) {
+            return sendError(stream, frame.id,
+                             makeError(ErrorCode::ProtocolError,
+                                       "malformed ObsFetch payload"));
+        }
+        return sendFrame(
+            stream, FrameType::ObsOk, frame.id,
+            handler_->obsJson(includeTiming, config_.serverName));
+      }
+
       default: {
+        const std::uint64_t enteredNs = obs::stageNowNs();
         const unsigned inflight =
             inFlight_.fetch_add(1, std::memory_order_acq_rel);
         if (inflight >= config_.maxInFlight) {
@@ -496,7 +596,23 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
                                        "gateway in-flight budget "
                                        "exhausted"));
         }
+        // Adopt the frame's trace context for the handler call: spans
+        // recorded below it (serve stages, replica fan-out clients)
+        // chain under the sender's span, and a sampled context gets a
+        // server-side span covering handle + encode.
+        std::optional<obs::TraceScope> scope;
+        std::optional<obs::Span> span;
+        if (frame.trace.valid()) {
+            scope.emplace(frame.trace);
+            if (frame.trace.sampled && obs::traceEventsEnabled()) {
+                span.emplace(std::string("net.") +
+                                 frameTypeName(frame.type),
+                             "net");
+            }
+        }
+        const std::uint64_t handleStartNs = obs::stageNowNs();
         const HandlerReply reply = handler_->handle(frame);
+        const std::uint64_t handleEndNs = obs::stageNowNs();
         inFlight_.fetch_sub(1, std::memory_order_acq_rel);
         bool sent;
         if (reply.isError)
@@ -504,6 +620,10 @@ NetServer::handleFrame(Stream &stream, const Frame &frame)
         else
             sent = sendFrame(stream, reply.type, frame.id,
                              reply.payload);
+        span.reset();
+        scope.reset();
+        recordRequestStages(decode_ns, enteredNs, handleStartNs,
+                            handleEndNs, obs::stageNowNs());
         return sent && !reply.drop;
       }
     }

@@ -80,6 +80,11 @@ struct ServerConfig
     double shedFraction = 0.75;
     double rejectFraction = 0.95;
 
+    /// Highest wire version offered in the Hello handshake. Lowering
+    /// it to wireVersionBase makes this server behave exactly like a
+    /// pre-v3 build (compat tests); clients downgrade on BadVersion.
+    std::uint16_t maxWireVersion = wireVersion;
+
     /** Structural sanity checks; call before building a server. */
     Expected<void>
     validate() const
@@ -99,6 +104,13 @@ struct ServerConfig
                 ErrorCode::InvalidConfig,
                 "ServerConfig: need 0 < shedFraction <= rejectFraction "
                 "<= 1");
+        }
+        if (maxWireVersion < wireVersionBase ||
+            maxWireVersion > wireVersion) {
+            return makeError(ErrorCode::InvalidConfig,
+                             "ServerConfig: maxWireVersion must be in [" +
+                                 std::to_string(wireVersionBase) + ", " +
+                                 std::to_string(wireVersion) + "]");
         }
         return ok();
     }
@@ -177,6 +189,16 @@ class FrameHandler
   public:
     virtual ~FrameHandler() = default;
     virtual HandlerReply handle(const Frame &frame) = 0;
+
+    /**
+     * The scrape document served for an ObsFetch frame: a JSON object
+     * with the server name and the metrics registry, timing sections
+     * included only when @p include_timing (see obs/scrape.hh).
+     * Overrides append handler-specific sections — per-shard predictor
+     * telemetry (ServiceFrameHandler), the fleet view (ReplicaGateway).
+     */
+    virtual std::string obsJson(bool include_timing,
+                                std::string_view server_name);
 };
 
 /**
@@ -193,6 +215,10 @@ class ServiceFrameHandler : public FrameHandler
                         const ServerConfig &config);
 
     HandlerReply handle(const Frame &frame) override;
+
+    /** Registry scrape plus per-shard predictor telemetry. */
+    std::string obsJson(bool include_timing,
+                        std::string_view server_name) override;
 
     /** The admission decision the handler would make right now. */
     Admission admissionDecision() const;
@@ -270,8 +296,11 @@ class NetServer
 
     void acceptLoop();
     void serveConnection(Connection &conn);
-    /** One request frame -> one response frame (or GoAway=false). */
-    bool handleFrame(Stream &stream, const Frame &frame);
+    /** One request frame -> one response frame (or GoAway=false).
+     *  @p decode_ns is what FrameReader::next spent extracting the
+     *  frame — the first stage of the request's latency breakdown. */
+    bool handleFrame(Stream &stream, const Frame &frame,
+                     std::uint64_t decode_ns);
     bool sendFrame(Stream &stream, FrameType type, std::uint64_t id,
                    std::string payload);
     bool sendError(Stream &stream, std::uint64_t id, const Error &error);

@@ -29,6 +29,8 @@ frameTypeName(FrameType type)
       case FrameType::ShutdownOk:        return "ShutdownOk";
       case FrameType::ErrorReply:        return "ErrorReply";
       case FrameType::GoAway:            return "GoAway";
+      case FrameType::ObsFetch:          return "ObsFetch";
+      case FrameType::ObsOk:             return "ObsOk";
     }
     return "Unknown";
 }
@@ -131,17 +133,29 @@ getString(std::string_view in, std::size_t &pos, std::string &s)
 std::string
 encodeFrame(const Frame &frame)
 {
+    // Per-frame versioning: only frames carrying a trace context pay
+    // the v3 prefix; everything else is byte-identical to a v2 build.
+    const bool traced = frame.trace.valid();
+    std::string body;
+    if (traced) {
+        body.reserve(traceContextBytes + frame.payload.size());
+        putU64(body, frame.trace.traceId);
+        putU64(body, frame.trace.spanId);
+        putU8(body, frame.trace.sampled ? 1 : 0);
+        body += frame.payload;
+    }
+    const std::string &payload = traced ? body : frame.payload;
+
     std::string out;
-    out.reserve(frameHeaderBytes + frame.payload.size() +
-                frameTrailerBytes);
+    out.reserve(frameHeaderBytes + payload.size() + frameTrailerBytes);
     putU32(out, wireMagic);
-    putU16(out, wireVersion);
+    putU16(out, traced ? wireVersion : wireVersionBase);
     putU16(out, static_cast<std::uint16_t>(frame.type));
     putU64(out, frame.id);
-    putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
     putU32(out, crc32(out.data(), out.size()));
-    out += frame.payload;
-    putU32(out, crc32(frame.payload.data(), frame.payload.size()));
+    out += payload;
+    putU32(out, crc32(payload.data(), payload.size()));
     return out;
 }
 
@@ -197,7 +211,7 @@ FrameReader::next(Frame &out, Error &error)
                           "frame magic mismatch");
         return Status::Corrupt;
     }
-    if (version != wireVersion) {
+    if (version < wireVersionBase || version > wireVersion) {
         poisoned_ = true;
         error = makeError(ErrorCode::BadVersion,
                           "unsupported wire version " +
@@ -205,7 +219,7 @@ FrameReader::next(Frame &out, Error &error)
         return Status::Corrupt;
     }
     if (rawType < static_cast<std::uint16_t>(FrameType::Hello) ||
-        rawType > static_cast<std::uint16_t>(FrameType::GoAway)) {
+        rawType > static_cast<std::uint16_t>(FrameType::ObsOk)) {
         poisoned_ = true;
         error = makeError(ErrorCode::BadHeader,
                           "unknown frame type " +
@@ -218,6 +232,12 @@ FrameReader::next(Frame &out, Error &error)
                           "frame payload length " +
                               std::to_string(length) +
                               " exceeds limit");
+        return Status::Corrupt;
+    }
+    if (version >= 3 && length < traceContextBytes) {
+        poisoned_ = true;
+        error = makeError(ErrorCode::BadHeader,
+                          "v3 frame too short for trace context");
         return Status::Corrupt;
     }
 
@@ -240,7 +260,25 @@ FrameReader::next(Frame &out, Error &error)
 
     out.type = static_cast<FrameType>(rawType);
     out.id = id;
-    out.payload.assign(payload.data(), payload.size());
+    out.trace = obs::TraceContext{};
+    if (version >= 3) {
+        std::size_t ppos = 0;
+        std::uint8_t flags = 0;
+        getU64(payload, ppos, out.trace.traceId);
+        getU64(payload, ppos, out.trace.spanId);
+        getU8(payload, ppos, flags);
+        out.trace.sampled = (flags & 1u) != 0;
+        if (!out.trace.valid()) {
+            poisoned_ = true;
+            error = makeError(ErrorCode::BadHeader,
+                              "v3 frame with null trace id");
+            return Status::Corrupt;
+        }
+        out.payload.assign(payload.data() + traceContextBytes,
+                           payload.size() - traceContextBytes);
+    } else {
+        out.payload.assign(payload.data(), payload.size());
+    }
     consumed_ += total;
     return Status::Ok;
 }
@@ -402,10 +440,10 @@ getError(std::string_view in, std::size_t &pos, Error &error)
 }
 
 std::string
-encodeHello(std::string_view client_name)
+encodeHello(std::string_view client_name, std::uint16_t version)
 {
     std::string out;
-    putU16(out, wireVersion);
+    putU16(out, version);
     putString(out, client_name);
     return out;
 }
@@ -417,6 +455,55 @@ decodeHello(std::string_view payload, std::uint16_t &version,
     std::size_t pos = 0;
     return getU16(payload, pos, version) &&
         getString(payload, pos, client_name) && pos == payload.size();
+}
+
+std::string
+encodeHelloOk(std::string_view server_name,
+              std::uint16_t negotiated_version,
+              std::uint64_t clock_epoch_unix_ns)
+{
+    std::string out;
+    putU16(out, negotiated_version);
+    putString(out, server_name);
+    // Only a >= v3 peer knows to read the epoch; emitting it to a v2
+    // peer would fail its strict whole-payload decode.
+    if (negotiated_version >= 3)
+        putU64(out, clock_epoch_unix_ns);
+    return out;
+}
+
+bool
+decodeHelloOk(std::string_view payload, std::uint16_t &version,
+              std::string &server_name,
+              std::uint64_t &clock_epoch_unix_ns)
+{
+    std::size_t pos = 0;
+    clock_epoch_unix_ns = 0;
+    if (!getU16(payload, pos, version) ||
+        !getString(payload, pos, server_name))
+        return false;
+    if (version >= 3 && !getU64(payload, pos, clock_epoch_unix_ns))
+        return false;
+    return pos == payload.size();
+}
+
+std::string
+encodeObsFetch(bool include_timing)
+{
+    std::string out;
+    putU8(out, include_timing ? 1 : 0);
+    return out;
+}
+
+bool
+decodeObsFetch(std::string_view payload, bool &include_timing)
+{
+    std::size_t pos = 0;
+    std::uint8_t flags = 0;
+    if (!getU8(payload, pos, flags) || pos != payload.size())
+        return false;
+    include_timing = (flags & 1u) != 0;
+    return true;
 }
 
 std::string

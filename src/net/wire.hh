@@ -10,13 +10,26 @@
  * Frame layout (little-endian):
  *
  *   magic    u32   "CLNP"
- *   version  u16   wireVersion (2 = current)
+ *   version  u16   2 (plain) or 3 (trace-context-prefixed)
  *   type     u16   FrameType
  *   id       u64   request id (echoed by the matching response)
  *   length   u32   payload bytes (<= maxFramePayload)
  *   hcrc     u32   CRC-32 over the 20 header bytes above
  *   payload  length bytes
  *   pcrc     u32   CRC-32 over the payload (present even when empty)
+ *
+ * Version is per *frame*, not per connection: a frame that carries a
+ * distributed trace context (DESIGN.md §9) is encoded at version 3,
+ * whose payload starts with a fixed 17-byte prefix —
+ *
+ *   traceId       u64   0 is invalid (v3 frames always carry a trace)
+ *   parentSpanId  u64   the sender's span, parent of the receiver's
+ *   flags         u8    bit 0: sampled
+ *
+ * — and everything after the prefix is the ordinary typed payload.
+ * Untraced frames keep encoding at version 2, byte-identical to what
+ * a pre-v3 build emits, so enabling tracing cannot perturb untraced
+ * traffic and old peers interoperate as long as nobody samples.
  *
  * The header carries its own CRC so a reader can reject a damaged
  * length field *before* trusting it to size a buffer; the payload CRC
@@ -41,6 +54,7 @@
 #include <string_view>
 
 #include "core/predictor.hh"
+#include "obs/trace_context.hh"
 #include "sim/metrics.hh"
 #include "util/error.hh"
 
@@ -52,14 +66,24 @@ constexpr std::uint32_t wireMagic = 0x504e4c43u;
 
 /** Current wire protocol version. v2 added per-shard PredictionStats
  *  to StatsOk (replica divergence audits) and split the error payload
- *  into message + context chain (no re-rendered prefix). */
-constexpr std::uint16_t wireVersion = 2;
+ *  into message + context chain (no re-rendered prefix). v3 added the
+ *  per-frame trace-context prefix, the ObsFetch/ObsOk scrape frames,
+ *  and the clock epoch in HelloOk. */
+constexpr std::uint16_t wireVersion = 3;
+
+/** Oldest version this build still speaks. Untraced frames encode at
+ *  this version so tracing-agnostic traffic stays byte-identical to a
+ *  v2 build's. */
+constexpr std::uint16_t wireVersionBase = 2;
 
 /** Bytes in the fixed frame header (magic..hcrc). */
 constexpr std::size_t frameHeaderBytes = 24;
 
 /** Trailing payload-CRC bytes. */
 constexpr std::size_t frameTrailerBytes = 4;
+
+/** Bytes of the v3 trace-context payload prefix. */
+constexpr std::size_t traceContextBytes = 17;
 
 /** Header sanity bound on the payload length. Large enough for a
  *  shard snapshot (LB + LT sections of the default geometries are far
@@ -89,17 +113,21 @@ enum class FrameType : std::uint16_t
     ShutdownOk = 16,
     ErrorReply = 17,     ///< structured Error for the echoed id
     GoAway = 18,         ///< server is dropping this connection
+    ObsFetch = 19,       ///< fetch the observability scrape (u8 flags)
+    ObsOk = 20,          ///< scrape JSON document (raw payload bytes)
 };
 
 /** Printable name of a FrameType (diagnostics, chaos logs). */
 const char *frameTypeName(FrameType type);
 
-/** One decoded frame. */
+/** One decoded frame. A valid() trace marks a v3 frame; the prefix is
+ *  stripped from payload on decode and prepended on encode. */
 struct Frame
 {
     FrameType type = FrameType::Ping;
     std::uint64_t id = 0;
     std::string payload;
+    obs::TraceContext trace;
 };
 
 /** Serialize @p frame to wire bytes (header + payload + CRCs). */
@@ -181,10 +209,30 @@ bool getError(std::string_view in, std::size_t &pos, Error &error);
 /// @name Whole-payload builders for the concrete frame kinds
 /// @{
 
-/** Hello payload: protocol version + client name. */
-std::string encodeHello(std::string_view client_name);
+/** Hello payload: protocol version + client name. The payload shape
+ *  is identical at every version (the epoch travels only in HelloOk),
+ *  so a v2 server sees a v3 client's Hello as well-formed and rejects
+ *  it with a clean BadVersion the client can downgrade on. */
+std::string encodeHello(std::string_view client_name,
+                        std::uint16_t version = wireVersion);
 bool decodeHello(std::string_view payload, std::uint16_t &version,
                  std::string &client_name);
+
+/** HelloOk payload: the negotiated version + server name, plus — at
+ *  negotiated >= 3 — the server's trace-clock epoch (unix ns, see
+ *  obs::traceClockEpochUnixNs) so peers can compute clock offsets for
+ *  merged timelines. */
+std::string encodeHelloOk(std::string_view server_name,
+                          std::uint16_t negotiated_version,
+                          std::uint64_t clock_epoch_unix_ns);
+bool decodeHelloOk(std::string_view payload, std::uint16_t &version,
+                   std::string &server_name,
+                   std::uint64_t &clock_epoch_unix_ns);
+
+/** ObsFetch payload: request flags (bit 0: include wall-clock timing
+ *  sections; clear for byte-stable scrapes). */
+std::string encodeObsFetch(bool include_timing);
+bool decodeObsFetch(std::string_view payload, bool &include_timing);
 
 /** Predict request payload. */
 std::string encodePredictRequest(const LoadInfo &info);

@@ -29,6 +29,41 @@ metricsEnabled()
 #endif
 }
 
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // The target rank in (0, count]: the value below which a fraction
+    // q of the recorded mass falls. Linear interpolation inside the
+    // containing bucket treats the bucket's mass as uniformly spread
+    // over [lowerBound, upperBound].
+    const double target = q * static_cast<double>(count);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double mass = static_cast<double>(buckets[b]);
+        if (cumulative + mass >= target) {
+            const double lo = static_cast<double>(lowerBound(b));
+            const double hi = static_cast<double>(upperBound(b));
+            const double frac = (target - cumulative) / mass;
+            return lo + frac * (hi - lo);
+        }
+        cumulative += mass;
+    }
+    // Rounding left us past the last bucket: the maximum seen bound.
+    for (std::size_t b = buckets.size(); b-- > 0;) {
+        if (buckets[b] != 0)
+            return static_cast<double>(upperBound(b));
+    }
+    return 0.0;
+}
+
 namespace detail
 {
 

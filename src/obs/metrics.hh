@@ -172,6 +172,31 @@ struct HistogramSnapshot
             ? 0.0
             : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /** Count one value directly into the snapshot. Unlike
+     *  Histogram::record this ignores CLAP_METRICS, so benches can
+     *  aggregate their own latencies without the registry. */
+    void
+    addValue(std::uint64_t v)
+    {
+        buckets[static_cast<std::size_t>(std::bit_width(v))] += 1;
+        count += 1;
+        sum += v;
+    }
+
+    /**
+     * Interpolated quantile estimate, 0 <= q <= 1. Walks the
+     * cumulative bucket counts to the bucket containing the q-th
+     * value and interpolates linearly inside it, so the estimate is
+     * exact at bucket boundaries and within one log2 bucket
+     * everywhere (q clamped; 0 when empty). p50/p95/p99 helpers for
+     * the common latency tails.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
 };
 
 /** Log2-bucketed value distribution with lock-free record. */

@@ -1,0 +1,102 @@
+#include "obs/scrape.hh"
+
+#include <cstdio>
+
+#include "util/json.hh"
+
+namespace clap::obs
+{
+
+namespace
+{
+
+void
+appendFixed3(std::string &json, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    json += buf;
+}
+
+} // namespace
+
+bool
+isTimingMetricName(std::string_view name)
+{
+    return name.ends_with("_ns") || name.ends_with("_us") ||
+        name.ends_with("_ms");
+}
+
+std::string
+scrapeHistogramJson(const HistogramSnapshot &snap)
+{
+    std::string json = "{\"count\": " + std::to_string(snap.count);
+    json += ", \"sum\": " + std::to_string(snap.sum);
+    json += ", \"p50\": ";
+    appendFixed3(json, snap.p50());
+    json += ", \"p95\": ";
+    appendFixed3(json, snap.p95());
+    json += ", \"p99\": ";
+    appendFixed3(json, snap.p99());
+    json += ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+        if (snap.buckets[b] == 0)
+            continue;
+        if (!first)
+            json += ", ";
+        first = false;
+        json += "[" +
+            std::to_string(HistogramSnapshot::lowerBound(b)) + ", " +
+            std::to_string(snap.buckets[b]) + "]";
+    }
+    json += "]}";
+    return json;
+}
+
+std::string
+scrapeSectionsJson(bool include_timing)
+{
+    const MetricsSnapshot snap = snapshotMetrics();
+
+    std::string json = "\"metrics\": {\n    \"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        json += i == 0 ? "\n" : ",\n";
+        json += "      \"" + jsonEscape(snap.counters[i].first) +
+            "\": " + std::to_string(snap.counters[i].second);
+    }
+    json += "\n    },\n    \"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        json += i == 0 ? "\n" : ",\n";
+        json += "      \"" + jsonEscape(snap.gauges[i].first) + "\": " +
+            std::to_string(snap.gauges[i].second);
+    }
+    json += "\n    },\n    \"histograms\": {";
+    bool first = true;
+    for (const auto &[name, hist] : snap.histograms) {
+        if (isTimingMetricName(name))
+            continue;
+        json += first ? "\n" : ",\n";
+        first = false;
+        json += "      \"" + jsonEscape(name) + "\": " +
+            scrapeHistogramJson(hist);
+    }
+    json += "\n    }\n  }";
+
+    if (include_timing) {
+        json += ",\n  \"timing\": {";
+        first = true;
+        for (const auto &[name, hist] : snap.histograms) {
+            if (!isTimingMetricName(name))
+                continue;
+            json += first ? "\n" : ",\n";
+            first = false;
+            json += "    \"" + jsonEscape(name) + "\": " +
+                scrapeHistogramJson(hist);
+        }
+        json += "\n  }";
+    }
+    return json;
+}
+
+} // namespace clap::obs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Live-scrape rendering: the metrics registry as the JSON document
+ * served over the wire in reply to an ObsFetch frame (DESIGN.md §9).
+ *
+ * The document is split into two sections so scrapes can be
+ * byte-compared across same-seed runs:
+ *
+ *  - "metrics" — counters, gauges, and the *value* histograms
+ *    (batch sizes, queue depths): everything whose contents are a
+ *    deterministic function of the request stream.
+ *  - "timing" — histograms whose name carries a duration suffix
+ *    (`_ns`/`_us`/`_ms`): wall-clock measurements that legitimately
+ *    differ run to run. Omitted entirely when include_timing is
+ *    false (`obs_tool scrape --stable`).
+ *
+ * Histograms render count/sum/sparse buckets plus interpolated
+ * p50/p95/p99 so a scraper (the clapr fleet watchdog, a human) gets
+ * tail latencies without re-deriving them.
+ */
+
+#ifndef CLAP_OBS_SCRAPE_HH
+#define CLAP_OBS_SCRAPE_HH
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hh"
+
+namespace clap::obs
+{
+
+/** True when @p name names a wall-clock duration metric. */
+bool isTimingMetricName(std::string_view name);
+
+/**
+ * Render one histogram as a scrape JSON object:
+ * `{"count": N, "sum": S, "p50": …, "p95": …, "p99": …,
+ *   "buckets": [[lower, count], …]}`.
+ */
+std::string scrapeHistogramJson(const HistogramSnapshot &snap);
+
+/**
+ * The registry as scrape sections — a fragment `"metrics": {…}` plus,
+ * when @p include_timing, `, "timing": {…}` — for embedding in a
+ * larger `{…}` document (see FrameHandler::obsJson in net/server.hh).
+ */
+std::string scrapeSectionsJson(bool include_timing);
+
+} // namespace clap::obs
+
+#endif // CLAP_OBS_SCRAPE_HH

@@ -1,0 +1,52 @@
+#include "obs/trace_context.hh"
+
+#include <atomic>
+
+#include <unistd.h>
+
+#include "util/bits.hh"
+
+namespace clap::obs
+{
+
+namespace
+{
+
+thread_local TraceContext tlsContext;
+
+} // namespace
+
+TraceContext
+currentTraceContext()
+{
+    return tlsContext;
+}
+
+void
+setCurrentTraceContext(const TraceContext &context)
+{
+    tlsContext = context;
+}
+
+std::uint64_t
+newSpanId()
+{
+    // pid in the high bits keeps ids unique across the processes that
+    // end up merged into one timeline; the mix spreads them so a hex
+    // rendering is not trivially sequential.
+    static const std::uint64_t pidSalt =
+        static_cast<std::uint64_t>(::getpid()) << 32;
+    static std::atomic<std::uint64_t> next{1};
+    const std::uint64_t id =
+        mix64(pidSalt ^ next.fetch_add(1, std::memory_order_relaxed));
+    return id == 0 ? 1 : id;
+}
+
+std::uint64_t
+traceIdFromSeed(std::uint64_t seed)
+{
+    const std::uint64_t id = mix64(seed);
+    return id == 0 ? 1 : id;
+}
+
+} // namespace clap::obs

@@ -9,6 +9,9 @@
 #include <mutex>
 #include <vector>
 
+#include <unistd.h>
+
+#include "obs/metrics.hh"
 #include "util/atomic_file.hh"
 #include "util/json.hh"
 
@@ -20,7 +23,8 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
-/** One buffered trace event. durNs is meaningful for ph 'X' only. */
+/** One buffered trace event. durNs is meaningful for ph 'X' only;
+ *  the trace ids are 0 for events outside any distributed trace. */
 struct Event
 {
     std::string name;
@@ -29,6 +33,9 @@ struct Event
     std::uint64_t tsNs = 0;
     std::uint64_t durNs = 0;
     std::uint32_t tid = 0;
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentSpanId = 0;
 };
 
 constexpr std::size_t kMaxEventsPerThread = 1u << 20;
@@ -80,12 +87,34 @@ class Sink
         ThreadBuffer &buffer = localBuffer();
         event.tid = buffer.tid;
         std::lock_guard<std::mutex> lock(buffer.mutex);
-        if (buffer.events.size() >= kMaxEventsPerThread) {
+        if (buffer.events.size() >=
+            maxPerThread_.load(std::memory_order_relaxed)) {
             ++buffer.dropped;
+            // Mirror the loss into the registry so a remote scrape
+            // sees span loss without reading the trace file.
+            static Counter &droppedCounter =
+                counter("obs.trace_events.dropped");
+            droppedCounter.add();
             return;
         }
         buffer.events.push_back(std::move(event));
     }
+
+    void
+    setBufferLimit(std::size_t limit)
+    {
+        maxPerThread_.store(limit == 0 ? kMaxEventsPerThread : limit,
+                            std::memory_order_relaxed);
+    }
+
+    void
+    setProcessName(std::string_view name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        processName_ = name;
+    }
+
+    std::uint64_t clockEpochUnixNs() const { return clockEpochUnixNs_; }
 
     std::size_t
     buffered()
@@ -110,8 +139,10 @@ class Sink
         // lock held.
         std::vector<Event> events;
         std::uint64_t dropped = 0;
+        std::string processName;
         {
             std::lock_guard<std::mutex> registry(mutex_);
+            processName = processName_;
             for (const auto &buffer : buffers_) {
                 std::lock_guard<std::mutex> lock(buffer->mutex);
                 events.insert(events.end(), buffer->events.begin(),
@@ -126,13 +157,21 @@ class Sink
                              return a.tid < b.tid;
                          });
 
+        const std::string pid = std::to_string(pid_);
         std::string json;
         json.reserve(96 + events.size() * 96);
         json += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
-        json += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
-                "\"tid\": 0, \"ts\": 0, \"args\": {\"name\": \"clap\", "
-                "\"dropped_events\": " +
-            std::to_string(dropped) + "}}";
+        json += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+            pid +
+            ", "
+            "\"tid\": 0, \"ts\": 0, \"args\": {\"name\": \"" +
+            jsonEscape(processName) +
+            "\", "
+            "\"dropped_events\": " +
+            std::to_string(dropped) +
+            ", "
+            "\"clock_epoch_unix_ns\": " +
+            std::to_string(clockEpochUnixNs_) + "}}";
         char buf[64];
         for (const Event &event : events) {
             json += ",\n{\"name\": \"";
@@ -141,7 +180,9 @@ class Sink
             json += jsonEscape(event.cat);
             json += "\", \"ph\": \"";
             json += event.ph;
-            json += "\", \"pid\": 1, \"tid\": ";
+            json += "\", \"pid\": ";
+            json += pid;
+            json += ", \"tid\": ";
             json += std::to_string(event.tid);
             // Timestamps are microseconds in the trace-event format;
             // keep nanosecond precision with three decimals.
@@ -157,6 +198,24 @@ class Sink
             } else if (event.ph == 'i') {
                 json += ", \"s\": \"t\"";
             }
+            if (event.traceId != 0) {
+                std::snprintf(buf, sizeof(buf), "0x%llx",
+                              static_cast<unsigned long long>(
+                                  event.traceId));
+                json += ", \"args\": {\"trace_id\": \"";
+                json += buf;
+                std::snprintf(buf, sizeof(buf), "0x%llx",
+                              static_cast<unsigned long long>(
+                                  event.spanId));
+                json += "\", \"span_id\": \"";
+                json += buf;
+                std::snprintf(buf, sizeof(buf), "0x%llx",
+                              static_cast<unsigned long long>(
+                                  event.parentSpanId));
+                json += "\", \"parent_span_id\": \"";
+                json += buf;
+                json += "\"}";
+            }
             json += "}";
         }
         json += "\n]}\n";
@@ -171,6 +230,14 @@ class Sink
             path_ = env;
         }
         epoch_ = Clock::now();
+        // Anchor span-timestamp zero on the shared wall clock so
+        // files from different processes can be merged onto one
+        // timeline (DESIGN.md §9).
+        clockEpochUnixNs_ = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        pid_ = static_cast<std::uint32_t>(::getpid());
         if (!path_.empty()) {
             std::atexit([] {
                 if (auto flushed = Sink::instance().flush(); !flushed) {
@@ -197,7 +264,11 @@ class Sink
 
     std::string path_;
     Clock::time_point epoch_;
+    std::uint64_t clockEpochUnixNs_ = 0;
+    std::uint32_t pid_ = 1;
+    std::atomic<std::size_t> maxPerThread_{kMaxEventsPerThread};
     std::mutex mutex_;
+    std::string processName_ = "clap";
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
     std::uint32_t nextTid_ = 1;
 };
@@ -225,6 +296,24 @@ std::uint64_t
 traceNowNs()
 {
     return Sink::instance().nowNs();
+}
+
+std::uint64_t
+traceClockEpochUnixNs()
+{
+    return Sink::instance().clockEpochUnixNs();
+}
+
+void
+setTraceProcessName(std::string_view name)
+{
+    Sink::instance().setProcessName(name);
+}
+
+void
+setTraceEventBufferLimitForTest(std::size_t limit)
+{
+    Sink::instance().setBufferLimit(limit);
 }
 
 void
@@ -274,12 +363,19 @@ Span::finish()
     if (!armed_)
         return;
     armed_ = false;
+    if (installed_) {
+        installed_ = false;
+        setCurrentTraceContext(saved_);
+    }
     Event event;
     event.name = std::move(name_);
     event.cat = std::move(cat_);
     event.ph = 'X';
     event.tsNs = startNs_;
     event.durNs = Sink::instance().nowNs() - startNs_;
+    event.traceId = traceId_;
+    event.spanId = spanId_;
+    event.parentSpanId = parentSpanId_;
     Sink::instance().record(std::move(event));
 #endif
 }

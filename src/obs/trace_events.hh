@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace_context.hh"
 #include "util/error.hh"
 
 namespace clap::obs
@@ -45,6 +46,21 @@ const std::string &traceEventsPath();
 
 /** Nanoseconds since the first use of the span layer. */
 std::uint64_t traceNowNs();
+
+/**
+ * Unix nanoseconds (system clock) corresponding to this process's
+ * span-timestamp zero. Emitted in the trace file's process metadata
+ * and exchanged in the wire handshake so `obs_tool merge` can align
+ * span files from different processes onto one clock.
+ */
+std::uint64_t traceClockEpochUnixNs();
+
+/** Label this process in emitted trace files (default "clap"); call
+ *  once at startup, before the first flush. */
+void setTraceProcessName(std::string_view name);
+
+/** Shrink the per-thread event-buffer bound (tests only). */
+void setTraceEventBufferLimitForTest(std::size_t limit);
 
 /** Record an instant event (ph "i", thread scope). */
 void traceInstant(std::string name, std::string_view cat = "clap");
@@ -63,6 +79,14 @@ std::size_t bufferedTraceEventCount();
  * Scoped span: construction stamps the start, destruction records a
  * complete event (ph "X") covering the scope. Constructing with
  * tracing disabled costs one cached-bool load.
+ *
+ * Distributed linkage: when the calling thread carries a sampled
+ * TraceContext (see trace_context.hh), the span joins that trace —
+ * it takes the context's spanId as its parent, mints its own id, and
+ * installs itself as the thread's current context for its lifetime,
+ * so nested spans (and wire calls made inside the scope) chain under
+ * it. The ids are rendered into the event's "args", which is how
+ * `obs_tool merge` stitches one request across processes.
  */
 class Span
 {
@@ -73,6 +97,16 @@ class Span
         if (traceEventsEnabled()) {
             name_ = std::move(name);
             cat_ = cat;
+            const TraceContext ctx = currentTraceContext();
+            if (ctx.valid() && ctx.sampled) {
+                traceId_ = ctx.traceId;
+                parentSpanId_ = ctx.spanId;
+                spanId_ = newSpanId();
+                saved_ = ctx;
+                setCurrentTraceContext(
+                    TraceContext{traceId_, spanId_, true});
+                installed_ = true;
+            }
             startNs_ = traceNowNs();
             armed_ = true;
         }
@@ -90,9 +124,17 @@ class Span
     /** End the span early (idempotent; the destructor then no-ops). */
     void finish();
 
+    /** This span's id in its trace (0 when unlinked). */
+    std::uint64_t spanId() const { return spanId_; }
+
   private:
     bool armed_ = false;
+    bool installed_ = false;
     std::uint64_t startNs_ = 0;
+    std::uint64_t traceId_ = 0;
+    std::uint64_t spanId_ = 0;
+    std::uint64_t parentSpanId_ = 0;
+    TraceContext saved_;
     std::string name_;
     std::string cat_;
 };

@@ -1,9 +1,13 @@
 #include "replica/gateway.hh"
 
+#include <bit>
+#include <cstdio>
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "obs/scrape.hh"
 #include "replica/bootstrap.hh"
+#include "util/json.hh"
 
 namespace clap::replica
 {
@@ -25,6 +29,101 @@ isTransportClass(ErrorCode code)
         code == ErrorCode::DeadlineExceeded ||
         code == ErrorCode::Timeout || code == ErrorCode::IoError ||
         code == ErrorCode::ProtocolError;
+}
+
+void
+appendFixed3(std::string &json, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    json += buf;
+}
+
+/**
+ * Rebuild a log2 HistogramSnapshot from a scraped sparse bucket list
+ * ([[lowerBound, count], ...] — scrapeHistogramJson's shape). The
+ * bucket index is recoverable from its lower bound (bit_width(2^(b-1))
+ * == b, bit_width(0) == 0), so the watchdog can run quantile() on a
+ * remote process's distribution.
+ */
+obs::HistogramSnapshot
+snapshotFromScrape(const JsonValue &hist)
+{
+    obs::HistogramSnapshot snap;
+    const JsonValue *buckets = hist.find("buckets");
+    if (buckets == nullptr ||
+        buckets->kind != JsonValue::Kind::Array)
+        return snap;
+    for (const JsonValue &entry : buckets->items) {
+        if (entry.kind != JsonValue::Kind::Array ||
+            entry.items.size() != 2 || !entry.items[0].isUint ||
+            !entry.items[1].isUint)
+            continue;
+        const std::size_t b = static_cast<std::size_t>(
+            std::bit_width(entry.items[0].uintValue));
+        if (b >= snap.buckets.size())
+            continue;
+        snap.buckets[b] += entry.items[1].uintValue;
+        snap.count += entry.items[1].uintValue;
+    }
+    snap.sum = hist.uintOr("sum", 0);
+    return snap;
+}
+
+/** Every "don't speculate" decision one gate object reports (cap
+ *  gates have no interval_vetoes and stride gates no tag_vetoes, so
+ *  the missing-key fallback makes one summer serve both). */
+std::uint64_t
+gateVetoSum(const JsonValue &gates)
+{
+    return gates.uintOr("conf_vetoes", 0) +
+        gates.uintOr("tag_vetoes", 0) +
+        gates.uintOr("path_vetoes", 0) +
+        gates.uintOr("pipe_vetoes", 0) +
+        gates.uintOr("interval_vetoes", 0);
+}
+
+/** Distill one scraped obsJson document into the fleet view fields;
+ *  false when the document does not parse as JSON. */
+bool
+distillScrape(const std::string &doc, FleetReplicaView &view)
+{
+    auto parsed = parseJson(doc);
+    if (!parsed)
+        return false;
+    const JsonValue &root = *parsed;
+
+    std::uint64_t vetoes = 0;
+    if (const JsonValue *shards = root.find("shards");
+        shards != nullptr &&
+        shards->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &shard : shards->items) {
+            if (const JsonValue *cap = shard.find("cap_gates"))
+                vetoes += gateVetoSum(*cap);
+            if (const JsonValue *stride = shard.find("stride_gates"))
+                vetoes += gateVetoSum(*stride);
+        }
+    }
+    view.gateVetoDelta =
+        vetoes >= view.gateVetoes ? vetoes - view.gateVetoes : vetoes;
+    view.gateVetoes = vetoes;
+
+    if (const JsonValue *metrics = root.find("metrics")) {
+        if (const JsonValue *counters = metrics->find("counters"))
+            view.droppedSpans =
+                counters->uintOr("obs.trace_events.dropped", 0);
+    }
+    if (const JsonValue *timing = root.find("timing")) {
+        if (const JsonValue *handle =
+                timing->find("net.stage.handle_ns"))
+            view.stageHandleP99Us =
+                snapshotFromScrape(*handle).p99() / 1000.0;
+        if (const JsonValue *total =
+                timing->find("net.stage.total_ns"))
+            view.stageTotalP99Us =
+                snapshotFromScrape(*total).p99() / 1000.0;
+    }
+    return true;
 }
 
 } // namespace
@@ -539,6 +638,121 @@ ReplicaGateway::healthPass()
     return joined;
 }
 
+unsigned
+ReplicaGateway::fleetPass()
+{
+    static obs::Counter &passes = obs::counter("replica.fleet_passes");
+    passes.add();
+
+    const unsigned n = [&] {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        return table_.size();
+    }();
+    {
+        std::lock_guard<std::mutex> lock(fleetMutex_);
+        if (fleet_.size() != n)
+            fleet_.resize(n);
+    }
+
+    unsigned scraped = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        ReplicaState state;
+        std::string endpoint;
+        {
+            std::lock_guard<std::mutex> lock(tableMutex_);
+            state = table_.state(i);
+            endpoint = table_.endpoint(i);
+        }
+        // Start from the previous reading: cumulative fields (and the
+        // veto baseline the delta is computed against) survive a
+        // failed scrape.
+        FleetReplicaView view = [&] {
+            std::lock_guard<std::mutex> lock(fleetMutex_);
+            return fleet_[i];
+        }();
+        view.endpoint = std::move(endpoint);
+        view.state = state;
+        view.scraped = false;
+        // A Down replica is not probed — that is healthPass()'s job;
+        // the watchdog only reads processes believed alive.
+        if (state != ReplicaState::Down) {
+            Link &link = *links_[i];
+            Expected<std::string> doc = [&] {
+                std::lock_guard<std::mutex> lock(link.mutex);
+                auto fetched = link.client->fetchObs(true);
+                if (fetched)
+                    view.clockOffsetNs =
+                        link.client->serverClockOffsetNs();
+                return fetched;
+            }();
+            if (doc && distillScrape(*doc, view)) {
+                view.scraped = true;
+                view.scrapes++;
+                fleetScrapes_.fetch_add(1, std::memory_order_relaxed);
+                scraped++;
+            } else {
+                fleetScrapeFailures_.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+        std::lock_guard<std::mutex> lock(fleetMutex_);
+        fleet_[i] = std::move(view);
+    }
+    return scraped;
+}
+
+std::vector<FleetReplicaView>
+ReplicaGateway::fleetView() const
+{
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    return fleet_;
+}
+
+std::string
+ReplicaGateway::obsJson(bool include_timing,
+                        std::string_view server_name)
+{
+    std::string json = "{\n  \"server\": \"";
+    json += jsonEscape(std::string(server_name));
+    json += "\",\n  ";
+    json += obs::scrapeSectionsJson(include_timing);
+    // The fleet view: what the watchdog last learned per replica.
+    // Wall-clock-derived fields (stage p99s, clock offset) follow the
+    // same include_timing gate as the registry's timing section, so a
+    // --stable scrape of the gateway stays byte-deterministic.
+    json += ",\n  \"fleet\": [";
+    bool first = true;
+    for (const FleetReplicaView &view : fleetView()) {
+        json += first ? "\n" : ",\n";
+        first = false;
+        json += "    {\"endpoint\": \"" + jsonEscape(view.endpoint) +
+            "\"";
+        json += ", \"state\": \"";
+        json += replicaStateName(view.state);
+        json += "\"";
+        json += ", \"scraped\": ";
+        json += view.scraped ? "true" : "false";
+        json += ", \"scrapes\": " + std::to_string(view.scrapes);
+        json += ", \"gate_vetoes\": " +
+            std::to_string(view.gateVetoes);
+        json += ", \"gate_veto_delta\": " +
+            std::to_string(view.gateVetoDelta);
+        json += ", \"dropped_spans\": " +
+            std::to_string(view.droppedSpans);
+        if (include_timing) {
+            json += ", \"stage_handle_p99_us\": ";
+            appendFixed3(json, view.stageHandleP99Us);
+            json += ", \"stage_total_p99_us\": ";
+            appendFixed3(json, view.stageTotalP99Us);
+            json += ", \"clock_offset_ns\": " +
+                std::to_string(view.clockOffsetNs);
+        }
+        json += "}";
+    }
+    json += "]\n}\n";
+    return json;
+}
+
 Expected<DivergenceReport>
 ReplicaGateway::auditReplicas()
 {
@@ -635,6 +849,9 @@ ReplicaGateway::counters() const
     out.audits = audits_.load(std::memory_order_relaxed);
     out.auditDivergences =
         auditDivergences_.load(std::memory_order_relaxed);
+    out.fleetScrapes = fleetScrapes_.load(std::memory_order_relaxed);
+    out.fleetScrapeFailures =
+        fleetScrapeFailures_.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -123,6 +123,37 @@ struct GatewayCounters
     std::uint64_t joinFailures = 0;
     std::uint64_t audits = 0;
     std::uint64_t auditDivergences = 0;
+    std::uint64_t fleetScrapes = 0;    ///< successful per-replica scrapes
+    std::uint64_t fleetScrapeFailures = 0;
+};
+
+/**
+ * What the fleet watchdog last learned about one replica by scraping
+ * its ObsFetch endpoint (fleetPass). Cumulative fields come straight
+ * from the replica's registry; deltas are against the previous
+ * successful scrape of the same replica.
+ */
+struct FleetReplicaView
+{
+    std::string endpoint;
+    ReplicaState state = ReplicaState::Down;
+    bool scraped = false;        ///< this replica answered the last pass
+    std::uint64_t scrapes = 0;   ///< successful scrapes so far
+
+    /// Confidence/tag/path/pipe (+ stride interval) vetoes summed over
+    /// every shard's cap + stride gates — the paper's "don't
+    /// speculate" decisions, surfaced fleet-wide.
+    std::uint64_t gateVetoes = 0;
+    std::uint64_t gateVetoDelta = 0;
+
+    std::uint64_t droppedSpans = 0; ///< obs.trace_events.dropped
+
+    /// @name Wall-clock-derived (excluded from --stable scrapes)
+    /// @{
+    double stageHandleP99Us = 0.0; ///< net.stage.handle_ns p99, in us
+    double stageTotalP99Us = 0.0;  ///< net.stage.total_ns p99, in us
+    std::int64_t clockOffsetNs = 0;///< replica trace clock minus ours
+    /// @}
 };
 
 /** What the divergence auditor found. */
@@ -161,6 +192,25 @@ class ReplicaGateway : public net::FrameHandler
      * deterministic points in benches and tests.
      */
     unsigned healthPass();
+
+    /**
+     * One fleet-watchdog round: scrape every non-Down replica's
+     * observability endpoint (net::NetClient::fetchObs) and distill
+     * the per-replica stage p99s, gate-veto totals (with deltas
+     * against the previous pass), and dropped-span counts into the
+     * fleet view served by obsJson(). Returns the number of replicas
+     * scraped successfully. Cadence belongs to the caller, like
+     * healthPass() — HealthMonitor(fleet_watch=true) in clapr.
+     */
+    unsigned fleetPass();
+
+    /** The watchdog's last per-replica readings (empty before the
+     *  first fleetPass). */
+    std::vector<FleetReplicaView> fleetView() const;
+
+    /** Registry scrape plus the fleet view ("fleet" section). */
+    std::string obsJson(bool include_timing,
+                        std::string_view server_name) override;
 
     /// @name Bootstrap steps (healthPass composes these; exposed so
     /// tests and benches can interleave traffic between the cut and
@@ -226,6 +276,12 @@ class ReplicaGateway : public net::FrameHandler
     /// installs, and audits. Ordered before tableMutex_ and links.
     std::mutex trainMutex_;
 
+    /// Guards fleet_ only; never held across network I/O and never
+    /// nested with tableMutex_, so obsJson() can render the fleet
+    /// view while a fleetPass() is mid-scrape.
+    mutable std::mutex fleetMutex_;
+    std::vector<FleetReplicaView> fleet_;
+
     std::vector<std::unique_ptr<Link>> links_;
 
     /// @name Counter cells
@@ -241,6 +297,8 @@ class ReplicaGateway : public net::FrameHandler
     std::atomic<std::uint64_t> joinFailures_{0};
     std::atomic<std::uint64_t> audits_{0};
     std::atomic<std::uint64_t> auditDivergences_{0};
+    std::atomic<std::uint64_t> fleetScrapes_{0};
+    std::atomic<std::uint64_t> fleetScrapeFailures_{0};
     /// @}
 };
 

@@ -18,6 +18,10 @@ HealthMonitor::start()
     if (thread_.joinable())
         return;
     gateway_.healthPass();
+    // The synchronous first pass also scrapes, so callers with a huge
+    // interval (deterministic smoke runs) still get one fleet view.
+    if (fleetWatch_)
+        gateway_.fleetPass();
     stopping_.store(false, std::memory_order_release);
     thread_ = std::thread([this] { loop(); });
 }
@@ -41,6 +45,8 @@ HealthMonitor::loop()
             continue;
         sleptMs = 0;
         gateway_.healthPass();
+        if (fleetWatch_)
+            gateway_.fleetPass();
     }
 }
 

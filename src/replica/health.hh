@@ -21,8 +21,14 @@ namespace clap::replica
 class HealthMonitor
 {
   public:
-    HealthMonitor(ReplicaGateway &gateway, unsigned interval_ms)
-        : gateway_(gateway), intervalMs_(interval_ms)
+    /** @p fleet_watch additionally runs the gateway's fleetPass()
+     *  (observability scrape of every live replica) on the same
+     *  cadence — the clapr fleet watchdog. Off by default: the
+     *  deterministic callers drive fleet passes explicitly. */
+    HealthMonitor(ReplicaGateway &gateway, unsigned interval_ms,
+                  bool fleet_watch = false)
+        : gateway_(gateway), intervalMs_(interval_ms),
+          fleetWatch_(fleet_watch)
     {
     }
 
@@ -44,6 +50,7 @@ class HealthMonitor
 
     ReplicaGateway &gateway_;
     unsigned intervalMs_;
+    bool fleetWatch_;
     std::thread thread_;
     std::atomic<bool> stopping_{false};
 };

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "obs/stage_timer.hh"
+#include "obs/trace_context.hh"
 #include "obs/trace_events.hh"
 #include "serve/queue.hh"
 
@@ -151,6 +154,15 @@ struct PredictionService::Request
     std::uint64_t actualAddr = 0; ///< train
     Prediction pred;              ///< train: the resolved prediction
     ResponseSlot *slot = nullptr; ///< predict: completion rendezvous
+
+    /// Submitter's trace context, carried across the queue so the
+    /// shard worker's span nests under the request's distributed
+    /// trace (invalid when the submitter was untraced).
+    obs::TraceContext trace;
+
+    /// stageNowNs() at submit time; the worker's pickup timestamp
+    /// minus this is the request's queue-wait stage.
+    std::uint64_t enqueueNs = 0;
 };
 
 /**
@@ -302,6 +314,8 @@ PredictionService::predict(const LoadInfo &info)
     Request request;
     request.info = info;
     request.slot = &slot;
+    request.trace = obs::currentTraceContext();
+    request.enqueueNs = obs::stageNowNs();
     if (auto submitted = submit(std::move(request), shardOf(info.pc));
         !submitted)
         return std::move(submitted.error()).withContext("predict");
@@ -317,6 +331,8 @@ PredictionService::train(const LoadInfo &info, std::uint64_t actual_addr,
     request.info = info;
     request.actualAddr = actual_addr;
     request.pred = pred;
+    request.trace = obs::currentTraceContext();
+    request.enqueueNs = obs::stageNowNs();
     if (auto submitted = submit(std::move(request), shardOf(info.pc));
         !submitted)
         return std::move(submitted.error()).withContext("train");
@@ -379,6 +395,10 @@ PredictionService::processBatch(Shard &shard,
         obs::histogram("serve.batch_size");
     static obs::Histogram &queueDepth =
         obs::histogram("serve.queue_depth");
+    static obs::Histogram &queueWaitNs =
+        obs::histogram("serve.stage.queue_wait_ns");
+    static obs::Histogram &computeNs =
+        obs::histogram("serve.stage.compute_ns");
 
     obs::Span span("serve.batch", "serve");
     std::uint64_t batch_predicts = 0;
@@ -394,6 +414,26 @@ PredictionService::processBatch(Shard &shard,
             if (shard.killNextBatch.exchange(false))
                 throw std::runtime_error("injected worker fault");
             for (Request &request : batch) {
+                const std::uint64_t startedNs = obs::stageNowNs();
+                if (request.enqueueNs != 0 &&
+                    startedNs >= request.enqueueNs)
+                    queueWaitNs.record(startedNs - request.enqueueNs);
+                // Re-enter the submitter's trace context for the
+                // duration of this request: the worker-side span
+                // nests under the caller's span even across the
+                // queue (and across the wire, when the context rode
+                // in on a v3 frame).
+                std::optional<obs::TraceScope> traceScope;
+                std::optional<obs::Span> requestSpan;
+                if (request.trace.valid()) {
+                    traceScope.emplace(request.trace);
+                    if (request.trace.sampled &&
+                        obs::traceEventsEnabled())
+                        requestSpan.emplace(request.isTrain
+                                                ? "serve.train"
+                                                : "serve.predict",
+                                            "serve");
+                }
                 if (shard.quarantined.load(std::memory_order_acquire)) {
                     // Quarantine drain: never touch the (suspect)
                     // predictor. Predicts answer unspeculated; trains
@@ -425,6 +465,7 @@ PredictionService::processBatch(Shard &shard,
                     ++shard.predicts;
                     ++batch_predicts;
                 }
+                computeNs.record(obs::stageNowNs() - startedNs);
             }
             ++shard.batches;
             if (config_.auditEveryBatches != 0 &&

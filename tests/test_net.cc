@@ -29,8 +29,11 @@
 #include "net/server.hh"
 #include "net/socket.hh"
 #include "net/wire.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_context.hh"
 #include "serve/service.hh"
 #include "util/error.hh"
+#include "util/json.hh"
 
 namespace clap::net
 {
@@ -772,6 +775,204 @@ TEST(NetChaosDeterminism, SameSeedSameFaultScheduleSameCounters)
     // The invariant every chaos harness asserts: never a wrong reply.
     EXPECT_EQ(run1.client.wrongReplies, 0u);
     EXPECT_EQ(run2.client.wrongReplies, 0u);
+}
+
+// --- Wire version negotiation (v2 <-> v3) -------------------------
+
+TEST(NetVersion, HandshakeNegotiatesCurrentVersionByDefault)
+{
+    const std::string endpoint = udsEndpoint("negotiate");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    ASSERT_TRUE(client.ping());
+    EXPECT_EQ(client.negotiatedVersion(), wireVersion);
+    EXPECT_EQ(client.counters().helloDowngrades, 0u);
+    // Both epochs were stamped in this process moments apart, so the
+    // epoch-derived clock offset must be far under a second.
+    EXPECT_LT(client.serverClockOffsetNs(), 1'000'000'000ll);
+    EXPECT_GT(client.serverClockOffsetNs(), -1'000'000'000ll);
+}
+
+TEST(NetVersion, OldClientSpeaksBaseVersionToNewServer)
+{
+    const std::string endpoint = udsEndpoint("oldclient");
+    TestGateway gateway(endpoint);
+
+    // A client capped at the base version is what a pre-v3 build
+    // looks like on the wire: the server must accept it first try.
+    ClientConfig config;
+    config.endpoint = endpoint;
+    config.maxWireVersion = wireVersionBase;
+    NetClient client(config);
+    ASSERT_TRUE(client.ping());
+    EXPECT_EQ(client.negotiatedVersion(), wireVersionBase);
+    EXPECT_EQ(client.counters().helloDowngrades, 0u);
+    EXPECT_EQ(client.serverClockOffsetNs(), 0); // no epoch below v3
+
+    const LoadInfo info = client.makeInfo(0x1000, 0);
+    auto pred = client.predict(info);
+    ASSERT_TRUE(pred) << pred.error().str();
+    EXPECT_TRUE(client.train(info, 0x2000, *pred));
+}
+
+TEST(NetVersion, NewClientDowngradesToOldServer)
+{
+    PredictionService service(TestGateway::makeConfig(1),
+                              testHybridFactory());
+    const std::string endpoint = udsEndpoint("oldserver");
+    ServerConfig server_config;
+    server_config.endpoint = endpoint;
+    server_config.maxWireVersion = wireVersionBase;
+    NetServer server(service, nullptr, server_config);
+    ASSERT_TRUE(server.start());
+
+    // The v3 client's first Hello draws BadVersion; it must re-Hello
+    // at the base version on the same connection attempt and carry on.
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    ASSERT_TRUE(client.ping());
+    EXPECT_EQ(client.negotiatedVersion(), wireVersionBase);
+    EXPECT_EQ(client.counters().helloDowngrades, 1u);
+
+    const LoadInfo info = client.makeInfo(0x1000, 0);
+    auto pred = client.predict(info);
+    ASSERT_TRUE(pred) << pred.error().str();
+    EXPECT_TRUE(client.train(info, 0x2000, *pred));
+    EXPECT_EQ(client.counters().wrongReplies, 0u);
+
+    server.stop();
+    service.stop();
+}
+
+TEST(NetVersion, SampledAmbientContextRidesTheRequest)
+{
+    const std::string endpoint = udsEndpoint("traced");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    ASSERT_TRUE(client.ping());
+
+    // A sampled ambient context makes the client emit v3 frames; the
+    // server adopts the context around the handler. The request must
+    // round-trip exactly as an untraced one does.
+    obs::TraceContext ctx;
+    ctx.traceId = obs::traceIdFromSeed(42);
+    ctx.spanId = obs::newSpanId();
+    ctx.sampled = true;
+    obs::TraceScope scope(ctx);
+
+    const LoadInfo info = client.makeInfo(0x1000, 0);
+    auto pred = client.predict(info);
+    ASSERT_TRUE(pred) << pred.error().str();
+    ASSERT_TRUE(client.train(info, 0x2000, *pred));
+    EXPECT_EQ(client.counters().wrongReplies, 0u);
+    EXPECT_EQ(client.counters().transportErrors, 0u);
+}
+
+// --- Per-request stage decomposition ------------------------------
+
+TEST(NetStage, StageDecompositionConservesExactly)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    const std::string endpoint = udsEndpoint("stages");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    ASSERT_TRUE(client.ping()); // connect + handshake before the reset
+
+    obs::resetMetricsForTest();
+    constexpr std::uint64_t kRequests = 32;
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+        auto pred = client.predict(client.makeInfo(0x1000 + 8 * i, 0));
+        ASSERT_TRUE(pred);
+    }
+
+    // The server stamps the stage histograms after flushing the reply,
+    // so the last record can land just after the client sees PredictOk;
+    // wait for the connection thread to catch up before snapshotting.
+    for (int spin = 0; spin < 2000; ++spin) {
+        if (obs::histogram("net.stage.total_ns").snapshot().count >=
+            kRequests)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const auto decode =
+        obs::histogram("net.stage.decode_ns").snapshot();
+    const auto handle =
+        obs::histogram("net.stage.handle_ns").snapshot();
+    const auto encode =
+        obs::histogram("net.stage.encode_ns").snapshot();
+    const auto residual =
+        obs::histogram("net.stage.residual_ns").snapshot();
+    const auto total = obs::histogram("net.stage.total_ns").snapshot();
+
+    // One record per request in every stage...
+    EXPECT_EQ(decode.count, kRequests);
+    EXPECT_EQ(handle.count, kRequests);
+    EXPECT_EQ(encode.count, kRequests);
+    EXPECT_EQ(residual.count, kRequests);
+    EXPECT_EQ(total.count, kRequests);
+    // ...and the conservation identity holds exactly: the stages are
+    // consecutive stamps of one clock with the gap made explicit as
+    // residual, so nothing is double-counted or dropped.
+    EXPECT_EQ(total.sum,
+              decode.sum + handle.sum + encode.sum + residual.sum);
+    EXPECT_GT(total.sum, 0u);
+}
+
+// --- Remote observability scrape ----------------------------------
+
+TEST(NetObs, RemoteScrapeReturnsStructuredJson)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    const std::string endpoint = udsEndpoint("obsfetch");
+    TestGateway gateway(endpoint);
+
+    ClientConfig config;
+    config.endpoint = endpoint;
+    NetClient client(config);
+    for (int i = 0; i < 8; ++i) {
+        const LoadInfo info = client.makeInfo(0x2000, 0);
+        auto pred = client.predict(info);
+        ASSERT_TRUE(pred);
+        ASSERT_TRUE(client.train(info, 0x3000 + 64ull * i, *pred));
+    }
+
+    auto full = client.fetchObs(/*include_timing=*/true);
+    ASSERT_TRUE(full) << full.error().str();
+    const auto parsed = parseJson(*full);
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    EXPECT_EQ(parsed->stringOr("server", ""), "clapd");
+    const JsonValue *metrics = parsed->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_NE(metrics->find("counters"), nullptr);
+    const JsonValue *shards = parsed->find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_EQ(shards->kind, JsonValue::Kind::Array);
+    EXPECT_EQ(shards->items.size(), 2u);
+    // Timing sections (the wall-clock histograms) ride along only
+    // when asked for.
+    EXPECT_NE(parsed->find("timing"), nullptr);
+
+    auto stable = client.fetchObs(/*include_timing=*/false);
+    ASSERT_TRUE(stable) << stable.error().str();
+    const auto stableParsed = parseJson(*stable);
+    ASSERT_TRUE(stableParsed) << stableParsed.error().str();
+    EXPECT_EQ(stableParsed->find("timing"), nullptr);
+    ASSERT_NE(stableParsed->find("shards"), nullptr);
 }
 
 } // namespace

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/scrape.hh"
+#include "obs/trace_context.hh"
 #include "obs/trace_events.hh"
 #include "util/json.hh"
 
@@ -306,6 +308,273 @@ TEST(ObsSpans, FlushedFileIsValidTraceEventJson)
     ASSERT_TRUE(again);
 
     std::remove(spanFilePath().c_str());
+}
+
+// --- Interpolated quantiles ------------------------------------------
+
+TEST(ObsQuantile, EmptySnapshotIsZeroEverywhere)
+{
+    obs::HistogramSnapshot snap;
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(snap.p99(), 0.0);
+}
+
+TEST(ObsQuantile, AddValueFillsBucketsLikeRecord)
+{
+    // addValue is the bench-side aggregation path: it must place
+    // values in exactly the buckets Histogram::record would, without
+    // consulting CLAP_METRICS.
+    obs::HistogramSnapshot snap;
+    snap.addValue(0);
+    snap.addValue(1);
+    snap.addValue(5);
+    snap.addValue(6);
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 12u);
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 1u);
+    EXPECT_EQ(snap.buckets[3], 2u);
+}
+
+TEST(ObsQuantile, PointMassesInterpolateExactly)
+{
+    // All mass in single-value buckets: the interpolation has no
+    // width to spread over, so the estimates are exact.
+    obs::HistogramSnapshot ones;
+    for (int i = 0; i < 100; ++i)
+        ones.addValue(1);
+    EXPECT_DOUBLE_EQ(ones.quantile(0.01), 1.0);
+    EXPECT_DOUBLE_EQ(ones.p50(), 1.0);
+    EXPECT_DOUBLE_EQ(ones.quantile(1.0), 1.0);
+
+    obs::HistogramSnapshot zeros;
+    zeros.addValue(0);
+    EXPECT_DOUBLE_EQ(zeros.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(zeros.quantile(1.0), 0.0);
+}
+
+TEST(ObsQuantile, InterpolatesInsideTheContainingBucket)
+{
+    // 1 (bucket 1), 2+3 (bucket 2), 4 (bucket 3).
+    obs::HistogramSnapshot snap;
+    snap.addValue(1);
+    snap.addValue(2);
+    snap.addValue(3);
+    snap.addValue(4);
+    // target rank 1.0 lands exactly on bucket 1's full mass.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.25), 1.0);
+    // target rank 2.0: halfway through bucket 2's two values,
+    // interpolated across [2, 3].
+    EXPECT_DOUBLE_EQ(snap.quantile(0.50), 2.5);
+    // The top quantile cannot leave the top occupied bucket [4, 7].
+    EXPECT_GE(snap.quantile(1.0), 4.0);
+    EXPECT_LE(snap.quantile(1.0), 7.0);
+}
+
+TEST(ObsQuantile, IsMonotoneAndClamped)
+{
+    obs::HistogramSnapshot snap;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        snap.addValue(v);
+    double last = -1.0;
+    for (int step = 0; step <= 20; ++step) {
+        const double q = static_cast<double>(step) / 20.0;
+        const double value = snap.quantile(q);
+        EXPECT_GE(value, last) << "q=" << q;
+        last = value;
+    }
+    // Out-of-range q clamps rather than extrapolating.
+    EXPECT_DOUBLE_EQ(snap.quantile(-1.0), snap.quantile(0.0));
+    EXPECT_DOUBLE_EQ(snap.quantile(2.0), snap.quantile(1.0));
+    // The helpers are plain shorthands.
+    EXPECT_DOUBLE_EQ(snap.p50(), snap.quantile(0.50));
+    EXPECT_DOUBLE_EQ(snap.p95(), snap.quantile(0.95));
+    EXPECT_DOUBLE_EQ(snap.p99(), snap.quantile(0.99));
+    // Sanity on a uniform 1..1000: the median estimate sits within
+    // one log2 bucket of the true 500.
+    EXPECT_GE(snap.p50(), 256.0);
+    EXPECT_LE(snap.p50(), 1023.0);
+}
+
+// --- Scrape rendering ------------------------------------------------
+
+TEST(ObsScrape, TimingMetricNamesAreSuffixKeyed)
+{
+    EXPECT_TRUE(obs::isTimingMetricName("net.stage.total_ns"));
+    EXPECT_TRUE(obs::isTimingMetricName("request_us"));
+    EXPECT_TRUE(obs::isTimingMetricName("pause_ms"));
+    EXPECT_FALSE(obs::isTimingMetricName("serve.batch.size"));
+    EXPECT_FALSE(obs::isTimingMetricName("ns"));
+    EXPECT_FALSE(obs::isTimingMetricName("burns"));
+}
+
+TEST(ObsScrape, HistogramJsonRoundTripsSparseBuckets)
+{
+    obs::HistogramSnapshot snap;
+    snap.addValue(0);
+    snap.addValue(5);
+    snap.addValue(5);
+    const std::string json = obs::scrapeHistogramJson(snap);
+    const auto parsed = parseJson(json);
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    EXPECT_EQ(parsed->uintOr("count", 0), 3u);
+    EXPECT_EQ(parsed->uintOr("sum", 0), 10u);
+    ASSERT_NE(parsed->find("p50"), nullptr);
+    ASSERT_NE(parsed->find("p95"), nullptr);
+    ASSERT_NE(parsed->find("p99"), nullptr);
+
+    // Zero buckets are omitted: exactly bucket 0 (one zero) and
+    // bucket 3 (two fives) appear, as [lower_bound, count] pairs.
+    const JsonValue *buckets = parsed->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->kind, JsonValue::Kind::Array);
+    ASSERT_EQ(buckets->items.size(), 2u);
+    ASSERT_EQ(buckets->items[0].items.size(), 2u);
+    EXPECT_EQ(buckets->items[0].items[0].uintValue, 0u);
+    EXPECT_EQ(buckets->items[0].items[1].uintValue, 1u);
+    EXPECT_EQ(buckets->items[1].items[0].uintValue, 4u);
+    EXPECT_EQ(buckets->items[1].items[1].uintValue, 2u);
+}
+
+// --- Distributed trace context ---------------------------------------
+
+TEST(ObsTraceContext, DefaultContextIsInvalid)
+{
+    EXPECT_FALSE(obs::TraceContext{}.valid());
+    obs::TraceContext ctx;
+    ctx.traceId = 1;
+    EXPECT_TRUE(ctx.valid());
+}
+
+TEST(ObsTraceContext, IdsAreNonZeroAndUsable)
+{
+    const std::uint64_t a = obs::newSpanId();
+    const std::uint64_t b = obs::newSpanId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+
+    // Seed-derived trace ids are deterministic (load drivers stamp
+    // reproducible traces) and never the "no trace" sentinel.
+    EXPECT_EQ(obs::traceIdFromSeed(7), obs::traceIdFromSeed(7));
+    EXPECT_NE(obs::traceIdFromSeed(7), obs::traceIdFromSeed(8));
+    EXPECT_NE(obs::traceIdFromSeed(0), 0u);
+}
+
+TEST(ObsTraceContext, ScopeInstallsAndRestores)
+{
+    const obs::TraceContext before = obs::currentTraceContext();
+    obs::TraceContext outer;
+    outer.traceId = obs::traceIdFromSeed(99);
+    outer.spanId = obs::newSpanId();
+    outer.sampled = true;
+    {
+        obs::TraceScope scope(outer);
+        const obs::TraceContext seen = obs::currentTraceContext();
+        EXPECT_EQ(seen.traceId, outer.traceId);
+        EXPECT_EQ(seen.spanId, outer.spanId);
+        EXPECT_TRUE(seen.sampled);
+        {
+            obs::TraceContext inner = seen;
+            inner.spanId = obs::newSpanId();
+            obs::TraceScope nested(inner);
+            EXPECT_EQ(obs::currentTraceContext().spanId, inner.spanId);
+        }
+        // The nested scope restored the outer context exactly.
+        EXPECT_EQ(obs::currentTraceContext().spanId, outer.spanId);
+    }
+    EXPECT_EQ(obs::currentTraceContext().traceId, before.traceId);
+    EXPECT_EQ(obs::currentTraceContext().spanId, before.spanId);
+}
+
+TEST(ObsTraceContext, ContextIsPerThread)
+{
+    obs::TraceContext ctx;
+    ctx.traceId = obs::traceIdFromSeed(123);
+    ctx.spanId = obs::newSpanId();
+    obs::TraceScope scope(ctx);
+    std::thread([] {
+        // The ambient context must not leak across threads.
+        EXPECT_FALSE(obs::currentTraceContext().valid());
+    }).join();
+    EXPECT_EQ(obs::currentTraceContext().traceId, ctx.traceId);
+}
+
+TEST(ObsTraceContext, SampledSpanChainsUnderAmbientContext)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    ASSERT_TRUE(obs::traceEventsEnabled());
+
+    obs::TraceContext ctx;
+    ctx.traceId = obs::traceIdFromSeed(0xabc);
+    ctx.spanId = obs::newSpanId();
+    ctx.sampled = true;
+    {
+        obs::TraceScope scope(ctx);
+        obs::Span span("test.linked", "test");
+        // The span installed itself as the current context: same
+        // trace, new span id, still sampled.
+        const obs::TraceContext inner = obs::currentTraceContext();
+        EXPECT_EQ(inner.traceId, ctx.traceId);
+        EXPECT_NE(inner.spanId, ctx.spanId);
+        EXPECT_TRUE(inner.sampled);
+    }
+    ASSERT_TRUE(obs::flushTraceEvents());
+
+    // The flushed event carries the linkage args Perfetto needs.
+    std::ifstream in(spanFilePath(), std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto parsed = parseJson(buffer.str());
+    ASSERT_TRUE(parsed) << parsed.error().str();
+    const JsonValue *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool found = false;
+    char want[32];
+    std::snprintf(want, sizeof(want), "0x%llx",
+                  static_cast<unsigned long long>(ctx.traceId));
+    for (const JsonValue &event : events->items) {
+        if (event.stringOr("name", "") != "test.linked")
+            continue;
+        found = true;
+        const JsonValue *args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->stringOr("trace_id", ""), want);
+        char parent[32];
+        std::snprintf(parent, sizeof(parent), "0x%llx",
+                      static_cast<unsigned long long>(ctx.spanId));
+        EXPECT_EQ(args->stringOr("parent_span_id", ""), parent);
+        EXPECT_NE(args->stringOr("span_id", ""), "");
+        EXPECT_NE(args->stringOr("span_id", ""), parent);
+    }
+    EXPECT_TRUE(found);
+    std::remove(spanFilePath().c_str());
+}
+
+TEST(ObsSpans, OverflowDropsAreMirroredIntoTheRegistry)
+{
+#ifdef CLAP_OBS_DISABLED
+    GTEST_SKIP() << "obs recording compiled out (CLAP_OBS=OFF)";
+#endif
+    ASSERT_TRUE(obs::traceEventsEnabled());
+    obs::Counter &dropped = obs::counter("obs.trace_events.dropped");
+    const std::uint64_t before = dropped.value();
+
+    // A fresh thread starts with an empty per-thread buffer: with the
+    // limit forced to 1, the first span lands and the rest drop.
+    obs::setTraceEventBufferLimitForTest(1);
+    std::thread([] {
+        for (int i = 0; i < 5; ++i)
+            obs::Span span("test.drop", "test");
+    }).join();
+    obs::setTraceEventBufferLimitForTest(0); // restore the default
+
+    EXPECT_EQ(dropped.value(), before + 4);
 }
 
 TEST(ObsSpans, EarlyFinishIsIdempotent)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -229,6 +230,12 @@ expectReassembly(const std::vector<Frame> &expected,
         EXPECT_EQ(decoded[i].type, expected[i].type) << label;
         EXPECT_EQ(decoded[i].id, expected[i].id) << label;
         EXPECT_EQ(decoded[i].payload, expected[i].payload) << label;
+        EXPECT_EQ(decoded[i].trace.traceId, expected[i].trace.traceId)
+            << label;
+        EXPECT_EQ(decoded[i].trace.spanId, expected[i].trace.spanId)
+            << label;
+        EXPECT_EQ(decoded[i].trace.sampled, expected[i].trace.sampled)
+            << label;
     }
     EXPECT_EQ(reader.buffered(), 0u) << label;
     EXPECT_FALSE(reader.poisoned()) << label;
@@ -633,6 +640,213 @@ TEST(WireCodec, FrameTypeNamesAreStable)
     EXPECT_STREQ(frameTypeName(FrameType::Predict), "Predict");
     EXPECT_STREQ(frameTypeName(FrameType::ErrorReply), "ErrorReply");
     EXPECT_STREQ(frameTypeName(FrameType::GoAway), "GoAway");
+    EXPECT_STREQ(frameTypeName(FrameType::ObsFetch), "ObsFetch");
+    EXPECT_STREQ(frameTypeName(FrameType::ObsOk), "ObsOk");
+}
+
+TEST(WireCodec, FrameTypeNamesAreExhaustive)
+{
+    // Every defined type (1..ObsOk) must have a distinct, real name —
+    // a new frame type whose name falls through to "Unknown" would
+    // make chaos logs and GoAway diagnostics unreadable.
+    std::vector<std::string> names;
+    const auto last = static_cast<std::uint16_t>(FrameType::ObsOk);
+    for (std::uint16_t raw = 1; raw <= last; ++raw) {
+        const char *name =
+            frameTypeName(static_cast<FrameType>(raw));
+        EXPECT_STRNE(name, "Unknown") << "type " << raw;
+        names.emplace_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end())
+        << "duplicate frame type name";
+    // One past the end is where "Unknown" belongs.
+    EXPECT_STREQ(frameTypeName(static_cast<FrameType>(last + 1)),
+                 "Unknown");
+}
+
+TEST(WireCodec, HelloOkEpochTravelsOnlyAtV3)
+{
+    // A v2-negotiated HelloOk must not append the epoch (a strict v2
+    // decoder rejects trailing bytes); a v3 one must round-trip it.
+    std::uint16_t version = 0;
+    std::string name;
+    std::uint64_t epoch = ~std::uint64_t{0};
+    ASSERT_TRUE(decodeHelloOk(
+        encodeHelloOk("srv", wireVersionBase, 0x1234567890abcdefull),
+        version, name, epoch));
+    EXPECT_EQ(version, wireVersionBase);
+    EXPECT_EQ(name, "srv");
+    EXPECT_EQ(epoch, 0u); // not encoded at v2
+
+    ASSERT_TRUE(decodeHelloOk(
+        encodeHelloOk("srv", wireVersion, 0x1234567890abcdefull),
+        version, name, epoch));
+    EXPECT_EQ(version, wireVersion);
+    EXPECT_EQ(epoch, 0x1234567890abcdefull);
+}
+
+TEST(WireCodec, ObsFetchRoundTripsTimingFlag)
+{
+    bool include_timing = false;
+    ASSERT_TRUE(
+        decodeObsFetch(encodeObsFetch(true), include_timing));
+    EXPECT_TRUE(include_timing);
+    ASSERT_TRUE(
+        decodeObsFetch(encodeObsFetch(false), include_timing));
+    EXPECT_FALSE(include_timing);
+    EXPECT_FALSE(decodeObsFetch("", include_timing));
+}
+
+// --- Trace-context framing (wire v3) ------------------------------
+
+TEST(WireTrace, UntracedFrameStaysByteIdenticalToV2)
+{
+    // The tracing-neutrality contract: a frame without a trace
+    // context encodes at wireVersionBase with no prefix, so enabling
+    // tracing in the build cannot perturb untraced traffic.
+    const Frame frame = sampleFrame();
+    const std::string wire = encodeFrame(frame);
+    EXPECT_EQ(static_cast<unsigned char>(wire[4]), wireVersionBase);
+    EXPECT_EQ(static_cast<unsigned char>(wire[5]), 0u);
+    EXPECT_EQ(wire.size(), frameHeaderBytes + frame.payload.size() +
+                               frameTrailerBytes);
+}
+
+TEST(WireTrace, TracedFrameRoundTripsContextAndStripsPrefix)
+{
+    Frame frame = sampleFrame();
+    frame.trace.traceId = 0x0123456789abcdefull;
+    frame.trace.spanId = 0xfedcba9876543210ull;
+    frame.trace.sampled = true;
+
+    const std::string wire = encodeFrame(frame);
+    EXPECT_EQ(static_cast<unsigned char>(wire[4]), wireVersion);
+    EXPECT_EQ(wire.size(), frameHeaderBytes + traceContextBytes +
+                               frame.payload.size() +
+                               frameTrailerBytes);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    ASSERT_EQ(reader.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.type, frame.type);
+    EXPECT_EQ(out.id, frame.id);
+    EXPECT_EQ(out.payload, frame.payload); // prefix stripped on decode
+    ASSERT_TRUE(out.trace.valid());
+    EXPECT_EQ(out.trace.traceId, frame.trace.traceId);
+    EXPECT_EQ(out.trace.spanId, frame.trace.spanId);
+    EXPECT_TRUE(out.trace.sampled);
+
+    // An unsampled-but-propagated context keeps the bit clear.
+    frame.trace.sampled = false;
+    FrameReader reader2;
+    const std::string wire2 = encodeFrame(frame);
+    reader2.feed(wire2.data(), wire2.size());
+    ASSERT_EQ(reader2.next(out, error), FrameReader::Status::Ok);
+    EXPECT_EQ(out.trace.traceId, frame.trace.traceId);
+    EXPECT_FALSE(out.trace.sampled);
+}
+
+TEST(WireTrace, MixedStreamSurvivesAdversarialSegmentation)
+{
+    // v2 and v3 frames interleaved on one stream, reassembled through
+    // every chunking the plain segmentation suite uses: the 17-byte
+    // prefix must never be confused with payload no matter where the
+    // chunk boundaries fall.
+    auto [frames, wire] = segmentationStream();
+    Frame traced = sampleFrame();
+    traced.id = 10;
+    traced.trace = obs::TraceContext{0x1111222233334444ull,
+                                     0x5555666677778888ull, true};
+    Frame tracedEmpty; // trace context around an empty typed payload
+    tracedEmpty.type = FrameType::Ping;
+    tracedEmpty.id = 11;
+    tracedEmpty.trace =
+        obs::TraceContext{0x9999aaaabbbbccccull, 0, false};
+    frames.insert(frames.begin() + 1, traced);
+    frames.push_back(tracedEmpty);
+    wire.clear();
+    for (const Frame &frame : frames)
+        wire += encodeFrame(frame);
+
+    for (std::size_t size = 1; size <= 7; ++size) {
+        expectReassembly(frames, wire, {size},
+                         "traced chunk size " + std::to_string(size));
+    }
+    Rng rng(0x7e5d);
+    for (int round = 0; round < 16; ++round) {
+        std::vector<std::size_t> chunks;
+        for (int i = 0; i < 64; ++i)
+            chunks.push_back(rng.below(97));
+        chunks.push_back(1);
+        expectReassembly(frames, wire, chunks,
+                         "traced random round " +
+                             std::to_string(round));
+    }
+}
+
+TEST(WireTrace, V3FrameTooShortForContextIsCorrupt)
+{
+    // A v3 frame whose length cannot even hold the trace prefix must
+    // be refused at the header check, before the payload is read.
+    std::string wire = encodeFrame(sampleFrame());
+    wire[4] = static_cast<char>(wireVersion);
+    Crc32 crc;
+    crc.update(wire.data(), 20);
+    const std::uint32_t hcrc = crc.value();
+    std::memcpy(&wire[20], &hcrc, 4);
+    // sampleFrame's payload (20 bytes) > 17, so shrink the claim.
+    std::string shortWire = wire.substr(0, frameHeaderBytes);
+    const std::uint32_t shortLen = traceContextBytes - 1;
+    std::memcpy(&shortWire[16], &shortLen, 4);
+    Crc32 crc2;
+    crc2.update(shortWire.data(), 20);
+    const std::uint32_t hcrc2 = crc2.value();
+    std::memcpy(&shortWire[20], &hcrc2, 4);
+    const std::string body(shortLen, 'x');
+    shortWire += body;
+    Crc32 pcrc;
+    pcrc.update(body.data(), body.size());
+    const std::uint32_t pv = pcrc.value();
+    shortWire.append(reinterpret_cast<const char *>(&pv), 4);
+
+    FrameReader reader;
+    reader.feed(shortWire.data(), shortWire.size());
+    Frame out;
+    Error error;
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_EQ(error.code(), ErrorCode::BadHeader);
+    EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(WireTrace, V3FrameWithNullTraceIdIsCorrupt)
+{
+    // traceId 0 means "no trace"; a v3 frame claiming one is either a
+    // buggy or forged peer and must poison the stream.
+    Frame frame = sampleFrame();
+    frame.trace.traceId = 0x1234;
+    frame.trace.spanId = 0x5678;
+    std::string wire = encodeFrame(frame);
+    // Zero the traceId (first 8 payload bytes) and fix the body CRC.
+    for (std::size_t i = 0; i < 8; ++i)
+        wire[frameHeaderBytes + i] = 0;
+    const std::size_t bodyLen =
+        wire.size() - frameHeaderBytes - frameTrailerBytes;
+    Crc32 crc;
+    crc.update(wire.data() + frameHeaderBytes, bodyLen);
+    const std::uint32_t pv = crc.value();
+    std::memcpy(&wire[wire.size() - frameTrailerBytes], &pv, 4);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame out;
+    Error error;
+    EXPECT_EQ(reader.next(out, error), FrameReader::Status::Corrupt);
+    EXPECT_EQ(error.code(), ErrorCode::BadHeader);
+    EXPECT_TRUE(reader.poisoned());
 }
 
 } // namespace
